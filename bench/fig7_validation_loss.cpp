@@ -1,0 +1,60 @@
+// Fig. 7: validation loss per epoch for Chebyshev order K in {1, 2, 3} on
+// the Weibo dataset. Paper shape: loss declines steadily for every K, with
+// no evidence that larger or smaller K dominates the middle value.
+
+#include <cstdio>
+#include <iostream>
+
+#include "benchutil/experiment_runner.h"
+#include "benchutil/table_printer.h"
+#include "common/logging.h"
+
+int main() {
+  using namespace cascn;
+  const double scale = bench::BenchScale();
+  std::printf("Fig. 7: validation loss vs epoch for K = 1/2/3 (scale %.1f)\n\n",
+              scale);
+  const bench::SyntheticData data = bench::MakeSyntheticData(scale);
+  auto dataset = bench::MakeDataset(data.weibo, true, 60.0,
+                                    static_cast<int>(120 * scale));
+  CASCN_CHECK(dataset.ok()) << dataset.status();
+
+  bench::RunOptions opts =
+      bench::DefaultRunOptions(scale, data.weibo_config.user_universe);
+  bench::TuneForDataset(opts, /*weibo=*/true);
+  opts.trainer.patience = opts.trainer.max_epochs;  // full curve, no stop
+
+  std::vector<std::vector<double>> curves;
+  for (int k : {1, 2, 3}) {
+    CascnConfig config = opts.cascn;
+    config.cheb_order = k;
+    const auto run = bench::RunCascn(config, *dataset, opts.trainer);
+    std::vector<double> curve;
+    for (const auto& e : run.train.history)
+      curve.push_back(e.validation_msle);
+    curves.push_back(std::move(curve));
+    std::fprintf(stderr, "[fig7] K=%d done (%zu epochs)\n", k,
+                 curves.back().size());
+  }
+
+  TablePrinter table({"epoch", "K=1", "K=2", "K=3"});
+  size_t epochs = 0;
+  for (const auto& c : curves) epochs = std::max(epochs, c.size());
+  for (size_t e = 0; e < epochs; ++e) {
+    std::vector<std::string> row = {std::to_string(e + 1)};
+    for (const auto& c : curves)
+      row.push_back(e < c.size() ? TablePrinter::Cell(c[e]) : "-");
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  for (size_t i = 0; i < curves.size(); ++i) {
+    const auto& c = curves[i];
+    double best = c[0];
+    for (double v : c) best = std::min(best, v);
+    std::printf(
+        "shape check: K=%zu validation loss declines from %.3f to best %.3f\n",
+        i + 1, c.front(), best);
+  }
+  return 0;
+}

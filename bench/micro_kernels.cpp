@@ -1,0 +1,128 @@
+// Micro-benchmarks of the substrate kernels that dominate CasCN training:
+// dense matmul, sparse-dense matmul, the CasLaplacian construction
+// (Algorithm 1), the Chebyshev basis recursion, one graph-conv LSTM step
+// (forward and forward+backward), and snapshot encoding.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/encoder.h"
+#include "data/cascade_generator.h"
+#include "graph/chebyshev.h"
+#include "graph/laplacian.h"
+#include "nn/graph_rnn_cells.h"
+#include "tensor/tensor.h"
+
+namespace cascn {
+namespace {
+
+Cascade BenchCascade(int n) {
+  Rng rng(n);
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i < n; ++i) {
+    AdoptionEvent e;
+    e.node = i;
+    e.user = static_cast<int>(rng.UniformInt(1000));
+    e.parents.push_back(static_cast<int>(rng.UniformInt(i)));
+    e.time = static_cast<double>(i);
+    events.push_back(e);
+  }
+  return std::move(Cascade::Create("bench", std::move(events))).value();
+}
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::RandomNormal(n, n, 1.0, rng);
+  const Tensor b = Tensor::RandomNormal(n, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SparseMatMulDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Cascade cascade = BenchCascade(n);
+  const CsrMatrix adj = cascade.AdjacencyMatrix(n, n, true);
+  Rng rng(2);
+  const Tensor x = Tensor::RandomNormal(n, 16, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.MatMulDense(x));
+  }
+}
+BENCHMARK(BM_SparseMatMulDense)->Arg(32)->Arg(128);
+
+void BM_CasLaplacian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Cascade cascade = BenchCascade(n);
+  for (auto _ : state) {
+    auto lap = CascadeLaplacian(cascade, n);
+    benchmark::DoNotOptimize(lap);
+  }
+}
+BENCHMARK(BM_CasLaplacian)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ChebyshevBasis(benchmark::State& state) {
+  const int n = 32;
+  const Cascade cascade = BenchCascade(n);
+  auto lap = CascadeLaplacian(cascade, n);
+  const CsrMatrix scaled = ScaleLaplacian(*lap, 2.0, n);
+  const int order = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChebyshevBasis(scaled, order, n));
+  }
+}
+BENCHMARK(BM_ChebyshevBasis)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_GraphConvLstmStepForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  nn::GraphConvLstmCell cell(n, 12, 2, rng);
+  const Cascade cascade = BenchCascade(n);
+  auto lap = CascadeLaplacian(cascade, n);
+  const auto basis = ChebyshevBasis(ScaleLaplacian(*lap, 2.0, n), 2, n);
+  const Tensor x_val = cascade.AdjacencyMatrix(n, n, true).ToDense();
+  for (auto _ : state) {
+    const ag::Variable x = ag::Variable::Leaf(x_val);
+    benchmark::DoNotOptimize(cell.Step(basis, x, cell.InitialState()));
+  }
+}
+BENCHMARK(BM_GraphConvLstmStepForward)->Arg(16)->Arg(32);
+
+void BM_GraphConvLstmStepTrain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  nn::GraphConvLstmCell cell(n, 12, 2, rng);
+  const Cascade cascade = BenchCascade(n);
+  auto lap = CascadeLaplacian(cascade, n);
+  const auto basis = ChebyshevBasis(ScaleLaplacian(*lap, 2.0, n), 2, n);
+  const Tensor x_val = cascade.AdjacencyMatrix(n, n, true).ToDense();
+  for (auto _ : state) {
+    const ag::Variable x = ag::Variable::Leaf(x_val);
+    const nn::RnnState next = cell.Step(basis, x, cell.InitialState());
+    ag::Sum(ag::Square(next.h)).Backward();
+    cell.ZeroGrad();
+  }
+}
+BENCHMARK(BM_GraphConvLstmStepTrain)->Arg(16)->Arg(32);
+
+void BM_EncodeCascade(benchmark::State& state) {
+  GeneratorConfig gen = WeiboLikeConfig();
+  gen.num_cascades = 1;
+  Rng rng(5);
+  CascadeSample sample;
+  sample.observed = GenerateCascades(gen, rng)[0].Prefix(60.0);
+  sample.observation_window = 60.0;
+  CascnConfig config;
+  config.padded_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto enc = EncodeCascade(sample, config);
+    benchmark::DoNotOptimize(enc);
+  }
+}
+BENCHMARK(BM_EncodeCascade)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,94 @@
+// Table III: overall MSLE comparison of all methods on both datasets across
+// three observation windows each — the paper's headline result.
+//
+// Paper shape to reproduce (absolute values differ on synthetic data):
+//   * CasCN attains the lowest MSLE in every column;
+//   * deep structural-temporal models (DeepHawkes, Topo-LSTM, DeepCas) beat
+//     feature-based and embedding baselines;
+//   * larger observation windows give lower MSLE for every method.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "benchutil/experiment_runner.h"
+#include "benchutil/table_printer.h"
+#include "common/logging.h"
+
+int main() {
+  using namespace cascn;
+  const double scale = bench::BenchScale();
+  std::printf("Table III: overall performance comparison (MSLE, scale %.1f)\n\n",
+              scale);
+  const bench::SyntheticData data = bench::MakeSyntheticData(scale);
+  const int max_train = static_cast<int>(200 * scale);
+
+  struct Column {
+    bool weibo;
+    double window;
+  };
+  std::vector<Column> columns;
+  for (double w : bench::WeiboWindows()) columns.push_back({true, w});
+  for (double w : bench::CitationWindows()) columns.push_back({false, w});
+
+  std::vector<std::string> header = {"Model"};
+  for (const Column& c : columns)
+    header.push_back((c.weibo ? "Weibo " : "HEP ") +
+                     bench::WindowLabel(c.weibo, c.window));
+  TablePrinter table(header);
+
+  // cell[model][column] = msle
+  std::map<bench::ModelKind, std::vector<double>> cells;
+  for (const Column& column : columns) {
+    const auto& cascades = column.weibo ? data.weibo : data.citation;
+    auto dataset =
+        bench::MakeDataset(cascades, column.weibo, column.window, max_train);
+    CASCN_CHECK(dataset.ok()) << dataset.status();
+    bench::RunOptions opts = bench::DefaultRunOptions(
+        scale, column.weibo ? data.weibo_config.user_universe
+                            : data.citation_config.user_universe);
+    bench::TuneForDataset(opts, column.weibo);
+    for (bench::ModelKind kind : bench::Table3Models()) {
+      const auto outcome = bench::RunModel(kind, *dataset, opts);
+      cells[kind].push_back(outcome.test_msle);
+      std::fprintf(stderr, "[table3] %-16s %-14s msle=%.3f\n",
+                   outcome.model.c_str(),
+                   bench::WindowLabel(column.weibo, column.window).c_str(),
+                   outcome.test_msle);
+    }
+  }
+
+  for (bench::ModelKind kind : bench::Table3Models()) {
+    std::vector<std::string> row = {bench::ModelKindName(kind)};
+    for (double msle : cells[kind]) row.push_back(TablePrinter::Cell(msle));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  // Shape checks.
+  const auto& cascn = cells[bench::ModelKind::kCascn];
+  int cascn_wins = 0;
+  for (size_t col = 0; col < columns.size(); ++col) {
+    bool best = true;
+    for (const auto& [kind, msles] : cells)
+      if (kind != bench::ModelKind::kCascn && msles[col] < cascn[col])
+        best = false;
+    if (best) ++cascn_wins;
+  }
+  std::printf("\nshape check: CasCN is best in %d/%zu columns (paper: 6/6)\n",
+              cascn_wins, columns.size());
+  int window_improvements = 0, window_pairs = 0;
+  for (const auto& [kind, msles] : cells) {
+    for (int base : {0, 3}) {  // weibo block, citation block
+      for (int i = 0; i < 2; ++i) {
+        ++window_pairs;
+        if (msles[base + i + 1] <= msles[base + i] + 0.05)
+          ++window_improvements;
+      }
+    }
+  }
+  std::printf(
+      "shape check: longer windows help in %d/%d model-window pairs\n",
+      window_improvements, window_pairs);
+  return 0;
+}

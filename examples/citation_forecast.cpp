@@ -1,0 +1,104 @@
+// Citation-count forecasting: the paper's second scenario (HEP-PH).
+//
+// Observes each paper's citation cascade for 3 "years", trains CasCN to
+// predict how many further citations accrue over the remaining 20-year
+// horizon, and inspects what the learned cascade representation encodes by
+// correlating its dimensions with structural properties (the Fig. 9
+// analysis in miniature).
+//
+//   ./citation_forecast [--papers=600] [--epochs=8] [--window-years=3]
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli_flags.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "core/cascn_model.h"
+#include "core/trainer.h"
+#include "data/cascade_generator.h"
+#include "data/dataset.h"
+#include "graph/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace cascn;
+  CliFlags flags;
+  CASCN_CHECK(flags.Parse(argc, argv).ok());
+
+  GeneratorConfig gen = CitationLikeConfig();
+  gen.num_cascades = static_cast<int>(flags.GetInt("papers", 600));
+  Rng rng(1993);
+  const std::vector<Cascade> cascades = GenerateCascades(gen, rng);
+
+  DatasetOptions data_opts;
+  data_opts.observation_window = flags.GetDouble("window-years", 3.0) * 12.0;
+  data_opts.min_observed_size = 3;
+  auto dataset = BuildDataset(cascades, data_opts);
+  CASCN_CHECK(dataset.ok()) << dataset.status();
+  std::printf("papers with >= 3 citations in the first %.0f years: %d\n",
+              data_opts.observation_window / 12.0, dataset->TotalSize());
+
+  CascnConfig config;
+  config.padded_size = 24;  // citation cascades are small (Table II)
+  config.hidden_dim = 12;
+  CascnModel model(config);
+
+  TrainerOptions trainer;
+  trainer.max_epochs = static_cast<int>(flags.GetInt("epochs", 8));
+  const TrainResult run = TrainRegressor(model, *dataset, trainer);
+  std::printf("test MSLE: %.3f (best val %.3f)\n",
+              EvaluateMsle(model, dataset->test),
+              run.best_validation_msle);
+
+  // Which hand-crafted property does the learned representation track?
+  // Correlate each representation dimension with the leaf count (Fig. 9c/d
+  // finds leaves to be a strongly encoded feature).
+  const auto& probe_set = dataset->test;
+  std::vector<std::vector<double>> reps;
+  std::vector<double> leaves;
+  for (const auto& sample : probe_set) {
+    const Tensor rep = model.Representation(sample);
+    std::vector<double> row(rep.cols());
+    for (int j = 0; j < rep.cols(); ++j) row[j] = rep.At(0, j);
+    reps.push_back(std::move(row));
+    leaves.push_back(ComputeStructure(sample.observed).num_leaves);
+  }
+  const double leaf_mean = Mean(leaves);
+  double best_corr = 0;
+  int best_dim = 0;
+  for (int j = 0; j < config.hidden_dim; ++j) {
+    std::vector<double> dim(reps.size());
+    for (size_t i = 0; i < reps.size(); ++i) dim[i] = reps[i][j];
+    const double dim_mean = Mean(dim);
+    double cov = 0, vd = 0, vl = 0;
+    for (size_t i = 0; i < reps.size(); ++i) {
+      cov += (dim[i] - dim_mean) * (leaves[i] - leaf_mean);
+      vd += (dim[i] - dim_mean) * (dim[i] - dim_mean);
+      vl += (leaves[i] - leaf_mean) * (leaves[i] - leaf_mean);
+    }
+    if (vd > 0 && vl > 0) {
+      const double corr = cov / std::sqrt(vd * vl);
+      if (std::fabs(corr) > std::fabs(best_corr)) {
+        best_corr = corr;
+        best_dim = j;
+      }
+    }
+  }
+  std::printf(
+      "representation dim %d correlates most with leaf count (r = %.2f) — "
+      "the learned embedding encodes cascade structure\n",
+      best_dim, best_corr);
+
+  // Per-paper forecasts.
+  std::printf("\n%-8s %-10s %-18s %-14s\n", "paper", "observed",
+              "predicted future", "actual future");
+  const size_t show = std::min<size_t>(6, probe_set.size());
+  for (size_t i = 0; i < show; ++i) {
+    const CascadeSample& s = probe_set[i];
+    const double pred =
+        Exp2m1(model.PredictLogCalibrated(s).value().At(0, 0));
+    std::printf("%-8s %-10d %-18.1f %-14d\n", s.observed.id().c_str(),
+                s.observed.size(), pred, s.future_increment);
+  }
+  return 0;
+}

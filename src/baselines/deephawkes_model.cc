@@ -1,0 +1,49 @@
+#include "baselines/deephawkes_model.h"
+
+#include "common/logging.h"
+#include "core/encoder.h"
+
+namespace cascn {
+
+DeepHawkesModel::DeepHawkesModel(const Config& config) : config_(config) {
+  Rng rng(config.seed);
+  user_embedding_ = std::make_unique<nn::Embedding>(config.user_universe,
+                                                    config.embedding_dim, rng);
+  gru_ = std::make_unique<nn::GruCell>(config.embedding_dim,
+                                       config.hidden_dim, rng);
+  decay_raw_ = RegisterParameter(
+      "decay_raw", Tensor(config.num_time_intervals, 1, 0.5413));
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{config.hidden_dim, config.mlp_hidden1,
+                       config.mlp_hidden2, 1},
+      nn::Activation::kRelu, rng);
+  RegisterSubmodule("user_embedding", user_embedding_.get());
+  RegisterSubmodule("gru", gru_.get());
+  RegisterSubmodule("mlp", mlp_.get());
+}
+
+ag::Variable DeepHawkesModel::PredictLog(const CascadeSample& sample) {
+  const Cascade& cascade = sample.observed;
+  // Per-node hidden states via the parent recursion (see header).
+  std::vector<ag::Variable> hidden(cascade.size());
+  ag::Variable pooled;
+  for (int i = 0; i < cascade.size(); ++i) {
+    const AdoptionEvent& e = cascade.event(i);
+    nn::RnnState prev;
+    prev.h = e.parents.empty() ? gru_->InitialState(1).h
+                               : hidden[e.parents[0]];
+    const ag::Variable x =
+        user_embedding_->Lookup({e.user % config_.user_universe});
+    hidden[i] = gru_->Step(x, prev).h;
+
+    // Hawkes time-decay weight for this adoption.
+    const int interval = DecayInterval(e.time, sample.observation_window,
+                                       config_.num_time_intervals);
+    const ag::Variable weighted = ag::ScaleByScalar(
+        hidden[i], ag::Softplus(ag::SliceRows(decay_raw_, interval, 1)));
+    pooled = pooled.defined() ? ag::Add(pooled, weighted) : weighted;
+  }
+  return mlp_->Forward(pooled);
+}
+
+}  // namespace cascn

@@ -1,0 +1,62 @@
+// DeepHawkes baseline (Cao et al., CIKM 2017): bridges Hawkes processes and
+// deep learning. Every observed adoption contributes its full retweet path
+// (root -> ... -> adopter), encoded by a GRU over user embeddings; path
+// representations are weighted by a learned, non-parametric time-decay
+// factor of the adoption time (the Hawkes interpretable factor) and
+// sum-pooled before an MLP regresses the log increment size.
+//
+// Because shared GRU weights make every path's encoding equal to its
+// parent's encoding extended by one step, the implementation computes one
+// hidden state per node via the parent recursion h_v = GRU(x_v, h_parent),
+// which is exactly the per-path computation with shared prefixes removed.
+// DeepHawkes captures identity and timing but little topology — the gap to
+// CasCN reported in Table III.
+
+#ifndef CASCN_BASELINES_DEEPHAWKES_MODEL_H_
+#define CASCN_BASELINES_DEEPHAWKES_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/regressor.h"
+#include "nn/embedding.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/rnn_cells.h"
+
+namespace cascn {
+
+/// Path GRU + time decay + sum pooling + MLP.
+class DeepHawkesModel : public nn::Module, public CascadeRegressor {
+ public:
+  struct Config {
+    int user_universe = 2000;
+    int embedding_dim = 16;
+    int hidden_dim = 12;
+    /// Number of decay intervals over the observation window.
+    int num_time_intervals = 8;
+    int mlp_hidden1 = 32;
+    int mlp_hidden2 = 16;
+    uint64_t seed = 42;
+  };
+
+  explicit DeepHawkesModel(const Config& config);
+
+  ag::Variable PredictLog(const CascadeSample& sample) override;
+  std::vector<ag::Variable> TrainableParameters() override {
+    return Parameters();
+  }
+  std::string name() const override { return "DeepHawkes"; }
+
+ private:
+  Config config_;
+  std::unique_ptr<nn::Embedding> user_embedding_;
+  std::unique_ptr<nn::GruCell> gru_;
+  ag::Variable decay_raw_;  // num_time_intervals x 1; softplus-positive
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_BASELINES_DEEPHAWKES_MODEL_H_

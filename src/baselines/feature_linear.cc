@@ -1,0 +1,99 @@
+#include "baselines/feature_linear.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "tensor/linalg.h"
+
+namespace cascn {
+
+namespace {
+
+std::vector<double> DefaultL2Grid() {
+  std::vector<double> grid = {1.0, 0.5};
+  for (double v = 0.1; v >= 1e-8 / 2; v /= 10) {
+    grid.push_back(v);
+    grid.push_back(v / 2);
+  }
+  return grid;
+}
+
+}  // namespace
+
+FeatureLinearModel::FeatureLinearModel(const FeatureOptions& options,
+                                       std::vector<double> l2_candidates)
+    : options_(options), l2_candidates_(std::move(l2_candidates)) {
+  if (l2_candidates_.empty()) l2_candidates_ = DefaultL2Grid();
+}
+
+Status FeatureLinearModel::Fit(const CascadeDataset& dataset) {
+  if (dataset.train.empty() || dataset.validation.empty())
+    return Status::InvalidArgument("ridge fit needs train and validation");
+  FeatureMatrix train = ExtractFeatureMatrix(dataset.train, options_);
+  scaler_ = FitScaler(train.features);
+  ApplyScaler(scaler_, train.features);
+  FeatureMatrix val = ExtractFeatureMatrix(dataset.validation, options_);
+  ApplyScaler(scaler_, val.features);
+
+  const int d = train.features.cols();
+  const int n = train.features.rows();
+  // Normal equations with intercept handled by augmenting a ones column.
+  Tensor x_aug(n, d + 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) x_aug.At(i, j) = train.features.At(i, j);
+    x_aug.At(i, d) = 1.0;
+  }
+  const Tensor xtx = MatMulTransposeA(x_aug, x_aug);
+  const Tensor xty = MatMulTransposeA(x_aug, train.labels);
+
+  double best_msle = std::numeric_limits<double>::infinity();
+  for (double l2 : l2_candidates_) {
+    Tensor regularised = xtx;
+    // Do not penalise the intercept.
+    for (int j = 0; j < d; ++j) regularised.At(j, j) += l2 * n;
+    auto solved = SolveSpd(regularised, xty);
+    if (!solved.ok()) continue;
+    const Tensor& beta = *solved;
+    double msle = 0;
+    for (int i = 0; i < val.features.rows(); ++i) {
+      double pred = beta.At(d, 0);
+      for (int j = 0; j < d; ++j)
+        pred += beta.At(j, 0) * val.features.At(i, j);
+      const double err = pred - val.labels.At(i, 0);
+      msle += err * err;
+    }
+    msle /= val.features.rows();
+    if (msle < best_msle) {
+      best_msle = msle;
+      selected_l2_ = l2;
+      weights_.assign(d, 0.0);
+      for (int j = 0; j < d; ++j) weights_[j] = beta.At(j, 0);
+      intercept_ = beta.At(d, 0);
+    }
+  }
+  if (!std::isfinite(best_msle))
+    return Status::Internal("every ridge solve failed");
+  fitted_ = true;
+  return Status::OK();
+}
+
+double FeatureLinearModel::PredictRow(
+    const std::vector<double>& features) const {
+  double pred = intercept_;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    const double standardized =
+        (features[j] - scaler_.mean[j]) / scaler_.stddev[j];
+    pred += weights_[j] * standardized;
+  }
+  return pred;
+}
+
+ag::Variable FeatureLinearModel::PredictLog(const CascadeSample& sample) {
+  CASCN_CHECK(fitted_) << "FeatureLinearModel::Fit must run before predict";
+  Tensor out(1, 1);
+  out.At(0, 0) = PredictRow(ExtractFeatures(sample, options_));
+  return ag::Variable::Leaf(std::move(out));
+}
+
+}  // namespace cascn

@@ -1,0 +1,52 @@
+// Features-linear baseline (Section V-B): hand-crafted structural/temporal
+// features fed to a ridge (L2-regularised linear) regression on the log
+// label. The L2 coefficient is swept over a candidate grid and chosen on
+// the validation split, as in the paper's hyper-parameter protocol.
+
+#ifndef CASCN_BASELINES_FEATURE_LINEAR_H_
+#define CASCN_BASELINES_FEATURE_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/regressor.h"
+#include "features/cascade_features.h"
+
+namespace cascn {
+
+/// Closed-form ridge regression over cascade features.
+class FeatureLinearModel : public CascadeRegressor {
+ public:
+  /// `l2_candidates` defaults to the paper's grid {1, 0.5, 0.1, ..., 1e-8}
+  /// when empty.
+  explicit FeatureLinearModel(const FeatureOptions& options = {},
+                              std::vector<double> l2_candidates = {});
+
+  /// Fits on dataset.train, selecting the L2 coefficient with the lowest
+  /// validation MSLE.
+  Status Fit(const CascadeDataset& dataset);
+
+  ag::Variable PredictLog(const CascadeSample& sample) override;
+  std::vector<ag::Variable> TrainableParameters() override { return {}; }
+  std::string name() const override { return "Features-linear"; }
+
+  double selected_l2() const { return selected_l2_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  /// Raw prediction for one standardized feature row.
+  double PredictRow(const std::vector<double>& features) const;
+
+  FeatureOptions options_;
+  std::vector<double> l2_candidates_;
+  FeatureScaler scaler_;
+  std::vector<double> weights_;  // per feature
+  double intercept_ = 0.0;
+  double selected_l2_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_BASELINES_FEATURE_LINEAR_H_

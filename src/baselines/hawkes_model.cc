@@ -1,0 +1,170 @@
+#include "baselines/hawkes_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace cascn {
+
+HawkesProcessModel::HawkesProcessModel() : HawkesProcessModel(Config()) {}
+
+HawkesProcessModel::HawkesProcessModel(const Config& config)
+    : config_(config) {
+  CASCN_CHECK(config.theta_min > 0 && config.theta_max > config.theta_min);
+  CASCN_CHECK(config.theta_grid >= 2);
+  CASCN_CHECK(config.kappa_cap > 0 && config.kappa_cap < 1);
+}
+
+namespace {
+
+/// Log likelihood of the observed adoptions under kernel
+/// kappa * theta * exp(-theta s), with kappa profiled out.
+/// Returns the profile LL and writes the profiled kappa.
+double ProfileLogLikelihood(const Cascade& cascade, double window,
+                            double theta, double kappa_cap, double* kappa_out) {
+  const int n = cascade.size();
+  // Compensator shape: sum_i (1 - e^{-theta (T - t_i)}).
+  double compensator_shape = 0;
+  for (int i = 0; i < n; ++i)
+    compensator_shape +=
+        1.0 - std::exp(-theta * (window - cascade.event(i).time));
+  const double events = static_cast<double>(n - 1);
+  double kappa = compensator_shape > 1e-12 ? events / compensator_shape : 0.0;
+  kappa = std::clamp(kappa, 0.0, kappa_cap);
+  *kappa_out = kappa;
+  if (events == 0) return 0.0;
+
+  double ll = 0;
+  for (int j = 1; j < n; ++j) {
+    // Intensity at t_j from all strictly earlier adoptions.
+    double excitation = 0;
+    for (int i = 0; i < j; ++i) {
+      const double dt = cascade.event(j).time - cascade.event(i).time;
+      excitation += std::exp(-theta * dt);
+    }
+    // Guard simultaneous events (excitation from t_i == t_j is excluded by
+    // i < j but dt can still be 0 for ties; e^0 = 1 keeps this finite).
+    ll += std::log(std::max(kappa * theta * excitation, 1e-12));
+  }
+  ll -= kappa * compensator_shape;
+  return ll;
+}
+
+}  // namespace
+
+HawkesFit HawkesProcessModel::FitCascade(const CascadeSample& sample) const {
+  const Cascade& cascade = sample.observed;
+  const double window = sample.observation_window;
+  HawkesFit best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+
+  // Log-spaced theta grid.
+  const double log_lo = std::log(config_.theta_min);
+  const double log_hi = std::log(config_.theta_max);
+  for (int g = 0; g < config_.theta_grid; ++g) {
+    const double theta = std::exp(
+        log_lo + (log_hi - log_lo) * g / (config_.theta_grid - 1));
+    double kappa = 0;
+    const double ll = ProfileLogLikelihood(cascade, window, theta,
+                                           config_.kappa_cap, &kappa);
+    if (ll > best.log_likelihood) {
+      best.log_likelihood = ll;
+      best.theta = theta;
+      best.kappa = kappa;
+    }
+  }
+
+  // Branching-process extrapolation.
+  double residual = 0;
+  for (int i = 0; i < cascade.size(); ++i)
+    residual += best.kappa *
+                std::exp(-best.theta * (window - cascade.event(i).time));
+  best.expected_future = residual / (1.0 - best.kappa);
+  return best;
+}
+
+double HawkesProcessModel::RawLogEstimate(const CascadeSample& sample) const {
+  return Log2p1(FitCascade(sample).expected_future);
+}
+
+Status HawkesProcessModel::Fit(const CascadeDataset& dataset) {
+  if (dataset.train.empty())
+    return Status::InvalidArgument("Hawkes calibration needs train data");
+  // Least squares y = a + b x over (raw log estimate, log label).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(dataset.train.size());
+  for (const CascadeSample& sample : dataset.train) {
+    const double x = RawLogEstimate(sample);
+    const double y = sample.log_label;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-9) {
+    slope_ = 0.0;
+    intercept_ = sy / n;
+  } else {
+    slope_ = (n * sxy - sx * sy) / denom;
+    intercept_ = (sy - slope_ * sx) / n;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+ag::Variable HawkesProcessModel::PredictLog(const CascadeSample& sample) {
+  CASCN_CHECK(fitted_) << "HawkesProcessModel::Fit must run before predict";
+  Tensor out(1, 1);
+  out.At(0, 0) = intercept_ + slope_ * RawLogEstimate(sample);
+  return ag::Variable::Leaf(std::move(out));
+}
+
+HybridModel::HybridModel(CascadeRegressor* deep, HawkesProcessModel* hawkes)
+    : deep_(deep), hawkes_(hawkes) {
+  CASCN_CHECK(deep != nullptr && hawkes != nullptr);
+}
+
+Status HybridModel::Fit(const CascadeDataset& dataset) {
+  if (dataset.validation.empty())
+    return Status::InvalidArgument("hybrid weighting needs validation data");
+  if (!hawkes_->fitted())
+    return Status::FailedPrecondition("Hawkes model is not fitted");
+  // Precompute both predictions once per validation sample.
+  std::vector<double> deep_preds, hawkes_preds, labels;
+  for (const CascadeSample& sample : dataset.validation) {
+    deep_preds.push_back(
+        deep_->PredictLogCalibrated(sample).value().At(0, 0));
+    hawkes_preds.push_back(
+        hawkes_->PredictLogCalibrated(sample).value().At(0, 0));
+    labels.push_back(sample.log_label);
+  }
+  double best_msle = std::numeric_limits<double>::infinity();
+  for (double w = 0.0; w <= 1.0 + 1e-9; w += 0.05) {
+    double msle = 0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      const double pred = w * deep_preds[i] + (1 - w) * hawkes_preds[i];
+      msle += (pred - labels[i]) * (pred - labels[i]);
+    }
+    msle /= labels.size();
+    if (msle < best_msle) {
+      best_msle = msle;
+      weight_ = w;
+    }
+  }
+  return Status::OK();
+}
+
+ag::Variable HybridModel::PredictLog(const CascadeSample& sample) {
+  const double deep = deep_->PredictLogCalibrated(sample).value().At(0, 0);
+  const double hawkes =
+      hawkes_->PredictLogCalibrated(sample).value().At(0, 0);
+  Tensor out(1, 1);
+  out.At(0, 0) = weight_ * deep + (1 - weight_) * hawkes;
+  return ag::Variable::Leaf(std::move(out));
+}
+
+}  // namespace cascn

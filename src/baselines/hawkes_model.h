@@ -1,0 +1,111 @@
+// Parametric self-exciting (Hawkes-style) point-process predictor: the
+// paper's "generative process" category (Section II, e.g. Mishra et al.
+// 2016; Gao et al. 2015) implemented directly rather than via deep
+// learning.
+//
+// The observed cascade is modelled as a branching process in which each
+// adoption at time t_i excites future adoptions with kernel
+//   phi(t - t_i) = kappa * theta * exp(-theta (t - t_i)).
+// The branching factor kappa and memory rate theta are fitted per cascade
+// by maximum likelihood on the observed window [0, T] (grid + golden
+// refinement over theta; kappa has a closed form given theta). The
+// expected future increment follows from branching-process extrapolation:
+// each observed node still owes kappa * exp(-theta (T - t_i)) direct
+// children, and every future adoption spawns kappa more on average, so
+//   E[future] = sum_i kappa e^{-theta (T - t_i)} / (1 - kappa)   (kappa < 1)
+//
+// A global isotonic-free linear correction in log space (a, b) is fitted
+// on the training split, mirroring how feature-driven Hawkes predictors
+// calibrate their point-process estimates.
+//
+// HybridModel (the paper's future-work item 3) couples the generative
+// estimate with a trained CasCN: the final prediction is a convex
+// combination chosen on the validation split.
+
+#ifndef CASCN_BASELINES_HAWKES_MODEL_H_
+#define CASCN_BASELINES_HAWKES_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/regressor.h"
+
+namespace cascn {
+
+/// Per-cascade fitted point-process parameters.
+struct HawkesFit {
+  /// Mean direct children per adoption (branching factor), clamped below 1.
+  double kappa = 0.0;
+  /// Exponential memory rate.
+  double theta = 0.0;
+  /// Point-process estimate of the future increment.
+  double expected_future = 0.0;
+  /// Observed-window log likelihood at the optimum.
+  double log_likelihood = 0.0;
+};
+
+/// Self-exciting point-process regressor.
+class HawkesProcessModel : public CascadeRegressor {
+ public:
+  struct Config {
+    /// theta search grid bounds (rates per native time unit).
+    double theta_min = 1e-4;
+    double theta_max = 1.0;
+    int theta_grid = 24;
+    /// Branching factor is clamped to [0, kappa_cap] to keep the geometric
+    /// extrapolation finite.
+    double kappa_cap = 0.95;
+  };
+
+  HawkesProcessModel();
+  explicit HawkesProcessModel(const Config& config);
+
+  /// Fits the global log-space calibration (a + b * log-estimate) on the
+  /// training split by least squares.
+  Status Fit(const CascadeDataset& dataset);
+
+  /// MLE fit of one observed cascade (exposed for analysis/tests).
+  HawkesFit FitCascade(const CascadeSample& sample) const;
+
+  ag::Variable PredictLog(const CascadeSample& sample) override;
+  std::vector<ag::Variable> TrainableParameters() override { return {}; }
+  std::string name() const override { return "Hawkes"; }
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  double RawLogEstimate(const CascadeSample& sample) const;
+
+  Config config_;
+  double intercept_ = 0.0;
+  double slope_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// Convex combination of a trained CasCN-style model and the Hawkes
+/// estimate, weighted on the validation split (future-work item 3).
+class HybridModel : public CascadeRegressor {
+ public:
+  /// Both models must already be trained/fitted; they must outlive this
+  /// object.
+  HybridModel(CascadeRegressor* deep, HawkesProcessModel* hawkes);
+
+  /// Selects the mixing weight in [0, 1] minimising validation MSLE.
+  Status Fit(const CascadeDataset& dataset);
+
+  ag::Variable PredictLog(const CascadeSample& sample) override;
+  std::vector<ag::Variable> TrainableParameters() override { return {}; }
+  std::string name() const override { return "CasCN+Hawkes"; }
+
+  double weight() const { return weight_; }
+
+ private:
+  CascadeRegressor* deep_;
+  HawkesProcessModel* hawkes_;
+  double weight_ = 0.5;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_BASELINES_HAWKES_MODEL_H_

@@ -1,0 +1,42 @@
+#include "baselines/lis_model.h"
+
+#include "common/rng.h"
+
+namespace cascn {
+
+LisModel::LisModel(const Config& config) : config_(config) {
+  Rng rng(config.seed);
+  influence_ = std::make_unique<nn::Embedding>(config.user_universe,
+                                               config.latent_dim, rng);
+  susceptibility_ = std::make_unique<nn::Embedding>(config.user_universe,
+                                                    config.latent_dim, rng);
+  head_ = std::make_unique<nn::Linear>(config.latent_dim, 1, rng);
+  RegisterSubmodule("influence", influence_.get());
+  RegisterSubmodule("susceptibility", susceptibility_.get());
+  RegisterSubmodule("head", head_.get());
+}
+
+ag::Variable LisModel::PredictLog(const CascadeSample& sample) {
+  const Cascade& cascade = sample.observed;
+  // Edge lists: parent users (influencers) and child users (susceptibles).
+  std::vector<int> parents, children;
+  for (int i = 1; i < cascade.size(); ++i) {
+    for (int p : cascade.event(i).parents) {
+      parents.push_back(cascade.event(p).user % config_.user_universe);
+      children.push_back(cascade.event(i).user % config_.user_universe);
+    }
+  }
+  if (parents.empty()) {
+    // Root-only cascade: use the root's influence against itself.
+    const int root = cascade.event(0).user % config_.user_universe;
+    parents.push_back(root);
+    children.push_back(root);
+  }
+  const ag::Variable interactions =
+      ag::Mul(influence_->Lookup(parents), susceptibility_->Lookup(children));
+  // Mean over edges keeps the scale independent of cascade size; the head
+  // learns the mapping to log growth.
+  return head_->Forward(ag::MeanRows(interactions));
+}
+
+}  // namespace cascn

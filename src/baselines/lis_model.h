@@ -1,0 +1,51 @@
+// LIS baseline (Wang et al., AAAI 2015): Latent Influence & Susceptibility.
+// Each user carries a low-dimensional influence vector I_u and
+// susceptibility vector S_u; diffusion strength along an observed edge
+// (u -> v) is I_u . S_v. Adapted for size regression as in the paper's
+// Table III: the summed edge interactions of the observed cascade form its
+// representation, which a linear head maps to the log increment size.
+// LIS sees neither topology beyond pairwise edges nor time, so it trails
+// the structural-temporal models — the behaviour Table III reports.
+
+#ifndef CASCN_BASELINES_LIS_MODEL_H_
+#define CASCN_BASELINES_LIS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/regressor.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace cascn {
+
+/// Latent influence/susceptibility regression model.
+class LisModel : public nn::Module, public CascadeRegressor {
+ public:
+  struct Config {
+    int user_universe = 2000;
+    /// Latent dimensionality of influence/susceptibility vectors.
+    int latent_dim = 8;
+    uint64_t seed = 42;
+  };
+
+  explicit LisModel(const Config& config);
+
+  ag::Variable PredictLog(const CascadeSample& sample) override;
+  std::vector<ag::Variable> TrainableParameters() override {
+    return Parameters();
+  }
+  std::string name() const override { return "LIS"; }
+
+ private:
+  Config config_;
+  std::unique_ptr<nn::Embedding> influence_;
+  std::unique_ptr<nn::Embedding> susceptibility_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_BASELINES_LIS_MODEL_H_

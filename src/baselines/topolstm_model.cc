@@ -1,0 +1,57 @@
+#include "baselines/topolstm_model.h"
+
+#include "common/logging.h"
+
+namespace cascn {
+
+TopoLstmModel::TopoLstmModel(const Config& config) : config_(config) {
+  Rng rng(config.seed);
+  user_embedding_ = std::make_unique<nn::Embedding>(config.user_universe,
+                                                    config.embedding_dim, rng);
+  cell_ = std::make_unique<nn::LstmCell>(config.embedding_dim,
+                                         config.hidden_dim, rng);
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{config.hidden_dim, config.mlp_hidden1,
+                       config.mlp_hidden2, 1},
+      nn::Activation::kRelu, rng);
+  RegisterSubmodule("user_embedding", user_embedding_.get());
+  RegisterSubmodule("cell", cell_.get());
+  RegisterSubmodule("mlp", mlp_.get());
+}
+
+ag::Variable TopoLstmModel::PredictLog(const CascadeSample& sample) {
+  const Cascade& cascade = sample.observed;
+  std::vector<nn::RnnState> states(cascade.size());
+  ag::Variable pooled;
+  for (int i = 0; i < cascade.size(); ++i) {
+    const AdoptionEvent& e = cascade.event(i);
+    // Aggregate parent states by mean (DAG aggregation).
+    nn::RnnState agg;
+    if (e.parents.empty()) {
+      agg = cell_->InitialState(1);
+    } else {
+      const double inv = 1.0 / static_cast<double>(e.parents.size());
+      for (int p : e.parents) {
+        if (!agg.h.defined()) {
+          agg.h = states[p].h;
+          agg.c = states[p].c;
+        } else {
+          agg.h = ag::Add(agg.h, states[p].h);
+          agg.c = ag::Add(agg.c, states[p].c);
+        }
+      }
+      if (e.parents.size() > 1) {
+        agg.h = ag::ScalarMul(agg.h, inv);
+        agg.c = ag::ScalarMul(agg.c, inv);
+      }
+    }
+    const ag::Variable x =
+        user_embedding_->Lookup({e.user % config_.user_universe});
+    states[i] = cell_->Step(x, agg);
+    pooled = pooled.defined() ? ag::Add(pooled, states[i].h) : states[i].h;
+  }
+  return mlp_->Forward(
+      ag::ScalarMul(pooled, 1.0 / static_cast<double>(cascade.size())));
+}
+
+}  // namespace cascn

@@ -1,0 +1,54 @@
+// Topo-LSTM baseline (Wang et al., ICDM 2017): a DAG-structured LSTM whose
+// recurrence follows the diffusion topology. Nodes are processed in
+// adoption order; each node's LSTM step consumes its user embedding and the
+// mean of its parents' (h, c) states, yielding a topology-aware embedding
+// per node. Node states are mean-pooled and an MLP regresses the log
+// increment size (the paper swaps Topo-LSTM's activation classifier for a
+// size regressor the same way). Topo-LSTM sees structure and identity but
+// no adoption times — the deficit Table III notes.
+
+#ifndef CASCN_BASELINES_TOPOLSTM_MODEL_H_
+#define CASCN_BASELINES_TOPOLSTM_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/regressor.h"
+#include "nn/embedding.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/rnn_cells.h"
+
+namespace cascn {
+
+/// DAG-structured LSTM over the diffusion topology.
+class TopoLstmModel : public nn::Module, public CascadeRegressor {
+ public:
+  struct Config {
+    int user_universe = 2000;
+    int embedding_dim = 16;
+    int hidden_dim = 12;
+    int mlp_hidden1 = 32;
+    int mlp_hidden2 = 16;
+    uint64_t seed = 42;
+  };
+
+  explicit TopoLstmModel(const Config& config);
+
+  ag::Variable PredictLog(const CascadeSample& sample) override;
+  std::vector<ag::Variable> TrainableParameters() override {
+    return Parameters();
+  }
+  std::string name() const override { return "Topo-LSTM"; }
+
+ private:
+  Config config_;
+  std::unique_ptr<nn::Embedding> user_embedding_;
+  std::unique_ptr<nn::LstmCell> cell_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_BASELINES_TOPOLSTM_MODEL_H_

@@ -1,0 +1,125 @@
+// Shared plumbing for the bench binaries: synthetic dataset construction
+// (Weibo-like and HEP-PH-like, matching the paper's observation windows),
+// model construction for every Table III/IV method, and the train+evaluate
+// driver. Scale the workload with the CASCN_BENCH_SCALE environment
+// variable (default 1.0; e.g. 2.0 doubles cascades and epochs for
+// higher-fidelity runs).
+
+#ifndef CASCN_BENCHUTIL_EXPERIMENT_RUNNER_H_
+#define CASCN_BENCHUTIL_EXPERIMENT_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cascn_model.h"
+#include "core/cascn_path_model.h"
+#include "core/config.h"
+#include "core/trainer.h"
+#include "data/cascade_generator.h"
+#include "data/dataset.h"
+
+namespace cascn::bench {
+
+/// Workload multiplier from CASCN_BENCH_SCALE (clamped to [0.1, 10]).
+double BenchScale();
+
+/// The two synthetic corpora used by every experiment.
+struct SyntheticData {
+  GeneratorConfig weibo_config;
+  GeneratorConfig citation_config;
+  std::vector<Cascade> weibo;
+  std::vector<Cascade> citation;
+};
+
+/// Generates both corpora deterministically, sized by `scale`.
+SyntheticData MakeSyntheticData(double scale);
+
+/// Observation windows matching the paper: Weibo 1/2/3 hours (minutes),
+/// HEP-PH 3/5/7 "years" (months).
+std::vector<double> WeiboWindows();
+std::vector<double> CitationWindows();
+std::string WindowLabel(bool weibo, double window);
+
+/// Builds the labelled dataset for one corpus/window, capping split sizes
+/// so single-CPU runs stay tractable (train <= max_train, val/test <=
+/// max_train/2 each; 0 disables the cap).
+Result<CascadeDataset> MakeDataset(const std::vector<Cascade>& cascades,
+                                   bool weibo, double window,
+                                   int max_train = 0);
+
+/// Every method of Tables III and IV.
+enum class ModelKind {
+  kFeatureLinear,
+  kFeatureDeep,
+  kLis,
+  kNode2Vec,
+  kDeepCas,
+  kTopoLstm,
+  kDeepHawkes,
+  kCascn,
+  kCascnGru,
+  kCascnPath,
+  kCascnGl,
+  kCascnUndirected,
+  kCascnNoTime,
+};
+
+std::string ModelKindName(ModelKind kind);
+
+/// Table III baselines + CasCN, in the paper's row order.
+std::vector<ModelKind> Table3Models();
+/// Table IV: CasCN and its variants, in the paper's row order.
+std::vector<ModelKind> Table4Models();
+
+/// Per-run knobs.
+struct RunOptions {
+  TrainerOptions trainer;
+  int user_universe = 2000;
+  uint64_t seed = 42;
+  /// Trained models are run with this many seeds and their test MSLE
+  /// averaged (single training runs on small synthetic splits are noisy).
+  int num_seeds = 2;
+  /// Base CasCN configuration; the variant field is overridden per kind.
+  CascnConfig cascn;
+};
+
+/// Trainer/model defaults sized by `scale`.
+RunOptions DefaultRunOptions(double scale, int user_universe);
+
+/// Adjusts the CasCN configuration to the dataset: Weibo cascades are
+/// larger (wider hidden state); citation cascades are tiny (small padded
+/// graph, short snapshot sequences).
+void TuneForDataset(RunOptions& options, bool weibo);
+
+/// Result of one table cell.
+struct RunOutcome {
+  std::string model;
+  double test_msle = 0.0;
+  TrainResult train;
+};
+
+/// Builds, trains (with any model-specific pre-fit), and evaluates one
+/// model on one dataset.
+RunOutcome RunModel(ModelKind kind, const CascadeDataset& dataset,
+                    const RunOptions& options);
+
+/// Builds a trained CasCN with an explicit config (Tables IV/V, Figs 7-9).
+struct CascnRunOutcome {
+  double test_msle = 0.0;
+  TrainResult train;
+  std::unique_ptr<CascnModel> model;
+};
+CascnRunOutcome RunCascn(const CascnConfig& config,
+                         const CascadeDataset& dataset,
+                         const TrainerOptions& trainer);
+
+/// Mean test MSLE of CasCN over `num_seeds` independent trainings
+/// (Tables IV/V cells).
+double AveragedCascnMsle(const CascnConfig& config,
+                         const CascadeDataset& dataset,
+                         const TrainerOptions& trainer, int num_seeds);
+
+}  // namespace cascn::bench
+
+#endif  // CASCN_BENCHUTIL_EXPERIMENT_RUNNER_H_

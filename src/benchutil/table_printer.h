@@ -1,0 +1,32 @@
+// Aligned-column table output for the benchmark binaries; renders the same
+// row/column structure as the paper's tables.
+
+#ifndef CASCN_BENCHUTIL_TABLE_PRINTER_H_
+#define CASCN_BENCHUTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cascn {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string Cell(double value, int precision = 3);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_BENCHUTIL_TABLE_PRINTER_H_

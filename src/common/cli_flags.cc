@@ -1,0 +1,59 @@
+#include "common/cli_flags.h"
+
+#include "common/string_util.h"
+
+namespace cascn {
+
+Status CliFlags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg.empty()) return Status::InvalidArgument("bare '--' argument");
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+  return Status::OK();
+}
+
+bool CliFlags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CliFlags::GetString(const std::string& name,
+                                const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t CliFlags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  auto parsed = ParseInt64(it->second);
+  return parsed.ok() ? *parsed : default_value;
+}
+
+double CliFlags::GetDouble(const std::string& name,
+                           double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? *parsed : default_value;
+}
+
+bool CliFlags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace cascn

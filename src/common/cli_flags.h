@@ -1,0 +1,41 @@
+// Tiny command-line flag parser used by the examples and bench binaries.
+//
+//   CliFlags flags;
+//   CASCN_CHECK(flags.Parse(argc, argv).ok());
+//   int epochs = flags.GetInt("epochs", 20);
+
+#ifndef CASCN_COMMON_CLI_FLAGS_H_
+#define CASCN_COMMON_CLI_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cascn {
+
+/// Parses `--name=value` and `--name value` style flags; bare `--name` is
+/// treated as boolean true. Positional arguments are collected in order.
+class CliFlags {
+ public:
+  /// Consumes argv; returns InvalidArgument on malformed input.
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_COMMON_CLI_FLAGS_H_

@@ -1,0 +1,91 @@
+// Minimal leveled logger used across CasCN. Thread-safe; writes to stderr.
+//
+//   CASCN_LOG(INFO) << "trained epoch " << epoch << " loss=" << loss;
+//   CASCN_CHECK(cond) << "explanation";
+//
+// The global level can be raised to silence training chatter in tests.
+
+#ifndef CASCN_COMMON_LOGGING_H_
+#define CASCN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cascn {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is actually emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (with a timestamp and level tag) on
+/// destruction. Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is below the active
+/// level; keeps the macro expression well-formed.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lets the ternary in CASCN_CHECK produce void on both branches while still
+/// allowing `<< ...` on the message (glog's Voidify trick: & binds looser
+/// than <<).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace cascn
+
+#define CASCN_LOG_DEBUG ::cascn::LogLevel::kDebug
+#define CASCN_LOG_INFO ::cascn::LogLevel::kInfo
+#define CASCN_LOG_WARNING ::cascn::LogLevel::kWarning
+#define CASCN_LOG_ERROR ::cascn::LogLevel::kError
+#define CASCN_LOG_FATAL ::cascn::LogLevel::kFatal
+
+#define CASCN_LOG(severity)                                               \
+  ::cascn::internal_logging::LogMessage(CASCN_LOG_##severity, __FILE__,   \
+                                        __LINE__)                         \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// invariant violations in a database-style library must not be silently
+/// ignored in release mode.
+#define CASCN_CHECK(condition)                                            \
+  (condition) ? (void)0                                                   \
+              : ::cascn::internal_logging::Voidify() &                    \
+                    ::cascn::internal_logging::LogMessage(                \
+                        CASCN_LOG_FATAL, __FILE__, __LINE__)              \
+                            .stream()                                     \
+                        << "Check failed: " #condition " "
+
+#define CASCN_DCHECK(condition) CASCN_CHECK(condition)
+
+#endif  // CASCN_COMMON_LOGGING_H_

@@ -1,0 +1,50 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cascn {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double ss = 0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size()));
+}
+
+double MaxValue(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = (p / 100.0) * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double MeanSquaredError(const std::vector<double>& pred,
+                        const std::vector<double>& truth) {
+  CASCN_CHECK(!pred.empty() && pred.size() == truth.size());
+  double sum = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+}  // namespace cascn

@@ -1,0 +1,81 @@
+// Result<T>: a value or an error Status, in the style of arrow::Result.
+//
+// Functions that either produce a value or fail return Result<T>. Callers
+// must check ok() before dereferencing.
+
+#ifndef CASCN_COMMON_RESULT_H_
+#define CASCN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cascn {
+
+/// Holds either a successfully produced T or the Status describing why
+/// production failed. A Result constructed from a value is OK; a Result
+/// constructed from a non-OK Status carries that error. Constructing a
+/// Result from an OK Status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit so `return SomeStatusError();` works.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK when value_ holds a T.
+  std::optional<T> value_;
+};
+
+}  // namespace cascn
+
+/// Assigns the value of a Result-producing expression to `lhs`, or propagates
+/// its error Status. Usable only in functions returning Status or Result<T>.
+#define CASCN_ASSIGN_OR_RETURN(lhs, expr)                    \
+  CASCN_ASSIGN_OR_RETURN_IMPL_(                              \
+      CASCN_CONCAT_(_cascn_result_, __LINE__), lhs, expr)
+
+#define CASCN_CONCAT_INNER_(a, b) a##b
+#define CASCN_CONCAT_(a, b) CASCN_CONCAT_INNER_(a, b)
+#define CASCN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // CASCN_COMMON_RESULT_H_

@@ -1,0 +1,134 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cascn {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256** by Blackman & Vigna.
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  CASCN_DCHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v = NextUint64();
+  while (v >= limit) v = NextUint64();
+  return v % n;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller with a guard against log(0).
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double rate) {
+  CASCN_DCHECK(rate > 0);
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(u) / rate;
+}
+
+int Rng::Poisson(double mean) {
+  CASCN_DCHECK(mean >= 0);
+  if (mean <= 0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // simulator's large-burst tail.
+    const double v = Normal(mean, std::sqrt(mean));
+    return v < 0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= Uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+double Rng::Pareto(double x_min, double alpha) {
+  CASCN_DCHECK(x_min > 0 && alpha > 0);
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  CASCN_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    CASCN_DCHECK(w >= 0);
+    total += w;
+  }
+  CASCN_CHECK(total > 0) << "Categorical weights sum to zero";
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace cascn

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation for simulations and model
+// initialisation. All randomness in CasCN flows through Rng so experiments
+// are reproducible from a single seed.
+//
+// The core generator is splitmix64-seeded xoshiro256**, a small, fast,
+// high-quality generator; distributions (uniform, normal, exponential,
+// Poisson, Pareto, categorical) are implemented on top of it so results do
+// not depend on the standard library's unspecified distribution algorithms.
+
+#ifndef CASCN_COMMON_RNG_H_
+#define CASCN_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cascn {
+
+/// Deterministic random number generator with the distributions the cascade
+/// simulators and neural-network initialisers need. Not thread-safe; create
+/// one Rng per thread (Split() derives independent streams).
+class Rng {
+ public:
+  /// Seeds the generator. Identical seeds produce identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derives an independent generator; the child stream does not overlap
+  /// this one for practical sequence lengths.
+  Rng Split();
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Pre: n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Exponential with the given rate. Pre: rate > 0.
+  double Exponential(double rate);
+
+  /// Poisson-distributed count with the given mean. Pre: mean >= 0.
+  /// Uses Knuth's method for small means and normal approximation above 64.
+  int Poisson(double mean);
+
+  /// Pareto (power-law) sample >= x_min with tail exponent alpha.
+  /// Pre: x_min > 0, alpha > 0.
+  double Pareto(double x_min, double alpha);
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p);
+
+  /// Index sampled proportionally to `weights` (need not be normalised).
+  /// Pre: weights non-empty with non-negative entries and positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_COMMON_RNG_H_

@@ -1,0 +1,58 @@
+// Fixed-size worker pool used by the benchmark harness to train independent
+// model configurations concurrently, plus a ParallelFor convenience.
+
+#ifndef CASCN_COMMON_THREAD_POOL_H_
+#define CASCN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cascn {
+
+/// A fixed set of worker threads draining a FIFO task queue. Destruction
+/// waits for all submitted tasks to finish.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs body(i) for i in [0, n) across `pool`, blocking until all complete.
+/// body must be safe to invoke concurrently for distinct i.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+/// Number of hardware threads, at least 1.
+size_t HardwareConcurrency();
+
+}  // namespace cascn
+
+#endif  // CASCN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,153 @@
+#include "core/cascn_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace cascn {
+
+std::string VariantName(CascnVariant variant) {
+  switch (variant) {
+    case CascnVariant::kDefault:
+      return "CasCN";
+    case CascnVariant::kGru:
+      return "CasCN-GRU";
+    case CascnVariant::kGcnLstm:
+      return "CasCN-GL";
+    case CascnVariant::kUndirected:
+      return "CasCN-Undirected";
+    case CascnVariant::kNoTimeDecay:
+      return "CasCN-Time";
+  }
+  return "CasCN-?";
+}
+
+CascnModel::CascnModel(const CascnConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  switch (config.variant) {
+    case CascnVariant::kGru:
+      conv_gru_ = std::make_unique<nn::GraphConvGruCell>(
+          config.padded_size, config.hidden_dim, config.cheb_order, rng);
+      RegisterSubmodule("conv_gru", conv_gru_.get());
+      break;
+    case CascnVariant::kGcnLstm:
+      // GCN over each snapshot, mean-pooled, then a plain LSTM.
+      gl_conv_ = std::make_unique<nn::ChebConv>(
+          config.padded_size, config.hidden_dim, config.cheb_order, rng);
+      gl_lstm_ = std::make_unique<nn::LstmCell>(config.hidden_dim,
+                                                config.hidden_dim, rng);
+      RegisterSubmodule("gl_conv", gl_conv_.get());
+      RegisterSubmodule("gl_lstm", gl_lstm_.get());
+      break;
+    default:
+      conv_lstm_ = std::make_unique<nn::GraphConvLstmCell>(
+          config.padded_size, config.hidden_dim, config.cheb_order, rng);
+      RegisterSubmodule("conv_lstm", conv_lstm_.get());
+      break;
+  }
+  if (config.variant != CascnVariant::kNoTimeDecay) {
+    // softplus(0.5413) ~= 1: decay factors start neutral.
+    decay_raw_ = RegisterParameter(
+        "decay_raw", Tensor(config.num_time_intervals, 1, 0.5413));
+  }
+  if (config.attention_pooling) {
+    attn_w_ = RegisterParameter(
+        "attn_w", nn::XavierUniform(config.hidden_dim, config.hidden_dim, rng));
+    attn_v_ = RegisterParameter(
+        "attn_v", nn::XavierUniform(config.hidden_dim, 1, rng));
+  }
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{config.hidden_dim, config.mlp_hidden1,
+                       config.mlp_hidden2, 1},
+      nn::Activation::kRelu, rng);
+  RegisterSubmodule("mlp", mlp_.get());
+}
+
+std::string CascnModel::name() const { return VariantName(config_.variant); }
+
+const EncodedCascade& CascnModel::Encoded(const CascadeSample& sample) {
+  auto it = cache_.find(&sample);
+  if (it != cache_.end()) return it->second;
+  auto encoded = EncodeCascade(sample, config_);
+  CASCN_CHECK(encoded.ok()) << "encoding failed for cascade "
+                            << sample.observed.id() << ": "
+                            << encoded.status().ToString();
+  return cache_.emplace(&sample, std::move(encoded).value()).first->second;
+}
+
+double CascnModel::EncodedLambdaMax(const CascadeSample& sample) {
+  return Encoded(sample).lambda_max;
+}
+
+ag::Variable CascnModel::DecayFactor(int interval) const {
+  CASCN_CHECK(decay_raw_.defined());
+  return ag::Softplus(ag::SliceRows(decay_raw_, interval, 1));
+}
+
+ag::Variable CascnModel::ForwardPooled(const CascadeSample& sample) {
+  const EncodedCascade& enc = Encoded(sample);
+  const bool use_decay = config_.variant != CascnVariant::kNoTimeDecay;
+
+  if (config_.variant == CascnVariant::kGcnLstm) {
+    // GCN per snapshot -> node-mean -> plain LSTM -> decayed sum (1 x d_h).
+    nn::RnnState state = gl_lstm_->InitialState(1);
+    ag::Variable pooled_sum;
+    for (size_t t = 0; t < enc.snapshot_signals.size(); ++t) {
+      const ag::Variable x = ag::Variable::Leaf(enc.snapshot_signals[t]);
+      const ag::Variable conv =
+          ag::Relu(gl_conv_->Forward(enc.cheb_basis, x));
+      state = gl_lstm_->Step(ag::MeanRows(conv), state);
+      ag::Variable h = state.h;
+      if (use_decay)
+        h = ag::ScaleByScalar(h, DecayFactor(enc.decay_intervals[t]));
+      pooled_sum = pooled_sum.defined() ? ag::Add(pooled_sum, h) : h;
+    }
+    return pooled_sum;
+  }
+
+  // Convolutional recurrence (default, GRU, undirected, no-decay).
+  nn::RnnState state = config_.variant == CascnVariant::kGru
+                           ? conv_gru_->InitialState()
+                           : conv_lstm_->InitialState();
+  ag::Variable sum;  // n x d_h accumulated over time (Eq. 17)
+  std::vector<ag::Variable> per_step;  // attention-pooling extension
+  for (size_t t = 0; t < enc.snapshot_signals.size(); ++t) {
+    const ag::Variable x = ag::Variable::Leaf(enc.snapshot_signals[t]);
+    state = config_.variant == CascnVariant::kGru
+                ? conv_gru_->Step(enc.cheb_basis, x, state)
+                : conv_lstm_->Step(enc.cheb_basis, x, state);
+    ag::Variable h = state.h;
+    if (use_decay)
+      h = ag::ScaleByScalar(h, DecayFactor(enc.decay_intervals[t]));
+    if (config_.attention_pooling) {
+      per_step.push_back(ag::SumRows(h));  // 1 x d_h per snapshot
+    } else {
+      sum = sum.defined() ? ag::Add(sum, h) : h;
+    }
+  }
+  if (config_.attention_pooling) {
+    // Future-work extension: softmax attention over the per-snapshot
+    // representations instead of plain summation.
+    const ag::Variable stacked = ag::ConcatRows(per_step);  // T x d_h
+    const ag::Variable scores =
+        ag::MatMul(ag::Tanh(ag::MatMul(stacked, attn_w_)), attn_v_);
+    const ag::Variable attention = ag::SoftmaxRows(ag::Transpose(scores));
+    return ag::MatMul(attention, stacked);  // 1 x d_h
+  }
+  // Node sum (Eq. 17 pools by summation, keeping the representation
+  // size-aware), rescaled by the sequence-length bound to keep MLP inputs
+  // in a moderate range.
+  return ag::ScalarMul(ag::SumRows(sum),
+                       1.0 / config_.max_sequence_length);
+}
+
+ag::Variable CascnModel::PredictLog(const CascadeSample& sample) {
+  return mlp_->Forward(ForwardPooled(sample));
+}
+
+Tensor CascnModel::Representation(const CascadeSample& sample) {
+  return ForwardPooled(sample).value();
+}
+
+}  // namespace cascn

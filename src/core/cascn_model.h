@@ -1,0 +1,83 @@
+// CascnModel: the paper's primary contribution (Section IV, Fig. 2).
+//
+// Pipeline per cascade:
+//   1. Sample the cascade as a sub-cascade snapshot sequence and build the
+//      CasLaplacian + Chebyshev basis (core/encoder.h).
+//   2. Thread the snapshot signals through a graph-convolutional LSTM
+//      (Eq. 12-14), producing hidden states h_1..h_T (each n x d_h).
+//   3. Weight each hidden state by a learned, non-parametric time-decay
+//      factor lambda_{m(t)} (Eq. 15-16) and sum-pool over time (Eq. 17).
+//   4. Mean-pool over nodes and regress the log increment size with an MLP
+//      (Eq. 18) under squared log error (Eq. 19).
+//
+// The ablation variants of Table IV are selected by CascnConfig::variant:
+// GRU gating, GCN-then-LSTM, undirected Laplacian, or no time decay. The
+// walk-sampling variant CasCN-Path lives in cascn_path_model.h because its
+// input pipeline is entirely different.
+
+#ifndef CASCN_CORE_CASCN_MODEL_H_
+#define CASCN_CORE_CASCN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/regressor.h"
+#include "nn/graph_rnn_cells.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/rnn_cells.h"
+
+namespace cascn {
+
+/// CasCN and its snapshot-based variants.
+class CascnModel : public nn::Module, public CascadeRegressor {
+ public:
+  explicit CascnModel(const CascnConfig& config);
+
+  ag::Variable PredictLog(const CascadeSample& sample) override;
+  std::vector<ag::Variable> TrainableParameters() override {
+    return Parameters();
+  }
+  std::string name() const override;
+  void ClearCache() override { cache_.clear(); }
+
+  /// The pooled cascade representation h(C_i(t)) (1 x hidden_dim) after a
+  /// forward pass; used by the Fig. 9 feature-visualisation experiment.
+  Tensor Representation(const CascadeSample& sample);
+
+  const CascnConfig& config() const { return config_; }
+
+  /// lambda_max the encoder chose for this sample (Table V analysis).
+  double EncodedLambdaMax(const CascadeSample& sample);
+
+ private:
+  /// Cached per-sample encoding. The sample must outlive the cache entry
+  /// (datasets are immutable during training).
+  const EncodedCascade& Encoded(const CascadeSample& sample);
+
+  /// Shared forward: pooled 1 x hidden representation.
+  ag::Variable ForwardPooled(const CascadeSample& sample);
+
+  /// Softplus-positive decay factor for interval m, as a 1x1 Variable.
+  ag::Variable DecayFactor(int interval) const;
+
+  CascnConfig config_;
+  std::unique_ptr<nn::GraphConvLstmCell> conv_lstm_;  // default & ablations
+  std::unique_ptr<nn::GraphConvGruCell> conv_gru_;    // kGru
+  std::unique_ptr<nn::ChebConv> gl_conv_;             // kGcnLstm
+  std::unique_ptr<nn::LstmCell> gl_lstm_;             // kGcnLstm
+  ag::Variable decay_raw_;  // l x 1; lambda_m = softplus(raw_m)
+  // Attention-pooling extension (config.attention_pooling).
+  ag::Variable attn_w_;  // hidden x hidden
+  ag::Variable attn_v_;  // hidden x 1
+  std::unique_ptr<nn::Mlp> mlp_;
+  std::unordered_map<const CascadeSample*, EncodedCascade> cache_;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_CORE_CASCN_MODEL_H_

@@ -1,0 +1,64 @@
+#include "core/cascn_path_model.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace cascn {
+
+CascnPathModel::CascnPathModel(const CascnPathConfig& config)
+    : config_(config) {
+  Rng rng(config.seed);
+  user_embedding_ = std::make_unique<nn::Embedding>(config.user_universe,
+                                                    config.embedding_dim, rng);
+  lstm_ = std::make_unique<nn::LstmCell>(config.embedding_dim,
+                                         config.hidden_dim, rng);
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{config.hidden_dim, config.mlp_hidden1,
+                       config.mlp_hidden2, 1},
+      nn::Activation::kRelu, rng);
+  RegisterSubmodule("user_embedding", user_embedding_.get());
+  RegisterSubmodule("lstm", lstm_.get());
+  RegisterSubmodule("mlp", mlp_.get());
+}
+
+const std::vector<std::vector<int>>& CascnPathModel::WalkUsers(
+    const CascadeSample& sample) {
+  auto it = walk_cache_.find(&sample);
+  if (it != walk_cache_.end()) return it->second;
+
+  // Deterministic walks: seed from the cascade id so repeated epochs see the
+  // same sequences (matching precomputed-walk pipelines).
+  Rng rng(std::hash<std::string>{}(sample.observed.id()) ^ config_.seed);
+  WalkOptions opts;
+  opts.num_walks = config_.num_walks;
+  opts.walk_length = config_.walk_length;
+  const std::vector<std::vector<int>> walks =
+      SampleCascadeWalks(sample.observed, opts, rng);
+
+  // Transpose to per-step user-id columns and clamp users to the embedding
+  // vocabulary.
+  std::vector<std::vector<int>> per_step(
+      config_.walk_length, std::vector<int>(walks.size(), 0));
+  for (size_t w = 0; w < walks.size(); ++w) {
+    for (int t = 0; t < config_.walk_length; ++t) {
+      const int node = walks[w][t];
+      per_step[t][w] =
+          sample.observed.event(node).user % config_.user_universe;
+    }
+  }
+  return walk_cache_.emplace(&sample, std::move(per_step)).first->second;
+}
+
+ag::Variable CascnPathModel::PredictLog(const CascadeSample& sample) {
+  const auto& per_step = WalkUsers(sample);
+  CASCN_CHECK(!per_step.empty());
+  nn::RnnState state =
+      lstm_->InitialState(static_cast<int>(per_step[0].size()));
+  for (const std::vector<int>& users : per_step) {
+    state = lstm_->Step(user_embedding_->Lookup(users), state);
+  }
+  return mlp_->Forward(ag::MeanRows(state.h));
+}
+
+}  // namespace cascn

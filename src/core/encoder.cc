@@ -1,0 +1,53 @@
+#include "core/encoder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/chebyshev.h"
+#include "graph/snapshot.h"
+
+namespace cascn {
+
+int DecayInterval(double time, double window, int num_intervals) {
+  CASCN_CHECK(window > 0 && num_intervals >= 1);
+  const int m = static_cast<int>(time / window * num_intervals);
+  return std::clamp(m, 0, num_intervals - 1);
+}
+
+Result<EncodedCascade> EncodeCascade(const CascadeSample& sample,
+                                     const CascnConfig& config) {
+  EncodedCascade enc;
+  const Cascade& cascade = sample.observed;
+  enc.active_n = std::min(cascade.size(), config.padded_size);
+
+  // Snapshot sequence (Fig. 3) as dense signals.
+  const std::vector<CascadeSnapshot> snapshots =
+      BuildSnapshotSequence(cascade, config.MakeSnapshotOptions());
+  enc.snapshot_signals.reserve(snapshots.size());
+  enc.decay_intervals.reserve(snapshots.size());
+  for (const CascadeSnapshot& snap : snapshots) {
+    enc.snapshot_signals.push_back(snap.adjacency.ToDense());
+    enc.decay_intervals.push_back(DecayInterval(
+        snap.time, sample.observation_window, config.num_time_intervals));
+  }
+
+  // Cascade Laplacian: directed CasLaplacian by default, undirected
+  // normalised Laplacian for the CasCN-Undirected ablation.
+  CsrMatrix laplacian;
+  if (config.variant == CascnVariant::kUndirected) {
+    laplacian = UndirectedNormalizedLaplacian(cascade, config.padded_size);
+  } else {
+    CASCN_ASSIGN_OR_RETURN(
+        laplacian, CascadeLaplacian(cascade, config.padded_size,
+                                    config.MakeLaplacianOptions()));
+  }
+  enc.lambda_max = config.lambda_mode == LambdaMaxMode::kExact
+                       ? EstimateLambdaMax(laplacian, enc.active_n)
+                       : 2.0;
+  const CsrMatrix scaled =
+      ScaleLaplacian(laplacian, enc.lambda_max, enc.active_n);
+  enc.cheb_basis = ChebyshevBasis(scaled, config.cheb_order, enc.active_n);
+  return enc;
+}
+
+}  // namespace cascn

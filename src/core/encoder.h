@@ -1,0 +1,46 @@
+// Per-cascade preprocessing shared by every forward pass: the snapshot
+// signal sequence (Fig. 3), the cascade Laplacian scaled for Chebyshev
+// filtering (Algorithm 1 + Eq. 4), the Chebyshev basis, and the time-decay
+// interval of each snapshot (Eq. 15). All of it depends only on the sample
+// and the configuration, so models compute it once and cache it.
+
+#ifndef CASCN_CORE_ENCODER_H_
+#define CASCN_CORE_ENCODER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "data/dataset.h"
+#include "tensor/csr_matrix.h"
+#include "tensor/tensor.h"
+
+namespace cascn {
+
+/// Precomputed per-sample inputs of the CasCN forward pass.
+struct EncodedCascade {
+  /// Dense padded adjacency signal X_t per snapshot (each n x n).
+  std::vector<Tensor> snapshot_signals;
+  /// Time-decay interval index m(t_j) per snapshot, in [0, l).
+  std::vector<int> decay_intervals;
+  /// Chebyshev basis {T_0..T_{K-1}} of the scaled cascade Laplacian.
+  std::vector<CsrMatrix> cheb_basis;
+  /// Observed nodes actually represented (<= padded size).
+  int active_n = 0;
+  /// lambda_max used for rescaling (exact or 2.0).
+  double lambda_max = 2.0;
+};
+
+/// Encodes one sample under `config` (the variant selects directed vs.
+/// undirected Laplacian; lambda_mode selects exact vs. approximate
+/// lambda_max). Fails only if the CasLaplacian stationary iteration fails.
+Result<EncodedCascade> EncodeCascade(const CascadeSample& sample,
+                                     const CascnConfig& config);
+
+/// Eq. 15: the decay interval of an adoption at `time` within an
+/// observation window of length `window` split into `num_intervals`.
+int DecayInterval(double time, double window, int num_intervals);
+
+}  // namespace cascn
+
+#endif  // CASCN_CORE_ENCODER_H_

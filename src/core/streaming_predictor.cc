@@ -1,0 +1,78 @@
+#include "core/streaming_predictor.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace cascn {
+
+StreamingPredictor::StreamingPredictor(CascnModel* model,
+                                       double observation_window)
+    : model_(model), observation_window_(observation_window) {
+  CASCN_CHECK(model != nullptr);
+  CASCN_CHECK(observation_window > 0);
+}
+
+void StreamingPredictor::Start(int root_user) {
+  CASCN_CHECK(events_.empty()) << "cascade already started";
+  AdoptionEvent root;
+  root.node = 0;
+  root.user = root_user;
+  root.time = 0.0;
+  events_.push_back(root);
+  sample_stale_ = true;
+  cached_prediction_.reset();
+}
+
+Status StreamingPredictor::AddAdoption(int user, int parent_node,
+                                       double time) {
+  if (events_.empty())
+    return Status::FailedPrecondition("Start() must be called first");
+  if (parent_node < 0 || parent_node >= static_cast<int>(events_.size()))
+    return Status::InvalidArgument(
+        StrFormat("unknown parent node %d", parent_node));
+  if (time < events_.back().time)
+    return Status::InvalidArgument("adoption times must be non-decreasing");
+  if (time > observation_window_)
+    return Status::OutOfRange("adoption outside the observation window");
+  AdoptionEvent e;
+  e.node = static_cast<int>(events_.size());
+  e.user = user;
+  e.parents.push_back(parent_node);
+  e.time = time;
+  events_.push_back(std::move(e));
+  sample_stale_ = true;
+  cached_prediction_.reset();
+  return Status::OK();
+}
+
+const CascadeSample& StreamingPredictor::CurrentSample() {
+  if (sample_stale_) {
+    // Drop the stale encoding the model cached for the previous sample
+    // address before replacing it.
+    model_->ClearCache();
+    auto cascade = Cascade::Create("streaming", events_);
+    CASCN_CHECK(cascade.ok()) << cascade.status();
+    sample_ = std::make_unique<CascadeSample>();
+    sample_->observed = std::move(cascade).value();
+    sample_->observation_window = observation_window_;
+    sample_stale_ = false;
+  }
+  return *sample_;
+}
+
+double StreamingPredictor::CurrentPredictionLog() {
+  CASCN_CHECK(!events_.empty()) << "Start() must be called first";
+  if (!cached_prediction_.has_value()) {
+    const CascadeSample& sample = CurrentSample();
+    cached_prediction_ =
+        model_->PredictLogCalibrated(sample).value().At(0, 0);
+  }
+  return *cached_prediction_;
+}
+
+double StreamingPredictor::CurrentPredictionCount() {
+  return Exp2m1(CurrentPredictionLog());
+}
+
+}  // namespace cascn

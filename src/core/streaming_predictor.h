@@ -1,0 +1,65 @@
+// StreamingPredictor: online cascade-growth forecasting (the paper's
+// future-work item 2 — "efficient incorporation of updates").
+//
+// Wraps a trained CascnModel and maintains one live cascade: each observed
+// adoption is appended with AddAdoption(), and CurrentPrediction() returns
+// the model's forecast for the cascade as observed so far. Predictions are
+// cached and invalidated on update, so repeated queries between adoptions
+// are free; the underlying per-cascade encoding (Laplacian, Chebyshev
+// basis) is rebuilt only when the cascade actually changed.
+
+#ifndef CASCN_CORE_STREAMING_PREDICTOR_H_
+#define CASCN_CORE_STREAMING_PREDICTOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cascn_model.h"
+
+namespace cascn {
+
+/// Live forecasting for one evolving cascade.
+class StreamingPredictor {
+ public:
+  /// `model` must be trained and outlive the predictor. The observation
+  /// window sets the time-decay bucketing; adoptions after the window are
+  /// rejected.
+  StreamingPredictor(CascnModel* model, double observation_window);
+
+  /// Starts the cascade: the original post by `root_user` at time 0.
+  /// Pre: not already started.
+  void Start(int root_user);
+
+  /// Appends one adoption. Returns InvalidArgument if the cascade has not
+  /// started, the parent is unknown, the time is not monotone, or the time
+  /// falls outside the observation window.
+  Status AddAdoption(int user, int parent_node, double time);
+
+  /// Number of adoptions so far (0 before Start).
+  int size() const { return static_cast<int>(events_.size()); }
+
+  /// Forecast of log2(1 + future increment) for the cascade as observed so
+  /// far. Pre: started.
+  double CurrentPredictionLog();
+
+  /// Forecast as an expected adoption count.
+  double CurrentPredictionCount();
+
+ private:
+  const CascadeSample& CurrentSample();
+
+  CascnModel* model_;
+  double observation_window_;
+  std::vector<AdoptionEvent> events_;
+  // Rebuilt lazily; the model caches encodings by sample address, so each
+  // update allocates a fresh sample object.
+  std::unique_ptr<CascadeSample> sample_;
+  bool sample_stale_ = true;
+  std::optional<double> cached_prediction_;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_CORE_STREAMING_PREDICTOR_H_

@@ -1,0 +1,104 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace cascn {
+
+double EvaluateMsle(CascadeRegressor& model,
+                    const std::vector<CascadeSample>& samples) {
+  CASCN_CHECK(!samples.empty());
+  double total = 0;
+  for (const CascadeSample& sample : samples) {
+    const double pred = model.PredictLogCalibrated(sample).value().At(0, 0);
+    const double err = pred - sample.log_label;
+    total += err * err;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+TrainResult TrainRegressor(CascadeRegressor& model,
+                           const CascadeDataset& dataset,
+                           const TrainerOptions& options) {
+  CASCN_CHECK(!dataset.train.empty() && !dataset.validation.empty());
+  CASCN_CHECK(options.max_epochs >= 1 && options.batch_size >= 1);
+
+  if (options.calibrate_output_offset) {
+    double mean_label = 0;
+    for (const auto& s : dataset.train) mean_label += s.log_label;
+    model.set_output_offset(mean_label /
+                            static_cast<double>(dataset.train.size()));
+  }
+
+  std::vector<ag::Variable> params = model.TrainableParameters();
+  nn::Adam::Options adam_opts;
+  adam_opts.learning_rate = options.learning_rate;
+  adam_opts.clip_norm = options.clip_norm;
+  nn::Adam optimizer(params, adam_opts);
+
+  Rng rng(options.seed);
+  std::vector<size_t> order(dataset.train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  result.best_validation_msle = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_weights;
+  int stagnant = 0;
+
+  for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    if (options.shuffle) rng.Shuffle(order);
+    double epoch_loss = 0;
+    size_t processed = 0;
+    while (processed < order.size()) {
+      const size_t batch_end =
+          std::min(processed + options.batch_size, order.size());
+      std::vector<ag::Variable> losses;
+      losses.reserve(batch_end - processed);
+      for (size_t i = processed; i < batch_end; ++i) {
+        const CascadeSample& sample = dataset.train[order[i]];
+        losses.push_back(
+            nn::SquaredError(model.PredictLogCalibrated(sample),
+                             sample.log_label));
+      }
+      const ag::Variable batch_loss = nn::MeanLoss(losses);
+      epoch_loss += batch_loss.value().At(0, 0) *
+                    static_cast<double>(batch_end - processed);
+      batch_loss.Backward();
+      optimizer.Step();
+      processed = batch_end;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = epoch_loss / static_cast<double>(order.size());
+    stats.validation_msle = EvaluateMsle(model, dataset.validation);
+    result.history.push_back(stats);
+    if (options.verbose) {
+      CASCN_LOG(INFO) << model.name() << " epoch " << epoch
+                      << " train_loss=" << stats.train_loss
+                      << " val_msle=" << stats.validation_msle;
+    }
+    if (stats.validation_msle < result.best_validation_msle - 1e-9) {
+      result.best_validation_msle = stats.validation_msle;
+      result.best_epoch = epoch;
+      stagnant = 0;
+      best_weights.clear();
+      for (const auto& p : params) best_weights.push_back(p.value());
+    } else if (++stagnant > options.patience) {
+      break;
+    }
+  }
+  // Restore the best-epoch weights.
+  if (!best_weights.empty()) {
+    for (size_t i = 0; i < params.size(); ++i)
+      params[i].mutable_value() = best_weights[i];
+  }
+  return result;
+}
+
+}  // namespace cascn

@@ -1,0 +1,62 @@
+// Shared training and evaluation loop (Algorithm 2). Any CascadeRegressor
+// — CasCN, its variants, or the deep baselines — is trained with Adam on
+// squared log error, with early stopping on validation MSLE and best-weight
+// restoration.
+
+#ifndef CASCN_CORE_TRAINER_H_
+#define CASCN_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/regressor.h"
+#include "data/dataset.h"
+
+namespace cascn {
+
+/// Knobs of the training loop.
+struct TrainerOptions {
+  int max_epochs = 12;
+  int batch_size = 16;
+  double learning_rate = 5e-3;
+  double clip_norm = 5.0;
+  /// Early stopping: epochs without validation improvement before halting
+  /// (the paper stops after 10 stagnant iterations).
+  int patience = 4;
+  /// Shuffle training order per epoch.
+  bool shuffle = true;
+  /// Set the model's output offset to the train-mean label before training
+  /// (see CascadeRegressor::set_output_offset).
+  bool calibrate_output_offset = true;
+  uint64_t seed = 7;
+  /// Log per-epoch progress at INFO level.
+  bool verbose = false;
+};
+
+/// Per-epoch record.
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double validation_msle = 0.0;
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double best_validation_msle = 0.0;
+  int best_epoch = 0;
+};
+
+/// MSLE (Eq. 20) of `model` over `samples`.
+double EvaluateMsle(CascadeRegressor& model,
+                    const std::vector<CascadeSample>& samples);
+
+/// Trains `model` on `dataset.train`, early-stopping on
+/// `dataset.validation`, restoring the best-epoch weights before returning.
+TrainResult TrainRegressor(CascadeRegressor& model,
+                           const CascadeDataset& dataset,
+                           const TrainerOptions& options);
+
+}  // namespace cascn
+
+#endif  // CASCN_CORE_TRAINER_H_

@@ -1,0 +1,53 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace cascn {
+
+Result<CascadeDataset> BuildDataset(const std::vector<Cascade>& cascades,
+                                    const DatasetOptions& options) {
+  if (options.observation_window <= 0)
+    return Status::InvalidArgument("observation window must be positive");
+  if (options.min_observed_size < 1)
+    return Status::InvalidArgument("min_observed_size must be >= 1");
+  if (options.train_fraction <= 0 || options.train_fraction >= 1)
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+
+  std::vector<CascadeSample> samples;
+  for (const Cascade& cascade : cascades) {
+    const int observed_size = cascade.SizeAtTime(options.observation_window);
+    if (observed_size < options.min_observed_size) continue;
+    if (options.max_observed_size > 0 &&
+        observed_size > options.max_observed_size)
+      continue;
+    CascadeSample sample;
+    sample.observed = cascade.Prefix(options.observation_window);
+    sample.observation_window = options.observation_window;
+    sample.future_increment = cascade.size() - observed_size;
+    sample.log_label = Log2p1(sample.future_increment);
+    samples.push_back(std::move(sample));
+  }
+  if (samples.empty())
+    return Status::InvalidArgument(
+        "no cascade survives the observation filter");
+
+  CascadeDataset dataset;
+  const size_t n = samples.size();
+  const size_t train_end =
+      static_cast<size_t>(std::llround(options.train_fraction * n));
+  const size_t val_end = train_end + (n - train_end) / 2;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < train_end) {
+      dataset.train.push_back(std::move(samples[i]));
+    } else if (i < val_end) {
+      dataset.validation.push_back(std::move(samples[i]));
+    } else {
+      dataset.test.push_back(std::move(samples[i]));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace cascn

@@ -1,0 +1,71 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cascn {
+
+namespace {
+
+SplitStatistics ComputeSplit(const std::vector<CascadeSample>& samples) {
+  SplitStatistics s;
+  s.num_cascades = static_cast<int>(samples.size());
+  if (samples.empty()) return s;
+  double nodes = 0, edges = 0;
+  for (const CascadeSample& sample : samples) {
+    nodes += sample.observed.size();
+    edges += sample.observed.num_edges();
+  }
+  s.avg_nodes = nodes / samples.size();
+  s.avg_edges = edges / samples.size();
+  return s;
+}
+
+}  // namespace
+
+DatasetStatistics ComputeDatasetStatistics(const CascadeDataset& dataset) {
+  DatasetStatistics stats;
+  stats.train = ComputeSplit(dataset.train);
+  stats.validation = ComputeSplit(dataset.validation);
+  stats.test = ComputeSplit(dataset.test);
+  return stats;
+}
+
+std::vector<SizeHistogramBin> SizeDistribution(
+    const std::vector<Cascade>& cascades) {
+  int max_size = 1;
+  for (const Cascade& c : cascades) max_size = std::max(max_size, c.size());
+  std::vector<SizeHistogramBin> bins;
+  for (int lo = 1; lo <= max_size; lo *= 2) {
+    SizeHistogramBin bin;
+    bin.size_lo = lo;
+    bin.size_hi = lo * 2;
+    bins.push_back(bin);
+  }
+  for (const Cascade& c : cascades) {
+    int b = 0;
+    while (c.size() >= bins[b].size_hi) ++b;
+    ++bins[b].count;
+  }
+  return bins;
+}
+
+std::vector<SaturationPoint> SaturationCurve(
+    const std::vector<Cascade>& cascades, double horizon, int num_points) {
+  CASCN_CHECK(horizon > 0 && num_points >= 1);
+  std::vector<SaturationPoint> curve(num_points);
+  for (int p = 0; p < num_points; ++p)
+    curve[p].time = horizon * (p + 1) / num_points;
+  if (cascades.empty()) return curve;
+  double final_mass = 0;
+  for (const Cascade& c : cascades) final_mass += c.size();
+  for (int p = 0; p < num_points; ++p) {
+    double mass = 0;
+    for (const Cascade& c : cascades) mass += c.SizeAtTime(curve[p].time);
+    curve[p].fraction_of_final = mass / final_mass;
+  }
+  return curve;
+}
+
+}  // namespace cascn

@@ -1,0 +1,62 @@
+// Dataset statistics reproducing the descriptive artefacts of the paper:
+// Table II (split sizes, average nodes/edges), Fig. 4 (cascade-size
+// distribution) and Fig. 5 (popularity saturation over time).
+
+#ifndef CASCN_DATA_STATISTICS_H_
+#define CASCN_DATA_STATISTICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/cascade.h"
+
+namespace cascn {
+
+/// Per-split averages for Table II.
+struct SplitStatistics {
+  int num_cascades = 0;
+  double avg_nodes = 0.0;
+  double avg_edges = 0.0;
+};
+
+/// Table II row set for one observation window.
+struct DatasetStatistics {
+  SplitStatistics train;
+  SplitStatistics validation;
+  SplitStatistics test;
+};
+
+/// Computes Table II statistics over a built dataset (observed prefixes).
+DatasetStatistics ComputeDatasetStatistics(const CascadeDataset& dataset);
+
+/// One bar of the Fig. 4 log-log size histogram.
+struct SizeHistogramBin {
+  /// Inclusive lower and exclusive upper cascade-size bound.
+  int size_lo = 0;
+  int size_hi = 0;
+  int count = 0;
+};
+
+/// Histogram of final cascade sizes with logarithmic bin edges
+/// 1, 2, 4, ..., capturing the power-law shape of Fig. 4.
+std::vector<SizeHistogramBin> SizeDistribution(
+    const std::vector<Cascade>& cascades);
+
+/// One point of the Fig. 5 saturation curve.
+struct SaturationPoint {
+  double time = 0.0;
+  /// Fraction of total adoption mass reached by `time`:
+  /// sum_c size_c(time) / sum_c size_c. Size-weighted so single-node
+  /// cascades (trivially at 100%) do not dominate the curve.
+  double fraction_of_final = 0.0;
+};
+
+/// Saturation curve: fraction of final popularity reached vs. time,
+/// aggregated over cascades, evaluated at `num_points` evenly spaced times
+/// in (0, horizon].
+std::vector<SaturationPoint> SaturationCurve(
+    const std::vector<Cascade>& cascades, double horizon, int num_points);
+
+}  // namespace cascn
+
+#endif  // CASCN_DATA_STATISTICS_H_

@@ -1,0 +1,134 @@
+#include "data/text_format.h"
+
+#include <algorithm>
+#include <functional>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace cascn {
+
+namespace {
+
+/// Stable hash of a user token into [0, universe).
+int HashUser(const std::string& token, int universe) {
+  // FNV-1a, then reduce; deterministic across runs and platforms.
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(universe));
+}
+
+struct ParsedPath {
+  std::string adopter;
+  std::string parent;  // empty for the root path
+  double time = 0.0;
+};
+
+}  // namespace
+
+Result<Cascade> ParseCascadeLine(const std::string& line, int user_universe) {
+  if (user_universe < 1)
+    return Status::InvalidArgument("user_universe must be >= 1");
+  const std::vector<std::string> fields = Split(line, '\t');
+  if (fields.size() < 5)
+    return Status::InvalidArgument(
+        "cascade line needs 5 tab-separated fields, got " +
+        std::to_string(fields.size()));
+  const std::string& message_id = fields[0];
+  const std::vector<std::string> path_tokens = SplitWhitespace(fields[4]);
+  if (path_tokens.empty())
+    return Status::InvalidArgument("cascade line has no adoption paths");
+
+  std::vector<ParsedPath> paths;
+  paths.reserve(path_tokens.size());
+  for (const std::string& token : path_tokens) {
+    const size_t colon = token.rfind(':');
+    if (colon == std::string::npos)
+      return Status::InvalidArgument("path missing ':<time>': " + token);
+    CASCN_ASSIGN_OR_RETURN(double time, ParseDouble(token.substr(colon + 1)));
+    const std::vector<std::string> chain =
+        Split(token.substr(0, colon), '/');
+    if (chain.empty() || chain.back().empty())
+      return Status::InvalidArgument("empty adoption chain: " + token);
+    ParsedPath p;
+    p.adopter = chain.back();
+    if (chain.size() >= 2) p.parent = chain[chain.size() - 2];
+    p.time = time;
+    paths.push_back(std::move(p));
+  }
+
+  // Adoptions sorted by time; the root path (no parent) must be first.
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const ParsedPath& a, const ParsedPath& b) {
+                     return a.time < b.time;
+                   });
+  if (!paths[0].parent.empty() || paths[0].time != 0.0)
+    return Status::InvalidArgument(
+        "first adoption must be the root at time 0");
+
+  std::map<std::string, int> node_of_user;
+  std::vector<AdoptionEvent> events;
+  for (const ParsedPath& p : paths) {
+    if (node_of_user.count(p.adopter)) continue;  // keep first adoption only
+    AdoptionEvent e;
+    e.node = static_cast<int>(events.size());
+    e.user = HashUser(p.adopter, user_universe);
+    e.time = p.time;
+    if (!p.parent.empty()) {
+      const auto it = node_of_user.find(p.parent);
+      if (it == node_of_user.end())
+        return Status::InvalidArgument("path parent '" + p.parent +
+                                       "' has not adopted yet");
+      e.parents.push_back(it->second);
+    }
+    node_of_user.emplace(p.adopter, e.node);
+    events.push_back(std::move(e));
+  }
+  return Cascade::Create(message_id, std::move(events));
+}
+
+Result<std::vector<Cascade>> ReadCascades(std::istream& in,
+                                          int user_universe) {
+  std::vector<Cascade> out;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    auto parsed = ParseCascadeLine(line, user_universe);
+    if (!parsed.ok())
+      return Status::InvalidArgument(
+          StrFormat("line %d: %s", line_number,
+                    parsed.status().message().c_str()));
+    out.push_back(std::move(parsed).value());
+  }
+  return out;
+}
+
+std::string FormatCascadeLine(const Cascade& cascade) {
+  // Reconstruct root->node chains via primary parents.
+  std::vector<std::string> paths;
+  paths.reserve(cascade.size());
+  std::function<std::string(int)> chain_of = [&](int node) -> std::string {
+    const AdoptionEvent& e = cascade.event(node);
+    if (e.parents.empty()) return std::to_string(e.user);
+    return chain_of(e.parents[0]) + "/" + std::to_string(e.user);
+  };
+  for (int i = 0; i < cascade.size(); ++i) {
+    paths.push_back(chain_of(i) + ":" +
+                    StrFormat("%g", cascade.event(i).time));
+  }
+  return cascade.id() + "\t" + std::to_string(cascade.event(0).user) +
+         "\t0\t" + std::to_string(cascade.size()) + "\t" + Join(paths, " ");
+}
+
+void WriteCascades(const std::vector<Cascade>& cascades, std::ostream& out) {
+  for (const Cascade& c : cascades) out << FormatCascadeLine(c) << "\n";
+}
+
+}  // namespace cascn

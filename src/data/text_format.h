@@ -1,0 +1,45 @@
+// DeepHawkes text format reader/writer.
+//
+// The public Sina Weibo dataset used by the paper (released with DeepHawkes,
+// github.com/CaoQi92/DeepHawkes) stores one cascade per line:
+//
+//   <message_id>\t<root_user>\t<publish_time>\t<num_adoptions>\t<paths>
+//
+// where <paths> is a space-separated list of retweet chains, each
+// "u0/u1/.../uk:t" meaning user uk adopted at relative time t via that
+// chain (u0 is always the root user). This module converts between that
+// format and Cascade so the real dataset drops into the pipeline unchanged.
+
+#ifndef CASCN_DATA_TEXT_FORMAT_H_
+#define CASCN_DATA_TEXT_FORMAT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/cascade.h"
+
+namespace cascn {
+
+/// Parses one DeepHawkes-format line into a Cascade. User ids in the file
+/// are arbitrary strings; they are hashed into [0, user_universe). Paths
+/// must be consistent (every non-terminal chain user must itself have
+/// adopted earlier).
+Result<Cascade> ParseCascadeLine(const std::string& line, int user_universe);
+
+/// Reads every line of `in` as a cascade; malformed lines produce an error
+/// naming the line number.
+Result<std::vector<Cascade>> ReadCascades(std::istream& in,
+                                          int user_universe);
+
+/// Serialises a cascade to one DeepHawkes-format line (synthetic user ids
+/// are written as decimal strings; publish_time is written as 0).
+std::string FormatCascadeLine(const Cascade& cascade);
+
+/// Writes all cascades, one per line.
+void WriteCascades(const std::vector<Cascade>& cascades, std::ostream& out);
+
+}  // namespace cascn
+
+#endif  // CASCN_DATA_TEXT_FORMAT_H_

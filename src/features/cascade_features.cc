@@ -1,0 +1,117 @@
+#include "features/cascade_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "graph/metrics.h"
+
+namespace cascn {
+
+std::vector<std::string> FeatureNames(const FeatureOptions& options) {
+  std::vector<std::string> names = {
+      "num_nodes",       "num_edges",       "num_leaves",
+      "leaf_fraction",   "mean_out_degree", "max_out_degree",
+      "root_degree",     "mean_depth",      "max_depth",
+      "first_adoption",  "last_adoption",   "mean_adoption_time",
+      "std_adoption_time",
+  };
+  for (int b = 0; b < options.num_time_bins; ++b)
+    names.push_back(StrFormat("cumulative_bin%d", b));
+  for (int b = 0; b < options.num_time_bins; ++b)
+    names.push_back(StrFormat("incremental_bin%d", b));
+  return names;
+}
+
+std::vector<double> ExtractFeatures(const CascadeSample& sample,
+                                    const FeatureOptions& options) {
+  CASCN_CHECK(options.num_time_bins >= 1);
+  const Cascade& cascade = sample.observed;
+  const CascadeStructure structure = ComputeStructure(cascade);
+  const double window = sample.observation_window;
+
+  std::vector<double> adoption_times;
+  adoption_times.reserve(cascade.size());
+  for (int i = 1; i < cascade.size(); ++i)
+    adoption_times.push_back(cascade.event(i).time);
+
+  std::vector<double> row;
+  // Structural (raw counts, as in the paper's feature set).
+  row.push_back(structure.num_nodes);
+  row.push_back(structure.num_edges);
+  row.push_back(structure.num_leaves);
+  row.push_back(static_cast<double>(structure.num_leaves) /
+                structure.num_nodes);
+  row.push_back(structure.mean_out_degree);
+  row.push_back(structure.max_out_degree);
+  row.push_back(structure.root_degree);
+  row.push_back(structure.mean_depth);
+  row.push_back(structure.max_depth);
+  // Temporal: normalised to the observation window.
+  row.push_back(adoption_times.empty() ? 1.0
+                                       : adoption_times.front() / window);
+  row.push_back(adoption_times.empty() ? 0.0
+                                       : adoption_times.back() / window);
+  row.push_back(Mean(adoption_times) / window);
+  row.push_back(StdDev(adoption_times) / window);
+  // Growth per bin.
+  std::vector<double> incremental(options.num_time_bins, 0.0);
+  for (double t : adoption_times) {
+    int bin = static_cast<int>(t / window * options.num_time_bins);
+    bin = std::clamp(bin, 0, options.num_time_bins - 1);
+    incremental[bin] += 1.0;
+  }
+  double cumulative = 1.0;  // root
+  for (int b = 0; b < options.num_time_bins; ++b) {
+    cumulative += incremental[b];
+    row.push_back(cumulative);
+  }
+  for (int b = 0; b < options.num_time_bins; ++b)
+    row.push_back(incremental[b]);
+  return row;
+}
+
+FeatureMatrix ExtractFeatureMatrix(const std::vector<CascadeSample>& samples,
+                                   const FeatureOptions& options) {
+  CASCN_CHECK(!samples.empty());
+  const std::vector<double> first = ExtractFeatures(samples[0], options);
+  FeatureMatrix out;
+  out.features = Tensor(static_cast<int>(samples.size()),
+                        static_cast<int>(first.size()));
+  out.labels = Tensor(static_cast<int>(samples.size()), 1);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const std::vector<double> row =
+        i == 0 ? first : ExtractFeatures(samples[i], options);
+    CASCN_CHECK(row.size() == first.size());
+    for (size_t j = 0; j < row.size(); ++j)
+      out.features.At(static_cast<int>(i), static_cast<int>(j)) = row[j];
+    out.labels.At(static_cast<int>(i), 0) = samples[i].log_label;
+  }
+  return out;
+}
+
+FeatureScaler FitScaler(const Tensor& features) {
+  FeatureScaler scaler;
+  scaler.mean.resize(features.cols());
+  scaler.stddev.resize(features.cols());
+  for (int j = 0; j < features.cols(); ++j) {
+    std::vector<double> column(features.rows());
+    for (int i = 0; i < features.rows(); ++i) column[i] = features.At(i, j);
+    scaler.mean[j] = Mean(column);
+    const double sd = StdDev(column);
+    scaler.stddev[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  return scaler;
+}
+
+void ApplyScaler(const FeatureScaler& scaler, Tensor& features) {
+  CASCN_CHECK(static_cast<int>(scaler.mean.size()) == features.cols());
+  for (int i = 0; i < features.rows(); ++i)
+    for (int j = 0; j < features.cols(); ++j)
+      features.At(i, j) =
+          (features.At(i, j) - scaler.mean[j]) / scaler.stddev[j];
+}
+
+}  // namespace cascn

@@ -1,0 +1,51 @@
+// Hand-crafted cascade features for the Feature-linear and Feature-deep
+// baselines (Section V-B): structural features (leaf count, degrees, path
+// lengths), temporal features (elapsed times, cumulative and incremental
+// growth per time bin), and identity summaries.
+
+#ifndef CASCN_FEATURES_CASCADE_FEATURES_H_
+#define CASCN_FEATURES_CASCADE_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace cascn {
+
+/// Configuration of the feature extractor.
+struct FeatureOptions {
+  /// Number of equal-width time bins for the growth features (the paper
+  /// uses 10-minute bins for Weibo and 31-day bins for HEP-PH; bin width is
+  /// observation_window / num_time_bins here).
+  int num_time_bins = 6;
+};
+
+/// Names of the extracted features, in column order.
+std::vector<std::string> FeatureNames(const FeatureOptions& options);
+
+/// Extracts one feature row for an observed cascade.
+std::vector<double> ExtractFeatures(const CascadeSample& sample,
+                                    const FeatureOptions& options);
+
+/// Stacks feature rows for a whole split into a (samples x features)
+/// matrix, plus the matching log-label vector (samples x 1).
+struct FeatureMatrix {
+  Tensor features;
+  Tensor labels;
+};
+FeatureMatrix ExtractFeatureMatrix(const std::vector<CascadeSample>& samples,
+                                   const FeatureOptions& options);
+
+/// Per-column standardisation parameters (fit on train, applied to all).
+struct FeatureScaler {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+FeatureScaler FitScaler(const Tensor& features);
+void ApplyScaler(const FeatureScaler& scaler, Tensor& features);
+
+}  // namespace cascn
+
+#endif  // CASCN_FEATURES_CASCADE_FEATURES_H_

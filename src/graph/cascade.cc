@@ -1,0 +1,83 @@
+#include "graph/cascade.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cascn {
+
+Result<Cascade> Cascade::Create(std::string id,
+                                std::vector<AdoptionEvent> events) {
+  if (events.empty())
+    return Status::InvalidArgument("cascade must have at least the root");
+  if (events[0].time != 0.0)
+    return Status::InvalidArgument("root event must be at time 0");
+  if (!events[0].parents.empty())
+    return Status::InvalidArgument("root event must have no parents");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const AdoptionEvent& e = events[i];
+    if (e.node != static_cast<int>(i))
+      return Status::InvalidArgument(
+          StrFormat("event %zu has node id %d, expected %zu", i, e.node, i));
+    if (i > 0) {
+      if (e.time < events[i - 1].time)
+        return Status::InvalidArgument("event times must be non-decreasing");
+      if (e.parents.empty())
+        return Status::InvalidArgument(
+            StrFormat("non-root event %zu has no parent", i));
+      for (int p : e.parents) {
+        if (p < 0 || p >= static_cast<int>(i))
+          return Status::InvalidArgument(
+              StrFormat("event %zu has invalid parent %d", i, p));
+      }
+    }
+  }
+  Cascade c;
+  c.id_ = std::move(id);
+  c.events_ = std::move(events);
+  return c;
+}
+
+int Cascade::num_edges() const {
+  int n = 0;
+  for (const auto& e : events_) n += static_cast<int>(e.parents.size());
+  return n;
+}
+
+int Cascade::SizeAtTime(double time) const {
+  // Events are time-sorted: binary search for the first event after `time`.
+  const auto it = std::upper_bound(
+      events_.begin(), events_.end(), time,
+      [](double t, const AdoptionEvent& e) { return t < e.time; });
+  return static_cast<int>(it - events_.begin());
+}
+
+Cascade Cascade::Prefix(double max_time) const {
+  const int n = std::max(1, SizeAtTime(max_time));
+  return PrefixBySize(n);
+}
+
+Cascade Cascade::PrefixBySize(int count) const {
+  const int n = std::clamp(count, 1, size());
+  Cascade out;
+  out.id_ = id_;
+  out.events_.assign(events_.begin(), events_.begin() + n);
+  return out;
+}
+
+CsrMatrix Cascade::AdjacencyMatrix(int n, int padded_size,
+                                   bool root_self_loop) const {
+  const int limit = std::min(n, size());
+  CASCN_CHECK(padded_size >= limit);
+  std::vector<Triplet> trips;
+  if (root_self_loop) trips.push_back({0, 0, 1.0});
+  for (int i = 1; i < limit; ++i) {
+    for (int p : events_[i].parents) {
+      if (p < limit) trips.push_back({p, i, 1.0});
+    }
+  }
+  return CsrMatrix::FromTriplets(padded_size, padded_size, std::move(trips));
+}
+
+}  // namespace cascn

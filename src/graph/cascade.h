@@ -1,0 +1,80 @@
+// Cascade: the timestamped diffusion DAG of one message (a post and its
+// re-tweets, or a paper and its citations). Matches Definition 1 of the
+// paper: an evolving sequence of directed acyclic graphs where node 0 is
+// the original poster and every later node attaches to one or more earlier
+// nodes at its adoption time.
+
+#ifndef CASCN_GRAPH_CASCADE_H_
+#define CASCN_GRAPH_CASCADE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/csr_matrix.h"
+
+namespace cascn {
+
+/// One adoption (re-tweet/citation) event.
+struct AdoptionEvent {
+  /// Node index inside the cascade; event i creates node i.
+  int node = 0;
+  /// Global user id (author of the re-tweet / citing paper).
+  int user = 0;
+  /// Earlier node indices this node attaches to. Empty only for the root.
+  /// The first entry is the primary parent (the re-tweeted user); citation
+  /// cascades may carry extra parents.
+  std::vector<int> parents;
+  /// Adoption time, in the dataset's native unit, relative to the root post
+  /// (root has time 0).
+  double time = 0.0;
+};
+
+/// An immutable cascade: validated, time-sorted adoption events.
+class Cascade {
+ public:
+  Cascade() = default;
+
+  /// Validates and builds a cascade. Requirements: non-empty; event i has
+  /// node == i; times non-decreasing with events[0].time == 0; the root has
+  /// no parents and every other event has >= 1 parent, all with smaller
+  /// node index.
+  static Result<Cascade> Create(std::string id,
+                                std::vector<AdoptionEvent> events);
+
+  const std::string& id() const { return id_; }
+  int size() const { return static_cast<int>(events_.size()); }
+  const std::vector<AdoptionEvent>& events() const { return events_; }
+  const AdoptionEvent& event(int i) const { return events_[i]; }
+
+  /// Number of edges (sum of parent-list sizes).
+  int num_edges() const;
+
+  /// Time of the last adoption.
+  double last_time() const { return events_.back().time; }
+
+  /// Number of nodes adopted at or before `time`.
+  int SizeAtTime(double time) const;
+
+  /// The sub-cascade containing events with time <= max_time (at least the
+  /// root). The id is preserved.
+  Cascade Prefix(double max_time) const;
+
+  /// The sub-cascade of the first `count` events (clamped to size).
+  Cascade PrefixBySize(int count) const;
+
+  /// Directed adjacency matrix A with A[parent][child] = 1 for the first
+  /// `n` nodes, padded with zero rows/cols up to `padded_size`.
+  /// When `root_self_loop`, A[0][0] = 1 (the paper adds a self-connection
+  /// for the initiator, Fig. 3). Pre: padded_size >= min(n, size()).
+  CsrMatrix AdjacencyMatrix(int n, int padded_size,
+                            bool root_self_loop = false) const;
+
+ private:
+  std::string id_;
+  std::vector<AdoptionEvent> events_;
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_GRAPH_CASCADE_H_

@@ -1,0 +1,23 @@
+// Chebyshev polynomial basis of a scaled Laplacian:
+//   T_0 = I, T_1 = L~, T_k = 2 L~ T_{k-1} - T_{k-2}   (Eq. 2)
+// Precomputed once per cascade and shared by every gate convolution of the
+// recurrent model.
+
+#ifndef CASCN_GRAPH_CHEBYSHEV_H_
+#define CASCN_GRAPH_CHEBYSHEV_H_
+
+#include <vector>
+
+#include "tensor/csr_matrix.h"
+
+namespace cascn {
+
+/// Returns {T_0, ..., T_{order-1}} of `scaled_laplacian`. The identity term
+/// T_0 is restricted to the top-left `active_n` block so padded nodes stay
+/// silent. Pre: order >= 1, square input.
+std::vector<CsrMatrix> ChebyshevBasis(const CsrMatrix& scaled_laplacian,
+                                      int order, int active_n);
+
+}  // namespace cascn
+
+#endif  // CASCN_GRAPH_CHEBYSHEV_H_

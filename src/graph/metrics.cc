@@ -1,0 +1,44 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+
+namespace cascn {
+
+std::vector<int> NodeDepths(const Cascade& cascade) {
+  std::vector<int> depth(cascade.size(), 0);
+  for (int i = 1; i < cascade.size(); ++i)
+    depth[i] = depth[cascade.event(i).parents[0]] + 1;
+  return depth;
+}
+
+std::vector<int> OutDegrees(const Cascade& cascade) {
+  std::vector<int> out(cascade.size(), 0);
+  for (int i = 1; i < cascade.size(); ++i)
+    for (int p : cascade.event(i).parents) ++out[p];
+  return out;
+}
+
+CascadeStructure ComputeStructure(const Cascade& cascade) {
+  CascadeStructure s;
+  s.num_nodes = cascade.size();
+  s.num_edges = cascade.num_edges();
+
+  const std::vector<int> out_deg = OutDegrees(cascade);
+  const std::vector<int> depths = NodeDepths(cascade);
+
+  double depth_sum = 0;
+  for (int i = 0; i < cascade.size(); ++i) {
+    if (out_deg[i] == 0) ++s.num_leaves;
+    s.max_out_degree = std::max(s.max_out_degree, out_deg[i]);
+    s.max_depth = std::max(s.max_depth, depths[i]);
+    depth_sum += depths[i];
+  }
+  s.root_degree = out_deg[0];
+  const double n = cascade.size();
+  s.mean_out_degree = s.num_edges / n;
+  s.mean_in_degree = s.num_edges / n;
+  s.mean_depth = depth_sum / n;
+  return s;
+}
+
+}  // namespace cascn

@@ -1,0 +1,41 @@
+// Structural measurements of a cascade graph: the quantities the paper's
+// feature-based baselines consume (Section V-B) and Fig. 9 colors by.
+
+#ifndef CASCN_GRAPH_METRICS_H_
+#define CASCN_GRAPH_METRICS_H_
+
+#include <vector>
+
+#include "graph/cascade.h"
+
+namespace cascn {
+
+/// Summary structural statistics of one (observed) cascade.
+struct CascadeStructure {
+  int num_nodes = 0;
+  int num_edges = 0;
+  /// Nodes with no children.
+  int num_leaves = 0;
+  /// Mean out-degree / in-degree over nodes (in-degree of the root is 0).
+  double mean_out_degree = 0.0;
+  double mean_in_degree = 0.0;
+  int max_out_degree = 0;
+  /// Root-to-node hop distances (via primary parents).
+  double mean_depth = 0.0;
+  int max_depth = 0;
+  /// Children of the root.
+  int root_degree = 0;
+};
+
+/// Computes structural statistics for `cascade`.
+CascadeStructure ComputeStructure(const Cascade& cascade);
+
+/// Hop distance from the root for every node (primary-parent path).
+std::vector<int> NodeDepths(const Cascade& cascade);
+
+/// Out-degree (children count across all parent links) for every node.
+std::vector<int> OutDegrees(const Cascade& cascade);
+
+}  // namespace cascn
+
+#endif  // CASCN_GRAPH_METRICS_H_

@@ -1,0 +1,108 @@
+#include "graph/random_walk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cascn {
+
+namespace {
+
+/// children[i] = outgoing neighbours of node i (all parent links reversed).
+std::vector<std::vector<int>> BuildChildren(const Cascade& cascade) {
+  std::vector<std::vector<int>> children(cascade.size());
+  for (int i = 1; i < cascade.size(); ++i)
+    for (int p : cascade.event(i).parents) children[p].push_back(i);
+  return children;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> SampleCascadeWalks(const Cascade& cascade,
+                                                 const WalkOptions& options,
+                                                 Rng& rng) {
+  CASCN_CHECK(options.num_walks >= 1 && options.walk_length >= 1);
+  const auto children = BuildChildren(cascade);
+  std::vector<double> start_weights(cascade.size());
+  for (int i = 0; i < cascade.size(); ++i)
+    start_weights[i] = static_cast<double>(children[i].size()) + 1.0;
+
+  std::vector<std::vector<int>> walks;
+  walks.reserve(options.num_walks);
+  for (int w = 0; w < options.num_walks; ++w) {
+    std::vector<int> walk;
+    walk.reserve(options.walk_length);
+    int current = static_cast<int>(rng.Categorical(start_weights));
+    walk.push_back(current);
+    while (static_cast<int>(walk.size()) < options.walk_length) {
+      const auto& outs = children[current];
+      if (outs.empty()) {
+        // Leaf: restart from a fresh start node (walk continues, matching
+        // DeepCas's fixed-length sequences padded by restarts).
+        current = static_cast<int>(rng.Categorical(start_weights));
+      } else {
+        current = outs[rng.UniformInt(outs.size())];
+      }
+      walk.push_back(current);
+    }
+    walks.push_back(std::move(walk));
+  }
+  return walks;
+}
+
+std::vector<std::vector<int>> SampleNode2VecWalks(
+    const Cascade& cascade, const Node2VecOptions& options, Rng& rng) {
+  CASCN_CHECK(options.num_walks_per_node >= 1 && options.walk_length >= 1);
+  CASCN_CHECK(options.p > 0 && options.q > 0);
+  // Undirected neighbour lists.
+  std::vector<std::vector<int>> nbrs(cascade.size());
+  for (int i = 1; i < cascade.size(); ++i) {
+    for (int p : cascade.event(i).parents) {
+      nbrs[p].push_back(i);
+      nbrs[i].push_back(p);
+    }
+  }
+  std::vector<std::vector<int>> walks;
+  walks.reserve(static_cast<size_t>(cascade.size()) *
+                options.num_walks_per_node);
+  std::vector<double> weights;
+  for (int start = 0; start < cascade.size(); ++start) {
+    for (int w = 0; w < options.num_walks_per_node; ++w) {
+      std::vector<int> walk{start};
+      int prev = -1;
+      int current = start;
+      while (static_cast<int>(walk.size()) < options.walk_length) {
+        const auto& outs = nbrs[current];
+        if (outs.empty()) break;
+        int next;
+        if (prev < 0) {
+          next = outs[rng.UniformInt(outs.size())];
+        } else {
+          // Second-order bias: 1/p to return, 1 for common neighbours of
+          // prev, 1/q otherwise. Cascades are trees or near-trees, so the
+          // "distance 1" case is checked by membership in prev's list.
+          weights.assign(outs.size(), 0.0);
+          const auto& prev_nbrs = nbrs[prev];
+          for (size_t k = 0; k < outs.size(); ++k) {
+            if (outs[k] == prev) {
+              weights[k] = 1.0 / options.p;
+            } else if (std::find(prev_nbrs.begin(), prev_nbrs.end(),
+                                 outs[k]) != prev_nbrs.end()) {
+              weights[k] = 1.0;
+            } else {
+              weights[k] = 1.0 / options.q;
+            }
+          }
+          next = outs[rng.Categorical(weights)];
+        }
+        walk.push_back(next);
+        prev = current;
+        current = next;
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+}  // namespace cascn

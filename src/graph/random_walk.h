@@ -1,0 +1,47 @@
+// Random-walk samplers over cascade graphs.
+//
+// DeepCas (Li et al. 2017) represents a cascade as a bag of truncated random
+// walks; Node2Vec (Grover & Leskovec 2016) biases walks with return (p) and
+// in-out (q) parameters. Both are baselines in Table III, and CasCN-Path
+// (Table IV) feeds walks instead of snapshot sequences into CasCN.
+
+#ifndef CASCN_GRAPH_RANDOM_WALK_H_
+#define CASCN_GRAPH_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/cascade.h"
+
+namespace cascn {
+
+/// Options for DeepCas-style walk sampling.
+struct WalkOptions {
+  int num_walks = 10;    // K sequences per cascade
+  int walk_length = 10;  // L nodes per sequence
+};
+
+/// Samples `num_walks` forward walks of up to `walk_length` nodes. Walk
+/// starts are drawn proportionally to out-degree + 1; steps follow outgoing
+/// edges uniformly, restarting at a fresh start node when a leaf is reached
+/// (DeepCas Section 4.1 behaviour). Each walk is a list of node indices.
+std::vector<std::vector<int>> SampleCascadeWalks(const Cascade& cascade,
+                                                 const WalkOptions& options,
+                                                 Rng& rng);
+
+/// Options for Node2Vec biased walks on the undirected view of a cascade.
+struct Node2VecOptions {
+  int num_walks_per_node = 4;
+  int walk_length = 8;
+  double p = 1.0;  // return parameter
+  double q = 1.0;  // in-out parameter
+};
+
+/// Second-order biased walks over the symmetrised cascade graph, starting
+/// from every node.
+std::vector<std::vector<int>> SampleNode2VecWalks(
+    const Cascade& cascade, const Node2VecOptions& options, Rng& rng);
+
+}  // namespace cascn
+
+#endif  // CASCN_GRAPH_RANDOM_WALK_H_

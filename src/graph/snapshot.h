@@ -1,0 +1,46 @@
+// Sub-cascade snapshot sampling (Section IV-A, Fig. 3): a cascade observed
+// for time T becomes a sequence of adjacency matrices, one per retained
+// adoption event, each capturing the cascade topology at that diffusion
+// time. The first snapshot contains only the root with a self-connection.
+
+#ifndef CASCN_GRAPH_SNAPSHOT_H_
+#define CASCN_GRAPH_SNAPSHOT_H_
+
+#include <vector>
+
+#include "graph/cascade.h"
+#include "tensor/csr_matrix.h"
+
+namespace cascn {
+
+/// One sub-cascade snapshot g_i^{t_j}.
+struct CascadeSnapshot {
+  /// Number of nodes adopted by this snapshot (the prefix length).
+  int num_nodes = 0;
+  /// Adoption time of the newest node in the snapshot.
+  double time = 0.0;
+  /// Padded adjacency matrix a_i^{t_j} (padded_size x padded_size); the
+  /// root's self-connection is included in the first snapshot only, as in
+  /// Fig. 3 of the paper.
+  CsrMatrix adjacency;
+};
+
+/// Options controlling snapshot extraction.
+struct SnapshotOptions {
+  /// Matrices are padded to this size; nodes beyond it are dropped (the
+  /// model's filter shapes are tied to this size).
+  int padded_size = 50;
+  /// Upper bound on sequence length. A cascade with more events is
+  /// subsampled evenly (keeping the first and last snapshot) so the
+  /// recurrence depth stays bounded.
+  int max_sequence_length = 20;
+};
+
+/// Builds the snapshot sequence G_i^T for an observed cascade. The cascade
+/// should already be truncated to the observation window (Cascade::Prefix).
+std::vector<CascadeSnapshot> BuildSnapshotSequence(const Cascade& cascade,
+                                                   const SnapshotOptions& opts);
+
+}  // namespace cascn
+
+#endif  // CASCN_GRAPH_SNAPSHOT_H_

@@ -1,0 +1,36 @@
+#include "nn/cheb_conv.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "nn/init.h"
+
+namespace cascn::nn {
+
+ChebConv::ChebConv(int in_features, int out_features, int k, Rng& rng,
+                   bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  CASCN_CHECK(k >= 1) << "Chebyshev order must be >= 1";
+  for (int i = 0; i < k; ++i) {
+    weights_.push_back(RegisterParameter(
+        StrFormat("w%d", i), XavierUniform(in_features, out_features, rng)));
+  }
+  if (with_bias) bias_ = RegisterParameter("bias", Tensor(1, out_features));
+}
+
+ag::Variable ChebConv::Forward(const std::vector<CsrMatrix>& cheb_basis,
+                               const ag::Variable& x) const {
+  CASCN_CHECK(static_cast<int>(cheb_basis.size()) == order())
+      << "Chebyshev basis order mismatch: basis has " << cheb_basis.size()
+      << ", layer expects " << order();
+  CASCN_CHECK(x.cols() == in_features_);
+  ag::Variable out;
+  for (size_t k = 0; k < weights_.size(); ++k) {
+    ag::Variable propagated = ag::SparseMatMul(cheb_basis[k], x);
+    ag::Variable term = ag::MatMul(propagated, weights_[k]);
+    out = out.defined() ? ag::Add(out, term) : term;
+  }
+  if (bias_.defined()) out = ag::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+}  // namespace cascn::nn

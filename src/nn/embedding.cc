@@ -1,0 +1,17 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+namespace cascn::nn {
+
+Embedding::Embedding(int vocab_size, int dim, Rng& rng) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  table_ = RegisterParameter(
+      "table", Tensor::RandomUniform(vocab_size, dim, -scale, scale, rng));
+}
+
+ag::Variable Embedding::Lookup(const std::vector<int>& ids) const {
+  return ag::GatherRows(table_, ids);
+}
+
+}  // namespace cascn::nn

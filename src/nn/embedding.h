@@ -1,0 +1,36 @@
+// Embedding: a learned lookup table mapping integer ids (users, nodes) to
+// dense vectors. Used by the DeepCas/DeepHawkes/Node2Vec/LIS baselines and
+// the CasCN-Path variant.
+
+#ifndef CASCN_NN_EMBEDDING_H_
+#define CASCN_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace cascn::nn {
+
+/// Trainable (vocab x dim) table; Lookup gathers rows by id.
+class Embedding : public Module {
+ public:
+  Embedding(int vocab_size, int dim, Rng& rng);
+
+  /// Rows of the table for `ids`, as a (ids.size() x dim) Variable.
+  /// Pre: every id in [0, vocab_size).
+  ag::Variable Lookup(const std::vector<int>& ids) const;
+
+  int vocab_size() const { return table_.rows(); }
+  int dim() const { return table_.cols(); }
+
+  /// Direct access for non-autodiff consumers (e.g. Node2Vec trainer).
+  const ag::Variable& table() const { return table_; }
+
+ private:
+  ag::Variable table_;
+};
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_EMBEDDING_H_

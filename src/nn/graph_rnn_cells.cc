@@ -1,0 +1,137 @@
+#include "nn/graph_rnn_cells.h"
+
+#include "common/logging.h"
+
+namespace cascn::nn {
+
+GraphConvLstmCell::GraphConvLstmCell(int num_nodes, int hidden_dim,
+                                     int cheb_order, Rng& rng)
+    : num_nodes_(num_nodes), hidden_dim_(hidden_dim) {
+  auto conv_x = [&] {
+    return std::make_unique<ChebConv>(num_nodes, hidden_dim, cheb_order, rng,
+                                      /*with_bias=*/false);
+  };
+  auto conv_h = [&] {
+    return std::make_unique<ChebConv>(hidden_dim, hidden_dim, cheb_order, rng,
+                                      /*with_bias=*/false);
+  };
+  conv_x_i_ = conv_x();
+  conv_x_f_ = conv_x();
+  conv_x_o_ = conv_x();
+  conv_x_c_ = conv_x();
+  conv_h_i_ = conv_h();
+  conv_h_f_ = conv_h();
+  conv_h_o_ = conv_h();
+  conv_h_c_ = conv_h();
+  RegisterSubmodule("conv_x_i", conv_x_i_.get());
+  RegisterSubmodule("conv_x_f", conv_x_f_.get());
+  RegisterSubmodule("conv_x_o", conv_x_o_.get());
+  RegisterSubmodule("conv_x_c", conv_x_c_.get());
+  RegisterSubmodule("conv_h_i", conv_h_i_.get());
+  RegisterSubmodule("conv_h_f", conv_h_f_.get());
+  RegisterSubmodule("conv_h_o", conv_h_o_.get());
+  RegisterSubmodule("conv_h_c", conv_h_c_.get());
+  // Peepholes start at zero so early training matches a peephole-free LSTM.
+  v_i_ = RegisterParameter("v_i", Tensor(num_nodes, hidden_dim));
+  v_f_ = RegisterParameter("v_f", Tensor(num_nodes, hidden_dim));
+  v_o_ = RegisterParameter("v_o", Tensor(num_nodes, hidden_dim));
+  b_i_ = RegisterParameter("b_i", Tensor(1, hidden_dim));
+  b_f_ = RegisterParameter("b_f", Tensor(1, hidden_dim, 1.0));
+  b_o_ = RegisterParameter("b_o", Tensor(1, hidden_dim));
+  b_c_ = RegisterParameter("b_c", Tensor(1, hidden_dim));
+}
+
+RnnState GraphConvLstmCell::InitialState() const {
+  RnnState s;
+  s.h = ag::Variable::Leaf(Tensor(num_nodes_, hidden_dim_));
+  s.c = ag::Variable::Leaf(Tensor(num_nodes_, hidden_dim_));
+  return s;
+}
+
+ag::Variable GraphConvLstmCell::Gate(const std::vector<CsrMatrix>& basis,
+                                     const ChebConv& cx, const ChebConv& ch,
+                                     const ag::Variable& x,
+                                     const ag::Variable& h,
+                                     const ag::Variable& bias) const {
+  return ag::AddRowBroadcast(
+      ag::Add(cx.Forward(basis, x), ch.Forward(basis, h)), bias);
+}
+
+RnnState GraphConvLstmCell::Step(const std::vector<CsrMatrix>& cheb_basis,
+                                 const ag::Variable& x,
+                                 const RnnState& prev) const {
+  CASCN_CHECK(x.rows() == num_nodes_ && x.cols() == num_nodes_)
+      << "snapshot signal must be n x n";
+  const ag::Variable i = ag::Sigmoid(
+      ag::Add(Gate(cheb_basis, *conv_x_i_, *conv_h_i_, x, prev.h, b_i_),
+              ag::Mul(v_i_, prev.c)));
+  const ag::Variable f = ag::Sigmoid(
+      ag::Add(Gate(cheb_basis, *conv_x_f_, *conv_h_f_, x, prev.h, b_f_),
+              ag::Mul(v_f_, prev.c)));
+  const ag::Variable g =
+      ag::Tanh(Gate(cheb_basis, *conv_x_c_, *conv_h_c_, x, prev.h, b_c_));
+  RnnState next;
+  next.c = ag::Add(ag::Mul(f, prev.c), ag::Mul(i, g));
+  const ag::Variable o = ag::Sigmoid(
+      ag::Add(Gate(cheb_basis, *conv_x_o_, *conv_h_o_, x, prev.h, b_o_),
+              ag::Mul(v_o_, next.c)));
+  next.h = ag::Mul(o, ag::Tanh(next.c));
+  return next;
+}
+
+GraphConvGruCell::GraphConvGruCell(int num_nodes, int hidden_dim,
+                                   int cheb_order, Rng& rng)
+    : num_nodes_(num_nodes), hidden_dim_(hidden_dim) {
+  auto conv_x = [&] {
+    return std::make_unique<ChebConv>(num_nodes, hidden_dim, cheb_order, rng,
+                                      /*with_bias=*/false);
+  };
+  auto conv_h = [&] {
+    return std::make_unique<ChebConv>(hidden_dim, hidden_dim, cheb_order, rng,
+                                      /*with_bias=*/false);
+  };
+  conv_x_r_ = conv_x();
+  conv_x_z_ = conv_x();
+  conv_x_n_ = conv_x();
+  conv_h_r_ = conv_h();
+  conv_h_z_ = conv_h();
+  conv_h_n_ = conv_h();
+  RegisterSubmodule("conv_x_r", conv_x_r_.get());
+  RegisterSubmodule("conv_x_z", conv_x_z_.get());
+  RegisterSubmodule("conv_x_n", conv_x_n_.get());
+  RegisterSubmodule("conv_h_r", conv_h_r_.get());
+  RegisterSubmodule("conv_h_z", conv_h_z_.get());
+  RegisterSubmodule("conv_h_n", conv_h_n_.get());
+  b_r_ = RegisterParameter("b_r", Tensor(1, hidden_dim));
+  b_z_ = RegisterParameter("b_z", Tensor(1, hidden_dim));
+  b_n_ = RegisterParameter("b_n", Tensor(1, hidden_dim));
+}
+
+RnnState GraphConvGruCell::InitialState() const {
+  RnnState s;
+  s.h = ag::Variable::Leaf(Tensor(num_nodes_, hidden_dim_));
+  return s;
+}
+
+RnnState GraphConvGruCell::Step(const std::vector<CsrMatrix>& cheb_basis,
+                                const ag::Variable& x,
+                                const RnnState& prev) const {
+  CASCN_CHECK(x.rows() == num_nodes_ && x.cols() == num_nodes_);
+  const ag::Variable r = ag::Sigmoid(ag::AddRowBroadcast(
+      ag::Add(conv_x_r_->Forward(cheb_basis, x),
+              conv_h_r_->Forward(cheb_basis, prev.h)),
+      b_r_));
+  const ag::Variable z = ag::Sigmoid(ag::AddRowBroadcast(
+      ag::Add(conv_x_z_->Forward(cheb_basis, x),
+              conv_h_z_->Forward(cheb_basis, prev.h)),
+      b_z_));
+  const ag::Variable n = ag::Tanh(ag::AddRowBroadcast(
+      ag::Add(conv_x_n_->Forward(cheb_basis, x),
+              conv_h_n_->Forward(cheb_basis, ag::Mul(r, prev.h))),
+      b_n_));
+  RnnState next;
+  next.h = ag::Add(n, ag::Mul(z, ag::Sub(prev.h, n)));
+  return next;
+}
+
+}  // namespace cascn::nn

@@ -1,0 +1,91 @@
+// Graph-convolutional recurrent cells: the structural-temporal core of
+// CasCN (Section IV-C, Eq. 12-14). A standard LSTM's dense input/hidden
+// multiplications are replaced by Chebyshev graph convolutions over the
+// cascade Laplacian, and peephole connections V (.) c couple the gates to
+// the memory cell:
+//
+//   i_t = sigmoid(W_i *G X_t + U_i *G h_{t-1} + V_i (.) c_{t-1} + b_i)
+//   f_t = sigmoid(W_f *G X_t + U_f *G h_{t-1} + V_f (.) c_{t-1} + b_f)
+//   c_t = f_t (.) c_{t-1} + i_t (.) tanh(W_c *G X_t + U_c *G h_{t-1} + b_c)
+//   o_t = sigmoid(W_o *G X_t + U_o *G h_{t-1} + V_o (.) c_t + b_o)
+//   h_t = o_t (.) tanh(c_t)
+//
+// State lives per node: X_t is the (n x n) adjacency snapshot signal, h and
+// c are (n x hidden). `n` is the padded cascade size fixed by the model
+// configuration; the peephole matrices are (n x hidden) exactly as in the
+// paper (V in R^{n x d_h}).
+//
+// GraphConvGruCell is the CasCN-GRU variant: same graph convolutions with
+// GRU gating and no separate memory cell.
+
+#ifndef CASCN_NN_GRAPH_RNN_CELLS_H_
+#define CASCN_NN_GRAPH_RNN_CELLS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/cheb_conv.h"
+#include "nn/module.h"
+#include "nn/rnn_cells.h"
+
+namespace cascn::nn {
+
+/// LSTM cell whose gates are Chebyshev graph convolutions (CasCN Eq. 12-14).
+class GraphConvLstmCell : public Module {
+ public:
+  /// `num_nodes` is the padded cascade size n (also the input feature width,
+  /// because the snapshot signal X_t is the n x n adjacency matrix).
+  GraphConvLstmCell(int num_nodes, int hidden_dim, int cheb_order, Rng& rng);
+
+  RnnState InitialState() const;
+
+  /// One step over snapshot signal `x` (n x n) with the cascade's Chebyshev
+  /// basis (shared across steps; the Laplacian is per-cascade, not
+  /// per-snapshot).
+  RnnState Step(const std::vector<CsrMatrix>& cheb_basis,
+                const ag::Variable& x, const RnnState& prev) const;
+
+  int num_nodes() const { return num_nodes_; }
+  int hidden_dim() const { return hidden_dim_; }
+  int cheb_order() const { return conv_x_i_->order(); }
+
+ private:
+  ag::Variable Gate(const std::vector<CsrMatrix>& basis, const ChebConv& cx,
+                    const ChebConv& ch, const ag::Variable& x,
+                    const ag::Variable& h, const ag::Variable& bias) const;
+
+  int num_nodes_;
+  int hidden_dim_;
+  // Graph-convolution filter banks per gate, for input X and hidden h.
+  std::unique_ptr<ChebConv> conv_x_i_, conv_x_f_, conv_x_o_, conv_x_c_;
+  std::unique_ptr<ChebConv> conv_h_i_, conv_h_f_, conv_h_o_, conv_h_c_;
+  // Peephole weights (n x hidden) and biases (1 x hidden).
+  ag::Variable v_i_, v_f_, v_o_;
+  ag::Variable b_i_, b_f_, b_o_, b_c_;
+};
+
+/// GRU counterpart used by the CasCN-GRU variant (Table IV).
+class GraphConvGruCell : public Module {
+ public:
+  GraphConvGruCell(int num_nodes, int hidden_dim, int cheb_order, Rng& rng);
+
+  RnnState InitialState() const;
+  RnnState Step(const std::vector<CsrMatrix>& cheb_basis,
+                const ag::Variable& x, const RnnState& prev) const;
+
+  int num_nodes() const { return num_nodes_; }
+  int hidden_dim() const { return hidden_dim_; }
+  int cheb_order() const { return conv_x_r_->order(); }
+
+ private:
+  int num_nodes_;
+  int hidden_dim_;
+  std::unique_ptr<ChebConv> conv_x_r_, conv_x_z_, conv_x_n_;
+  std::unique_ptr<ChebConv> conv_h_r_, conv_h_z_, conv_h_n_;
+  ag::Variable b_r_, b_z_, b_n_;
+};
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_GRAPH_RNN_CELLS_H_

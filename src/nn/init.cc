@@ -1,0 +1,17 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace cascn::nn {
+
+Tensor XavierUniform(int fan_in, int fan_out, Rng& rng) {
+  const double a = std::sqrt(6.0 / (fan_in + fan_out));
+  return Tensor::RandomUniform(fan_in, fan_out, -a, a, rng);
+}
+
+Tensor XavierNormal(int fan_in, int fan_out, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / (fan_in + fan_out));
+  return Tensor::RandomNormal(fan_in, fan_out, stddev, rng);
+}
+
+}  // namespace cascn::nn

@@ -1,0 +1,19 @@
+// Weight initialisation schemes.
+
+#ifndef CASCN_NN_INIT_H_
+#define CASCN_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace cascn::nn {
+
+/// Xavier/Glorot uniform: U[-a, a] with a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(int fan_in, int fan_out, Rng& rng);
+
+/// Xavier/Glorot normal: N(0, 2 / (fan_in + fan_out)).
+Tensor XavierNormal(int fan_in, int fan_out, Rng& rng);
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_INIT_H_

@@ -1,0 +1,17 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace cascn::nn {
+
+Linear::Linear(int in_features, int out_features, Rng& rng) {
+  weight_ = RegisterParameter("weight",
+                              XavierUniform(in_features, out_features, rng));
+  bias_ = RegisterParameter("bias", Tensor(1, out_features));
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) const {
+  return ag::AddRowBroadcast(ag::MatMul(x, weight_), bias_);
+}
+
+}  // namespace cascn::nn

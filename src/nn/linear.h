@@ -1,0 +1,28 @@
+// Linear (fully-connected) layer: y = x W + b.
+
+#ifndef CASCN_NN_LINEAR_H_
+#define CASCN_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace cascn::nn {
+
+/// Affine map applied row-wise: input (batch x in), output (batch x out).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  int in_features() const { return weight_.rows(); }
+  int out_features() const { return weight_.cols(); }
+
+ private:
+  ag::Variable weight_;  // in x out
+  ag::Variable bias_;    // 1 x out
+};
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_LINEAR_H_

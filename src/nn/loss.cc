@@ -1,0 +1,21 @@
+#include "nn/loss.h"
+
+#include "common/logging.h"
+
+namespace cascn::nn {
+
+ag::Variable SquaredError(const ag::Variable& pred, double log_target) {
+  CASCN_CHECK(pred.rows() == 1 && pred.cols() == 1)
+      << "SquaredError expects a scalar prediction";
+  return ag::Square(ag::AddScalar(pred, -log_target));
+}
+
+ag::Variable MeanLoss(const std::vector<ag::Variable>& sample_losses) {
+  CASCN_CHECK(!sample_losses.empty());
+  ag::Variable total = sample_losses[0];
+  for (size_t i = 1; i < sample_losses.size(); ++i)
+    total = ag::Add(total, sample_losses[i]);
+  return ag::ScalarMul(total, 1.0 / static_cast<double>(sample_losses.size()));
+}
+
+}  // namespace cascn::nn

@@ -1,0 +1,23 @@
+// Regression losses. CasCN and all baselines predict log2(1 + increment
+// size) and minimise squared error in that space, which is exactly the
+// paper's MSLE objective (Eq. 19/20).
+
+#ifndef CASCN_NN_LOSS_H_
+#define CASCN_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace cascn::nn {
+
+/// (pred - target)^2 for a 1x1 prediction against a scalar target already in
+/// log space.
+ag::Variable SquaredError(const ag::Variable& pred, double log_target);
+
+/// Mean of per-sample squared errors (each a 1x1 Variable).
+ag::Variable MeanLoss(const std::vector<ag::Variable>& sample_losses);
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_LOSS_H_

@@ -1,0 +1,38 @@
+#include "nn/mlp.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cascn::nn {
+
+Mlp::Mlp(const std::vector<int>& dims, Activation activation, Rng& rng)
+    : activation_(activation) {
+  CASCN_CHECK(dims.size() >= 2) << "Mlp needs at least input and output dims";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterSubmodule(StrFormat("layer%zu", i), layers_.back().get());
+  }
+}
+
+ag::Variable Mlp::Forward(const ag::Variable& x) const {
+  ag::Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) {
+      switch (activation_) {
+        case Activation::kRelu:
+          h = ag::Relu(h);
+          break;
+        case Activation::kTanh:
+          h = ag::Tanh(h);
+          break;
+        case Activation::kSigmoid:
+          h = ag::Sigmoid(h);
+          break;
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace cascn::nn

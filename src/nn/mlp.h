@@ -1,0 +1,39 @@
+// Multi-layer perceptron: stacked Linear layers with a hidden activation.
+// The paper's prediction head (Eq. 18) is a two-hidden-layer MLP with one
+// final output unit.
+
+#ifndef CASCN_NN_MLP_H_
+#define CASCN_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace cascn::nn {
+
+/// Hidden-layer activation of an Mlp.
+enum class Activation { kRelu, kTanh, kSigmoid };
+
+/// Feed-forward network. `dims` gives layer widths including input and
+/// output, e.g. {32, 32, 16, 1}. The activation is applied after every
+/// layer except the last.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int>& dims, Activation activation, Rng& rng);
+
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  int in_features() const { return layers_.front()->in_features(); }
+  int out_features() const { return layers_.back()->out_features(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+};
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_MLP_H_

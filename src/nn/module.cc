@@ -1,0 +1,101 @@
+#include "nn/module.h"
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cascn::nn {
+
+std::vector<ag::Variable> Module::Parameters() const {
+  std::vector<ag::Variable> out;
+  for (const auto& [name, p] : parameters_) out.push_back(p);
+  for (const auto& [name, sub] : submodules_) {
+    auto nested = sub->Parameters();
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Variable>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, ag::Variable>> out = parameters_;
+  for (const auto& [name, sub] : submodules_) {
+    for (auto& [nested_name, p] : sub->NamedParameters())
+      out.emplace_back(name + "." + nested_name, p);
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t count = 0;
+  for (const auto& p : Parameters()) count += p.value().size();
+  return count;
+}
+
+Status Module::Save(std::ostream& out) const {
+  const auto named = NamedParameters();
+  const uint64_t n = named.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& [name, p] : named) {
+    const uint64_t name_len = name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), static_cast<std::streamsize>(name_len));
+    const int32_t rows = p.value().rows();
+    const int32_t cols = p.value().cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(sizeof(double) * p.value().size()));
+  }
+  if (!out.good()) return Status::IoError("failed writing module parameters");
+  return Status::OK();
+}
+
+Status Module::Load(std::istream& in) {
+  auto named = NamedParameters();
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in.good() || n != named.size())
+    return Status::InvalidArgument(
+        StrFormat("parameter count mismatch: file has %llu, module has %zu",
+                  static_cast<unsigned long long>(n), named.size()));
+  for (auto& [name, p] : named) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in.good() || name_len > 1 << 20)
+      return Status::IoError("corrupt parameter name length");
+    std::string file_name(name_len, '\0');
+    in.read(file_name.data(), static_cast<std::streamsize>(name_len));
+    if (file_name != name)
+      return Status::InvalidArgument("parameter name mismatch: expected " +
+                                     name + ", file has " + file_name);
+    int32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (rows != p.value().rows() || cols != p.value().cols())
+      return Status::InvalidArgument("parameter shape mismatch for " + name);
+    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
+            static_cast<std::streamsize>(sizeof(double) *
+                                         p.value().size()));
+    if (!in.good()) return Status::IoError("truncated parameter data");
+  }
+  return Status::OK();
+}
+
+ag::Variable Module::RegisterParameter(const std::string& name, Tensor value) {
+  ag::Variable p = ag::Variable::Leaf(std::move(value), /*requires_grad=*/true);
+  parameters_.emplace_back(name, p);
+  return p;
+}
+
+void Module::RegisterSubmodule(const std::string& name, Module* submodule) {
+  CASCN_CHECK(submodule != nullptr);
+  submodules_.emplace_back(name, submodule);
+}
+
+}  // namespace cascn::nn

@@ -1,0 +1,63 @@
+// Module: base class for neural-network components with named trainable
+// parameters. Provides the parameter registry that optimizers iterate and
+// binary save/load of parameter values.
+
+#ifndef CASCN_NN_MODULE_H_
+#define CASCN_NN_MODULE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/variable.h"
+
+namespace cascn::nn {
+
+/// Base class for layers and models. Subclasses register parameters in their
+/// constructor; Parameters() exposes them (and those of registered
+/// submodules) to optimizers and serialization.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, including those of registered submodules.
+  std::vector<ag::Variable> Parameters() const;
+
+  /// Parameters paired with hierarchical names ("mlp.layer0.weight").
+  std::vector<std::pair<std::string, ag::Variable>> NamedParameters() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const;
+
+  /// Writes all parameter tensors in registration order (binary).
+  Status Save(std::ostream& out) const;
+
+  /// Reads parameter values written by Save. Shapes must match exactly.
+  Status Load(std::istream& in);
+
+ protected:
+  /// Registers a trainable parameter; returns the Variable to store.
+  ag::Variable RegisterParameter(const std::string& name, Tensor value);
+
+  /// Registers a submodule; its parameters are exposed under `name.`.
+  /// The submodule must outlive this module.
+  void RegisterSubmodule(const std::string& name, Module* submodule);
+
+ private:
+  std::vector<std::pair<std::string, ag::Variable>> parameters_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+};
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_MODULE_H_

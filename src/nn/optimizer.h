@@ -1,0 +1,84 @@
+// First-order optimizers over a parameter list: Adam (the paper's choice,
+// Algorithm 2 step 8) and SGD with momentum, plus global-norm gradient
+// clipping.
+
+#ifndef CASCN_NN_OPTIMIZER_H_
+#define CASCN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/variable.h"
+
+namespace cascn::nn {
+
+/// Interface shared by the optimizers.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// parameters, then zeroes them.
+  virtual void Step() = 0;
+
+  /// Zeroes parameter gradients without updating.
+  void ZeroGrad();
+
+ protected:
+  explicit Optimizer(std::vector<ag::Variable> params)
+      : params_(std::move(params)) {}
+
+  std::vector<ag::Variable> params_;
+};
+
+/// Adaptive moment estimation (Kingma & Ba 2015).
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;   // decoupled (AdamW-style) when > 0
+    double clip_norm = 0.0;      // global-norm clip threshold; 0 disables
+  };
+
+  Adam(std::vector<ag::Variable> params, Options options);
+
+  void Step() override;
+
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  double learning_rate() const { return options_.learning_rate; }
+
+ private:
+  Options options_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Stochastic gradient descent with classical momentum.
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-2;
+    double momentum = 0.0;
+    double clip_norm = 0.0;
+  };
+
+  Sgd(std::vector<ag::Variable> params, Options options);
+
+  void Step() override;
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// No-op when max_norm <= 0 or the norm is already within bounds.
+void ClipGradNorm(std::vector<ag::Variable>& params, double max_norm);
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_OPTIMIZER_H_

@@ -1,0 +1,111 @@
+#include "nn/rnn_cells.h"
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace cascn::nn {
+
+namespace {
+
+/// x @ Wx + h @ Wh + b for one gate.
+ag::Variable GatePreactivation(const ag::Variable& x, const ag::Variable& h,
+                               const ag::Variable& wx, const ag::Variable& wh,
+                               const ag::Variable& b) {
+  return ag::AddRowBroadcast(
+      ag::Add(ag::MatMul(x, wx), ag::MatMul(h, wh)), b);
+}
+
+}  // namespace
+
+LstmCell::LstmCell(int input_dim, int hidden_dim, Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  auto wx = [&](const char* name) {
+    return RegisterParameter(name, XavierUniform(input_dim, hidden_dim, rng));
+  };
+  auto wh = [&](const char* name) {
+    return RegisterParameter(name, XavierUniform(hidden_dim, hidden_dim, rng));
+  };
+  auto bias = [&](const char* name, double init) {
+    return RegisterParameter(name, Tensor(1, hidden_dim, init));
+  };
+  wx_i_ = wx("wx_i");
+  wx_f_ = wx("wx_f");
+  wx_o_ = wx("wx_o");
+  wx_g_ = wx("wx_g");
+  wh_i_ = wh("wh_i");
+  wh_f_ = wh("wh_f");
+  wh_o_ = wh("wh_o");
+  wh_g_ = wh("wh_g");
+  b_i_ = bias("b_i", 0.0);
+  b_f_ = bias("b_f", 1.0);  // forget-gate bias 1: standard trick
+  b_o_ = bias("b_o", 0.0);
+  b_g_ = bias("b_g", 0.0);
+}
+
+RnnState LstmCell::InitialState(int batch) const {
+  RnnState s;
+  s.h = ag::Variable::Leaf(Tensor(batch, hidden_dim_));
+  s.c = ag::Variable::Leaf(Tensor(batch, hidden_dim_));
+  return s;
+}
+
+RnnState LstmCell::Step(const ag::Variable& x, const RnnState& prev) const {
+  CASCN_CHECK(x.cols() == input_dim_);
+  const ag::Variable i =
+      ag::Sigmoid(GatePreactivation(x, prev.h, wx_i_, wh_i_, b_i_));
+  const ag::Variable f =
+      ag::Sigmoid(GatePreactivation(x, prev.h, wx_f_, wh_f_, b_f_));
+  const ag::Variable o =
+      ag::Sigmoid(GatePreactivation(x, prev.h, wx_o_, wh_o_, b_o_));
+  const ag::Variable g =
+      ag::Tanh(GatePreactivation(x, prev.h, wx_g_, wh_g_, b_g_));
+  RnnState next;
+  next.c = ag::Add(ag::Mul(f, prev.c), ag::Mul(i, g));
+  next.h = ag::Mul(o, ag::Tanh(next.c));
+  return next;
+}
+
+GruCell::GruCell(int input_dim, int hidden_dim, Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  auto wx = [&](const char* name) {
+    return RegisterParameter(name, XavierUniform(input_dim, hidden_dim, rng));
+  };
+  auto wh = [&](const char* name) {
+    return RegisterParameter(name, XavierUniform(hidden_dim, hidden_dim, rng));
+  };
+  auto bias = [&](const char* name) {
+    return RegisterParameter(name, Tensor(1, hidden_dim));
+  };
+  wx_r_ = wx("wx_r");
+  wx_z_ = wx("wx_z");
+  wx_n_ = wx("wx_n");
+  wh_r_ = wh("wh_r");
+  wh_z_ = wh("wh_z");
+  wh_n_ = wh("wh_n");
+  b_r_ = bias("b_r");
+  b_z_ = bias("b_z");
+  b_n_ = bias("b_n");
+}
+
+RnnState GruCell::InitialState(int batch) const {
+  RnnState s;
+  s.h = ag::Variable::Leaf(Tensor(batch, hidden_dim_));
+  return s;
+}
+
+RnnState GruCell::Step(const ag::Variable& x, const RnnState& prev) const {
+  CASCN_CHECK(x.cols() == input_dim_);
+  const ag::Variable r =
+      ag::Sigmoid(GatePreactivation(x, prev.h, wx_r_, wh_r_, b_r_));
+  const ag::Variable z =
+      ag::Sigmoid(GatePreactivation(x, prev.h, wx_z_, wh_z_, b_z_));
+  const ag::Variable n = ag::Tanh(ag::AddRowBroadcast(
+      ag::Add(ag::MatMul(x, wx_n_), ag::MatMul(ag::Mul(r, prev.h), wh_n_)),
+      b_n_));
+  // h' = (1 - z) * n + z * h  =  n + z * (h - n)
+  RnnState next;
+  next.h = ag::Add(n, ag::Mul(z, ag::Sub(prev.h, n)));
+  return next;
+}
+
+}  // namespace cascn::nn

@@ -1,0 +1,65 @@
+// Dense recurrent cells: standard LSTM (Hochreiter & Schmidhuber 1997) and
+// GRU (Cho et al. 2014). Used by the DeepCas/DeepHawkes baselines, the
+// Topo-LSTM baseline, and the CasCN-GL variant (GCN followed by a plain
+// LSTM).
+
+#ifndef CASCN_NN_RNN_CELLS_H_
+#define CASCN_NN_RNN_CELLS_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace cascn::nn {
+
+/// Hidden and cell state of an LSTM step. For GRU, `c` is unused.
+struct RnnState {
+  ag::Variable h;
+  ag::Variable c;
+};
+
+/// Standard LSTM cell operating on (batch x input_dim) rows.
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_dim, int hidden_dim, Rng& rng);
+
+  /// Zero state for a batch of `batch` rows.
+  RnnState InitialState(int batch) const;
+
+  /// One recurrence step.
+  RnnState Step(const ag::Variable& x, const RnnState& prev) const;
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  // Gate weights: input(i), forget(f), output(o), candidate(g).
+  ag::Variable wx_i_, wx_f_, wx_o_, wx_g_;  // input_dim x hidden
+  ag::Variable wh_i_, wh_f_, wh_o_, wh_g_;  // hidden x hidden
+  ag::Variable b_i_, b_f_, b_o_, b_g_;      // 1 x hidden
+};
+
+/// Standard GRU cell operating on (batch x input_dim) rows.
+class GruCell : public Module {
+ public:
+  GruCell(int input_dim, int hidden_dim, Rng& rng);
+
+  RnnState InitialState(int batch) const;
+  RnnState Step(const ag::Variable& x, const RnnState& prev) const;
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  // Gate weights: reset(r), update(z), candidate(n).
+  ag::Variable wx_r_, wx_z_, wx_n_;
+  ag::Variable wh_r_, wh_z_, wh_n_;
+  ag::Variable b_r_, b_z_, b_n_;
+};
+
+}  // namespace cascn::nn
+
+#endif  // CASCN_NN_RNN_CELLS_H_

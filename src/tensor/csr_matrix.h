@@ -1,0 +1,82 @@
+// CsrMatrix: compressed-sparse-row matrix of doubles.
+//
+// Cascade graph operators (adjacency, Laplacians, Chebyshev polynomials of
+// the Laplacian) are sparse: a cascade with n nodes has O(n) edges. Graph
+// convolutions multiply these operators with dense node-feature matrices, so
+// the central kernel here is SpMM (sparse x dense -> dense).
+
+#ifndef CASCN_TENSOR_CSR_MATRIX_H_
+#define CASCN_TENSOR_CSR_MATRIX_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cascn {
+
+/// One entry of a sparse matrix in coordinate form.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+/// Immutable sparse matrix in CSR layout.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// Builds from coordinate triplets; duplicate (row, col) entries are
+  /// summed. Pre: all coordinates within [0, rows) x [0, cols).
+  static CsrMatrix FromTriplets(int rows, int cols,
+                                std::vector<Triplet> triplets);
+
+  /// Converts a dense matrix, dropping exact zeros.
+  static CsrMatrix FromDense(const Tensor& dense);
+
+  /// n x n identity.
+  static CsrMatrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int nnz() const { return static_cast<int>(values_.size()); }
+
+  const std::vector<int>& row_offsets() const { return row_offsets_; }
+  const std::vector<int>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Dense copy.
+  Tensor ToDense() const;
+
+  /// this * dense. Pre: cols() == dense.rows().
+  Tensor MatMulDense(const Tensor& dense) const;
+
+  /// this^T * dense without materialising the transpose.
+  /// Pre: rows() == dense.rows().
+  Tensor TransposeMatMulDense(const Tensor& dense) const;
+
+  /// Sparse transpose.
+  CsrMatrix Transposed() const;
+
+  /// alpha * this + beta * other (sparse result). Pre: same shape.
+  CsrMatrix Add(const CsrMatrix& other, double alpha = 1.0,
+                double beta = 1.0) const;
+
+  /// this * other (sparse result). Pre: cols() == other.rows().
+  CsrMatrix MatMulSparse(const CsrMatrix& other) const;
+
+  /// Scales all stored values by alpha.
+  CsrMatrix Scaled(double alpha) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_offsets_;  // size rows_ + 1
+  std::vector<int> col_indices_;  // size nnz
+  std::vector<double> values_;    // size nnz
+};
+
+}  // namespace cascn
+
+#endif  // CASCN_TENSOR_CSR_MATRIX_H_

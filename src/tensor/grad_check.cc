@@ -1,0 +1,43 @@
+#include "tensor/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cascn::ag {
+
+GradCheckResult CheckGradient(
+    Variable& leaf, const std::function<Variable(const Variable&)>& loss_fn,
+    double epsilon, double tolerance) {
+  CASCN_CHECK(leaf.requires_grad())
+      << "CheckGradient needs a leaf with requires_grad";
+  leaf.ZeroGrad();
+  Variable loss = loss_fn(leaf);
+  loss.Backward();
+  const Tensor analytic = leaf.grad();
+  CASCN_CHECK(!analytic.empty()) << "no gradient reached the leaf";
+
+  GradCheckResult result;
+  Tensor& value = leaf.mutable_value();
+  for (int i = 0; i < value.rows(); ++i) {
+    for (int j = 0; j < value.cols(); ++j) {
+      const double saved = value.At(i, j);
+      value.At(i, j) = saved + epsilon;
+      const double up = loss_fn(leaf).value().At(0, 0);
+      value.At(i, j) = saved - epsilon;
+      const double down = loss_fn(leaf).value().At(0, 0);
+      value.At(i, j) = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      const double abs_err = std::fabs(numeric - analytic.At(i, j));
+      const double denom =
+          std::max({1.0, std::fabs(numeric), std::fabs(analytic.At(i, j))});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    }
+  }
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace cascn::ag

@@ -1,0 +1,30 @@
+// Numerical gradient checking for the autodiff engine. Used by tests to
+// verify every op's backward pass against central finite differences.
+
+#ifndef CASCN_TENSOR_GRAD_CHECK_H_
+#define CASCN_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "tensor/variable.h"
+
+namespace cascn::ag {
+
+/// Result of comparing analytic and numeric gradients of one leaf.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok = false;
+};
+
+/// Checks d(loss)/d(leaf) for `loss_fn`, a pure function that rebuilds the
+/// graph from the leaf's current value and returns a scalar Variable.
+/// Perturbs every element of `leaf` by +/-epsilon (central differences) and
+/// compares with the analytic gradient from one Backward() pass.
+GradCheckResult CheckGradient(
+    Variable& leaf, const std::function<Variable(const Variable&)>& loss_fn,
+    double epsilon = 1e-5, double tolerance = 1e-6);
+
+}  // namespace cascn::ag
+
+#endif  // CASCN_TENSOR_GRAD_CHECK_H_

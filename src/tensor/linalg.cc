@@ -1,0 +1,147 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cascn {
+
+Result<Tensor> CholeskyFactor(const Tensor& a) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  const int n = a.rows();
+  Tensor l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (int k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 0.0)
+          return Status::FailedPrecondition(
+              "matrix is not positive definite");
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<Tensor> SolveSpd(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows())
+    return Status::InvalidArgument("SolveSpd dimension mismatch");
+  CASCN_ASSIGN_OR_RETURN(Tensor l, CholeskyFactor(a));
+  const int n = a.rows();
+  const int m = b.cols();
+  // Forward solve L y = b.
+  Tensor y(n, m);
+  for (int c = 0; c < m; ++c) {
+    for (int i = 0; i < n; ++i) {
+      double sum = b.At(i, c);
+      for (int k = 0; k < i; ++k) sum -= l.At(i, k) * y.At(k, c);
+      y.At(i, c) = sum / l.At(i, i);
+    }
+  }
+  // Back solve L^T x = y.
+  Tensor x(n, m);
+  for (int c = 0; c < m; ++c) {
+    for (int i = n - 1; i >= 0; --i) {
+      double sum = y.At(i, c);
+      for (int k = i + 1; k < n; ++k) sum -= l.At(k, i) * x.At(k, c);
+      x.At(i, c) = sum / l.At(i, i);
+    }
+  }
+  return x;
+}
+
+double PowerIterationLargestEigenvalue(const CsrMatrix& a, int iterations) {
+  CASCN_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  if (n == 0) return 0.0;
+  // Symmetrise: S = (A + A^T)/2, applied without materialising S densely.
+  const CsrMatrix at = a.Transposed();
+  Tensor x(n, 1, 1.0 / std::sqrt(static_cast<double>(n)));
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Tensor ax = a.MatMulDense(x);
+    ax.AddInPlace(at.MatMulDense(x));
+    ax.Scale(0.5);
+    double num = 0, den = 0;
+    for (int i = 0; i < n; ++i) {
+      num += x.At(i, 0) * ax.At(i, 0);
+      den += x.At(i, 0) * x.At(i, 0);
+    }
+    lambda = den > 0 ? num / den : 0.0;
+    const double norm = ax.Norm();
+    if (norm < 1e-30) return 0.0;
+    ax.Scale(1.0 / norm);
+    x = std::move(ax);
+  }
+  return std::fabs(lambda);
+}
+
+Result<std::vector<double>> StationaryDistribution(const CsrMatrix& p,
+                                                   int max_iterations,
+                                                   double tolerance) {
+  if (p.rows() != p.cols())
+    return Status::InvalidArgument("transition matrix must be square");
+  const int n = p.rows();
+  if (n == 0) return Status::InvalidArgument("empty transition matrix");
+  Tensor phi(n, 1, 1.0 / n);
+  for (int it = 0; it < max_iterations; ++it) {
+    // phi' = P^T phi  (left eigenvector via transpose application).
+    Tensor next = p.TransposeMatMulDense(phi);
+    const double sum = next.Sum();
+    if (sum <= 0)
+      return Status::FailedPrecondition("stationary iteration degenerated");
+    next.Scale(1.0 / sum);
+    double delta = 0;
+    for (int i = 0; i < n; ++i)
+      delta = std::max(delta, std::fabs(next.At(i, 0) - phi.At(i, 0)));
+    phi = std::move(next);
+    if (delta < tolerance) {
+      std::vector<double> out(n);
+      for (int i = 0; i < n; ++i) out[i] = phi.At(i, 0);
+      return out;
+    }
+  }
+  return Status::FailedPrecondition(
+      "stationary distribution did not converge");
+}
+
+Tensor PrincipalComponents(const Tensor& x, int k, int iterations) {
+  CASCN_CHECK(k > 0 && k <= x.cols());
+  const int d = x.cols();
+  // Covariance of centred rows.
+  Tensor mean = x.ColSums();
+  mean.Scale(1.0 / std::max(1, x.rows()));
+  Tensor centred = x;
+  for (int i = 0; i < x.rows(); ++i)
+    for (int j = 0; j < d; ++j) centred.At(i, j) -= mean.At(0, j);
+  Tensor cov = MatMulTransposeA(centred, centred);
+  cov.Scale(1.0 / std::max(1, x.rows() - 1));
+
+  Tensor components(d, k);
+  Rng rng(0xC0FFEE);
+  for (int c = 0; c < k; ++c) {
+    Tensor v = Tensor::RandomNormal(d, 1, 1.0, rng);
+    for (int it = 0; it < iterations; ++it) {
+      Tensor av = MatMul(cov, v);
+      // Deflate: remove projections onto previous components.
+      for (int p = 0; p < c; ++p) {
+        double dot = 0;
+        for (int i = 0; i < d; ++i) dot += av.At(i, 0) * components.At(i, p);
+        for (int i = 0; i < d; ++i) av.At(i, 0) -= dot * components.At(i, p);
+      }
+      const double norm = av.Norm();
+      if (norm < 1e-30) break;
+      av.Scale(1.0 / norm);
+      v = std::move(av);
+    }
+    for (int i = 0; i < d; ++i) components.At(i, c) = v.At(i, 0);
+  }
+  return components;
+}
+
+}  // namespace cascn

@@ -1,0 +1,527 @@
+#include "tensor/variable.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace cascn::ag {
+
+namespace internal {
+
+void Node::AccumGrad(const Tensor& g) {
+  if (grad.empty()) grad = Tensor(value.rows(), value.cols());
+  grad.AddInPlace(g);
+}
+
+}  // namespace internal
+
+using internal::Node;
+
+namespace {
+
+/// Creates an op node over `parents` whose needs_grad is derived from them.
+std::shared_ptr<Node> MakeOpNode(Tensor value,
+                                 std::vector<std::shared_ptr<Node>> parents,
+                                 std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  for (const auto& p : node->parents) {
+    if (p->needs_grad) {
+      node->needs_grad = true;
+      break;
+    }
+  }
+  if (node->needs_grad) node->backward = std::move(backward);
+  return node;
+}
+
+const std::shared_ptr<Node>& CheckedNode(const Variable& v) {
+  CASCN_CHECK(v.defined()) << "operation on a null Variable";
+  return v.node();
+}
+
+}  // namespace
+
+Variable Variable::Leaf(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->needs_grad = requires_grad;
+  return FromNode(std::move(node));
+}
+
+Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+const Tensor& Variable::value() const {
+  CASCN_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  CASCN_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  CASCN_CHECK(defined());
+  return node_->grad;
+}
+
+Tensor& Variable::mutable_grad() {
+  CASCN_CHECK(defined());
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  CASCN_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  CASCN_CHECK(defined());
+  if (!node_->grad.empty()) node_->grad.Zero();
+}
+
+void Variable::Backward() const {
+  CASCN_CHECK(defined());
+  CASCN_CHECK(node_->value.rows() == 1 && node_->value.cols() == 1)
+      << "Backward() requires a scalar (1x1) loss";
+  // Iterative post-order DFS to produce a topological order (parents before
+  // children in `order` after the walk; we then traverse in reverse).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_parent] = stack.back();
+    if (next_parent < node->parents.size()) {
+      Node* parent = node->parents[next_parent].get();
+      ++next_parent;
+      if (parent->needs_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  Tensor seed(1, 1);
+  seed.At(0, 0) = 1.0;
+  node_->AccumGrad(seed);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && !node->grad.empty()) node->backward(*node);
+  }
+}
+
+// ---- Element-wise and broadcast arithmetic --------------------------------
+
+Variable Add(const Variable& a, const Variable& b) {
+  const auto& an = CheckedNode(a);
+  const auto& bn = CheckedNode(b);
+  CASCN_CHECK(an->value.SameShape(bn->value)) << "Add shape mismatch";
+  return Variable::FromNode(MakeOpNode(
+      cascn::Add(an->value, bn->value), {an, bn}, [](Node& self) {
+        if (self.parents[0]->needs_grad) self.parents[0]->AccumGrad(self.grad);
+        if (self.parents[1]->needs_grad) self.parents[1]->AccumGrad(self.grad);
+      }));
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  const auto& an = CheckedNode(a);
+  const auto& bn = CheckedNode(b);
+  CASCN_CHECK(an->value.SameShape(bn->value)) << "Sub shape mismatch";
+  return Variable::FromNode(MakeOpNode(
+      cascn::Sub(an->value, bn->value), {an, bn}, [](Node& self) {
+        if (self.parents[0]->needs_grad) self.parents[0]->AccumGrad(self.grad);
+        if (self.parents[1]->needs_grad) {
+          Tensor neg = self.grad;
+          neg.Scale(-1.0);
+          self.parents[1]->AccumGrad(neg);
+        }
+      }));
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  const auto& an = CheckedNode(a);
+  const auto& bn = CheckedNode(b);
+  CASCN_CHECK(an->value.SameShape(bn->value)) << "Mul shape mismatch";
+  return Variable::FromNode(MakeOpNode(
+      cascn::Mul(an->value, bn->value), {an, bn}, [](Node& self) {
+        if (self.parents[0]->needs_grad)
+          self.parents[0]->AccumGrad(
+              cascn::Mul(self.grad, self.parents[1]->value));
+        if (self.parents[1]->needs_grad)
+          self.parents[1]->AccumGrad(
+              cascn::Mul(self.grad, self.parents[0]->value));
+      }));
+}
+
+Variable AddRowBroadcast(const Variable& a, const Variable& b) {
+  const auto& an = CheckedNode(a);
+  const auto& bn = CheckedNode(b);
+  CASCN_CHECK(bn->value.rows() == 1 && bn->value.cols() == an->value.cols())
+      << "AddRowBroadcast expects b to be 1 x a.cols";
+  Tensor out = an->value;
+  for (int i = 0; i < out.rows(); ++i)
+    for (int j = 0; j < out.cols(); ++j) out.At(i, j) += bn->value.At(0, j);
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), {an, bn}, [](Node& self) {
+        if (self.parents[0]->needs_grad) self.parents[0]->AccumGrad(self.grad);
+        if (self.parents[1]->needs_grad)
+          self.parents[1]->AccumGrad(self.grad.ColSums());
+      }));
+}
+
+Variable ScalarMul(const Variable& a, double alpha) {
+  const auto& an = CheckedNode(a);
+  Tensor out = an->value;
+  out.Scale(alpha);
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), {an}, [alpha](Node& self) {
+        Tensor g = self.grad;
+        g.Scale(alpha);
+        self.parents[0]->AccumGrad(g);
+      }));
+}
+
+Variable AddScalar(const Variable& a, double alpha) {
+  const auto& an = CheckedNode(a);
+  Tensor out = an->value;
+  for (int i = 0; i < out.rows(); ++i)
+    for (int j = 0; j < out.cols(); ++j) out.At(i, j) += alpha;
+  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
+    self.parents[0]->AccumGrad(self.grad);
+  }));
+}
+
+Variable ScaleByScalar(const Variable& a, const Variable& s) {
+  const auto& an = CheckedNode(a);
+  const auto& sn = CheckedNode(s);
+  CASCN_CHECK(sn->value.rows() == 1 && sn->value.cols() == 1)
+      << "ScaleByScalar expects a 1x1 scale";
+  Tensor out = an->value;
+  out.Scale(sn->value.At(0, 0));
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), {an, sn}, [](Node& self) {
+        const double sv = self.parents[1]->value.At(0, 0);
+        if (self.parents[0]->needs_grad) {
+          Tensor g = self.grad;
+          g.Scale(sv);
+          self.parents[0]->AccumGrad(g);
+        }
+        if (self.parents[1]->needs_grad) {
+          Tensor gs(1, 1);
+          gs.At(0, 0) = cascn::Mul(self.grad, self.parents[0]->value).Sum();
+          self.parents[1]->AccumGrad(gs);
+        }
+      }));
+}
+
+// ---- Matrix products -------------------------------------------------------
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  const auto& an = CheckedNode(a);
+  const auto& bn = CheckedNode(b);
+  CASCN_CHECK(an->value.cols() == bn->value.rows()) << "MatMul shape mismatch";
+  return Variable::FromNode(MakeOpNode(
+      cascn::MatMul(an->value, bn->value), {an, bn}, [](Node& self) {
+        // dL/dA = G B^T ; dL/dB = A^T G
+        if (self.parents[0]->needs_grad)
+          self.parents[0]->AccumGrad(
+              MatMulTransposeB(self.grad, self.parents[1]->value));
+        if (self.parents[1]->needs_grad)
+          self.parents[1]->AccumGrad(
+              MatMulTransposeA(self.parents[0]->value, self.grad));
+      }));
+}
+
+Variable SparseMatMul(const CsrMatrix& op, const Variable& x) {
+  const auto& xn = CheckedNode(x);
+  CASCN_CHECK(op.cols() == xn->value.rows()) << "SparseMatMul shape mismatch";
+  // The sparse operator is captured by value; cascade operators are small.
+  return Variable::FromNode(
+      MakeOpNode(op.MatMulDense(xn->value), {xn}, [op](Node& self) {
+        // dL/dX = Op^T G
+        self.parents[0]->AccumGrad(op.TransposeMatMulDense(self.grad));
+      }));
+}
+
+// ---- Nonlinearities --------------------------------------------------------
+
+Variable Sigmoid(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  Tensor out = an->value.Map([](double x) {
+    return x >= 0 ? 1.0 / (1.0 + std::exp(-x))
+                  : std::exp(x) / (1.0 + std::exp(x));
+  });
+  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
+    Tensor g(self.value.rows(), self.value.cols());
+    for (int i = 0; i < g.rows(); ++i)
+      for (int j = 0; j < g.cols(); ++j) {
+        const double y = self.value.At(i, j);
+        g.At(i, j) = self.grad.At(i, j) * y * (1.0 - y);
+      }
+    self.parents[0]->AccumGrad(g);
+  }));
+}
+
+Variable Tanh(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  Tensor out = an->value.Map([](double x) { return std::tanh(x); });
+  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
+    Tensor g(self.value.rows(), self.value.cols());
+    for (int i = 0; i < g.rows(); ++i)
+      for (int j = 0; j < g.cols(); ++j) {
+        const double y = self.value.At(i, j);
+        g.At(i, j) = self.grad.At(i, j) * (1.0 - y * y);
+      }
+    self.parents[0]->AccumGrad(g);
+  }));
+}
+
+Variable Relu(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  Tensor out = an->value.Map([](double x) { return x > 0 ? x : 0.0; });
+  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
+    Tensor g(self.value.rows(), self.value.cols());
+    for (int i = 0; i < g.rows(); ++i)
+      for (int j = 0; j < g.cols(); ++j)
+        g.At(i, j) = self.value.At(i, j) > 0 ? self.grad.At(i, j) : 0.0;
+    self.parents[0]->AccumGrad(g);
+  }));
+}
+
+Variable Square(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  Tensor out = an->value.Map([](double x) { return x * x; });
+  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
+    Tensor g(self.value.rows(), self.value.cols());
+    const Tensor& x = self.parents[0]->value;
+    for (int i = 0; i < g.rows(); ++i)
+      for (int j = 0; j < g.cols(); ++j)
+        g.At(i, j) = self.grad.At(i, j) * 2.0 * x.At(i, j);
+    self.parents[0]->AccumGrad(g);
+  }));
+}
+
+Variable Softplus(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  Tensor out = an->value.Map([](double x) {
+    // log(1 + e^x) without overflow: x + log1p(e^-x) for large x.
+    return x > 20 ? x : std::log1p(std::exp(x));
+  });
+  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
+    Tensor g(self.value.rows(), self.value.cols());
+    const Tensor& x = self.parents[0]->value;
+    for (int i = 0; i < g.rows(); ++i)
+      for (int j = 0; j < g.cols(); ++j) {
+        const double xv = x.At(i, j);
+        const double sig = xv >= 0 ? 1.0 / (1.0 + std::exp(-xv))
+                                   : std::exp(xv) / (1.0 + std::exp(xv));
+        g.At(i, j) = self.grad.At(i, j) * sig;
+      }
+    self.parents[0]->AccumGrad(g);
+  }));
+}
+
+Variable SoftmaxRows(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  Tensor out(an->value.rows(), an->value.cols());
+  for (int i = 0; i < out.rows(); ++i) {
+    double mx = -1e300;
+    for (int j = 0; j < out.cols(); ++j)
+      mx = std::max(mx, an->value.At(i, j));
+    double denom = 0;
+    for (int j = 0; j < out.cols(); ++j) {
+      out.At(i, j) = std::exp(an->value.At(i, j) - mx);
+      denom += out.At(i, j);
+    }
+    for (int j = 0; j < out.cols(); ++j) out.At(i, j) /= denom;
+  }
+  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
+    // Per row: dL/dx_j = y_j (g_j - sum_k g_k y_k)
+    Tensor g(self.value.rows(), self.value.cols());
+    for (int i = 0; i < g.rows(); ++i) {
+      double dot = 0;
+      for (int j = 0; j < g.cols(); ++j)
+        dot += self.grad.At(i, j) * self.value.At(i, j);
+      for (int j = 0; j < g.cols(); ++j)
+        g.At(i, j) = self.value.At(i, j) * (self.grad.At(i, j) - dot);
+    }
+    self.parents[0]->AccumGrad(g);
+  }));
+}
+
+// ---- Reductions and reshaping ---------------------------------------------
+
+Variable Sum(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  Tensor out(1, 1);
+  out.At(0, 0) = an->value.Sum();
+  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
+    const double g = self.grad.At(0, 0);
+    Tensor full(self.parents[0]->value.rows(), self.parents[0]->value.cols(),
+                g);
+    self.parents[0]->AccumGrad(full);
+  }));
+}
+
+Variable Mean(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  const double inv = 1.0 / std::max(1, an->value.size());
+  Tensor out(1, 1);
+  out.At(0, 0) = an->value.Sum() * inv;
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), {an}, [inv](Node& self) {
+        const double g = self.grad.At(0, 0) * inv;
+        Tensor full(self.parents[0]->value.rows(),
+                    self.parents[0]->value.cols(), g);
+        self.parents[0]->AccumGrad(full);
+      }));
+}
+
+Variable SumRows(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  return Variable::FromNode(
+      MakeOpNode(an->value.ColSums(), {an}, [](Node& self) {
+        Tensor g(self.parents[0]->value.rows(),
+                 self.parents[0]->value.cols());
+        for (int i = 0; i < g.rows(); ++i)
+          for (int j = 0; j < g.cols(); ++j) g.At(i, j) = self.grad.At(0, j);
+        self.parents[0]->AccumGrad(g);
+      }));
+}
+
+Variable MeanRows(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  const double inv = 1.0 / std::max(1, an->value.rows());
+  Tensor out = an->value.ColSums();
+  out.Scale(inv);
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), {an}, [inv](Node& self) {
+        Tensor g(self.parents[0]->value.rows(),
+                 self.parents[0]->value.cols());
+        for (int i = 0; i < g.rows(); ++i)
+          for (int j = 0; j < g.cols(); ++j)
+            g.At(i, j) = self.grad.At(0, j) * inv;
+        self.parents[0]->AccumGrad(g);
+      }));
+}
+
+Variable ConcatCols(const Variable& a, const Variable& b) {
+  const auto& an = CheckedNode(a);
+  const auto& bn = CheckedNode(b);
+  CASCN_CHECK(an->value.rows() == bn->value.rows())
+      << "ConcatCols row mismatch";
+  const int ca = an->value.cols(), cb = bn->value.cols();
+  Tensor out(an->value.rows(), ca + cb);
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < ca; ++j) out.At(i, j) = an->value.At(i, j);
+    for (int j = 0; j < cb; ++j) out.At(i, ca + j) = bn->value.At(i, j);
+  }
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), {an, bn}, [ca, cb](Node& self) {
+        if (self.parents[0]->needs_grad) {
+          Tensor ga(self.grad.rows(), ca);
+          for (int i = 0; i < ga.rows(); ++i)
+            for (int j = 0; j < ca; ++j) ga.At(i, j) = self.grad.At(i, j);
+          self.parents[0]->AccumGrad(ga);
+        }
+        if (self.parents[1]->needs_grad) {
+          Tensor gb(self.grad.rows(), cb);
+          for (int i = 0; i < gb.rows(); ++i)
+            for (int j = 0; j < cb; ++j) gb.At(i, j) = self.grad.At(i, ca + j);
+          self.parents[1]->AccumGrad(gb);
+        }
+      }));
+}
+
+Variable ConcatRows(const std::vector<Variable>& parts) {
+  CASCN_CHECK(!parts.empty());
+  std::vector<std::shared_ptr<internal::Node>> nodes;
+  int total_rows = 0;
+  const int cols = parts[0].cols();
+  for (const auto& p : parts) {
+    CASCN_CHECK(p.cols() == cols) << "ConcatRows col mismatch";
+    nodes.push_back(CheckedNode(p));
+    total_rows += p.rows();
+  }
+  Tensor out(total_rows, cols);
+  int r = 0;
+  for (const auto& n : nodes) {
+    for (int i = 0; i < n->value.rows(); ++i, ++r)
+      for (int j = 0; j < cols; ++j) out.At(r, j) = n->value.At(i, j);
+  }
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), std::move(nodes), [](Node& self) {
+        int r = 0;
+        for (auto& parent : self.parents) {
+          const int pr = parent->value.rows();
+          if (parent->needs_grad) {
+            Tensor g(pr, parent->value.cols());
+            for (int i = 0; i < pr; ++i)
+              for (int j = 0; j < g.cols(); ++j)
+                g.At(i, j) = self.grad.At(r + i, j);
+            parent->AccumGrad(g);
+          }
+          r += pr;
+        }
+      }));
+}
+
+Variable SliceRows(const Variable& a, int start, int len) {
+  const auto& an = CheckedNode(a);
+  CASCN_CHECK(start >= 0 && len >= 0 && start + len <= an->value.rows())
+      << "SliceRows out of range";
+  Tensor out(len, an->value.cols());
+  for (int i = 0; i < len; ++i)
+    for (int j = 0; j < out.cols(); ++j)
+      out.At(i, j) = an->value.At(start + i, j);
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), {an}, [start, len](Node& self) {
+        Tensor g(self.parents[0]->value.rows(),
+                 self.parents[0]->value.cols());
+        for (int i = 0; i < len; ++i)
+          for (int j = 0; j < g.cols(); ++j)
+            g.At(start + i, j) = self.grad.At(i, j);
+        self.parents[0]->AccumGrad(g);
+      }));
+}
+
+Variable GatherRows(const Variable& table, const std::vector<int>& indices) {
+  const auto& tn = CheckedNode(table);
+  Tensor out(static_cast<int>(indices.size()), tn->value.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    CASCN_CHECK(indices[i] >= 0 && indices[i] < tn->value.rows())
+        << "GatherRows index out of range";
+    for (int j = 0; j < out.cols(); ++j)
+      out.At(static_cast<int>(i), j) = tn->value.At(indices[i], j);
+  }
+  return Variable::FromNode(
+      MakeOpNode(std::move(out), {tn}, [indices](Node& self) {
+        Tensor g(self.parents[0]->value.rows(),
+                 self.parents[0]->value.cols());
+        for (size_t i = 0; i < indices.size(); ++i)
+          for (int j = 0; j < g.cols(); ++j)
+            g.At(indices[i], j) += self.grad.At(static_cast<int>(i), j);
+        self.parents[0]->AccumGrad(g);
+      }));
+}
+
+Variable Transpose(const Variable& a) {
+  const auto& an = CheckedNode(a);
+  return Variable::FromNode(
+      MakeOpNode(an->value.Transposed(), {an}, [](Node& self) {
+        self.parents[0]->AccumGrad(self.grad.Transposed());
+      }));
+}
+
+}  // namespace cascn::ag

@@ -1,0 +1,147 @@
+// Reverse-mode automatic differentiation over Tensor values.
+//
+// A Variable wraps a node in a dynamically-built computation graph. Each
+// forward op records a backward closure; Backward() on a scalar loss
+// topologically sorts the graph and accumulates gradients into every node
+// with requires_grad set (model parameters are such leaf nodes and persist
+// across per-sample graphs, so their .grad() accumulates over a minibatch
+// until the optimizer consumes and zeroes it).
+//
+// Graphs hold parent references only, so per-sample graph nodes are freed
+// when the loss Variable goes out of scope while parameter leaves survive.
+//
+// The op set is exactly what the CasCN models and baselines need: dense and
+// sparse matmul, broadcast bias, gate nonlinearities, pooling, concat/slice,
+// row gather (embeddings), row softmax (attention), and scalar scaling
+// (learned time decay).
+
+#ifndef CASCN_TENSOR_VARIABLE_H_
+#define CASCN_TENSOR_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/csr_matrix.h"
+#include "tensor/tensor.h"
+
+namespace cascn::ag {
+
+namespace internal {
+
+/// One node of the computation graph.
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily on first accumulation
+  bool requires_grad = false;
+  bool needs_grad = false;  // requires_grad or any ancestor requires it
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates grad (already accumulated in `grad`) to parents.
+  std::function<void(Node&)> backward;
+
+  /// grad += g, allocating on first use.
+  void AccumGrad(const Tensor& g);
+};
+
+}  // namespace internal
+
+/// Value-semantic handle to a computation-graph node.
+class Variable {
+ public:
+  /// Null handle; most ops CHECK against defined().
+  Variable() = default;
+
+  /// Leaf node. requires_grad marks it as a trainable parameter.
+  static Variable Leaf(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+
+  /// Gradient accumulated by the last Backward() pass(es). Zero-sized until
+  /// a gradient has been accumulated.
+  const Tensor& grad() const;
+
+  /// Mutable access to the gradient buffer (optimizer internals).
+  Tensor& mutable_grad();
+
+  bool requires_grad() const;
+
+  /// Zeroes this node's gradient buffer.
+  void ZeroGrad();
+
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Runs backpropagation from this node. Pre: 1x1 scalar.
+  void Backward() const;
+
+  /// Internal: used by op constructors.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+  static Variable FromNode(std::shared_ptr<internal::Node> node);
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+// ---- Element-wise and broadcast arithmetic --------------------------------
+
+/// a + b. Pre: same shape.
+Variable Add(const Variable& a, const Variable& b);
+/// a - b. Pre: same shape.
+Variable Sub(const Variable& a, const Variable& b);
+/// Element-wise a * b. Pre: same shape.
+Variable Mul(const Variable& a, const Variable& b);
+/// a (n x d) + row vector b (1 x d) broadcast over rows.
+Variable AddRowBroadcast(const Variable& a, const Variable& b);
+/// alpha * a for a compile-time-known scalar.
+Variable ScalarMul(const Variable& a, double alpha);
+/// a + alpha element-wise.
+Variable AddScalar(const Variable& a, double alpha);
+/// a scaled by a learned 1x1 Variable s: s * a.
+Variable ScaleByScalar(const Variable& a, const Variable& s);
+
+// ---- Matrix products -------------------------------------------------------
+
+/// Dense a @ b. Pre: a.cols == b.rows.
+Variable MatMul(const Variable& a, const Variable& b);
+/// Constant sparse operator @ dense variable. Pre: op.cols == x.rows.
+Variable SparseMatMul(const CsrMatrix& op, const Variable& x);
+
+// ---- Nonlinearities --------------------------------------------------------
+
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+/// Element-wise square.
+Variable Square(const Variable& a);
+/// Numerically-stable softplus: log(1 + exp(a)). Used to keep learned time-
+/// decay weights positive.
+Variable Softplus(const Variable& a);
+/// Row-wise softmax (attention weights).
+Variable SoftmaxRows(const Variable& a);
+
+// ---- Reductions and reshaping ---------------------------------------------
+
+/// Sum of all elements -> 1x1.
+Variable Sum(const Variable& a);
+/// Mean of all elements -> 1x1.
+Variable Mean(const Variable& a);
+/// Column-wise mean over rows: n x d -> 1 x d.
+Variable MeanRows(const Variable& a);
+/// Column-wise sum over rows: n x d -> 1 x d.
+Variable SumRows(const Variable& a);
+/// Horizontal concat: n x d1, n x d2 -> n x (d1+d2).
+Variable ConcatCols(const Variable& a, const Variable& b);
+/// Vertical concat of equally-wide blocks.
+Variable ConcatRows(const std::vector<Variable>& parts);
+/// Rows [start, start+len) of a.
+Variable SliceRows(const Variable& a, int start, int len);
+/// Gathers rows of `table` by index (embedding lookup); indices may repeat.
+Variable GatherRows(const Variable& table, const std::vector<int>& indices);
+/// Transpose.
+Variable Transpose(const Variable& a);
+
+}  // namespace cascn::ag
+
+#endif  // CASCN_TENSOR_VARIABLE_H_

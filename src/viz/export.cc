@@ -1,0 +1,46 @@
+#include "viz/export.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace cascn {
+
+Status WriteMatrixCsv(const std::string& path, const Tensor& matrix,
+                      const std::vector<std::string>& column_names) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  if (!column_names.empty()) {
+    if (static_cast<int>(column_names.size()) != matrix.cols())
+      return Status::InvalidArgument("header width mismatch");
+    out << Join(column_names, ",") << "\n";
+  }
+  for (int i = 0; i < matrix.rows(); ++i) {
+    for (int j = 0; j < matrix.cols(); ++j) {
+      if (j > 0) out << ",";
+      out << matrix.At(i, j);
+    }
+    out << "\n";
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status WriteScatterCsv(const std::string& path, const Tensor& layout,
+                       const std::vector<double>& color) {
+  if (layout.cols() != 2)
+    return Status::InvalidArgument("scatter layout must be n x 2");
+  if (static_cast<int>(color.size()) != layout.rows())
+    return Status::InvalidArgument("color size mismatch");
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out << "x,y,color\n";
+  for (int i = 0; i < layout.rows(); ++i) {
+    out << layout.At(i, 0) << "," << layout.At(i, 1) << "," << color[i]
+        << "\n";
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace cascn

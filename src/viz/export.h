@@ -1,0 +1,28 @@
+// CSV exporters for the Fig. 9 visual artefacts: heatmaps of learned
+// representations and 2-D scatter layouts colored by cascade properties.
+// The bench binary writes these files so any plotting tool can render the
+// figures.
+
+#ifndef CASCN_VIZ_EXPORT_H_
+#define CASCN_VIZ_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace cascn {
+
+/// Writes a matrix as CSV with optional column headers.
+Status WriteMatrixCsv(const std::string& path, const Tensor& matrix,
+                      const std::vector<std::string>& column_names = {});
+
+/// Writes a 2-D scatter layout with one color value per point:
+/// columns x,y,color.
+Status WriteScatterCsv(const std::string& path, const Tensor& layout,
+                       const std::vector<double>& color);
+
+}  // namespace cascn
+
+#endif  // CASCN_VIZ_EXPORT_H_

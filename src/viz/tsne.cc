@@ -1,0 +1,132 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cascn {
+
+namespace {
+
+/// Squared Euclidean distances between all row pairs.
+Tensor PairwiseSquaredDistances(const Tensor& x) {
+  const int n = x.rows();
+  Tensor d(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double s = 0;
+      for (int k = 0; k < x.cols(); ++k) {
+        const double diff = x.At(i, k) - x.At(j, k);
+        s += diff * diff;
+      }
+      d.At(i, j) = s;
+      d.At(j, i) = s;
+    }
+  }
+  return d;
+}
+
+/// Row-conditional probabilities p_{j|i} with per-row bandwidth found by
+/// binary search to match log(perplexity) entropy.
+Tensor ConditionalProbabilities(const Tensor& distances, double perplexity) {
+  const int n = distances.rows();
+  const double target_entropy = std::log(perplexity);
+  Tensor p(n, n);
+  for (int i = 0; i < n; ++i) {
+    double beta_lo = 0, beta_hi = 1e12, beta = 1.0;
+    for (int iter = 0; iter < 50; ++iter) {
+      double sum = 0, weighted = 0;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = std::exp(-distances.At(i, j) * beta);
+        sum += w;
+        weighted += w * distances.At(i, j);
+      }
+      if (sum <= 0) break;
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      if (std::fabs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi > 1e11 ? beta * 2 : (beta + beta_hi) / 2;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2;
+      }
+    }
+    double sum = 0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      p.At(i, j) = std::exp(-distances.At(i, j) * beta);
+      sum += p.At(i, j);
+    }
+    if (sum > 0)
+      for (int j = 0; j < n; ++j) p.At(i, j) /= sum;
+  }
+  return p;
+}
+
+}  // namespace
+
+Tensor TsneEmbed(const Tensor& x, const TsneOptions& options) {
+  const int n = x.rows();
+  CASCN_CHECK(n >= 2) << "t-SNE needs at least two points";
+  const double perplexity =
+      std::min(options.perplexity, (n - 1) / 3.0 < 2 ? 2.0 : (n - 1) / 3.0);
+
+  // Symmetrised joint probabilities.
+  const Tensor cond =
+      ConditionalProbabilities(PairwiseSquaredDistances(x), perplexity);
+  Tensor p(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      p.At(i, j) = std::max((cond.At(i, j) + cond.At(j, i)) / (2.0 * n), 1e-12);
+
+  Rng rng(options.seed);
+  Tensor y = Tensor::RandomNormal(n, 2, 1e-2, rng);
+  Tensor velocity(n, 2);
+  Tensor gradient(n, 2);
+
+  const int exaggeration_end = options.iterations / 4;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? options.early_exaggeration : 1.0;
+    // Student-t affinities q_{ij}.
+    Tensor num(n, n);
+    double q_sum = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dy0 = y.At(i, 0) - y.At(j, 0);
+        const double dy1 = y.At(i, 1) - y.At(j, 1);
+        const double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        num.At(i, j) = w;
+        num.At(j, i) = w;
+        q_sum += 2 * w;
+      }
+    }
+    gradient.Zero();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q = std::max(num.At(i, j) / q_sum, 1e-12);
+        const double coeff =
+            4.0 * (exaggeration * p.At(i, j) - q) * num.At(i, j);
+        gradient.At(i, 0) += coeff * (y.At(i, 0) - y.At(j, 0));
+        gradient.At(i, 1) += coeff * (y.At(i, 1) - y.At(j, 1));
+      }
+    }
+    const double momentum =
+        iter < exaggeration_end ? options.momentum : options.final_momentum;
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < 2; ++k) {
+        velocity.At(i, k) = momentum * velocity.At(i, k) -
+                            options.learning_rate * gradient.At(i, k);
+        y.At(i, k) += velocity.At(i, k);
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace cascn

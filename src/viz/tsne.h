@@ -1,0 +1,33 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the Fig. 9 feature
+// visualisation: cascade representations are projected to 2-D and colored
+// by hand-crafted properties to show which features the learned
+// representation encodes. Test sets here are a few hundred points, so the
+// exact O(n^2) gradient is fine.
+
+#ifndef CASCN_VIZ_TSNE_H_
+#define CASCN_VIZ_TSNE_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace cascn {
+
+/// t-SNE hyper-parameters.
+struct TsneOptions {
+  double perplexity = 20.0;
+  int iterations = 300;
+  double learning_rate = 100.0;
+  /// Early-exaggeration factor applied for the first quarter of iterations.
+  double early_exaggeration = 4.0;
+  double momentum = 0.5;
+  double final_momentum = 0.8;
+  uint64_t seed = 17;
+};
+
+/// Embeds the rows of `x` (points x features) into 2-D. Returns a
+/// (points x 2) tensor. Deterministic in (x, options).
+Tensor TsneEmbed(const Tensor& x, const TsneOptions& options = {});
+
+}  // namespace cascn
+
+#endif  // CASCN_VIZ_TSNE_H_

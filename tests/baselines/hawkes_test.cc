@@ -1,0 +1,136 @@
+#include "baselines/hawkes_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_data.h"
+#include "core/cascn_model.h"
+#include "core/trainer.h"
+
+namespace cascn {
+namespace {
+
+using testing::TinyCascnConfig;
+using testing::TinyDataset;
+using testing::TinyTrainerOptions;
+
+CascadeSample BurstySample() {
+  // Dense early burst: high residual excitation at the window edge.
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i <= 12; ++i)
+    events.push_back({i, i, {0}, 50.0 + i * 0.5});
+  CascadeSample s;
+  s.observed = std::move(Cascade::Create("burst", std::move(events))).value();
+  s.observation_window = 60.0;
+  return s;
+}
+
+CascadeSample StaleSample() {
+  // Same size but all adoptions long before the window edge.
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i <= 12; ++i)
+    events.push_back({i, i, {0}, i * 0.5});
+  CascadeSample s;
+  s.observed = std::move(Cascade::Create("stale", std::move(events))).value();
+  s.observation_window = 60.0;
+  return s;
+}
+
+TEST(HawkesFitTest, RecentBurstsPredictMoreGrowth) {
+  HawkesProcessModel model;
+  const HawkesFit bursty = model.FitCascade(BurstySample());
+  const HawkesFit stale = model.FitCascade(StaleSample());
+  EXPECT_GT(bursty.expected_future, stale.expected_future);
+  EXPECT_GT(bursty.kappa, 0.0);
+  EXPECT_LE(bursty.kappa, 0.95);
+  EXPECT_TRUE(std::isfinite(bursty.log_likelihood));
+}
+
+TEST(HawkesFitTest, SingleNodeCascadeIsFinite) {
+  HawkesProcessModel model;
+  CascadeSample s;
+  s.observed = std::move(Cascade::Create("lone", {{0, 0, {}, 0.0}})).value();
+  s.observation_window = 60.0;
+  const HawkesFit fit = model.FitCascade(s);
+  EXPECT_TRUE(std::isfinite(fit.expected_future));
+  EXPECT_GE(fit.expected_future, 0.0);
+}
+
+TEST(HawkesFitTest, RecoversDecayOrderOfMagnitude) {
+  // Events generated with a fast kernel should fit a larger theta than
+  // events with a slow kernel.
+  auto cascade_with_gap = [](double gap) {
+    std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+    for (int i = 1; i <= 15; ++i)
+      events.push_back({i, i, {i - 1}, i * gap});
+    CascadeSample s;
+    s.observed =
+        std::move(Cascade::Create("g", std::move(events))).value();
+    s.observation_window = 16 * gap;
+    return s;
+  };
+  HawkesProcessModel model;
+  const HawkesFit fast = model.FitCascade(cascade_with_gap(1.0));
+  const HawkesFit slow = model.FitCascade(cascade_with_gap(30.0));
+  EXPECT_GT(fast.theta, slow.theta);
+}
+
+TEST(HawkesModelTest, FitAndEvaluate) {
+  const CascadeDataset dataset = TinyDataset(/*seed=*/5, /*num_cascades=*/300);
+  HawkesProcessModel model;
+  EXPECT_EQ(model.name(), "Hawkes");
+  EXPECT_TRUE(model.TrainableParameters().empty());
+  ASSERT_TRUE(model.Fit(dataset).ok());
+  const double msle = EvaluateMsle(model, dataset.test);
+  EXPECT_TRUE(std::isfinite(msle));
+  // Calibrated Hawkes must beat predicting zero.
+  double zero_msle = 0;
+  for (const auto& s : dataset.test) zero_msle += s.log_label * s.log_label;
+  zero_msle /= dataset.test.size();
+  EXPECT_LT(msle, zero_msle);
+}
+
+TEST(HawkesModelTest, PredictBeforeFitDies) {
+  const CascadeDataset dataset = TinyDataset();
+  HawkesProcessModel model;
+  EXPECT_DEATH(model.PredictLog(dataset.test[0]), "Fit");
+}
+
+TEST(HawkesModelTest, FitRequiresTrainData) {
+  HawkesProcessModel model;
+  CascadeDataset empty;
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+TEST(HybridModelTest, WeightSelectedOnValidationAndCombines) {
+  const CascadeDataset dataset = TinyDataset(/*seed=*/6, /*num_cascades=*/250);
+  CascnModel deep(TinyCascnConfig());
+  TrainRegressor(deep, dataset, TinyTrainerOptions(4));
+  HawkesProcessModel hawkes;
+  ASSERT_TRUE(hawkes.Fit(dataset).ok());
+
+  HybridModel hybrid(&deep, &hawkes);
+  EXPECT_EQ(hybrid.name(), "CasCN+Hawkes");
+  ASSERT_TRUE(hybrid.Fit(dataset).ok());
+  EXPECT_GE(hybrid.weight(), 0.0);
+  EXPECT_LE(hybrid.weight(), 1.0);
+
+  // The hybrid is no worse on validation than either component (it can
+  // select w = 0 or w = 1).
+  const double hybrid_val = EvaluateMsle(hybrid, dataset.validation);
+  const double deep_val = EvaluateMsle(deep, dataset.validation);
+  const double hawkes_val = EvaluateMsle(hawkes, dataset.validation);
+  EXPECT_LE(hybrid_val, std::min(deep_val, hawkes_val) + 1e-9);
+}
+
+TEST(HybridModelTest, FitRequiresFittedHawkes) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnModel deep(TinyCascnConfig());
+  HawkesProcessModel hawkes;  // not fitted
+  HybridModel hybrid(&deep, &hawkes);
+  EXPECT_FALSE(hybrid.Fit(dataset).ok());
+}
+
+}  // namespace
+}  // namespace cascn

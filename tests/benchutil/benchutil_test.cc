@@ -1,0 +1,117 @@
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "benchutil/experiment_runner.h"
+#include "benchutil/table_printer.h"
+
+namespace cascn {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Model", "MSLE"});
+  table.AddRow({"CasCN", "2.242"});
+  table.AddRow({"DeepHawkes", "2.441"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("CasCN"), std::string::npos);
+  EXPECT_NE(out.find("DeepHawkes"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Cell(2.2417, 3), "2.242");
+  EXPECT_EQ(TablePrinter::Cell(1.0, 1), "1.0");
+}
+
+TEST(TablePrinterTest, RowWidthMismatchDies) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "width");
+}
+
+TEST(BenchScaleTest, DefaultsToOneAndParsesEnv) {
+  unsetenv("CASCN_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(bench::BenchScale(), 1.0);
+  setenv("CASCN_BENCH_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(bench::BenchScale(), 2.5);
+  setenv("CASCN_BENCH_SCALE", "junk", 1);
+  EXPECT_DOUBLE_EQ(bench::BenchScale(), 1.0);
+  setenv("CASCN_BENCH_SCALE", "99", 1);
+  EXPECT_DOUBLE_EQ(bench::BenchScale(), 10.0);  // clamped
+  unsetenv("CASCN_BENCH_SCALE");
+}
+
+TEST(ExperimentRunnerTest, WindowsMatchPaper) {
+  EXPECT_EQ(bench::WeiboWindows(), (std::vector<double>{60, 120, 180}));
+  EXPECT_EQ(bench::CitationWindows(), (std::vector<double>{36, 60, 84}));
+  EXPECT_EQ(bench::WindowLabel(true, 60), "1 hour");
+  EXPECT_EQ(bench::WindowLabel(true, 180), "3 hours");
+  EXPECT_EQ(bench::WindowLabel(false, 84), "7 years");
+}
+
+TEST(ExperimentRunnerTest, ModelListsMatchPaperTables) {
+  const auto t3 = bench::Table3Models();
+  EXPECT_EQ(t3.size(), 8u);
+  EXPECT_EQ(bench::ModelKindName(t3.back()), "CasCN");
+  const auto t4 = bench::Table4Models();
+  EXPECT_EQ(t4.size(), 6u);
+  EXPECT_EQ(bench::ModelKindName(t4.front()), "CasCN");
+}
+
+TEST(ExperimentRunnerTest, MakeDatasetCapsSplits) {
+  bench::SyntheticData data;
+  data.weibo_config = WeiboLikeConfig();
+  data.weibo_config.num_cascades = 150;
+  Rng rng(1);
+  data.weibo = GenerateCascades(data.weibo_config, rng);
+  auto dataset = bench::MakeDataset(data.weibo, /*weibo=*/true, 60.0,
+                                    /*max_train=*/20);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_LE(dataset->train.size(), 20u);
+  EXPECT_LE(dataset->validation.size(), 10u);
+  EXPECT_LE(dataset->test.size(), 10u);
+}
+
+TEST(ExperimentRunnerTest, DefaultRunOptionsScaleEpochs) {
+  const auto small = bench::DefaultRunOptions(0.4, 2000);
+  const auto large = bench::DefaultRunOptions(4.0, 2000);
+  EXPECT_LT(small.trainer.max_epochs, large.trainer.max_epochs);
+  EXPECT_EQ(small.user_universe, 2000);
+}
+
+TEST(ExperimentRunnerTest, TuneForDatasetAdjustsCascnConfig) {
+  auto weibo = bench::DefaultRunOptions(1.0, 2000);
+  auto citation = weibo;
+  bench::TuneForDataset(weibo, /*weibo=*/true);
+  bench::TuneForDataset(citation, /*weibo=*/false);
+  // Weibo widens the hidden state; citation shrinks the padded graph.
+  EXPECT_GT(weibo.cascn.hidden_dim,
+            bench::DefaultRunOptions(1.0, 2000).cascn.hidden_dim - 1);
+  EXPECT_LT(citation.cascn.padded_size, weibo.cascn.padded_size);
+  EXPECT_LT(citation.cascn.max_sequence_length,
+            weibo.cascn.max_sequence_length + 1);
+}
+
+TEST(ExperimentRunnerTest, RunModelTrainsAFastBaseline) {
+  bench::SyntheticData data;
+  data.weibo_config = WeiboLikeConfig();
+  data.weibo_config.num_cascades = 400;
+  data.weibo_config.user_universe = 300;
+  Rng rng(2);
+  data.weibo = GenerateCascades(data.weibo_config, rng);
+  auto dataset = bench::MakeDataset(data.weibo, true, 60.0, 30);
+  ASSERT_TRUE(dataset.ok());
+  auto opts = bench::DefaultRunOptions(0.3, 300);
+  const auto outcome =
+      bench::RunModel(bench::ModelKind::kFeatureLinear, *dataset, opts);
+  EXPECT_EQ(outcome.model, "Features-linear");
+  EXPECT_TRUE(std::isfinite(outcome.test_msle));
+}
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,70 @@
+#include "common/cli_flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+CliFlags ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  CliFlags flags;
+  EXPECT_TRUE(
+      flags.Parse(static_cast<int>(argv.size()),
+                  const_cast<char**>(argv.data()))
+          .ok());
+  return flags;
+}
+
+TEST(CliFlagsTest, EqualsSyntax) {
+  const CliFlags flags = ParseArgs({"--epochs=20", "--lr=0.01"});
+  EXPECT_EQ(flags.GetInt("epochs", 0), 20);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0), 0.01);
+}
+
+TEST(CliFlagsTest, SpaceSyntax) {
+  const CliFlags flags = ParseArgs({"--name", "weibo"});
+  EXPECT_EQ(flags.GetString("name", ""), "weibo");
+}
+
+TEST(CliFlagsTest, BareFlagIsTrue) {
+  const CliFlags flags = ParseArgs({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_FALSE(flags.Has("quiet"));
+}
+
+TEST(CliFlagsTest, DefaultsWhenMissing) {
+  const CliFlags flags = ParseArgs({});
+  EXPECT_EQ(flags.GetInt("epochs", 7), 7);
+  EXPECT_EQ(flags.GetString("x", "d"), "d");
+  EXPECT_FALSE(flags.GetBool("flag", false));
+}
+
+TEST(CliFlagsTest, PositionalArgumentsKeptInOrder) {
+  const CliFlags flags = ParseArgs({"first", "--k=1", "second"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "first");
+  EXPECT_EQ(flags.positional()[1], "second");
+}
+
+TEST(CliFlagsTest, MalformedIntFallsBackToDefault) {
+  const CliFlags flags = ParseArgs({"--epochs=abc"});
+  EXPECT_EQ(flags.GetInt("epochs", 3), 3);
+}
+
+TEST(CliFlagsTest, BareDashDashIsError) {
+  CliFlags flags;
+  const char* argv[] = {"prog", "--"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(CliFlagsTest, BoolRecognisesSpellings) {
+  const CliFlags flags = ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=no"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+}  // namespace
+}  // namespace cascn

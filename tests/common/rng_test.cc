@@ -1,0 +1,192 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.Split();
+  // The child stream differs from the parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(31);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(41);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int x = rng.Poisson(100.0);
+    EXPECT_GE(x, 0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, ParetoRespectsMinimumAndTail) {
+  Rng rng(43);
+  double log_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Pareto(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    log_sum += std::log(x / 2.0);
+  }
+  // E[log(X/x_min)] = 1/alpha for Pareto.
+  EXPECT_NEAR(log_sum / n, 1.0 / 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(47);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.Bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalMatchesWeights) {
+  Rng rng(53);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, LogNormalMeanIsExpMuPlusHalfSigmaSq) {
+  Rng rng(GetParam());
+  // mu = -sigma^2/2 makes the mean 1 (the generator's normalisation).
+  const double sigma = 0.8;
+  double sum = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i)
+    sum += rng.LogNormal(-0.5 * sigma * sigma, sigma);
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST_P(RngSeedSweep, UniformMeanIsHalf) {
+  Rng rng(GetParam());
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 42, 31337, 0xDEADBEEF));
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,103 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace cascn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("bad input").ToString(),
+            "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+Status FailsThenPropagates(bool fail) {
+  CASCN_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsThenPropagates(false).ok());
+  EXPECT_EQ(FailsThenPropagates(true).message(), "inner");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = Half(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 4);
+  EXPECT_EQ(r.value(), 4);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Half(7);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(Half(7).value_or(-1), -1);
+  EXPECT_EQ(Half(8).value_or(-1), 4);
+}
+
+Result<int> Quarter(int x) {
+  CASCN_ASSIGN_OR_RETURN(int half, Half(x));
+  CASCN_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  ASSERT_TRUE(Quarter(8).ok());
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(42);
+  };
+  Result<std::unique_ptr<int>> r = make();
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 42);
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,73 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  ParallelFor(pool, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [](size_t) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ParallelForTest, MoreWorkThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  ParallelFor(pool, 1000, [&sum](size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(HardwareConcurrencyTest, AtLeastOne) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,91 @@
+// End-to-end numerical gradient check of the full CasCN model: the entire
+// pipeline — snapshot signals, CasLaplacian Chebyshev basis, the
+// graph-convolutional LSTM with peepholes, learned time decay, sum pooling,
+// MLP — differentiated against central finite differences.
+
+#include <gtest/gtest.h>
+
+#include "core/cascn_model.h"
+#include "tensor/grad_check.h"
+
+namespace cascn {
+namespace {
+
+CascadeSample TinySample() {
+  std::vector<AdoptionEvent> events = {
+      {0, 3, {}, 0.0},
+      {1, 7, {0}, 8.0},
+      {2, 1, {0}, 20.0},
+      {3, 5, {1}, 33.0},
+      {4, 2, {1}, 47.0},
+  };
+  CascadeSample sample;
+  sample.observed = std::move(Cascade::Create("g", std::move(events))).value();
+  sample.observation_window = 60.0;
+  sample.future_increment = 6;
+  sample.log_label = 2.8;
+  return sample;
+}
+
+CascnConfig TinyConfig(CascnVariant variant) {
+  CascnConfig config;
+  config.variant = variant;
+  config.padded_size = 6;
+  config.hidden_dim = 3;
+  config.cheb_order = 2;
+  config.max_sequence_length = 4;
+  config.num_time_intervals = 3;
+  config.mlp_hidden1 = 4;
+  config.mlp_hidden2 = 3;
+  return config;
+}
+
+class CascnGradCheck : public ::testing::TestWithParam<CascnVariant> {};
+
+TEST_P(CascnGradCheck, AnalyticMatchesNumericForSampledParameters) {
+  const CascadeSample sample = TinySample();
+  CascnModel model(TinyConfig(GetParam()));
+  auto named = model.NamedParameters();
+  ASSERT_FALSE(named.empty());
+  // Check a spread of parameters across the whole model (every 5th plus
+  // the last, which is the MLP output bias).
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < named.size(); i += 5) indices.push_back(i);
+  indices.push_back(named.size() - 1);
+  for (size_t i : indices) {
+    auto result = ag::CheckGradient(
+        named[i].second,
+        [&](const ag::Variable&) {
+          return ag::Square(model.PredictLog(sample));
+        },
+        /*epsilon=*/1e-5, /*tolerance=*/1e-5);
+    EXPECT_TRUE(result.ok) << named[i].first << " rel error "
+                           << result.max_rel_error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CascnGradCheck,
+    ::testing::Values(CascnVariant::kDefault, CascnVariant::kGru,
+                      CascnVariant::kGcnLstm, CascnVariant::kUndirected,
+                      CascnVariant::kNoTimeDecay));
+
+TEST(CascnGradCheckTest, DecayParameterGradientIsExact) {
+  const CascadeSample sample = TinySample();
+  CascnModel model(TinyConfig(CascnVariant::kDefault));
+  for (auto& [name, p] : model.NamedParameters()) {
+    if (name != "decay_raw") continue;
+    auto result = ag::CheckGradient(
+        p,
+        [&](const ag::Variable&) {
+          return ag::Square(model.PredictLog(sample));
+        },
+        1e-5, 1e-5);
+    EXPECT_TRUE(result.ok) << "decay rel error " << result.max_rel_error;
+    return;
+  }
+  FAIL() << "decay_raw parameter not found";
+}
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,194 @@
+#include "core/cascn_model.h"
+
+#include <sstream>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_data.h"
+#include "core/cascn_path_model.h"
+
+namespace cascn {
+namespace {
+
+using testing::TinyCascnConfig;
+using testing::TinyDataset;
+
+TEST(CascnModelTest, PredictIsScalarAndFinite) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnModel model(TinyCascnConfig());
+  const ag::Variable pred = model.PredictLog(dataset.train[0]);
+  EXPECT_EQ(pred.rows(), 1);
+  EXPECT_EQ(pred.cols(), 1);
+  EXPECT_TRUE(std::isfinite(pred.value().At(0, 0)));
+}
+
+TEST(CascnModelTest, DeterministicAcrossConstructionsWithSameSeed) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnModel a(TinyCascnConfig());
+  CascnModel b(TinyCascnConfig());
+  EXPECT_DOUBLE_EQ(a.PredictLog(dataset.train[0]).value().At(0, 0),
+                   b.PredictLog(dataset.train[0]).value().At(0, 0));
+}
+
+TEST(CascnModelTest, DifferentSeedsDiffer) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnConfig config = TinyCascnConfig();
+  CascnModel a(config);
+  config.seed = 777;
+  CascnModel b(config);
+  EXPECT_NE(a.PredictLog(dataset.train[0]).value().At(0, 0),
+            b.PredictLog(dataset.train[0]).value().At(0, 0));
+}
+
+TEST(CascnModelTest, GradientsReachEveryParameter) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnModel model(TinyCascnConfig());
+  // Two samples so several decay intervals participate.
+  ag::Variable loss =
+      ag::Add(ag::Square(model.PredictLog(dataset.train[0])),
+              ag::Square(model.PredictLog(dataset.train[1])));
+  ag::Sum(loss).Backward();
+  int with_grad = 0, total = 0;
+  for (const auto& [name, p] : model.NamedParameters()) {
+    ++total;
+    if (!p.grad().empty()) ++with_grad;
+  }
+  // All parameters except possibly unused decay intervals get gradients.
+  EXPECT_GE(with_grad, total - 1);
+}
+
+class VariantSweep : public ::testing::TestWithParam<CascnVariant> {};
+
+TEST_P(VariantSweep, ConstructsPredictsAndBackprops) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnConfig config = TinyCascnConfig();
+  config.variant = GetParam();
+  CascnModel model(config);
+  EXPECT_EQ(model.name(), VariantName(GetParam()));
+  const ag::Variable pred = model.PredictLog(dataset.train[0]);
+  EXPECT_TRUE(std::isfinite(pred.value().At(0, 0)));
+  ag::Square(pred).Backward();
+  // At least the MLP got gradients.
+  int with_grad = 0;
+  for (const auto& p : model.Parameters())
+    if (!p.grad().empty()) ++with_grad;
+  EXPECT_GT(with_grad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, VariantSweep,
+    ::testing::Values(CascnVariant::kDefault, CascnVariant::kGru,
+                      CascnVariant::kGcnLstm, CascnVariant::kUndirected,
+                      CascnVariant::kNoTimeDecay));
+
+TEST(CascnModelTest, RepresentationHasHiddenWidth) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnConfig config = TinyCascnConfig();
+  CascnModel model(config);
+  const Tensor rep = model.Representation(dataset.train[0]);
+  EXPECT_EQ(rep.rows(), 1);
+  EXPECT_EQ(rep.cols(), config.hidden_dim);
+}
+
+TEST(CascnModelTest, EncodingIsCachedAcrossCalls) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnModel model(TinyCascnConfig());
+  const double first = model.PredictLog(dataset.train[0]).value().At(0, 0);
+  const double second = model.PredictLog(dataset.train[0]).value().At(0, 0);
+  EXPECT_DOUBLE_EQ(first, second);
+  model.ClearCache();
+  const double third = model.PredictLog(dataset.train[0]).value().At(0, 0);
+  EXPECT_DOUBLE_EQ(first, third);
+}
+
+TEST(CascnModelTest, EncodedLambdaMaxModes) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnConfig config = TinyCascnConfig();
+  config.lambda_mode = LambdaMaxMode::kApproximateTwo;
+  CascnModel approx(config);
+  EXPECT_DOUBLE_EQ(approx.EncodedLambdaMax(dataset.train[0]), 2.0);
+  config.lambda_mode = LambdaMaxMode::kExact;
+  CascnModel exact(config);
+  EXPECT_GT(exact.EncodedLambdaMax(dataset.train[0]), 0.0);
+}
+
+TEST(CascnModelTest, NoTimeDecayVariantHasNoDecayParameter) {
+  CascnConfig config = TinyCascnConfig();
+  config.variant = CascnVariant::kNoTimeDecay;
+  CascnModel model(config);
+  for (const auto& [name, p] : model.NamedParameters())
+    EXPECT_EQ(name.find("decay"), std::string::npos) << name;
+}
+
+TEST(CascnModelTest, SaveLoadRoundTripPreservesPredictions) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnConfig config = TinyCascnConfig();
+  CascnModel original(config);
+  const double before = original.PredictLog(dataset.test[0]).value().At(0, 0);
+  std::stringstream buffer;
+  ASSERT_TRUE(original.Save(buffer).ok());
+  config.seed = 31337;  // different init
+  CascnModel restored(config);
+  ASSERT_TRUE(restored.Load(buffer).ok());
+  EXPECT_DOUBLE_EQ(restored.PredictLog(dataset.test[0]).value().At(0, 0),
+                   before);
+}
+
+TEST(CascnModelTest, AttentionPoolingExtensionWorks) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnConfig config = TinyCascnConfig();
+  config.attention_pooling = true;
+  CascnModel model(config);
+  const ag::Variable pred = model.PredictLog(dataset.train[0]);
+  EXPECT_TRUE(std::isfinite(pred.value().At(0, 0)));
+  ag::Square(pred).Backward();
+  bool attn_has_grad = false;
+  for (const auto& [name, p] : model.NamedParameters()) {
+    if (name == "attn_w" || name == "attn_v") {
+      attn_has_grad = attn_has_grad || !p.grad().empty();
+    }
+  }
+  EXPECT_TRUE(attn_has_grad);
+  // Differs from the sum-pooled model.
+  config.attention_pooling = false;
+  CascnModel plain(config);
+  EXPECT_NE(pred.value().At(0, 0),
+            plain.PredictLog(dataset.train[0]).value().At(0, 0));
+}
+
+TEST(CascnPathModelTest, PredictsAndBackprops) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnPathConfig config;
+  config.user_universe = 200;
+  config.embedding_dim = 6;
+  config.hidden_dim = 5;
+  config.num_walks = 4;
+  config.walk_length = 5;
+  CascnPathModel model(config);
+  EXPECT_EQ(model.name(), "CasCN-Path");
+  const ag::Variable pred = model.PredictLog(dataset.train[0]);
+  EXPECT_TRUE(std::isfinite(pred.value().At(0, 0)));
+  ag::Square(pred).Backward();
+  int with_grad = 0;
+  for (const auto& p : model.Parameters())
+    if (!p.grad().empty()) ++with_grad;
+  EXPECT_GT(with_grad, 0);
+}
+
+TEST(CascnPathModelTest, WalksCachedDeterministically) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnPathConfig config;
+  config.user_universe = 200;
+  CascnPathModel model(config);
+  const double a = model.PredictLog(dataset.train[2]).value().At(0, 0);
+  const double b = model.PredictLog(dataset.train[2]).value().At(0, 0);
+  EXPECT_DOUBLE_EQ(a, b);
+  model.ClearCache();
+  // Walks are reseeded from the cascade id, so the prediction is unchanged.
+  EXPECT_DOUBLE_EQ(model.PredictLog(dataset.train[2]).value().At(0, 0), a);
+}
+
+}  // namespace
+}  // namespace cascn

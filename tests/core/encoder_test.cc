@@ -1,0 +1,116 @@
+#include "core/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_data.h"
+
+namespace cascn {
+namespace {
+
+CascadeSample MakeSample() {
+  std::vector<AdoptionEvent> events = {
+      {0, 0, {}, 0.0},  {1, 1, {0}, 5.0},  {2, 2, {0}, 15.0},
+      {3, 3, {1}, 30.0}, {4, 4, {2}, 55.0},
+  };
+  CascadeSample sample;
+  sample.observed = std::move(Cascade::Create("e", std::move(events))).value();
+  sample.observation_window = 60.0;
+  sample.future_increment = 4;
+  sample.log_label = 2.0;
+  return sample;
+}
+
+TEST(DecayIntervalTest, MapsTimeToBuckets) {
+  // Eq. 15 with T = 60, l = 6: bucket width 10.
+  EXPECT_EQ(DecayInterval(0.0, 60.0, 6), 0);
+  EXPECT_EQ(DecayInterval(9.99, 60.0, 6), 0);
+  EXPECT_EQ(DecayInterval(10.0, 60.0, 6), 1);
+  EXPECT_EQ(DecayInterval(59.9, 60.0, 6), 5);
+  // Clamped at the window edge.
+  EXPECT_EQ(DecayInterval(60.0, 60.0, 6), 5);
+  EXPECT_EQ(DecayInterval(1000.0, 60.0, 6), 5);
+}
+
+TEST(EncoderTest, ShapesAndIntervals) {
+  const CascadeSample sample = MakeSample();
+  CascnConfig config = testing::TinyCascnConfig();
+  config.padded_size = 8;
+  auto enc = EncodeCascade(sample, config);
+  ASSERT_TRUE(enc.ok()) << enc.status();
+  EXPECT_EQ(enc->active_n, 5);
+  ASSERT_EQ(enc->snapshot_signals.size(), 5u);
+  for (const Tensor& x : enc->snapshot_signals) {
+    EXPECT_EQ(x.rows(), 8);
+    EXPECT_EQ(x.cols(), 8);
+  }
+  ASSERT_EQ(enc->decay_intervals.size(), 5u);
+  // Times 0, 5, 15, 30, 55 with T=60, l=4 (width 15): buckets 0,0,1,2,3.
+  EXPECT_EQ(enc->decay_intervals,
+            (std::vector<int>{0, 0, 1, 2, 3}));
+}
+
+TEST(EncoderTest, ChebyshevBasisMatchesOrder) {
+  const CascadeSample sample = MakeSample();
+  for (int k : {1, 2, 3}) {
+    CascnConfig config = testing::TinyCascnConfig();
+    config.cheb_order = k;
+    auto enc = EncodeCascade(sample, config);
+    ASSERT_TRUE(enc.ok());
+    EXPECT_EQ(static_cast<int>(enc->cheb_basis.size()), k);
+  }
+}
+
+TEST(EncoderTest, ExactLambdaDiffersFromApproximation) {
+  const CascadeSample sample = MakeSample();
+  CascnConfig exact = testing::TinyCascnConfig();
+  exact.lambda_mode = LambdaMaxMode::kExact;
+  CascnConfig approx = testing::TinyCascnConfig();
+  approx.lambda_mode = LambdaMaxMode::kApproximateTwo;
+  auto enc_exact = EncodeCascade(sample, exact);
+  auto enc_approx = EncodeCascade(sample, approx);
+  ASSERT_TRUE(enc_exact.ok() && enc_approx.ok());
+  EXPECT_DOUBLE_EQ(enc_approx->lambda_max, 2.0);
+  EXPECT_GT(enc_exact->lambda_max, 0.0);
+  EXPECT_NE(enc_exact->lambda_max, 2.0);
+}
+
+TEST(EncoderTest, UndirectedVariantUsesSymmetricLaplacian) {
+  const CascadeSample sample = MakeSample();
+  CascnConfig config = testing::TinyCascnConfig();
+  config.variant = CascnVariant::kUndirected;
+  config.lambda_mode = LambdaMaxMode::kApproximateTwo;
+  auto enc = EncodeCascade(sample, config);
+  ASSERT_TRUE(enc.ok());
+  // T_1 = scaled Laplacian must be symmetric for the undirected variant.
+  ASSERT_GE(enc->cheb_basis.size(), 2u);
+  const Tensor t1 = enc->cheb_basis[1].ToDense();
+  EXPECT_TRUE(AllClose(t1, t1.Transposed(), 1e-12));
+}
+
+TEST(EncoderTest, DirectedVariantIsAsymmetric) {
+  const CascadeSample sample = MakeSample();
+  CascnConfig config = testing::TinyCascnConfig();
+  config.lambda_mode = LambdaMaxMode::kApproximateTwo;
+  auto enc = EncodeCascade(sample, config);
+  ASSERT_TRUE(enc.ok());
+  const Tensor t1 = enc->cheb_basis[1].ToDense();
+  EXPECT_FALSE(AllClose(t1, t1.Transposed(), 1e-9));
+}
+
+TEST(EncoderTest, LargeCascadeIsTruncatedToPaddedSize) {
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i < 40; ++i)
+    events.push_back({i, i, {0}, static_cast<double>(i)});
+  CascadeSample sample;
+  sample.observed = std::move(Cascade::Create("big", std::move(events))).value();
+  sample.observation_window = 60.0;
+  CascnConfig config = testing::TinyCascnConfig();  // padded_size 12
+  auto enc = EncodeCascade(sample, config);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->active_n, 12);
+  EXPECT_LE(static_cast<int>(enc->snapshot_signals.size()),
+            config.max_sequence_length);
+}
+
+}  // namespace
+}  // namespace cascn

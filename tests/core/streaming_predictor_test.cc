@@ -1,0 +1,85 @@
+#include "core/streaming_predictor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_data.h"
+#include "core/trainer.h"
+
+namespace cascn {
+namespace {
+
+using testing::TinyCascnConfig;
+using testing::TinyDataset;
+using testing::TinyTrainerOptions;
+
+class StreamingPredictorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = TinyDataset();
+    model_ = std::make_unique<CascnModel>(TinyCascnConfig());
+    TrainRegressor(*model_, dataset_, TinyTrainerOptions(2));
+  }
+  CascadeDataset dataset_;
+  std::unique_ptr<CascnModel> model_;
+};
+
+TEST_F(StreamingPredictorTest, PredictsAfterStart) {
+  StreamingPredictor predictor(model_.get(), 60.0);
+  predictor.Start(/*root_user=*/5);
+  EXPECT_EQ(predictor.size(), 1);
+  EXPECT_TRUE(std::isfinite(predictor.CurrentPredictionLog()));
+  EXPECT_GE(predictor.CurrentPredictionCount(), -1.0);
+}
+
+TEST_F(StreamingPredictorTest, UpdatesChangePrediction) {
+  StreamingPredictor predictor(model_.get(), 60.0);
+  predictor.Start(5);
+  const double before = predictor.CurrentPredictionLog();
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(predictor.AddAdoption(10 + i, 0, 5.0 + i).ok());
+  const double after = predictor.CurrentPredictionLog();
+  EXPECT_EQ(predictor.size(), 7);
+  EXPECT_NE(before, after);
+}
+
+TEST_F(StreamingPredictorTest, CachedBetweenUpdates) {
+  StreamingPredictor predictor(model_.get(), 60.0);
+  predictor.Start(1);
+  ASSERT_TRUE(predictor.AddAdoption(2, 0, 3.0).ok());
+  const double a = predictor.CurrentPredictionLog();
+  const double b = predictor.CurrentPredictionLog();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(StreamingPredictorTest, MatchesBatchPrediction) {
+  // Streaming over a real sample's events must equal the batch forecast.
+  const CascadeSample& sample = dataset_.test[0];
+  StreamingPredictor predictor(model_.get(),
+                               sample.observation_window);
+  predictor.Start(sample.observed.event(0).user);
+  for (int i = 1; i < sample.observed.size(); ++i) {
+    const AdoptionEvent& e = sample.observed.event(i);
+    ASSERT_TRUE(
+        predictor.AddAdoption(e.user, e.parents[0], e.time).ok());
+  }
+  const double streaming = predictor.CurrentPredictionLog();
+  model_->ClearCache();
+  const double batch =
+      model_->PredictLogCalibrated(sample).value().At(0, 0);
+  EXPECT_NEAR(streaming, batch, 1e-12);
+}
+
+TEST_F(StreamingPredictorTest, RejectsInvalidUpdates) {
+  StreamingPredictor predictor(model_.get(), 60.0);
+  EXPECT_FALSE(predictor.AddAdoption(1, 0, 1.0).ok());  // not started
+  predictor.Start(1);
+  EXPECT_FALSE(predictor.AddAdoption(2, 5, 1.0).ok());   // unknown parent
+  EXPECT_FALSE(predictor.AddAdoption(2, 0, 70.0).ok());  // outside window
+  ASSERT_TRUE(predictor.AddAdoption(2, 0, 10.0).ok());
+  EXPECT_FALSE(predictor.AddAdoption(3, 0, 5.0).ok());  // time regression
+}
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,91 @@
+// Tests for the observed-size window filters (min and max) used by the
+// benchmark harness to keep all models on the same cascade population.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace cascn {
+namespace {
+
+Cascade MakeCascade(int total, const std::string& id) {
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i < total; ++i)
+    events.push_back({i, i, {0}, static_cast<double>(i)});
+  return std::move(Cascade::Create(id, std::move(events))).value();
+}
+
+TEST(DatasetFilterTest, MaxObservedSizeDropsLargeCascades) {
+  std::vector<Cascade> cascades;
+  cascades.push_back(MakeCascade(8, "small"));    // 8 observed
+  cascades.push_back(MakeCascade(40, "medium"));  // 21 observed at t=20
+  cascades.push_back(MakeCascade(90, "large"));   // 21 observed at t=20
+  DatasetOptions opts;
+  opts.observation_window = 20.0;
+  opts.min_observed_size = 3;
+  opts.max_observed_size = 15;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  // Only "small" survives: the others observe 21 > 15 nodes.
+  EXPECT_EQ(dataset->TotalSize(), 1);
+  EXPECT_EQ(dataset->train[0].observed.id(), "small");
+}
+
+TEST(DatasetFilterTest, ZeroMaxDisablesTheCap) {
+  std::vector<Cascade> cascades = {MakeCascade(50, "big"),
+                                   MakeCascade(60, "bigger")};
+  DatasetOptions opts;
+  opts.observation_window = 100.0;
+  opts.min_observed_size = 1;
+  opts.max_observed_size = 0;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->TotalSize(), 2);
+}
+
+TEST(DatasetFilterTest, BothBoundsComposable) {
+  std::vector<Cascade> cascades;
+  for (int n : {2, 5, 10, 20, 40})
+    cascades.push_back(MakeCascade(n, "c" + std::to_string(n)));
+  DatasetOptions opts;
+  opts.observation_window = 1000.0;  // observe everything
+  opts.min_observed_size = 5;
+  opts.max_observed_size = 20;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->TotalSize(), 3);  // 5, 10, 20
+}
+
+class ObservedBoundSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ObservedBoundSweep, EverySurvivorRespectsBounds) {
+  const auto [lo, hi] = GetParam();
+  std::vector<Cascade> cascades;
+  for (int n = 1; n <= 60; ++n)
+    cascades.push_back(MakeCascade(n, "c" + std::to_string(n)));
+  DatasetOptions opts;
+  opts.observation_window = 1000.0;
+  opts.min_observed_size = lo;
+  opts.max_observed_size = hi;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  auto check = [&](const std::vector<CascadeSample>& split) {
+    for (const auto& s : split) {
+      EXPECT_GE(s.observed.size(), lo);
+      EXPECT_LE(s.observed.size(), hi);
+    }
+  };
+  check(dataset->train);
+  check(dataset->validation);
+  check(dataset->test);
+  EXPECT_EQ(dataset->TotalSize(), hi - lo + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ObservedBoundSweep,
+                         ::testing::Values(std::make_pair(1, 10),
+                                           std::make_pair(10, 48),
+                                           std::make_pair(5, 60)));
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,150 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "data/cascade_generator.h"
+
+namespace cascn {
+namespace {
+
+/// A synthetic cascade with `total` nodes where node i adopts at time i.
+Cascade LinearTimeCascade(int total, const std::string& id) {
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i < total; ++i)
+    events.push_back({i, i, {0}, static_cast<double>(i)});
+  return std::move(Cascade::Create(id, std::move(events))).value();
+}
+
+TEST(DatasetTest, LabelsAreFutureIncrements) {
+  std::vector<Cascade> cascades;
+  for (int i = 0; i < 10; ++i)
+    cascades.push_back(LinearTimeCascade(20, "c" + std::to_string(i)));
+  DatasetOptions opts;
+  opts.observation_window = 9.5;  // observes nodes 0..9 -> 10 observed
+  opts.min_observed_size = 5;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_FALSE(dataset->train.empty());
+  const CascadeSample& s = dataset->train[0];
+  EXPECT_EQ(s.observed.size(), 10);
+  EXPECT_EQ(s.future_increment, 10);
+  EXPECT_DOUBLE_EQ(s.log_label, Log2p1(10));
+  EXPECT_DOUBLE_EQ(s.observation_window, 9.5);
+}
+
+TEST(DatasetTest, FiltersSmallObservedCascades) {
+  std::vector<Cascade> cascades;
+  cascades.push_back(LinearTimeCascade(3, "small"));   // 3 observed
+  cascades.push_back(LinearTimeCascade(30, "large"));  // 10 observed
+  DatasetOptions opts;
+  opts.observation_window = 9.5;
+  opts.min_observed_size = 10;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->TotalSize(), 1);
+}
+
+TEST(DatasetTest, ChronologicalSeventyFifteenFifteenSplit) {
+  std::vector<Cascade> cascades;
+  for (int i = 0; i < 100; ++i)
+    cascades.push_back(LinearTimeCascade(15, "c" + std::to_string(i)));
+  DatasetOptions opts;
+  opts.observation_window = 100.0;
+  opts.min_observed_size = 1;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->train.size(), 70u);
+  EXPECT_EQ(dataset->validation.size(), 15u);
+  EXPECT_EQ(dataset->test.size(), 15u);
+  // Chronological: the first cascades go to train.
+  EXPECT_EQ(dataset->train[0].observed.id(), "c0");
+  EXPECT_EQ(dataset->validation[0].observed.id(), "c70");
+  EXPECT_EQ(dataset->test[0].observed.id(), "c85");
+}
+
+TEST(DatasetTest, ValidationAndTestSplitEvenly) {
+  std::vector<Cascade> cascades;
+  for (int i = 0; i < 101; ++i)
+    cascades.push_back(LinearTimeCascade(15, "c" + std::to_string(i)));
+  DatasetOptions opts;
+  opts.observation_window = 100.0;
+  opts.min_observed_size = 1;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_LE(
+      std::abs(static_cast<int>(dataset->validation.size()) -
+               static_cast<int>(dataset->test.size())),
+      1);
+  EXPECT_EQ(dataset->TotalSize(), 101);
+}
+
+TEST(DatasetTest, RejectsBadOptions) {
+  std::vector<Cascade> cascades = {LinearTimeCascade(20, "x")};
+  DatasetOptions opts;
+  opts.observation_window = -1;
+  EXPECT_FALSE(BuildDataset(cascades, opts).ok());
+  opts = DatasetOptions{};
+  opts.min_observed_size = 0;
+  EXPECT_FALSE(BuildDataset(cascades, opts).ok());
+  opts = DatasetOptions{};
+  opts.train_fraction = 1.0;
+  EXPECT_FALSE(BuildDataset(cascades, opts).ok());
+}
+
+TEST(DatasetTest, ErrorWhenNothingSurvivesFilter) {
+  std::vector<Cascade> cascades = {LinearTimeCascade(3, "x")};
+  DatasetOptions opts;
+  opts.observation_window = 1.0;
+  opts.min_observed_size = 100;
+  EXPECT_FALSE(BuildDataset(cascades, opts).ok());
+}
+
+TEST(DatasetTest, ObservedPrefixRespectsWindow) {
+  Rng rng(9);
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 60;
+  const auto cascades = GenerateCascades(config, rng);
+  DatasetOptions opts;
+  opts.observation_window = 60.0;
+  opts.min_observed_size = 5;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  auto check_split = [&](const std::vector<CascadeSample>& split) {
+    for (const CascadeSample& s : split) {
+      EXPECT_LE(s.observed.last_time(), 60.0);
+      EXPECT_GE(s.observed.size(), 5);
+      EXPECT_GE(s.future_increment, 0);
+      EXPECT_DOUBLE_EQ(s.log_label, Log2p1(s.future_increment));
+    }
+  };
+  check_split(dataset->train);
+  check_split(dataset->validation);
+  check_split(dataset->test);
+}
+
+class WindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowSweep, LongerWindowsObserveMoreAndLeaveLess) {
+  Rng rng(10);
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 80;
+  const auto cascades = GenerateCascades(config, rng);
+  DatasetOptions opts;
+  opts.observation_window = GetParam();
+  opts.min_observed_size = 1;
+  auto dataset = BuildDataset(cascades, opts);
+  ASSERT_TRUE(dataset.ok());
+  // Every sample's observed size + future increment = full size; larger
+  // windows shift mass into the observed part.
+  for (const CascadeSample& s : dataset->train) {
+    EXPECT_EQ(s.observed.size() + s.future_increment,
+              cascades[std::stoi(s.observed.id().substr(1))].size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(30.0, 60.0, 120.0, 180.0));
+
+}  // namespace
+}  // namespace cascn

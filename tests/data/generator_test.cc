@@ -1,0 +1,144 @@
+#include "data/cascade_generator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 20;
+  Rng a(5), b(5);
+  const auto c1 = GenerateCascades(config, a);
+  const auto c2 = GenerateCascades(config, b);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].size(), c2[i].size());
+    EXPECT_EQ(c1[i].id(), c2[i].id());
+    for (int e = 0; e < c1[i].size(); ++e) {
+      EXPECT_EQ(c1[i].event(e).user, c2[i].event(e).user);
+      EXPECT_DOUBLE_EQ(c1[i].event(e).time, c2[i].event(e).time);
+    }
+  }
+}
+
+TEST(GeneratorTest, ProducesRequestedCount) {
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 37;
+  Rng rng(1);
+  EXPECT_EQ(GenerateCascades(config, rng).size(), 37u);
+}
+
+TEST(GeneratorTest, RespectsHorizonAndMaxSize) {
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 50;
+  config.max_size = 60;
+  Rng rng(2);
+  for (const Cascade& c : GenerateCascades(config, rng)) {
+    EXPECT_LE(c.size(), 60);
+    EXPECT_LE(c.last_time(), config.horizon);
+    EXPECT_DOUBLE_EQ(c.event(0).time, 0.0);
+  }
+}
+
+TEST(GeneratorTest, UsersWithinUniverse) {
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 20;
+  config.user_universe = 50;
+  Rng rng(3);
+  for (const Cascade& c : GenerateCascades(config, rng))
+    for (const auto& e : c.events()) {
+      EXPECT_GE(e.user, 0);
+      EXPECT_LT(e.user, 50);
+    }
+}
+
+TEST(GeneratorTest, SizesAreHeavyTailed) {
+  // Fig. 4: most cascades are small, a few are large.
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 400;
+  Rng rng(4);
+  const auto cascades = GenerateCascades(config, rng);
+  int small = 0, large = 0, max_size = 0;
+  for (const Cascade& c : cascades) {
+    if (c.size() <= 10) ++small;
+    if (c.size() >= 100) ++large;
+    max_size = std::max(max_size, c.size());
+  }
+  EXPECT_GT(small, 100);          // bulk of the mass is small
+  EXPECT_GT(max_size, 50);        // a heavy tail exists
+  EXPECT_LT(large, small);        // and it is a tail
+}
+
+TEST(GeneratorTest, WeiboCascadesAreTrees) {
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 30;
+  Rng rng(5);
+  for (const Cascade& c : GenerateCascades(config, rng))
+    for (int i = 1; i < c.size(); ++i)
+      EXPECT_EQ(c.event(i).parents.size(), 1u);
+}
+
+TEST(GeneratorTest, CitationCascadesHaveMultiParents) {
+  GeneratorConfig config = CitationLikeConfig();
+  config.num_cascades = 150;
+  Rng rng(6);
+  int multi = 0, total_nonroot = 0;
+  for (const Cascade& c : GenerateCascades(config, rng)) {
+    for (int i = 1; i < c.size(); ++i) {
+      ++total_nonroot;
+      if (c.event(i).parents.size() > 1) ++multi;
+      // No duplicate parents.
+      auto parents = c.event(i).parents;
+      std::sort(parents.begin(), parents.end());
+      EXPECT_TRUE(std::adjacent_find(parents.begin(), parents.end()) ==
+                  parents.end());
+    }
+  }
+  EXPECT_GT(multi, 0);
+  EXPECT_LT(multi, total_nonroot);
+}
+
+TEST(GeneratorTest, CitationCascadesAreSlowerAndSmaller) {
+  // Table II: HEP-PH averages ~5 nodes vs Weibo ~29 observed; our synthetic
+  // equivalents keep citation cascades smaller on average.
+  Rng rng_w(7), rng_c(7);
+  GeneratorConfig weibo = WeiboLikeConfig();
+  weibo.num_cascades = 150;
+  GeneratorConfig citation = CitationLikeConfig();
+  citation.num_cascades = 150;
+  double weibo_mean = 0, citation_mean = 0;
+  for (const Cascade& c : GenerateCascades(weibo, rng_w))
+    weibo_mean += c.size();
+  for (const Cascade& c : GenerateCascades(citation, rng_c))
+    citation_mean += c.size();
+  EXPECT_GT(weibo_mean / 150, citation_mean / 150);
+}
+
+TEST(GeneratorTest, EarlyGrowthPredictsFinalSize) {
+  // The learnability premise: cascades that grow fast early end larger.
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 300;
+  Rng rng(8);
+  const auto cascades = GenerateCascades(config, rng);
+  double big_early = 0, small_early = 0;
+  int big_n = 0, small_n = 0;
+  for (const Cascade& c : cascades) {
+    const int early = c.SizeAtTime(60.0);
+    if (c.size() >= 50) {
+      big_early += early;
+      ++big_n;
+    } else if (c.size() <= 10) {
+      small_early += early;
+      ++small_n;
+    }
+  }
+  ASSERT_GT(big_n, 0);
+  ASSERT_GT(small_n, 0);
+  EXPECT_GT(big_early / big_n, small_early / small_n);
+}
+
+}  // namespace
+}  // namespace cascn

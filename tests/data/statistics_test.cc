@@ -1,0 +1,101 @@
+#include "data/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/cascade_generator.h"
+
+namespace cascn {
+namespace {
+
+Cascade MakeCascade(int n, const std::string& id) {
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i < n; ++i)
+    events.push_back({i, i, {0}, static_cast<double>(i)});
+  return std::move(Cascade::Create(id, std::move(events))).value();
+}
+
+TEST(DatasetStatisticsTest, AveragesPerSplit) {
+  CascadeDataset dataset;
+  CascadeSample a;
+  a.observed = MakeCascade(5, "a");
+  CascadeSample b;
+  b.observed = MakeCascade(7, "b");
+  dataset.train = {a, b};
+  dataset.validation = {a};
+  const DatasetStatistics stats = ComputeDatasetStatistics(dataset);
+  EXPECT_EQ(stats.train.num_cascades, 2);
+  EXPECT_DOUBLE_EQ(stats.train.avg_nodes, 6.0);
+  EXPECT_DOUBLE_EQ(stats.train.avg_edges, 5.0);  // (4 + 6) / 2
+  EXPECT_EQ(stats.validation.num_cascades, 1);
+  EXPECT_EQ(stats.test.num_cascades, 0);
+  EXPECT_DOUBLE_EQ(stats.test.avg_nodes, 0.0);
+}
+
+TEST(SizeDistributionTest, LogarithmicBinsCoverAllSizes) {
+  std::vector<Cascade> cascades;
+  for (int n : {1, 2, 3, 5, 9, 17, 33}) {
+    cascades.push_back(MakeCascade(n, "c" + std::to_string(n)));
+  }
+  const auto bins = SizeDistribution(cascades);
+  int total = 0;
+  for (const auto& bin : bins) {
+    EXPECT_EQ(bin.size_hi, bin.size_lo * 2);
+    total += bin.count;
+  }
+  EXPECT_EQ(total, 7);
+  // Size 1 in [1,2), 2-3 in [2,4), 5 in [4,8), 9 in [8,16), 17 in [16,32),
+  // 33 in [32,64).
+  EXPECT_EQ(bins[0].count, 1);
+  EXPECT_EQ(bins[1].count, 2);
+  EXPECT_EQ(bins[2].count, 1);
+}
+
+TEST(SizeDistributionTest, HeavyTailShapeOnSyntheticWeibo) {
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = 300;
+  Rng rng(1);
+  const auto bins = SizeDistribution(GenerateCascades(config, rng));
+  ASSERT_GE(bins.size(), 3u);
+  // Counts decay (roughly monotonically) over log-bins: compare first to
+  // later bins rather than strict monotonicity.
+  EXPECT_GT(bins[0].count + bins[1].count, bins.back().count * 3);
+}
+
+TEST(SaturationCurveTest, MonotoneAndEndsAtOne) {
+  std::vector<Cascade> cascades;
+  for (int n : {5, 9, 13}) cascades.push_back(MakeCascade(n, "x"));
+  const auto curve = SaturationCurve(cascades, 15.0, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fraction_of_final, curve[i - 1].fraction_of_final);
+    EXPECT_GT(curve[i].time, curve[i - 1].time);
+  }
+  EXPECT_NEAR(curve.back().fraction_of_final, 1.0, 1e-12);
+}
+
+TEST(SaturationCurveTest, EmptyCascadesGiveZeroCurve) {
+  const auto curve = SaturationCurve({}, 10.0, 4);
+  ASSERT_EQ(curve.size(), 4u);
+  for (const auto& p : curve) EXPECT_DOUBLE_EQ(p.fraction_of_final, 0.0);
+}
+
+TEST(SaturationCurveTest, WeiboSaturatesFasterThanCitation) {
+  // Fig. 5: Weibo saturates within ~a day; citations take years. At the
+  // half-horizon mark the Weibo fraction must exceed the citation one...
+  // Both are normalised by their own horizon; the Weibo kernel (4 h memory
+  // vs 24 h horizon) is much faster relative to its horizon.
+  Rng rng_w(2), rng_c(2);
+  GeneratorConfig weibo = WeiboLikeConfig();
+  weibo.num_cascades = 120;
+  GeneratorConfig citation = CitationLikeConfig();
+  citation.num_cascades = 120;
+  const auto weibo_curve =
+      SaturationCurve(GenerateCascades(weibo, rng_w), weibo.horizon, 10);
+  const auto citation_curve = SaturationCurve(
+      GenerateCascades(citation, rng_c), citation.horizon, 10);
+  EXPECT_GT(weibo_curve[2].fraction_of_final,
+            citation_curve[2].fraction_of_final);
+}
+
+}  // namespace
+}  // namespace cascn

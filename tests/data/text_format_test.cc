@@ -1,0 +1,123 @@
+#include "data/text_format.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+TEST(ParseCascadeLineTest, ParsesSimpleLine) {
+  // Root u0 at 0; u1 re-tweets from u0 at 5; u2 re-tweets from u1 at 9.
+  const std::string line = "m1\tu0\t1464710400\t3\tu0:0 u0/u1:5 u0/u1/u2:9";
+  auto cascade = ParseCascadeLine(line, 100);
+  ASSERT_TRUE(cascade.ok()) << cascade.status();
+  EXPECT_EQ(cascade->id(), "m1");
+  EXPECT_EQ(cascade->size(), 3);
+  EXPECT_DOUBLE_EQ(cascade->event(1).time, 5.0);
+  EXPECT_EQ(cascade->event(1).parents[0], 0);
+  EXPECT_EQ(cascade->event(2).parents[0], 1);
+}
+
+TEST(ParseCascadeLineTest, SortsOutOfOrderPaths) {
+  const std::string line = "m2\tu0\t0\t3\tu0/u2:7 u0:0 u0/u1:3";
+  auto cascade = ParseCascadeLine(line, 100);
+  ASSERT_TRUE(cascade.ok()) << cascade.status();
+  EXPECT_EQ(cascade->size(), 3);
+  EXPECT_DOUBLE_EQ(cascade->event(1).time, 3.0);
+  EXPECT_DOUBLE_EQ(cascade->event(2).time, 7.0);
+}
+
+TEST(ParseCascadeLineTest, KeepsFirstAdoptionOfRepeatedUser) {
+  const std::string line = "m3\tu0\t0\t3\tu0:0 u0/u1:2 u0/u1:8";
+  auto cascade = ParseCascadeLine(line, 100);
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->size(), 2);
+}
+
+TEST(ParseCascadeLineTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseCascadeLine("too\tfew\tfields", 100).ok());
+  EXPECT_FALSE(ParseCascadeLine("m\tu\t0\t1\t", 100).ok());
+  EXPECT_FALSE(ParseCascadeLine("m\tu\t0\t1\tu0", 100).ok());  // no time
+  // Parent never adopted.
+  EXPECT_FALSE(
+      ParseCascadeLine("m\tu\t0\t2\tu0:0 u0/ux/u2:5", 100).ok());
+  // First adoption not at time 0.
+  EXPECT_FALSE(ParseCascadeLine("m\tu\t0\t1\tu0:5", 100).ok());
+  // Bad universe.
+  EXPECT_FALSE(ParseCascadeLine("m\tu\t0\t1\tu0:0", 0).ok());
+}
+
+TEST(FormatCascadeLineTest, RoundTripsThroughParser) {
+  std::vector<AdoptionEvent> events = {
+      {0, 11, {}, 0.0},
+      {1, 22, {0}, 2.0},
+      {2, 33, {1}, 5.0},
+      {3, 44, {0}, 6.5},
+  };
+  const Cascade original =
+      std::move(Cascade::Create("rt", std::move(events))).value();
+  const std::string line = FormatCascadeLine(original);
+  auto parsed = ParseCascadeLine(line, 1 << 20);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id(), "rt");
+  ASSERT_EQ(parsed->size(), original.size());
+  for (int i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed->event(i).time, original.event(i).time);
+    EXPECT_EQ(parsed->event(i).parents, original.event(i).parents);
+  }
+}
+
+TEST(ReadCascadesTest, ReadsMultipleLinesAndSkipsBlank) {
+  std::stringstream in;
+  in << "a\tu0\t0\t2\tu0:0 u0/u1:3\n";
+  in << "\n";
+  in << "b\tv0\t0\t1\tv0:0\n";
+  auto cascades = ReadCascades(in, 100);
+  ASSERT_TRUE(cascades.ok()) << cascades.status();
+  ASSERT_EQ(cascades->size(), 2u);
+  EXPECT_EQ((*cascades)[0].id(), "a");
+  EXPECT_EQ((*cascades)[1].id(), "b");
+}
+
+TEST(ReadCascadesTest, ReportsLineNumberOnError) {
+  std::stringstream in;
+  in << "a\tu0\t0\t1\tu0:0\n";
+  in << "broken line\n";
+  auto cascades = ReadCascades(in, 100);
+  ASSERT_FALSE(cascades.ok());
+  EXPECT_NE(cascades.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(WriteCascadesTest, WritesOneLinePerCascade) {
+  std::vector<Cascade> cascades;
+  cascades.push_back(
+      std::move(Cascade::Create("x", {{0, 1, {}, 0.0}})).value());
+  cascades.push_back(
+      std::move(Cascade::Create("y", {{0, 2, {}, 0.0}})).value());
+  std::stringstream out;
+  WriteCascades(cascades, out);
+  std::string line;
+  int lines = 0;
+  while (std::getline(out, line))
+    if (!line.empty()) ++lines;
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(TextFormatTest, FullRoundTripOfFile) {
+  std::vector<Cascade> cascades;
+  std::vector<AdoptionEvent> events = {
+      {0, 5, {}, 0.0}, {1, 6, {0}, 1.5}, {2, 7, {1}, 2.25}};
+  cascades.push_back(
+      std::move(Cascade::Create("rt0", std::move(events))).value());
+  std::stringstream buffer;
+  WriteCascades(cascades, buffer);
+  auto restored = ReadCascades(buffer, 1 << 20);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 1u);
+  EXPECT_EQ((*restored)[0].size(), 3);
+  EXPECT_DOUBLE_EQ((*restored)[0].event(2).time, 2.25);
+}
+
+}  // namespace
+}  // namespace cascn

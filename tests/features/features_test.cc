@@ -1,0 +1,134 @@
+#include "features/cascade_features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace cascn {
+namespace {
+
+CascadeSample MakeSample() {
+  // Root + 4 adoptions: star under the root at times 10, 20, 30, 50.
+  std::vector<AdoptionEvent> events = {
+      {0, 0, {}, 0.0},
+      {1, 1, {0}, 10.0},
+      {2, 2, {0}, 20.0},
+      {3, 3, {1}, 30.0},
+      {4, 4, {1}, 50.0},
+  };
+  CascadeSample sample;
+  sample.observed = std::move(Cascade::Create("f", std::move(events))).value();
+  sample.observation_window = 60.0;
+  sample.future_increment = 7;
+  sample.log_label = Log2p1(7);
+  return sample;
+}
+
+TEST(FeaturesTest, NamesMatchRowWidth) {
+  FeatureOptions opts;
+  const auto names = FeatureNames(opts);
+  const auto row = ExtractFeatures(MakeSample(), opts);
+  EXPECT_EQ(names.size(), row.size());
+  EXPECT_EQ(names.size(), 13u + 2 * opts.num_time_bins);
+}
+
+TEST(FeaturesTest, StructuralValues) {
+  FeatureOptions opts;
+  const auto names = FeatureNames(opts);
+  const auto row = ExtractFeatures(MakeSample(), opts);
+  auto at = [&](const std::string& name) {
+    for (size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return row[i];
+    ADD_FAILURE() << "missing feature " << name;
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(at("num_nodes"), 5.0);
+  EXPECT_DOUBLE_EQ(at("num_edges"), 4.0);
+  EXPECT_DOUBLE_EQ(at("num_leaves"), 3.0);  // nodes 2, 3, 4
+  EXPECT_DOUBLE_EQ(at("root_degree"), 2.0);
+  EXPECT_DOUBLE_EQ(at("max_depth"), 2.0);
+}
+
+TEST(FeaturesTest, TemporalValuesNormalisedByWindow) {
+  FeatureOptions opts;
+  const auto names = FeatureNames(opts);
+  const auto row = ExtractFeatures(MakeSample(), opts);
+  auto at = [&](const std::string& name) {
+    for (size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return row[i];
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(at("first_adoption"), 10.0 / 60.0);
+  EXPECT_DOUBLE_EQ(at("last_adoption"), 50.0 / 60.0);
+  EXPECT_DOUBLE_EQ(at("mean_adoption_time"), (10 + 20 + 30 + 50) / 4.0 / 60.0);
+}
+
+TEST(FeaturesTest, GrowthBinsCumulativeIsMonotone) {
+  FeatureOptions opts;
+  opts.num_time_bins = 6;
+  const auto names = FeatureNames(opts);
+  const auto row = ExtractFeatures(MakeSample(), opts);
+  double prev = -1;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i].rfind("cumulative_bin", 0) == 0) {
+      EXPECT_GE(row[i], prev);
+      prev = row[i];
+    }
+  }
+  // Final cumulative = all 5 observed nodes.
+  EXPECT_DOUBLE_EQ(prev, 5.0);
+}
+
+TEST(FeaturesTest, SingleNodeCascadeIsWellDefined) {
+  CascadeSample sample;
+  sample.observed = std::move(Cascade::Create("lone", {{0, 0, {}, 0.0}})).value();
+  sample.observation_window = 60.0;
+  FeatureOptions opts;
+  const auto row = ExtractFeatures(sample, opts);
+  for (double v : row) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FeatureMatrixTest, StacksRowsAndLabels) {
+  FeatureOptions opts;
+  std::vector<CascadeSample> samples = {MakeSample(), MakeSample()};
+  samples[1].log_label = 3.0;
+  const FeatureMatrix m = ExtractFeatureMatrix(samples, opts);
+  EXPECT_EQ(m.features.rows(), 2);
+  EXPECT_EQ(m.labels.rows(), 2);
+  EXPECT_DOUBLE_EQ(m.labels.At(0, 0), Log2p1(7));
+  EXPECT_DOUBLE_EQ(m.labels.At(1, 0), 3.0);
+  // Identical cascades -> identical rows.
+  for (int j = 0; j < m.features.cols(); ++j)
+    EXPECT_DOUBLE_EQ(m.features.At(0, j), m.features.At(1, j));
+}
+
+TEST(FeatureScalerTest, StandardisesToZeroMeanUnitVariance) {
+  Tensor features = Tensor::FromRows({{1, 10}, {3, 10}, {5, 10}});
+  const FeatureScaler scaler = FitScaler(features);
+  Tensor copy = features;
+  ApplyScaler(scaler, copy);
+  // Column 0: mean 3, sd sqrt(8/3).
+  EXPECT_NEAR(copy.At(0, 0) + copy.At(1, 0) + copy.At(2, 0), 0.0, 1e-12);
+  double var = 0;
+  for (int i = 0; i < 3; ++i) var += copy.At(i, 0) * copy.At(i, 0);
+  EXPECT_NEAR(var / 3.0, 1.0, 1e-12);
+  // Constant column 1: stddev guards against divide-by-zero.
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(copy.At(i, 1), 0.0);
+}
+
+class TimeBinSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeBinSweep, BinCountsScaleFeatureWidth) {
+  FeatureOptions opts;
+  opts.num_time_bins = GetParam();
+  EXPECT_EQ(FeatureNames(opts).size(), 13u + 2 * GetParam());
+  const auto row = ExtractFeatures(MakeSample(), opts);
+  EXPECT_EQ(row.size(), FeatureNames(opts).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, TimeBinSweep, ::testing::Values(1, 3, 6, 12));
+
+}  // namespace
+}  // namespace cascn

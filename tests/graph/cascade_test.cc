@@ -1,0 +1,134 @@
+#include "graph/cascade.h"
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+/// The Fig. 1 cascade: V0 -> V1, V0 -> V2, V1 -> V3, V1 -> V4, V3 -> V5.
+Cascade Fig1Cascade() {
+  std::vector<AdoptionEvent> events = {
+      {0, 100, {}, 0.0},  {1, 101, {0}, 1.0}, {2, 102, {0}, 2.0},
+      {3, 103, {1}, 3.0}, {4, 104, {1}, 4.0}, {5, 105, {3}, 5.0},
+  };
+  auto c = Cascade::Create("fig1", std::move(events));
+  EXPECT_TRUE(c.ok()) << c.status();
+  return std::move(c).value();
+}
+
+TEST(CascadeTest, CreateValidatesAndStores) {
+  const Cascade c = Fig1Cascade();
+  EXPECT_EQ(c.id(), "fig1");
+  EXPECT_EQ(c.size(), 6);
+  EXPECT_EQ(c.num_edges(), 5);
+  EXPECT_DOUBLE_EQ(c.last_time(), 5.0);
+}
+
+TEST(CascadeTest, RejectsEmpty) {
+  EXPECT_FALSE(Cascade::Create("x", {}).ok());
+}
+
+TEST(CascadeTest, RejectsRootWithParent) {
+  std::vector<AdoptionEvent> events = {{0, 1, {0}, 0.0}};
+  EXPECT_FALSE(Cascade::Create("x", std::move(events)).ok());
+}
+
+TEST(CascadeTest, RejectsRootAtNonzeroTime) {
+  std::vector<AdoptionEvent> events = {{0, 1, {}, 2.0}};
+  EXPECT_FALSE(Cascade::Create("x", std::move(events)).ok());
+}
+
+TEST(CascadeTest, RejectsOutOfOrderTimes) {
+  std::vector<AdoptionEvent> events = {
+      {0, 1, {}, 0.0}, {1, 2, {0}, 5.0}, {2, 3, {0}, 3.0}};
+  EXPECT_FALSE(Cascade::Create("x", std::move(events)).ok());
+}
+
+TEST(CascadeTest, RejectsForwardParentReference) {
+  std::vector<AdoptionEvent> events = {
+      {0, 1, {}, 0.0}, {1, 2, {2}, 1.0}, {2, 3, {0}, 2.0}};
+  EXPECT_FALSE(Cascade::Create("x", std::move(events)).ok());
+}
+
+TEST(CascadeTest, RejectsOrphanNonRoot) {
+  std::vector<AdoptionEvent> events = {{0, 1, {}, 0.0}, {1, 2, {}, 1.0}};
+  EXPECT_FALSE(Cascade::Create("x", std::move(events)).ok());
+}
+
+TEST(CascadeTest, RejectsMisnumberedNodes) {
+  std::vector<AdoptionEvent> events = {{0, 1, {}, 0.0}, {2, 2, {0}, 1.0}};
+  EXPECT_FALSE(Cascade::Create("x", std::move(events)).ok());
+}
+
+TEST(CascadeTest, SizeAtTimeBinarySearches) {
+  const Cascade c = Fig1Cascade();
+  EXPECT_EQ(c.SizeAtTime(-1.0), 0);
+  EXPECT_EQ(c.SizeAtTime(0.0), 1);
+  EXPECT_EQ(c.SizeAtTime(2.5), 3);
+  EXPECT_EQ(c.SizeAtTime(5.0), 6);
+  EXPECT_EQ(c.SizeAtTime(100.0), 6);
+}
+
+TEST(CascadeTest, PrefixTruncatesByTime) {
+  const Cascade c = Fig1Cascade();
+  const Cascade p = c.Prefix(3.5);
+  EXPECT_EQ(p.size(), 4);
+  EXPECT_EQ(p.id(), "fig1");
+  EXPECT_DOUBLE_EQ(p.last_time(), 3.0);
+}
+
+TEST(CascadeTest, PrefixAlwaysKeepsRoot) {
+  const Cascade c = Fig1Cascade();
+  EXPECT_EQ(c.Prefix(-5.0).size(), 1);
+}
+
+TEST(CascadeTest, PrefixBySizeClamps) {
+  const Cascade c = Fig1Cascade();
+  EXPECT_EQ(c.PrefixBySize(3).size(), 3);
+  EXPECT_EQ(c.PrefixBySize(0).size(), 1);
+  EXPECT_EQ(c.PrefixBySize(100).size(), 6);
+}
+
+TEST(CascadeTest, AdjacencyMatrixDirectedEdges) {
+  const Cascade c = Fig1Cascade();
+  const Tensor a = c.AdjacencyMatrix(6, 6).ToDense();
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 3), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 4), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 0), 0.0);  // directed
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 0.0);  // no self loop unless requested
+}
+
+TEST(CascadeTest, AdjacencyMatrixRootSelfLoop) {
+  const Cascade c = Fig1Cascade();
+  const Tensor a = c.AdjacencyMatrix(1, 4, /*root_self_loop=*/true).ToDense();
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 1.0);
+  EXPECT_EQ(a.rows(), 4);
+}
+
+TEST(CascadeTest, AdjacencyMatrixPaddingAndTruncation) {
+  const Cascade c = Fig1Cascade();
+  // Truncated to 3 nodes, padded to 5.
+  const Tensor a = c.AdjacencyMatrix(3, 5).ToDense();
+  EXPECT_EQ(a.rows(), 5);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 3), 0.0);  // node 3 truncated away
+  for (int j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(a.At(4, j), 0.0);
+}
+
+TEST(CascadeTest, MultiParentEdgesCounted) {
+  std::vector<AdoptionEvent> events = {
+      {0, 1, {}, 0.0}, {1, 2, {0}, 1.0}, {2, 3, {0, 1}, 2.0}};
+  auto c = Cascade::Create("dag", std::move(events));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_edges(), 3);
+  const Tensor a = c->AdjacencyMatrix(3, 3).ToDense();
+  EXPECT_DOUBLE_EQ(a.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace cascn

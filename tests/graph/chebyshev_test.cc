@@ -1,0 +1,95 @@
+#include "graph/chebyshev.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace cascn {
+namespace {
+
+CsrMatrix RandomSymmetric(int n, Rng& rng) {
+  std::vector<Triplet> trips;
+  for (int i = 0; i < n; ++i) {
+    trips.push_back({i, i, rng.Normal() * 0.3});
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.4)) {
+        const double v = rng.Normal() * 0.2;
+        trips.push_back({i, j, v});
+        trips.push_back({j, i, v});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, trips);
+}
+
+TEST(ChebyshevBasisTest, OrderOneIsIdentity) {
+  Rng rng(1);
+  const CsrMatrix l = RandomSymmetric(4, rng);
+  const auto basis = ChebyshevBasis(l, 1, 4);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_TRUE(AllClose(basis[0].ToDense(), Tensor::Identity(4)));
+}
+
+TEST(ChebyshevBasisTest, OrderTwoIsIdentityAndL) {
+  Rng rng(2);
+  const CsrMatrix l = RandomSymmetric(4, rng);
+  const auto basis = ChebyshevBasis(l, 2, 4);
+  ASSERT_EQ(basis.size(), 2u);
+  EXPECT_TRUE(AllClose(basis[1].ToDense(), l.ToDense()));
+}
+
+TEST(ChebyshevBasisTest, RecursionMatchesExplicitPolynomials) {
+  Rng rng(3);
+  const CsrMatrix l = RandomSymmetric(5, rng);
+  const auto basis = ChebyshevBasis(l, 4, 5);
+  ASSERT_EQ(basis.size(), 4u);
+  const Tensor ld = l.ToDense();
+  // T2 = 2 L^2 - I.
+  Tensor t2 = MatMul(ld, ld);
+  t2.Scale(2.0);
+  t2.Axpy(-1.0, Tensor::Identity(5));
+  EXPECT_TRUE(AllClose(basis[2].ToDense(), t2, 1e-10));
+  // T3 = 4 L^3 - 3 L.
+  Tensor t3 = MatMul(MatMul(ld, ld), ld);
+  t3.Scale(4.0);
+  t3.Axpy(-3.0, ld);
+  EXPECT_TRUE(AllClose(basis[3].ToDense(), t3, 1e-10));
+}
+
+TEST(ChebyshevBasisTest, IdentityRestrictedToActiveBlock) {
+  Rng rng(4);
+  const CsrMatrix l = RandomSymmetric(6, rng);
+  const auto basis = ChebyshevBasis(l, 1, /*active_n=*/3);
+  const Tensor t0 = basis[0].ToDense();
+  for (int i = 0; i < 6; ++i)
+    EXPECT_DOUBLE_EQ(t0.At(i, i), i < 3 ? 1.0 : 0.0);
+}
+
+TEST(ChebyshevBasisTest, ChebyshevIdentityOnScalars) {
+  // For a 1x1 "matrix" x, T_k(x) = cos(k arccos x) on [-1, 1].
+  const double x = 0.3;
+  const CsrMatrix m = CsrMatrix::FromTriplets(1, 1, {{0, 0, x}});
+  const auto basis = ChebyshevBasis(m, 5, 1);
+  for (int k = 0; k < 5; ++k) {
+    const double expected = std::cos(k * std::acos(x));
+    EXPECT_NEAR(basis[k].ToDense().At(0, 0), expected, 1e-10) << "k=" << k;
+  }
+}
+
+class ChebyshevOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChebyshevOrderSweep, BasisSizeMatchesOrder) {
+  Rng rng(5);
+  const CsrMatrix l = RandomSymmetric(4, rng);
+  const auto basis = ChebyshevBasis(l, GetParam(), 4);
+  EXPECT_EQ(static_cast<int>(basis.size()), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ChebyshevOrderSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,97 @@
+// Hand-verified CasLaplacian on a 2-node cascade: every intermediate of
+// Algorithm 1 (transition matrix, stationary distribution, Diplacian) is
+// computed analytically and compared to the implementation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/laplacian.h"
+
+namespace cascn {
+namespace {
+
+// Cascade: root 0 (with self-loop) -> child 1, alpha = 0.85.
+//
+// W = [[1, 1], [0, 0]], out-degree = (2, 0).
+// P row 0 = 0.075 + 0.85 * (0.5, 0.5) = (0.5, 0.5)
+// P row 1 (dangling) = 0.075 + 0.85 * (0.5, 0.5) = (0.5, 0.5)
+// So P = [[0.5, 0.5], [0.5, 0.5]] and phi = (0.5, 0.5).
+// Delta = Phi^{1/2} (I - P) Phi^{-1/2} = I - P (Phi is a multiple of I)
+//       = [[0.5, -0.5], [-0.5, 0.5]].
+TEST(CasLaplacianHandCheck, TwoNodeCascade) {
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}, {1, 1, {0}, 1.0}};
+  const Cascade cascade =
+      std::move(Cascade::Create("two", std::move(events))).value();
+  CasLaplacianOptions opts;
+  opts.alpha = 0.85;
+  auto lap = CascadeLaplacian(cascade, 2, opts);
+  ASSERT_TRUE(lap.ok()) << lap.status();
+  const Tensor d = lap->ToDense();
+  EXPECT_NEAR(d.At(0, 0), 0.5, 1e-9);
+  EXPECT_NEAR(d.At(0, 1), -0.5, 1e-9);
+  EXPECT_NEAR(d.At(1, 0), -0.5, 1e-9);
+  EXPECT_NEAR(d.At(1, 1), 0.5, 1e-9);
+}
+
+// Three-node chain 0 -> 1 -> 2 with the root self-loop, alpha = 0.85.
+// W = [[1,1,0],[0,0,1],[0,0,0]], out-deg = (2,1,0).
+// Teleport term: (1-a)/3 = 0.05.
+// P = [[0.475, 0.475, 0.05],
+//      [0.05,  0.05,  0.90],
+//      [1/3,   1/3,   1/3 ]]
+TEST(CasLaplacianHandCheck, ThreeNodeChainTransitionEncoded) {
+  std::vector<AdoptionEvent> events = {
+      {0, 0, {}, 0.0}, {1, 1, {0}, 1.0}, {2, 2, {1}, 2.0}};
+  const Cascade cascade =
+      std::move(Cascade::Create("chain", std::move(events))).value();
+  auto lap = CascadeLaplacian(cascade, 3);
+  ASSERT_TRUE(lap.ok());
+  const Tensor d = lap->ToDense();
+
+  // Solve for phi from the known P and verify Delta = Phi^{1/2}(I-P)Phi^{-1/2}.
+  Tensor p = Tensor::FromRows({{0.475, 0.475, 0.05},
+                               {0.05, 0.05, 0.90},
+                               {1.0 / 3, 1.0 / 3, 1.0 / 3}});
+  // Power-iterate phi^T P = phi^T.
+  Tensor phi(1, 3, 1.0 / 3);
+  for (int it = 0; it < 500; ++it) {
+    phi = MatMul(phi, p);
+    phi.Scale(1.0 / phi.Sum());
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const double identity = i == j ? 1.0 : 0.0;
+      const double expected = std::sqrt(phi.At(0, i)) *
+                              (identity - p.At(i, j)) /
+                              std::sqrt(phi.At(0, j));
+      EXPECT_NEAR(d.At(i, j), expected, 1e-7) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+// The trace of the Diplacian equals n - trace(P): diagonal similarity
+// transforms preserve the trace.
+TEST(CasLaplacianHandCheck, TraceIdentity) {
+  std::vector<AdoptionEvent> events = {
+      {0, 0, {}, 0.0}, {1, 1, {0}, 1.0}, {2, 2, {0}, 2.0},
+      {3, 3, {1}, 3.0}};
+  const Cascade cascade =
+      std::move(Cascade::Create("star", std::move(events))).value();
+  auto lap = CascadeLaplacian(cascade, 4);
+  ASSERT_TRUE(lap.ok());
+  const Tensor d = lap->ToDense();
+  double trace = 0;
+  for (int i = 0; i < 4; ++i) trace += d.At(i, i);
+  // trace(Delta) = n - trace(P); P's diagonal: node 0 has self-loop with
+  // out-degree 3 -> P00 = 0.0375 + 0.85/3; others have no self edge ->
+  // teleport only (0.0375) except the dangling rows (uniform: 0.25).
+  const double p00 = 0.15 / 4 + 0.85 / 3;
+  const double p11 = 0.15 / 4;        // node 1 has out-degree 1 (to 3)
+  const double p22 = 0.25;            // dangling
+  const double p33 = 0.25;            // dangling
+  EXPECT_NEAR(trace, 4.0 - (p00 + p11 + p22 + p33), 1e-7);
+}
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,85 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+Cascade Fig1Cascade() {
+  std::vector<AdoptionEvent> events = {
+      {0, 100, {}, 0.0},  {1, 101, {0}, 1.0}, {2, 102, {0}, 2.0},
+      {3, 103, {1}, 3.0}, {4, 104, {1}, 4.0}, {5, 105, {3}, 5.0},
+  };
+  return std::move(Cascade::Create("fig1", std::move(events))).value();
+}
+
+TEST(MetricsTest, NodeDepthsFollowPrimaryParent) {
+  const auto depths = NodeDepths(Fig1Cascade());
+  EXPECT_EQ(depths, (std::vector<int>{0, 1, 1, 2, 2, 3}));
+}
+
+TEST(MetricsTest, OutDegreesCountAllChildren) {
+  const auto degs = OutDegrees(Fig1Cascade());
+  EXPECT_EQ(degs, (std::vector<int>{2, 2, 0, 1, 0, 0}));
+}
+
+TEST(MetricsTest, StructureSummary) {
+  const CascadeStructure s = ComputeStructure(Fig1Cascade());
+  EXPECT_EQ(s.num_nodes, 6);
+  EXPECT_EQ(s.num_edges, 5);
+  EXPECT_EQ(s.num_leaves, 3);  // V2, V4, V5
+  EXPECT_EQ(s.max_out_degree, 2);
+  EXPECT_EQ(s.root_degree, 2);
+  EXPECT_EQ(s.max_depth, 3);
+  EXPECT_DOUBLE_EQ(s.mean_out_degree, 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.mean_depth, (0 + 1 + 1 + 2 + 2 + 3) / 6.0);
+}
+
+TEST(MetricsTest, SingleNodeCascade) {
+  const Cascade lone =
+      std::move(Cascade::Create("lone", {{0, 9, {}, 0.0}})).value();
+  const CascadeStructure s = ComputeStructure(lone);
+  EXPECT_EQ(s.num_nodes, 1);
+  EXPECT_EQ(s.num_edges, 0);
+  EXPECT_EQ(s.num_leaves, 1);
+  EXPECT_EQ(s.max_depth, 0);
+  EXPECT_EQ(s.root_degree, 0);
+}
+
+TEST(MetricsTest, ChainStructure) {
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i < 5; ++i)
+    events.push_back({i, i, {i - 1}, static_cast<double>(i)});
+  const Cascade chain =
+      std::move(Cascade::Create("chain", std::move(events))).value();
+  const CascadeStructure s = ComputeStructure(chain);
+  EXPECT_EQ(s.num_leaves, 1);
+  EXPECT_EQ(s.max_depth, 4);
+  EXPECT_EQ(s.max_out_degree, 1);
+}
+
+TEST(MetricsTest, StarStructure) {
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i <= 6; ++i)
+    events.push_back({i, i, {0}, static_cast<double>(i)});
+  const Cascade star =
+      std::move(Cascade::Create("star", std::move(events))).value();
+  const CascadeStructure s = ComputeStructure(star);
+  EXPECT_EQ(s.num_leaves, 6);
+  EXPECT_EQ(s.max_depth, 1);
+  EXPECT_EQ(s.root_degree, 6);
+  EXPECT_EQ(s.max_out_degree, 6);
+}
+
+TEST(MetricsTest, MultiParentCountsInOutDegrees) {
+  std::vector<AdoptionEvent> events = {
+      {0, 0, {}, 0.0}, {1, 1, {0}, 1.0}, {2, 2, {0, 1}, 2.0}};
+  const Cascade dag =
+      std::move(Cascade::Create("dag", std::move(events))).value();
+  const auto degs = OutDegrees(dag);
+  EXPECT_EQ(degs, (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(ComputeStructure(dag).num_edges, 3);
+}
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,144 @@
+#include "graph/random_walk.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+Cascade TreeCascade() {
+  std::vector<AdoptionEvent> events = {
+      {0, 0, {}, 0.0},  {1, 1, {0}, 1.0}, {2, 2, {0}, 2.0},
+      {3, 3, {1}, 3.0}, {4, 4, {1}, 4.0}, {5, 5, {3}, 5.0},
+  };
+  return std::move(Cascade::Create("t", std::move(events))).value();
+}
+
+bool IsForwardEdge(const Cascade& c, int from, int to) {
+  for (int p : c.event(to).parents)
+    if (p == from) return true;
+  return false;
+}
+
+TEST(CascadeWalksTest, ProducesRequestedShape) {
+  Rng rng(1);
+  WalkOptions opts;
+  opts.num_walks = 7;
+  opts.walk_length = 5;
+  const auto walks = SampleCascadeWalks(TreeCascade(), opts, rng);
+  ASSERT_EQ(walks.size(), 7u);
+  for (const auto& walk : walks) EXPECT_EQ(walk.size(), 5u);
+}
+
+TEST(CascadeWalksTest, StepsFollowEdgesOrRestart) {
+  Rng rng(2);
+  const Cascade c = TreeCascade();
+  WalkOptions opts;
+  opts.num_walks = 20;
+  opts.walk_length = 6;
+  const auto walks = SampleCascadeWalks(c, opts, rng);
+  for (const auto& walk : walks) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      const int prev = walk[i - 1];
+      const int cur = walk[i];
+      // Either a forward edge or a restart (restarts only happen at
+      // leaves).
+      const bool forward = IsForwardEdge(c, prev, cur);
+      if (!forward) {
+        // prev must have no children.
+        bool has_child = false;
+        for (int node = 0; node < c.size(); ++node)
+          if (IsForwardEdge(c, prev, node)) has_child = true;
+        EXPECT_FALSE(has_child)
+            << "non-edge transition from non-leaf " << prev;
+      }
+    }
+  }
+}
+
+TEST(CascadeWalksTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  WalkOptions opts;
+  const auto w1 = SampleCascadeWalks(TreeCascade(), opts, a);
+  const auto w2 = SampleCascadeWalks(TreeCascade(), opts, b);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(CascadeWalksTest, SingleNodeCascadeWalksStayAtRoot) {
+  Rng rng(3);
+  const Cascade lone =
+      std::move(Cascade::Create("lone", {{0, 0, {}, 0.0}})).value();
+  WalkOptions opts;
+  opts.num_walks = 3;
+  opts.walk_length = 4;
+  const auto walks = SampleCascadeWalks(lone, opts, rng);
+  for (const auto& walk : walks)
+    for (int node : walk) EXPECT_EQ(node, 0);
+}
+
+TEST(Node2VecWalksTest, StartsFromEveryNode) {
+  Rng rng(4);
+  const Cascade c = TreeCascade();
+  Node2VecOptions opts;
+  opts.num_walks_per_node = 2;
+  const auto walks = SampleNode2VecWalks(c, opts, rng);
+  EXPECT_EQ(walks.size(), static_cast<size_t>(c.size() * 2));
+  std::set<int> starts;
+  for (const auto& walk : walks) {
+    ASSERT_FALSE(walk.empty());
+    starts.insert(walk.front());
+  }
+  EXPECT_EQ(starts.size(), static_cast<size_t>(c.size()));
+}
+
+TEST(Node2VecWalksTest, StepsUseUndirectedEdges) {
+  Rng rng(5);
+  const Cascade c = TreeCascade();
+  Node2VecOptions opts;
+  const auto walks = SampleNode2VecWalks(c, opts, rng);
+  for (const auto& walk : walks) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      const bool edge = IsForwardEdge(c, walk[i - 1], walk[i]) ||
+                        IsForwardEdge(c, walk[i], walk[i - 1]);
+      EXPECT_TRUE(edge) << walk[i - 1] << "->" << walk[i];
+    }
+  }
+}
+
+TEST(Node2VecWalksTest, HighReturnParameterDiscouragesBacktracking) {
+  // With p very large, returning to the previous node is strongly
+  // penalised; on a path graph the walk must then oscillate less.
+  std::vector<AdoptionEvent> events = {{0, 0, {}, 0.0}};
+  for (int i = 1; i < 6; ++i)
+    events.push_back({i, i, {i - 1}, static_cast<double>(i)});
+  const Cascade path =
+      std::move(Cascade::Create("path", std::move(events))).value();
+
+  auto count_backtracks = [&](double p, uint64_t seed) {
+    Rng rng(seed);
+    Node2VecOptions opts;
+    opts.p = p;
+    opts.q = 1.0;
+    opts.num_walks_per_node = 10;
+    opts.walk_length = 6;
+    int backtracks = 0;
+    for (const auto& walk : SampleNode2VecWalks(path, opts, rng))
+      for (size_t i = 2; i < walk.size(); ++i)
+        if (walk[i] == walk[i - 2]) ++backtracks;
+    return backtracks;
+  };
+  // Interior nodes always have 2 neighbours, so with p=100 backtracking is
+  // ~100x less likely per step.
+  EXPECT_LT(count_backtracks(100.0, 7), count_backtracks(0.01, 7));
+}
+
+TEST(Node2VecWalksTest, DeterministicGivenSeed) {
+  Rng a(11), b(11);
+  Node2VecOptions opts;
+  EXPECT_EQ(SampleNode2VecWalks(TreeCascade(), opts, a),
+            SampleNode2VecWalks(TreeCascade(), opts, b));
+}
+
+}  // namespace
+}  // namespace cascn

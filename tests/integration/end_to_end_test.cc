@@ -1,0 +1,95 @@
+// End-to-end pipeline test: generate cascades -> build dataset -> train
+// CasCN for a few epochs -> verify learning happened and beats a naive
+// predictor. This exercises the full stack the way the quickstart example
+// and the bench harness do.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_data.h"
+#include "core/cascn_model.h"
+#include "core/trainer.h"
+#include "data/statistics.h"
+
+namespace cascn {
+namespace {
+
+using testing::TinyCascnConfig;
+using testing::TinyDataset;
+using testing::TinyTrainerOptions;
+
+TEST(EndToEndTest, CascnTrainsAndBeatsMeanPredictor) {
+  const CascadeDataset dataset = TinyDataset(/*seed=*/1234,
+                                             /*num_cascades=*/200);
+  ASSERT_GE(dataset.train.size(), 20u);
+  ASSERT_GE(dataset.test.size(), 4u);
+
+  CascnModel model(TinyCascnConfig());
+  const double untrained = EvaluateMsle(model, dataset.test);
+
+  TrainerOptions opts = TinyTrainerOptions(6);
+  const TrainResult result = TrainRegressor(model, dataset, opts);
+  const double trained = EvaluateMsle(model, dataset.test);
+
+  // Training must improve on the untrained network.
+  EXPECT_LT(trained, untrained);
+  EXPECT_FALSE(result.history.empty());
+
+  // And come close to (or beat) the best constant predictor: the
+  // train-mean label.
+  double mean_label = 0;
+  for (const auto& s : dataset.train) mean_label += s.log_label;
+  mean_label /= dataset.train.size();
+  double mean_msle = 0;
+  for (const auto& s : dataset.test) {
+    const double err = mean_label - s.log_label;
+    mean_msle += err * err;
+  }
+  mean_msle /= dataset.test.size();
+  EXPECT_LT(trained, mean_msle * 1.5);
+}
+
+TEST(EndToEndTest, TrainedModelPredictionsCorrelateWithLabels) {
+  const CascadeDataset dataset = TinyDataset(4321, 200);
+  CascnModel model(TinyCascnConfig());
+  TrainRegressor(model, dataset, TinyTrainerOptions(6));
+
+  // Pearson correlation between predictions and labels on test.
+  std::vector<double> preds, labels;
+  for (const auto& s : dataset.test) {
+    preds.push_back(model.PredictLog(s).value().At(0, 0));
+    labels.push_back(s.log_label);
+  }
+  const size_t n = preds.size();
+  double mp = 0, ml = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mp += preds[i];
+    ml += labels[i];
+  }
+  mp /= n;
+  ml /= n;
+  double cov = 0, vp = 0, vl = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (preds[i] - mp) * (labels[i] - ml);
+    vp += (preds[i] - mp) * (preds[i] - mp);
+    vl += (labels[i] - ml) * (labels[i] - ml);
+  }
+  ASSERT_GT(vl, 0);
+  ASSERT_GT(vp, 0) << "trained predictions must not collapse to a constant";
+  const double corr = cov / std::sqrt(vp * vl);
+  EXPECT_GT(corr, 0.1) << "trained CasCN should track label ordering";
+}
+
+TEST(EndToEndTest, DatasetStatisticsAreSane) {
+  const CascadeDataset dataset = TinyDataset();
+  const DatasetStatistics stats = ComputeDatasetStatistics(dataset);
+  EXPECT_GT(stats.train.num_cascades, 0);
+  EXPECT_GE(stats.train.avg_nodes, 5.0);  // the min-observed filter
+  EXPECT_GT(stats.train.avg_edges, 0.0);
+  // Observed trees: edges = nodes - 1.
+  EXPECT_NEAR(stats.train.avg_edges, stats.train.avg_nodes - 1, 1e-9);
+}
+
+}  // namespace
+}  // namespace cascn

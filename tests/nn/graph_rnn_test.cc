@@ -1,0 +1,191 @@
+#include "nn/graph_rnn_cells.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/cheb_conv.h"
+#include "tensor/grad_check.h"
+
+namespace cascn::nn {
+namespace {
+
+/// A tiny 3-node Chebyshev basis {I, L} for testing.
+std::vector<CsrMatrix> TinyBasis(int n, int order) {
+  std::vector<CsrMatrix> basis;
+  basis.push_back(CsrMatrix::Identity(n));
+  if (order >= 2) {
+    // A symmetric "scaled Laplacian"-like operator.
+    std::vector<Triplet> trips;
+    for (int i = 0; i < n; ++i) trips.push_back({i, i, -0.5});
+    for (int i = 0; i + 1 < n; ++i) {
+      trips.push_back({i, i + 1, 0.25});
+      trips.push_back({i + 1, i, 0.25});
+    }
+    basis.push_back(CsrMatrix::FromTriplets(n, n, trips));
+  }
+  for (int k = 2; k < order; ++k) {
+    basis.push_back(basis[k - 1]
+                        .MatMulSparse(basis[1])
+                        .Scaled(2.0)
+                        .Add(basis[k - 2], 1.0, -1.0));
+  }
+  return basis;
+}
+
+TEST(ChebConvTest, ForwardMatchesManualSum) {
+  Rng rng(1);
+  const int n = 3;
+  ChebConv conv(n, 2, /*k=*/2, rng, /*with_bias=*/false);
+  const auto basis = TinyBasis(n, 2);
+  Tensor x_val = Tensor::RandomNormal(n, n, 1.0, rng);
+  ag::Variable x = ag::Variable::Leaf(x_val);
+  ag::Variable y = conv.Forward(basis, x);
+
+  // Manual: sum_k T_k X W_k.
+  auto params = conv.NamedParameters();
+  ASSERT_EQ(params.size(), 2u);
+  Tensor expected = MatMul(basis[0].MatMulDense(x_val),
+                           params[0].second.value());
+  expected.AddInPlace(
+      MatMul(basis[1].MatMulDense(x_val), params[1].second.value()));
+  EXPECT_TRUE(AllClose(y.value(), expected, 1e-12));
+}
+
+TEST(ChebConvTest, BiasIsAdded) {
+  Rng rng(2);
+  ChebConv conv(3, 2, 1, rng, /*with_bias=*/true);
+  const auto basis = TinyBasis(3, 1);
+  ag::Variable x = ag::Variable::Leaf(Tensor(3, 3));
+  ag::Variable y = conv.Forward(basis, x);
+  // Zero input: output must equal broadcast bias (zero-init) -> zeros.
+  EXPECT_NEAR(y.value().AbsMax(), 0.0, 1e-12);
+  EXPECT_EQ(static_cast<int>(conv.Parameters().size()), 2);
+}
+
+TEST(ChebConvTest, OrderMismatchDies) {
+  Rng rng(3);
+  ChebConv conv(3, 2, 2, rng);
+  const auto basis = TinyBasis(3, 1);  // too short
+  ag::Variable x = ag::Variable::Leaf(Tensor(3, 3));
+  EXPECT_DEATH(conv.Forward(basis, x), "order mismatch");
+}
+
+TEST(ChebConvTest, GradCheck) {
+  Rng rng(4);
+  const int n = 3;
+  ChebConv conv(n, 2, 2, rng);
+  const auto basis = TinyBasis(n, 2);
+  ag::Variable x = ag::Variable::Leaf(Tensor::RandomNormal(n, n, 1.0, rng));
+  auto params = conv.Parameters();
+  for (auto& p : params) {
+    auto r = ag::CheckGradient(p, [&](const ag::Variable&) {
+      return ag::Sum(ag::Square(conv.Forward(basis, x)));
+    });
+    EXPECT_TRUE(r.ok) << r.max_rel_error;
+  }
+}
+
+TEST(GraphConvLstmCellTest, StepShapes) {
+  Rng rng(5);
+  const int n = 4, h = 3;
+  GraphConvLstmCell cell(n, h, 2, rng);
+  EXPECT_EQ(cell.num_nodes(), n);
+  EXPECT_EQ(cell.hidden_dim(), h);
+  EXPECT_EQ(cell.cheb_order(), 2);
+  const auto basis = TinyBasis(n, 2);
+  RnnState state = cell.InitialState();
+  ag::Variable x = ag::Variable::Leaf(Tensor::RandomNormal(n, n, 1.0, rng));
+  state = cell.Step(basis, x, state);
+  EXPECT_EQ(state.h.rows(), n);
+  EXPECT_EQ(state.h.cols(), h);
+  EXPECT_EQ(state.c.rows(), n);
+}
+
+TEST(GraphConvLstmCellTest, HiddenBounded) {
+  Rng rng(6);
+  const int n = 3;
+  GraphConvLstmCell cell(n, 4, 2, rng);
+  const auto basis = TinyBasis(n, 2);
+  RnnState state = cell.InitialState();
+  for (int t = 0; t < 10; ++t) {
+    ag::Variable x =
+        ag::Variable::Leaf(Tensor::RandomNormal(n, n, 2.0, rng));
+    state = cell.Step(basis, x, state);
+  }
+  EXPECT_LE(state.h.value().AbsMax(), 1.0);
+}
+
+TEST(GraphConvLstmCellTest, GradientsReachEveryParameter) {
+  Rng rng(7);
+  const int n = 3;
+  GraphConvLstmCell cell(n, 2, 2, rng);
+  const auto basis = TinyBasis(n, 2);
+  RnnState state = cell.InitialState();
+  for (int t = 0; t < 2; ++t) {
+    ag::Variable x =
+        ag::Variable::Leaf(Tensor::RandomNormal(n, n, 1.0, rng));
+    state = cell.Step(basis, x, state);
+  }
+  ag::Sum(ag::Square(state.h)).Backward();
+  for (const auto& [name, p] : cell.NamedParameters())
+    EXPECT_FALSE(p.grad().empty()) << name;
+}
+
+TEST(GraphConvLstmCellTest, GradCheckRepresentativeParams) {
+  Rng rng(8);
+  const int n = 2;
+  GraphConvLstmCell cell(n, 2, 2, rng);
+  const auto basis = TinyBasis(n, 2);
+  ag::Variable x = ag::Variable::Leaf(Tensor::RandomNormal(n, n, 1.0, rng));
+  auto forward = [&](const ag::Variable&) {
+    RnnState s = cell.InitialState();
+    s = cell.Step(basis, x, s);
+    s = cell.Step(basis, x, s);
+    return ag::Sum(ag::Square(s.h));
+  };
+  auto named = cell.NamedParameters();
+  for (size_t i = 0; i < named.size(); i += 5) {
+    auto r = ag::CheckGradient(named[i].second, forward);
+    EXPECT_TRUE(r.ok) << named[i].first << " rel " << r.max_rel_error;
+  }
+}
+
+TEST(GraphConvGruCellTest, StepShapesAndBounds) {
+  Rng rng(9);
+  const int n = 4;
+  GraphConvGruCell cell(n, 3, 2, rng);
+  const auto basis = TinyBasis(n, 2);
+  RnnState state = cell.InitialState();
+  for (int t = 0; t < 8; ++t) {
+    ag::Variable x =
+        ag::Variable::Leaf(Tensor::RandomNormal(n, n, 1.0, rng));
+    state = cell.Step(basis, x, state);
+    EXPECT_LE(state.h.value().AbsMax(), 1.0 + 1e-9);
+  }
+  EXPECT_EQ(state.h.rows(), n);
+  EXPECT_EQ(state.h.cols(), 3);
+}
+
+TEST(GraphConvGruCellTest, GradientsFlow) {
+  Rng rng(10);
+  const int n = 3;
+  GraphConvGruCell cell(n, 2, 2, rng);
+  const auto basis = TinyBasis(n, 2);
+  RnnState state = cell.InitialState();
+  ag::Variable x = ag::Variable::Leaf(Tensor::RandomNormal(n, n, 1.0, rng));
+  state = cell.Step(basis, x, state);
+  ag::Sum(ag::Square(state.h)).Backward();
+  for (const auto& [name, p] : cell.NamedParameters())
+    EXPECT_FALSE(p.grad().empty()) << name;
+}
+
+TEST(GraphConvCellsTest, WrongSignalShapeDies) {
+  Rng rng(11);
+  GraphConvLstmCell cell(4, 2, 2, rng);
+  const auto basis = TinyBasis(4, 2);
+  ag::Variable bad = ag::Variable::Leaf(Tensor(3, 4));
+  EXPECT_DEATH(cell.Step(basis, bad, cell.InitialState()), "n x n");
+}
+
+}  // namespace
+}  // namespace cascn::nn

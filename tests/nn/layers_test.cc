@@ -1,0 +1,141 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/embedding.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "tensor/grad_check.h"
+
+namespace cascn::nn {
+namespace {
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(1);
+  const int fan_in = 8, fan_out = 4;
+  Tensor w = XavierUniform(fan_in, fan_out, rng);
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  EXPECT_EQ(w.rows(), fan_in);
+  EXPECT_EQ(w.cols(), fan_out);
+  EXPECT_LE(w.AbsMax(), bound);
+}
+
+TEST(InitTest, XavierNormalVariance) {
+  Rng rng(2);
+  Tensor w = XavierNormal(500, 500, rng);
+  double ss = 0;
+  for (int i = 0; i < w.rows(); ++i)
+    for (int j = 0; j < w.cols(); ++j) ss += w.At(i, j) * w.At(i, j);
+  EXPECT_NEAR(ss / w.size(), 2.0 / 1000, 2e-4);
+}
+
+TEST(LinearTest, ForwardShapeAndAffine) {
+  Rng rng(3);
+  Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.in_features(), 4);
+  EXPECT_EQ(layer.out_features(), 3);
+  ag::Variable x = ag::Variable::Leaf(Tensor(2, 4));
+  ag::Variable y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+  // Zero input -> output equals bias (zero-initialised).
+  EXPECT_NEAR(y.value().AbsMax(), 0.0, 1e-12);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(4);
+  Linear layer(3, 2, rng);
+  ag::Variable x =
+      ag::Variable::Leaf(Tensor::RandomNormal(5, 3, 1.0, rng));
+  ag::Sum(ag::Square(layer.Forward(x))).Backward();
+  for (const auto& p : layer.Parameters()) {
+    EXPECT_FALSE(p.grad().empty());
+  }
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(5);
+  Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+}
+
+TEST(MlpTest, ForwardShape) {
+  Rng rng(6);
+  Mlp mlp({5, 8, 3, 1}, Activation::kRelu, rng);
+  EXPECT_EQ(mlp.in_features(), 5);
+  EXPECT_EQ(mlp.out_features(), 1);
+  ag::Variable x =
+      ag::Variable::Leaf(Tensor::RandomNormal(7, 5, 1.0, rng));
+  ag::Variable y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 7);
+  EXPECT_EQ(y.cols(), 1);
+}
+
+class MlpActivationSweep : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(MlpActivationSweep, TrainableEndToEnd) {
+  Rng rng(7);
+  Mlp mlp({3, 6, 1}, GetParam(), rng);
+  ag::Variable x =
+      ag::Variable::Leaf(Tensor::RandomNormal(4, 3, 1.0, rng));
+  ag::Sum(ag::Square(mlp.Forward(x))).Backward();
+  int with_grad = 0;
+  for (const auto& p : mlp.Parameters())
+    if (!p.grad().empty()) ++with_grad;
+  EXPECT_EQ(with_grad, static_cast<int>(mlp.Parameters().size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, MlpActivationSweep,
+                         ::testing::Values(Activation::kRelu,
+                                           Activation::kTanh,
+                                           Activation::kSigmoid));
+
+TEST(EmbeddingTest, LookupReturnsRows) {
+  Rng rng(9);
+  Embedding emb(10, 4, rng);
+  EXPECT_EQ(emb.vocab_size(), 10);
+  EXPECT_EQ(emb.dim(), 4);
+  ag::Variable rows = emb.Lookup({2, 2, 7});
+  EXPECT_EQ(rows.rows(), 3);
+  EXPECT_EQ(rows.cols(), 4);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(rows.value().At(0, j), rows.value().At(1, j));
+    EXPECT_DOUBLE_EQ(rows.value().At(0, j), emb.table().value().At(2, j));
+  }
+}
+
+TEST(EmbeddingTest, GradientScattersToUsedRowsOnly) {
+  Rng rng(10);
+  Embedding emb(6, 3, rng);
+  ag::Sum(ag::Square(emb.Lookup({1, 1}))).Backward();
+  const Tensor& g = emb.table().grad();
+  ASSERT_FALSE(g.empty());
+  for (int i = 0; i < 6; ++i) {
+    double row_norm = 0;
+    for (int j = 0; j < 3; ++j) row_norm += std::fabs(g.At(i, j));
+    if (i == 1) {
+      EXPECT_GT(row_norm, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(row_norm, 0.0);
+    }
+  }
+}
+
+TEST(MlpGradCheck, NumericalGradientsMatch) {
+  Rng rng(11);
+  Mlp mlp({3, 4, 1}, Activation::kTanh, rng);
+  ag::Variable x =
+      ag::Variable::Leaf(Tensor::RandomNormal(2, 3, 1.0, rng));
+  auto params = mlp.Parameters();
+  for (auto& p : params) {
+    auto result = ag::CheckGradient(p, [&](const ag::Variable&) {
+      return ag::Sum(ag::Square(mlp.Forward(x)));
+    });
+    EXPECT_TRUE(result.ok) << "rel err " << result.max_rel_error;
+  }
+}
+
+}  // namespace
+}  // namespace cascn::nn

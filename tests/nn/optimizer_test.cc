@@ -1,0 +1,162 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+
+namespace cascn::nn {
+namespace {
+
+/// Minimises ||x - target||^2 with the given optimizer; returns final x.
+template <typename Opt>
+double MinimiseQuadratic(Opt& optimizer, ag::Variable& x, double target,
+                         int steps) {
+  for (int i = 0; i < steps; ++i) {
+    ag::Variable loss = ag::Sum(ag::Square(ag::AddScalar(x, -target)));
+    loss.Backward();
+    optimizer.Step();
+  }
+  return x.value().At(0, 0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  ag::Variable x = ag::Variable::Leaf(Tensor(1, 1, 10.0), true);
+  Adam::Options opts;
+  opts.learning_rate = 0.2;
+  Adam adam({x}, opts);
+  const double final = MinimiseQuadratic(adam, x, 3.0, 200);
+  EXPECT_NEAR(final, 3.0, 1e-2);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  ag::Variable x = ag::Variable::Leaf(Tensor(1, 1, 1.0), true);
+  Adam adam({x}, {});
+  ag::Sum(ag::Square(x)).Backward();
+  EXPECT_FALSE(x.grad().empty());
+  adam.Step();
+  EXPECT_DOUBLE_EQ(x.grad().AbsMax(), 0.0);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradients) {
+  ag::Variable used = ag::Variable::Leaf(Tensor(1, 1, 1.0), true);
+  ag::Variable unused = ag::Variable::Leaf(Tensor(1, 1, 5.0), true);
+  Adam adam({used, unused}, {});
+  ag::Sum(ag::Square(used)).Backward();
+  adam.Step();
+  EXPECT_DOUBLE_EQ(unused.value().At(0, 0), 5.0);
+  EXPECT_NE(used.value().At(0, 0), 1.0);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  ag::Variable x = ag::Variable::Leaf(Tensor(1, 1, 4.0), true);
+  Adam::Options opts;
+  opts.learning_rate = 0.1;
+  opts.weight_decay = 1.0;
+  Adam adam({x}, opts);
+  // Loss gradient is 0 here (loss independent of x)... use a flat loss by
+  // backwarding a constant-free graph: give x a zero gradient explicitly.
+  ag::Variable zero = ag::ScalarMul(x, 0.0);
+  ag::Sum(zero).Backward();
+  adam.Step();
+  EXPECT_LT(x.value().At(0, 0), 4.0);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  ag::Variable x = ag::Variable::Leaf(Tensor(1, 1, -8.0), true);
+  Sgd::Options opts;
+  opts.learning_rate = 0.1;
+  Sgd sgd({x}, opts);
+  const double final = MinimiseQuadratic(sgd, x, 2.0, 100);
+  EXPECT_NEAR(final, 2.0, 1e-6);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  ag::Variable slow = ag::Variable::Leaf(Tensor(1, 1, 10.0), true);
+  ag::Variable fast = ag::Variable::Leaf(Tensor(1, 1, 10.0), true);
+  Sgd::Options plain;
+  plain.learning_rate = 0.01;
+  Sgd sgd_plain({slow}, plain);
+  Sgd::Options with_momentum = plain;
+  with_momentum.momentum = 0.9;
+  Sgd sgd_momentum({fast}, with_momentum);
+  for (int i = 0; i < 20; ++i) {
+    ag::Sum(ag::Square(slow)).Backward();
+    sgd_plain.Step();
+    ag::Sum(ag::Square(fast)).Backward();
+    sgd_momentum.Step();
+  }
+  EXPECT_LT(std::fabs(fast.value().At(0, 0)),
+            std::fabs(slow.value().At(0, 0)));
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  ag::Variable x = ag::Variable::Leaf(Tensor(1, 2), true);
+  ag::Sum(ag::ScalarMul(x, 30.0)).Backward();  // grad = (30, 30)
+  std::vector<ag::Variable> params = {x};
+  ClipGradNorm(params, 1.0);
+  const double norm = std::hypot(x.grad().At(0, 0), x.grad().At(0, 1));
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsUntouched) {
+  ag::Variable x = ag::Variable::Leaf(Tensor(1, 1), true);
+  ag::Sum(ag::ScalarMul(x, 0.5)).Backward();
+  std::vector<ag::Variable> params = {x};
+  ClipGradNorm(params, 10.0);
+  EXPECT_DOUBLE_EQ(x.grad().At(0, 0), 0.5);
+}
+
+TEST(ClipGradNormTest, DisabledWhenNonPositive) {
+  ag::Variable x = ag::Variable::Leaf(Tensor(1, 1), true);
+  ag::Sum(ag::ScalarMul(x, 100.0)).Backward();
+  std::vector<ag::Variable> params = {x};
+  ClipGradNorm(params, 0.0);
+  EXPECT_DOUBLE_EQ(x.grad().At(0, 0), 100.0);
+}
+
+TEST(LossTest, SquaredErrorValueAndGradient) {
+  ag::Variable pred = ag::Variable::Leaf(Tensor(1, 1, 3.0), true);
+  ag::Variable loss = SquaredError(pred, 1.0);
+  EXPECT_DOUBLE_EQ(loss.value().At(0, 0), 4.0);
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(pred.grad().At(0, 0), 4.0);  // 2 (pred - t)
+}
+
+TEST(LossTest, MeanLossAverages) {
+  ag::Variable a = ag::Variable::Leaf(Tensor(1, 1, 2.0));
+  ag::Variable b = ag::Variable::Leaf(Tensor(1, 1, 4.0));
+  EXPECT_DOUBLE_EQ(MeanLoss({a, b}).value().At(0, 0), 3.0);
+}
+
+TEST(AdamVsSgd, AdamHandlesIllConditionedScalesBetter) {
+  // f(x, y) = x^2 + 100 y^2: Adam's per-coordinate scaling wins at a shared
+  // learning rate.
+  auto run = [](bool use_adam) {
+    ag::Variable v = ag::Variable::Leaf(Tensor::FromRows({{5.0, 5.0}}), true);
+    std::unique_ptr<Optimizer> opt;
+    if (use_adam) {
+      Adam::Options o;
+      o.learning_rate = 0.05;
+      opt = std::make_unique<Adam>(std::vector<ag::Variable>{v}, o);
+    } else {
+      Sgd::Options o;
+      o.learning_rate = 0.05;  // diverges on the stiff coordinate... clipped
+      o.clip_norm = 1.0;
+      opt = std::make_unique<Sgd>(std::vector<ag::Variable>{v}, o);
+    }
+    for (int i = 0; i < 150; ++i) {
+      ag::Variable scaled =
+          ag::Mul(v, ag::Variable::Leaf(Tensor::FromRows({{1.0, 10.0}})));
+      ag::Sum(ag::Square(scaled)).Backward();
+      opt->Step();
+    }
+    return v.value().Norm();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace cascn::nn

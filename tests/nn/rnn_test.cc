@@ -1,0 +1,122 @@
+#include "nn/rnn_cells.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+
+namespace cascn::nn {
+namespace {
+
+TEST(LstmCellTest, StepShapes) {
+  Rng rng(1);
+  LstmCell cell(4, 6, rng);
+  EXPECT_EQ(cell.input_dim(), 4);
+  EXPECT_EQ(cell.hidden_dim(), 6);
+  RnnState state = cell.InitialState(3);
+  EXPECT_EQ(state.h.rows(), 3);
+  EXPECT_EQ(state.h.cols(), 6);
+  ag::Variable x = ag::Variable::Leaf(Tensor::RandomNormal(3, 4, 1.0, rng));
+  RnnState next = cell.Step(x, state);
+  EXPECT_EQ(next.h.rows(), 3);
+  EXPECT_EQ(next.h.cols(), 6);
+  EXPECT_EQ(next.c.rows(), 3);
+}
+
+TEST(LstmCellTest, HiddenStateBounded) {
+  Rng rng(2);
+  LstmCell cell(3, 5, rng);
+  RnnState state = cell.InitialState(2);
+  for (int t = 0; t < 20; ++t) {
+    ag::Variable x =
+        ag::Variable::Leaf(Tensor::RandomNormal(2, 3, 3.0, rng));
+    state = cell.Step(x, state);
+  }
+  // h = o * tanh(c) is bounded by 1 in magnitude.
+  EXPECT_LE(state.h.value().AbsMax(), 1.0);
+}
+
+TEST(LstmCellTest, GradientsReachAllParameters) {
+  Rng rng(3);
+  LstmCell cell(3, 4, rng);
+  RnnState state = cell.InitialState(2);
+  for (int t = 0; t < 3; ++t) {
+    ag::Variable x =
+        ag::Variable::Leaf(Tensor::RandomNormal(2, 3, 1.0, rng));
+    state = cell.Step(x, state);
+  }
+  ag::Sum(ag::Square(state.h)).Backward();
+  for (const auto& p : cell.Parameters()) EXPECT_FALSE(p.grad().empty());
+}
+
+TEST(LstmCellTest, GradCheckThroughTwoSteps) {
+  Rng rng(4);
+  LstmCell cell(2, 3, rng);
+  ag::Variable x1 = ag::Variable::Leaf(Tensor::RandomNormal(1, 2, 1.0, rng));
+  ag::Variable x2 = ag::Variable::Leaf(Tensor::RandomNormal(1, 2, 1.0, rng));
+  auto params = cell.Parameters();
+  auto forward = [&](const ag::Variable&) {
+    RnnState s = cell.InitialState(1);
+    s = cell.Step(x1, s);
+    s = cell.Step(x2, s);
+    return ag::Sum(ag::Square(s.h));
+  };
+  // Check a representative subset (all 12 would be slow but fine; keep 4).
+  for (size_t i = 0; i < params.size(); i += 3) {
+    auto result = ag::CheckGradient(params[i], forward);
+    EXPECT_TRUE(result.ok) << "param " << i << " rel " << result.max_rel_error;
+  }
+}
+
+TEST(GruCellTest, StepShapes) {
+  Rng rng(5);
+  GruCell cell(4, 6, rng);
+  RnnState state = cell.InitialState(2);
+  ag::Variable x = ag::Variable::Leaf(Tensor::RandomNormal(2, 4, 1.0, rng));
+  RnnState next = cell.Step(x, state);
+  EXPECT_EQ(next.h.rows(), 2);
+  EXPECT_EQ(next.h.cols(), 6);
+}
+
+TEST(GruCellTest, InterpolationStaysBounded) {
+  Rng rng(6);
+  GruCell cell(3, 4, rng);
+  RnnState state = cell.InitialState(1);
+  for (int t = 0; t < 30; ++t) {
+    ag::Variable x =
+        ag::Variable::Leaf(Tensor::RandomNormal(1, 3, 2.0, rng));
+    state = cell.Step(x, state);
+    // GRU hidden is a convex combination of tanh candidates: |h| <= 1.
+    EXPECT_LE(state.h.value().AbsMax(), 1.0 + 1e-9);
+  }
+}
+
+TEST(GruCellTest, GradCheckThroughSequence) {
+  Rng rng(7);
+  GruCell cell(2, 3, rng);
+  ag::Variable x = ag::Variable::Leaf(Tensor::RandomNormal(2, 2, 1.0, rng));
+  auto params = cell.Parameters();
+  auto forward = [&](const ag::Variable&) {
+    RnnState s = cell.InitialState(2);
+    s = cell.Step(x, s);
+    s = cell.Step(x, s);
+    return ag::Sum(ag::Square(s.h));
+  };
+  for (size_t i = 0; i < params.size(); i += 4) {
+    auto result = ag::CheckGradient(params[i], forward);
+    EXPECT_TRUE(result.ok) << "param " << i << " rel " << result.max_rel_error;
+  }
+}
+
+TEST(GruCellTest, DeterministicGivenSeed) {
+  Rng rng_a(8), rng_b(8);
+  GruCell a(3, 4, rng_a), b(3, 4, rng_b);
+  Rng data(9);
+  Tensor input = Tensor::RandomNormal(2, 3, 1.0, data);
+  RnnState sa = a.Step(ag::Variable::Leaf(input), a.InitialState(2));
+  RnnState sb = b.Step(ag::Variable::Leaf(input), b.InitialState(2));
+  EXPECT_TRUE(AllClose(sa.h.value(), sb.h.value()));
+}
+
+}  // namespace
+}  // namespace cascn::nn

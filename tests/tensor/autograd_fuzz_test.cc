@@ -1,0 +1,104 @@
+// Property-based fuzzing of the autodiff engine: random compositions of
+// shape-preserving ops are gradient-checked against finite differences.
+// Any op whose backward pass disagrees with its forward perturbation
+// behaviour fails here, independent of the hand-written per-op tests.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+#include "tensor/variable.h"
+
+namespace cascn::ag {
+namespace {
+
+/// Applies a random shape-preserving smooth op.
+Variable RandomUnaryOp(const Variable& x, Rng& rng) {
+  switch (rng.UniformInt(6)) {
+    case 0:
+      return Sigmoid(x);
+    case 1:
+      return Tanh(x);
+    case 2:
+      return Softplus(x);
+    case 3:
+      return ScalarMul(x, rng.Uniform(-2.0, 2.0));
+    case 4:
+      return AddScalar(x, rng.Uniform(-1.0, 1.0));
+    default:
+      return Square(ScalarMul(x, 0.5));  // kept small to avoid blowup
+  }
+}
+
+/// Mixes two same-shaped variables with a random binary op.
+Variable RandomBinaryOp(const Variable& a, const Variable& b, Rng& rng) {
+  switch (rng.UniformInt(3)) {
+    case 0:
+      return Add(a, b);
+    case 1:
+      return Sub(a, b);
+    default:
+      return Mul(a, b);
+  }
+}
+
+class AutogradFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutogradFuzz, RandomCompositionGradcheck) {
+  Rng rng(GetParam());
+  const int rows = 2 + static_cast<int>(rng.UniformInt(3));
+  const int cols = 2 + static_cast<int>(rng.UniformInt(3));
+  Variable leaf =
+      Variable::Leaf(Tensor::RandomNormal(rows, cols, 0.7, rng), true);
+  Variable constant =
+      Variable::Leaf(Tensor::RandomNormal(rows, cols, 0.7, rng), false);
+
+  // Rebuild the same random graph for every evaluation: snapshot the op
+  // choices by re-seeding a local generator.
+  const uint64_t graph_seed = rng.NextUint64();
+  auto build = [&](const Variable& x) {
+    Rng graph_rng(graph_seed);
+    Variable a = x;
+    Variable b = constant;
+    for (int depth = 0; depth < 6; ++depth) {
+      if (graph_rng.Bernoulli(0.5)) {
+        a = RandomUnaryOp(a, graph_rng);
+      } else {
+        Variable mixed = RandomBinaryOp(a, b, graph_rng);
+        b = a;
+        a = mixed;
+      }
+    }
+    return Mean(Square(a));
+  };
+
+  auto result = CheckGradient(leaf, build, 1e-5, 2e-5);
+  EXPECT_TRUE(result.ok) << "seed " << GetParam() << " rel error "
+                         << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzz,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(AutogradFuzzMatMul, RandomChainsWithMatMul) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 131);
+    const int m = 2 + static_cast<int>(rng.UniformInt(3));
+    const int k = 2 + static_cast<int>(rng.UniformInt(3));
+    const int n = 2 + static_cast<int>(rng.UniformInt(3));
+    Variable w = Variable::Leaf(Tensor::RandomNormal(k, n, 0.7, rng), true);
+    Variable x =
+        Variable::Leaf(Tensor::RandomNormal(m, k, 0.7, rng), false);
+    Variable bias = Variable::Leaf(Tensor::RandomNormal(1, n, 0.7, rng),
+                                   false);
+    auto build = [&](const Variable& weight) {
+      return Mean(Square(Tanh(AddRowBroadcast(MatMul(x, weight), bias))));
+    };
+    auto result = CheckGradient(w, build, 1e-5, 2e-5);
+    EXPECT_TRUE(result.ok) << "seed " << seed << " rel "
+                           << result.max_rel_error;
+  }
+}
+
+}  // namespace
+}  // namespace cascn::ag

@@ -1,0 +1,120 @@
+#include "tensor/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cascn {
+namespace {
+
+/// Random sparse matrix with the given density.
+CsrMatrix RandomSparse(int rows, int cols, double density, Rng& rng) {
+  std::vector<Triplet> trips;
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j)
+      if (rng.Bernoulli(density)) trips.push_back({i, j, rng.Normal()});
+  return CsrMatrix::FromTriplets(rows, cols, std::move(trips));
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(CsrMatrixTest, FromTripletsMergesDuplicates) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 5.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  Tensor dense = m.ToDense();
+  EXPECT_DOUBLE_EQ(dense.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(dense.At(1, 1), 5.0);
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  Tensor dense = Tensor::FromRows({{0, 1, 0}, {2, 0, 3}});
+  EXPECT_TRUE(AllClose(CsrMatrix::FromDense(dense).ToDense(), dense));
+}
+
+TEST(CsrMatrixTest, FromDenseDropsZeros) {
+  Tensor dense = Tensor::FromRows({{0, 1}, {0, 0}});
+  EXPECT_EQ(CsrMatrix::FromDense(dense).nnz(), 1);
+}
+
+TEST(CsrMatrixTest, IdentityBehaves) {
+  CsrMatrix eye = CsrMatrix::Identity(4);
+  EXPECT_EQ(eye.nnz(), 4);
+  Rng rng(3);
+  Tensor x = Tensor::RandomNormal(4, 5, 1.0, rng);
+  EXPECT_TRUE(AllClose(eye.MatMulDense(x), x));
+}
+
+class SpMMSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(SpMMSweep, MatchesDenseMatMul) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 31 + k * 7 + n);
+  CsrMatrix sparse = RandomSparse(m, k, 0.3, rng);
+  Tensor dense = Tensor::RandomNormal(k, n, 1.0, rng);
+  EXPECT_TRUE(AllClose(sparse.MatMulDense(dense),
+                       MatMul(sparse.ToDense(), dense), 1e-9));
+}
+
+TEST_P(SpMMSweep, TransposeMatMulMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  CsrMatrix sparse = RandomSparse(m, k, 0.3, rng);
+  Tensor dense = Tensor::RandomNormal(m, n, 1.0, rng);
+  EXPECT_TRUE(AllClose(sparse.TransposeMatMulDense(dense),
+                       MatMul(sparse.ToDense().Transposed(), dense), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpMMSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 4, 2),
+                      std::make_tuple(6, 6, 6), std::make_tuple(10, 3, 7)));
+
+TEST(CsrMatrixTest, TransposedRoundTrip) {
+  Rng rng(17);
+  CsrMatrix m = RandomSparse(5, 7, 0.4, rng);
+  EXPECT_TRUE(AllClose(m.Transposed().ToDense(), m.ToDense().Transposed()));
+  EXPECT_TRUE(AllClose(m.Transposed().Transposed().ToDense(), m.ToDense()));
+}
+
+TEST(CsrMatrixTest, AddWithCoefficients) {
+  Rng rng(19);
+  CsrMatrix a = RandomSparse(4, 4, 0.5, rng);
+  CsrMatrix b = RandomSparse(4, 4, 0.5, rng);
+  Tensor expected = a.ToDense();
+  expected.Scale(2.0);
+  expected.Axpy(-0.5, b.ToDense());
+  EXPECT_TRUE(AllClose(a.Add(b, 2.0, -0.5).ToDense(), expected, 1e-12));
+}
+
+TEST(CsrMatrixTest, SparseSparseProductMatchesDense) {
+  Rng rng(23);
+  CsrMatrix a = RandomSparse(5, 6, 0.4, rng);
+  CsrMatrix b = RandomSparse(6, 4, 0.4, rng);
+  EXPECT_TRUE(AllClose(a.MatMulSparse(b).ToDense(),
+                       MatMul(a.ToDense(), b.ToDense()), 1e-9));
+}
+
+TEST(CsrMatrixTest, ScaledMultipliesValues) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 1, 2.0}});
+  EXPECT_DOUBLE_EQ(m.Scaled(-3.0).ToDense().At(0, 1), -6.0);
+}
+
+TEST(CsrMatrixTest, RowOffsetsAreConsistent) {
+  Rng rng(29);
+  CsrMatrix m = RandomSparse(8, 8, 0.3, rng);
+  const auto& offsets = m.row_offsets();
+  ASSERT_EQ(offsets.size(), 9u);
+  EXPECT_EQ(offsets.front(), 0);
+  EXPECT_EQ(offsets.back(), m.nnz());
+  for (size_t i = 1; i < offsets.size(); ++i)
+    EXPECT_GE(offsets[i], offsets[i - 1]);
+}
+
+}  // namespace
+}  // namespace cascn

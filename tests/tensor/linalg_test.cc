@@ -1,0 +1,150 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cascn {
+namespace {
+
+TEST(CholeskyTest, FactorsKnownSpdMatrix) {
+  // A = L L^T with L = [[2,0],[1,3]].
+  Tensor a = Tensor::FromRows({{4, 2}, {2, 10}});
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(l->At(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l->At(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l->At(1, 1), 3.0, 1e-12);
+  EXPECT_NEAR(l->At(0, 1), 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Tensor a = Tensor::FromRows({{1, 5}, {5, 1}});  // indefinite
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(CholeskyFactor(Tensor(2, 3)).ok());
+}
+
+TEST(SolveSpdTest, SolvesRandomSystems) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 3 + trial;
+    // SPD via B B^T + n I.
+    Tensor b = Tensor::RandomNormal(n, n, 1.0, rng);
+    Tensor a = MatMulTransposeB(b, b);
+    for (int i = 0; i < n; ++i) a.At(i, i) += n;
+    Tensor x_true = Tensor::RandomNormal(n, 2, 1.0, rng);
+    Tensor rhs = MatMul(a, x_true);
+    auto x = SolveSpd(a, rhs);
+    ASSERT_TRUE(x.ok());
+    EXPECT_TRUE(AllClose(*x, x_true, 1e-8));
+  }
+}
+
+TEST(SolveSpdTest, DimensionMismatchFails) {
+  EXPECT_FALSE(SolveSpd(Tensor::Identity(3), Tensor(2, 1)).ok());
+}
+
+TEST(PowerIterationTest, DiagonalMatrixDominantEigenvalue) {
+  CsrMatrix a = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 1.0}, {1, 1, 5.0}, {2, 2, 2.0}});
+  EXPECT_NEAR(PowerIterationLargestEigenvalue(a), 5.0, 1e-6);
+}
+
+TEST(PowerIterationTest, SymmetricKnownSpectrum) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  CsrMatrix a = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 2.0}});
+  EXPECT_NEAR(PowerIterationLargestEigenvalue(a), 3.0, 1e-6);
+}
+
+TEST(PowerIterationTest, ZeroMatrixGivesZero) {
+  CsrMatrix zero = CsrMatrix::FromTriplets(3, 3, {});
+  EXPECT_NEAR(PowerIterationLargestEigenvalue(zero), 0.0, 1e-12);
+}
+
+TEST(StationaryDistributionTest, TwoStateChain) {
+  // P = [[0.9, 0.1], [0.5, 0.5]] -> phi = (5/6, 1/6).
+  CsrMatrix p = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 0.9}, {0, 1, 0.1}, {1, 0, 0.5}, {1, 1, 0.5}});
+  auto phi = StationaryDistribution(p);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR((*phi)[0], 5.0 / 6.0, 1e-8);
+  EXPECT_NEAR((*phi)[1], 1.0 / 6.0, 1e-8);
+}
+
+TEST(StationaryDistributionTest, UniformChain) {
+  const int n = 4;
+  std::vector<Triplet> trips;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) trips.push_back({i, j, 1.0 / n});
+  auto phi = StationaryDistribution(CsrMatrix::FromTriplets(n, n, trips));
+  ASSERT_TRUE(phi.ok());
+  for (double v : *phi) EXPECT_NEAR(v, 1.0 / n, 1e-9);
+}
+
+TEST(StationaryDistributionTest, SumsToOne) {
+  // Random stochastic matrix.
+  Rng rng(31);
+  const int n = 6;
+  std::vector<Triplet> trips;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row(n);
+    double sum = 0;
+    for (int j = 0; j < n; ++j) {
+      row[j] = rng.Uniform() + 0.01;
+      sum += row[j];
+    }
+    for (int j = 0; j < n; ++j) trips.push_back({i, j, row[j] / sum});
+  }
+  auto phi = StationaryDistribution(CsrMatrix::FromTriplets(n, n, trips));
+  ASSERT_TRUE(phi.ok());
+  double total = 0;
+  for (double v : *phi) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(StationaryDistributionTest, RejectsNonSquare) {
+  EXPECT_FALSE(StationaryDistribution(CsrMatrix::FromTriplets(2, 3, {})).ok());
+}
+
+TEST(PrincipalComponentsTest, RecoversDominantDirection) {
+  // Points stretched along (1, 1)/sqrt(2).
+  Rng rng(41);
+  Tensor x(200, 2);
+  for (int i = 0; i < 200; ++i) {
+    const double along = rng.Normal() * 10.0;
+    const double across = rng.Normal() * 0.1;
+    x.At(i, 0) = along + across;
+    x.At(i, 1) = along - across;
+  }
+  Tensor comps = PrincipalComponents(x, 1);
+  const double ratio = comps.At(0, 0) / comps.At(1, 0);
+  EXPECT_NEAR(std::fabs(ratio), 1.0, 0.05);
+}
+
+TEST(PrincipalComponentsTest, ComponentsAreOrthonormal) {
+  Rng rng(43);
+  Tensor x = Tensor::RandomNormal(50, 5, 1.0, rng);
+  Tensor comps = PrincipalComponents(x, 3);
+  for (int a = 0; a < 3; ++a) {
+    double norm = 0;
+    for (int i = 0; i < 5; ++i) norm += comps.At(i, a) * comps.At(i, a);
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+    for (int b = a + 1; b < 3; ++b) {
+      double dot = 0;
+      for (int i = 0; i < 5; ++i) dot += comps.At(i, a) * comps.At(i, b);
+      EXPECT_NEAR(dot, 0.0, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cascn

@@ -1,0 +1,179 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cascn {
+namespace {
+
+TEST(TensorTest, ConstructionZeroInitialises) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t.At(i, j), 0.0);
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  Tensor t(2, 2, 3.5);
+  EXPECT_DOUBLE_EQ(t.At(1, 1), 3.5);
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_DOUBLE_EQ(t.MeanValue(), 0.0);
+}
+
+TEST(TensorTest, FromRowsBuildsRowMajor) {
+  Tensor t = Tensor::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 3.0);
+}
+
+TEST(TensorTest, IdentityMatrix) {
+  Tensor eye = Tensor::Identity(3);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(eye.At(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(TensorTest, AddAxpyScale) {
+  Tensor a = Tensor::FromRows({{1, 2}});
+  Tensor b = Tensor::FromRows({{10, 20}});
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 11.0);
+  a.Axpy(0.5, b);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 32.0);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 32.0);
+}
+
+TEST(TensorTest, MapAppliesElementwise) {
+  Tensor t = Tensor::FromRows({{1, -2}});
+  Tensor m = t.Map([](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), -2.0);  // original untouched
+}
+
+TEST(TensorTest, TransposedSwapsIndices) {
+  Tensor t = Tensor::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Tensor tt = t.Transposed();
+  EXPECT_EQ(tt.rows(), 3);
+  EXPECT_EQ(tt.cols(), 2);
+  EXPECT_DOUBLE_EQ(tt.At(2, 1), 6.0);
+}
+
+TEST(TensorTest, ReductionsAndNorm) {
+  Tensor t = Tensor::FromRows({{3, -4}});
+  EXPECT_DOUBLE_EQ(t.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(t.MeanValue(), -0.5);
+  EXPECT_DOUBLE_EQ(t.AbsMax(), 4.0);
+  EXPECT_DOUBLE_EQ(t.Norm(), 5.0);
+}
+
+TEST(TensorTest, RowColSums) {
+  Tensor t = Tensor::FromRows({{1, 2}, {3, 4}});
+  Tensor cols = t.ColSums();
+  EXPECT_DOUBLE_EQ(cols.At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(cols.At(0, 1), 6.0);
+  Tensor rows = t.RowSums();
+  EXPECT_DOUBLE_EQ(rows.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(rows.At(1, 0), 7.0);
+}
+
+TEST(TensorTest, RowAccessors) {
+  Tensor t = Tensor::FromRows({{1, 2}, {3, 4}});
+  Tensor row = t.Row(1);
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_DOUBLE_EQ(row.At(0, 1), 4.0);
+  t.SetRow(0, Tensor::FromRows({{9, 8}}));
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 9.0);
+}
+
+TEST(TensorTest, MatMulKnownProduct) {
+  Tensor a = Tensor::FromRows({{1, 2}, {3, 4}});
+  Tensor b = Tensor::FromRows({{5, 6}, {7, 8}});
+  Tensor c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(TensorTest, MatMulIdentityIsNoop) {
+  Rng rng(5);
+  Tensor a = Tensor::RandomNormal(4, 4, 1.0, rng);
+  EXPECT_TRUE(AllClose(MatMul(a, Tensor::Identity(4)), a));
+  EXPECT_TRUE(AllClose(MatMul(Tensor::Identity(4), a), a));
+}
+
+class MatMulShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeSweep, TransposeVariantsAgreeWithExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  Tensor a = Tensor::RandomNormal(m, k, 1.0, rng);
+  Tensor b = Tensor::RandomNormal(k, n, 1.0, rng);
+  // A^T via MatMulTransposeA(A, C) where A is (k x m).
+  Tensor at = a.Transposed();
+  EXPECT_TRUE(AllClose(MatMulTransposeA(at, b), MatMul(a, b), 1e-9));
+  Tensor bt = b.Transposed();
+  EXPECT_TRUE(AllClose(MatMulTransposeB(a, bt), MatMul(a, b), 1e-9));
+}
+
+TEST_P(MatMulShapeSweep, AssociatesWithScaling) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(7);
+  Tensor a = Tensor::RandomNormal(m, k, 1.0, rng);
+  Tensor b = Tensor::RandomNormal(k, n, 1.0, rng);
+  Tensor scaled_a = a;
+  scaled_a.Scale(2.0);
+  Tensor expected = MatMul(a, b);
+  expected.Scale(2.0);
+  EXPECT_TRUE(AllClose(MatMul(scaled_a, b), expected, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 1, 5), std::make_tuple(4, 7, 2),
+                      std::make_tuple(8, 8, 8)));
+
+TEST(TensorTest, ElementwiseBinaryOps) {
+  Tensor a = Tensor::FromRows({{1, 2}});
+  Tensor b = Tensor::FromRows({{3, 5}});
+  EXPECT_TRUE(AllClose(Add(a, b), Tensor::FromRows({{4, 7}})));
+  EXPECT_TRUE(AllClose(Sub(a, b), Tensor::FromRows({{-2, -3}})));
+  EXPECT_TRUE(AllClose(Mul(a, b), Tensor::FromRows({{3, 10}})));
+}
+
+TEST(TensorTest, AllCloseRespectsTolerance) {
+  Tensor a = Tensor::FromRows({{1.0}});
+  Tensor b = Tensor::FromRows({{1.0 + 1e-6}});
+  EXPECT_FALSE(AllClose(a, b, 1e-9));
+  EXPECT_TRUE(AllClose(a, b, 1e-3));
+  EXPECT_FALSE(AllClose(a, Tensor(2, 1)));
+}
+
+TEST(TensorTest, RandomGeneratorsAreDeterministic) {
+  Rng r1(9), r2(9);
+  EXPECT_TRUE(AllClose(Tensor::RandomNormal(3, 3, 1.0, r1),
+                       Tensor::RandomNormal(3, 3, 1.0, r2)));
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  Rng rng(10);
+  Tensor t = Tensor::RandomUniform(10, 10, -0.5, 0.5, rng);
+  EXPECT_LE(t.AbsMax(), 0.5);
+}
+
+}  // namespace
+}  // namespace cascn

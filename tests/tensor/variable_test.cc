@@ -1,0 +1,268 @@
+#include "tensor/variable.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+
+namespace cascn::ag {
+namespace {
+
+Variable RandomLeaf(int rows, int cols, uint64_t seed,
+                    bool requires_grad = true) {
+  Rng rng(seed);
+  return Variable::Leaf(Tensor::RandomNormal(rows, cols, 1.0, rng),
+                        requires_grad);
+}
+
+TEST(VariableTest, LeafHoldsValue) {
+  Variable v = Variable::Leaf(Tensor::FromRows({{1, 2}}));
+  EXPECT_EQ(v.rows(), 1);
+  EXPECT_EQ(v.cols(), 2);
+  EXPECT_DOUBLE_EQ(v.value().At(0, 1), 2.0);
+  EXPECT_FALSE(v.requires_grad());
+}
+
+TEST(VariableTest, ForwardValuesMatchTensorOps) {
+  Variable a = Variable::Leaf(Tensor::FromRows({{1, 2}, {3, 4}}));
+  Variable b = Variable::Leaf(Tensor::FromRows({{5, 6}, {7, 8}}));
+  EXPECT_TRUE(AllClose(Add(a, b).value(), Tensor::FromRows({{6, 8}, {10, 12}})));
+  EXPECT_TRUE(AllClose(Sub(a, b).value(),
+                       Tensor::FromRows({{-4, -4}, {-4, -4}})));
+  EXPECT_TRUE(AllClose(Mul(a, b).value(), Tensor::FromRows({{5, 12}, {21, 32}})));
+  EXPECT_TRUE(AllClose(MatMul(a, b).value(),
+                       Tensor::FromRows({{19, 22}, {43, 50}})));
+}
+
+TEST(VariableTest, BackwardThroughSimpleChain) {
+  // loss = sum(a * a) -> dloss/da = 2a.
+  Variable a = Variable::Leaf(Tensor::FromRows({{2, -3}}), true);
+  Variable loss = Sum(Square(a));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(a.grad().At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.grad().At(0, 1), -6.0);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossBackwardCalls) {
+  Variable a = Variable::Leaf(Tensor::FromRows({{1.0}}), true);
+  Sum(Square(a)).Backward();
+  Sum(Square(a)).Backward();
+  EXPECT_DOUBLE_EQ(a.grad().At(0, 0), 4.0);  // 2 + 2
+  a.ZeroGrad();
+  EXPECT_DOUBLE_EQ(a.grad().At(0, 0), 0.0);
+}
+
+TEST(VariableTest, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum((a + a) * a) = 2 sum(a^2) -> grad = 4a.
+  Variable a = Variable::Leaf(Tensor::FromRows({{3.0}}), true);
+  Variable loss = Sum(Mul(Add(a, a), a));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(a.grad().At(0, 0), 12.0);
+}
+
+TEST(VariableTest, ConstantBranchesGetNoGradient) {
+  Variable a = Variable::Leaf(Tensor::FromRows({{1.0}}), true);
+  Variable c = Variable::Leaf(Tensor::FromRows({{5.0}}), false);
+  Variable loss = Sum(Mul(a, c));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(a.grad().At(0, 0), 5.0);
+  EXPECT_TRUE(c.grad().empty());
+}
+
+// --- Gradient checks for every op -------------------------------------------
+
+TEST(GradCheckTest, Add) {
+  Variable a = RandomLeaf(3, 2, 1);
+  Variable b = RandomLeaf(3, 2, 2, false);
+  auto r = CheckGradient(a, [&](const Variable& x) { return Sum(Add(x, b)); });
+  EXPECT_TRUE(r.ok) << "rel err " << r.max_rel_error;
+}
+
+TEST(GradCheckTest, SubBothSides) {
+  Variable a = RandomLeaf(2, 3, 3);
+  Variable b = RandomLeaf(2, 3, 4);
+  auto ra =
+      CheckGradient(a, [&](const Variable& x) { return Sum(Sub(x, b)); });
+  EXPECT_TRUE(ra.ok);
+  auto rb =
+      CheckGradient(b, [&](const Variable& x) { return Sum(Sub(a, x)); });
+  EXPECT_TRUE(rb.ok);
+}
+
+TEST(GradCheckTest, MulElementwise) {
+  Variable a = RandomLeaf(3, 3, 5);
+  Variable b = RandomLeaf(3, 3, 6, false);
+  auto r = CheckGradient(
+      a, [&](const Variable& x) { return Sum(Square(Mul(x, b))); });
+  EXPECT_TRUE(r.ok) << r.max_rel_error;
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  Variable a = RandomLeaf(4, 3, 7);
+  Variable bias = RandomLeaf(1, 3, 8);
+  auto ra = CheckGradient(a, [&](const Variable& x) {
+    return Sum(Square(AddRowBroadcast(x, bias)));
+  });
+  EXPECT_TRUE(ra.ok);
+  auto rb = CheckGradient(bias, [&](const Variable& x) {
+    return Sum(Square(AddRowBroadcast(a, x)));
+  });
+  EXPECT_TRUE(rb.ok);
+}
+
+TEST(GradCheckTest, ScalarOps) {
+  Variable a = RandomLeaf(2, 2, 9);
+  auto r1 = CheckGradient(
+      a, [&](const Variable& x) { return Sum(Square(ScalarMul(x, -2.5))); });
+  EXPECT_TRUE(r1.ok);
+  auto r2 = CheckGradient(
+      a, [&](const Variable& x) { return Sum(Square(AddScalar(x, 1.5))); });
+  EXPECT_TRUE(r2.ok);
+}
+
+TEST(GradCheckTest, ScaleByScalarBothInputs) {
+  Variable a = RandomLeaf(3, 2, 10);
+  Variable s = RandomLeaf(1, 1, 11);
+  auto ra = CheckGradient(a, [&](const Variable& x) {
+    return Sum(Square(ScaleByScalar(x, s)));
+  });
+  EXPECT_TRUE(ra.ok);
+  auto rs = CheckGradient(s, [&](const Variable& x) {
+    return Sum(Square(ScaleByScalar(a, x)));
+  });
+  EXPECT_TRUE(rs.ok);
+}
+
+TEST(GradCheckTest, MatMulBothSides) {
+  Variable a = RandomLeaf(3, 4, 12);
+  Variable b = RandomLeaf(4, 2, 13);
+  auto ra = CheckGradient(
+      a, [&](const Variable& x) { return Sum(Square(MatMul(x, b))); });
+  EXPECT_TRUE(ra.ok) << ra.max_rel_error;
+  auto rb = CheckGradient(
+      b, [&](const Variable& x) { return Sum(Square(MatMul(a, x))); });
+  EXPECT_TRUE(rb.ok) << rb.max_rel_error;
+}
+
+TEST(GradCheckTest, SparseMatMul) {
+  CsrMatrix op = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 2.0}, {0, 2, -1.0}, {1, 1, 0.5}, {2, 0, 1.5}});
+  Variable x = RandomLeaf(3, 2, 14);
+  auto r = CheckGradient(x, [&](const Variable& v) {
+    return Sum(Square(SparseMatMul(op, v)));
+  });
+  EXPECT_TRUE(r.ok) << r.max_rel_error;
+}
+
+TEST(GradCheckTest, Nonlinearities) {
+  for (uint64_t seed : {20ull, 21ull}) {
+    Variable a = RandomLeaf(3, 3, seed);
+    EXPECT_TRUE(CheckGradient(a, [](const Variable& x) {
+                  return Sum(Sigmoid(x));
+                }).ok);
+    EXPECT_TRUE(
+        CheckGradient(a, [](const Variable& x) { return Sum(Tanh(x)); }).ok);
+    EXPECT_TRUE(CheckGradient(a, [](const Variable& x) {
+                  return Sum(Softplus(x));
+                }).ok);
+    EXPECT_TRUE(CheckGradient(a, [](const Variable& x) {
+                  return Sum(Square(x));
+                }).ok);
+  }
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  // Values kept away from 0 so finite differences are valid.
+  Tensor init = Tensor::FromRows({{1.0, -1.0}, {2.0, -0.5}});
+  Variable a = Variable::Leaf(init, true);
+  auto r =
+      CheckGradient(a, [](const Variable& x) { return Sum(Relu(x)); });
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(GradCheckTest, SoftmaxRows) {
+  Variable a = RandomLeaf(3, 4, 22);
+  Variable weight = RandomLeaf(3, 4, 23, false);
+  auto r = CheckGradient(a, [&](const Variable& x) {
+    return Sum(Mul(SoftmaxRows(x), weight));
+  });
+  EXPECT_TRUE(r.ok) << r.max_rel_error;
+}
+
+TEST(GradCheckTest, Reductions) {
+  Variable a = RandomLeaf(3, 4, 24);
+  EXPECT_TRUE(
+      CheckGradient(a, [](const Variable& x) { return Mean(x); }).ok);
+  EXPECT_TRUE(CheckGradient(a, [](const Variable& x) {
+                return Sum(Square(SumRows(x)));
+              }).ok);
+  EXPECT_TRUE(CheckGradient(a, [](const Variable& x) {
+                return Sum(Square(MeanRows(x)));
+              }).ok);
+}
+
+TEST(GradCheckTest, ConcatAndSlice) {
+  Variable a = RandomLeaf(3, 2, 25);
+  Variable b = RandomLeaf(3, 3, 26);
+  auto rc = CheckGradient(a, [&](const Variable& x) {
+    return Sum(Square(ConcatCols(x, b)));
+  });
+  EXPECT_TRUE(rc.ok);
+  Variable c = RandomLeaf(4, 2, 27);
+  auto rr = CheckGradient(c, [&](const Variable& x) {
+    return Sum(Square(ConcatRows({x, a})));
+  });
+  EXPECT_TRUE(rr.ok);
+  auto rs = CheckGradient(c, [](const Variable& x) {
+    return Sum(Square(SliceRows(x, 1, 2)));
+  });
+  EXPECT_TRUE(rs.ok);
+}
+
+TEST(GradCheckTest, GatherRowsWithRepeats) {
+  Variable table = RandomLeaf(5, 3, 28);
+  const std::vector<int> indices = {0, 2, 2, 4};
+  auto r = CheckGradient(table, [&](const Variable& x) {
+    return Sum(Square(GatherRows(x, indices)));
+  });
+  EXPECT_TRUE(r.ok) << r.max_rel_error;
+}
+
+TEST(GradCheckTest, Transpose) {
+  Variable a = RandomLeaf(2, 4, 29);
+  Variable b = RandomLeaf(2, 2, 30, false);
+  auto r = CheckGradient(a, [&](const Variable& x) {
+    return Sum(Square(MatMul(Transpose(x), b)));
+  });
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(GradCheckTest, DeepComposite) {
+  // A small MLP-like composite touching many ops at once.
+  Variable w1 = RandomLeaf(3, 4, 31);
+  Variable b1 = RandomLeaf(1, 4, 32);
+  Variable w2 = RandomLeaf(4, 1, 33);
+  Variable x = RandomLeaf(2, 3, 34, false);
+  auto forward = [&](const Variable& w) {
+    Variable h = Tanh(AddRowBroadcast(MatMul(x, w), b1));
+    return Sum(Square(MatMul(h, w2)));
+  };
+  auto r = CheckGradient(w1, forward);
+  EXPECT_TRUE(r.ok) << r.max_rel_error;
+}
+
+TEST(VariableTest, BackwardRequiresScalar) {
+  Variable a = RandomLeaf(2, 2, 35);
+  EXPECT_DEATH(Add(a, a).Backward(), "scalar");
+}
+
+TEST(VariableTest, ShapeMismatchDies) {
+  Variable a = RandomLeaf(2, 2, 36);
+  Variable b = RandomLeaf(3, 2, 37);
+  EXPECT_DEATH(Add(a, b), "shape");
+}
+
+}  // namespace
+}  // namespace cascn::ag

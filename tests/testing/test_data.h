@@ -1,0 +1,56 @@
+// Shared helpers for model tests: a tiny deterministic dataset and small
+// model configurations that keep unit tests fast.
+
+#ifndef CASCN_TESTS_TESTING_TEST_DATA_H_
+#define CASCN_TESTS_TESTING_TEST_DATA_H_
+
+#include "common/logging.h"
+#include "core/config.h"
+#include "core/trainer.h"
+#include "data/cascade_generator.h"
+#include "data/dataset.h"
+
+namespace cascn::testing {
+
+/// A small Weibo-like dataset: ~25-60 train samples with ~8+ nodes each.
+inline CascadeDataset TinyDataset(uint64_t seed = 99, int num_cascades = 120) {
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = num_cascades;
+  config.user_universe = 200;
+  config.max_size = 80;
+  Rng rng(seed);
+  const auto cascades = GenerateCascades(config, rng);
+  DatasetOptions opts;
+  opts.observation_window = 60.0;
+  opts.min_observed_size = 5;
+  auto dataset = BuildDataset(cascades, opts);
+  CASCN_CHECK(dataset.ok()) << dataset.status();
+  return std::move(dataset).value();
+}
+
+/// A CasCN configuration small enough for unit tests.
+inline CascnConfig TinyCascnConfig() {
+  CascnConfig config;
+  config.padded_size = 12;
+  config.hidden_dim = 6;
+  config.cheb_order = 2;
+  config.max_sequence_length = 6;
+  config.num_time_intervals = 4;
+  config.mlp_hidden1 = 8;
+  config.mlp_hidden2 = 4;
+  return config;
+}
+
+/// Trainer options for short smoke-training runs.
+inline TrainerOptions TinyTrainerOptions(int epochs = 3) {
+  TrainerOptions opts;
+  opts.max_epochs = epochs;
+  opts.batch_size = 8;
+  opts.learning_rate = 1e-2;
+  opts.patience = epochs;
+  return opts;
+}
+
+}  // namespace cascn::testing
+
+#endif  // CASCN_TESTS_TESTING_TEST_DATA_H_

@@ -1,0 +1,122 @@
+#include "viz/tsne.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "viz/export.h"
+
+namespace cascn {
+namespace {
+
+/// Two well-separated Gaussian blobs in 5-D.
+Tensor TwoBlobs(int per_blob, Rng& rng) {
+  Tensor x(2 * per_blob, 5);
+  for (int i = 0; i < 2 * per_blob; ++i) {
+    const double offset = i < per_blob ? 0.0 : 25.0;
+    for (int j = 0; j < 5; ++j) x.At(i, j) = offset + rng.Normal();
+  }
+  return x;
+}
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(1);
+  Tensor x = Tensor::RandomNormal(20, 4, 1.0, rng);
+  TsneOptions opts;
+  opts.iterations = 50;
+  const Tensor y = TsneEmbed(x, opts);
+  EXPECT_EQ(y.rows(), 20);
+  EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(TsneTest, DeterministicGivenOptions) {
+  Rng rng(2);
+  Tensor x = Tensor::RandomNormal(15, 3, 1.0, rng);
+  TsneOptions opts;
+  opts.iterations = 40;
+  EXPECT_TRUE(AllClose(TsneEmbed(x, opts), TsneEmbed(x, opts)));
+}
+
+TEST(TsneTest, SeparatedClustersStaySeparated) {
+  Rng rng(3);
+  const int per_blob = 15;
+  Tensor x = TwoBlobs(per_blob, rng);
+  TsneOptions opts;
+  opts.iterations = 250;
+  const Tensor y = TsneEmbed(x, opts);
+  // Mean intra-blob distance must be far below the inter-blob centroid
+  // distance.
+  double cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;
+  for (int i = 0; i < per_blob; ++i) {
+    cx0 += y.At(i, 0);
+    cy0 += y.At(i, 1);
+    cx1 += y.At(per_blob + i, 0);
+    cy1 += y.At(per_blob + i, 1);
+  }
+  cx0 /= per_blob;
+  cy0 /= per_blob;
+  cx1 /= per_blob;
+  cy1 /= per_blob;
+  const double inter = std::hypot(cx0 - cx1, cy0 - cy1);
+  double intra = 0;
+  for (int i = 0; i < per_blob; ++i) {
+    intra += std::hypot(y.At(i, 0) - cx0, y.At(i, 1) - cy0);
+    intra += std::hypot(y.At(per_blob + i, 0) - cx1,
+                        y.At(per_blob + i, 1) - cy1);
+  }
+  intra /= 2 * per_blob;
+  EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(TsneTest, FinitesForDegeneratePoints) {
+  // All-identical points must not produce NaNs.
+  Tensor x(10, 3, 1.0);
+  TsneOptions opts;
+  opts.iterations = 30;
+  const Tensor y = TsneEmbed(x, opts);
+  for (int i = 0; i < y.rows(); ++i)
+    for (int j = 0; j < 2; ++j) EXPECT_TRUE(std::isfinite(y.At(i, j)));
+}
+
+TEST(ExportTest, WriteMatrixCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/matrix.csv";
+  Tensor m = Tensor::FromRows({{1, 2}, {3, 4}});
+  ASSERT_TRUE(WriteMatrixCsv(path, m, {"a", "b"}).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, WriteMatrixCsvRejectsHeaderMismatch) {
+  const std::string path = ::testing::TempDir() + "/bad.csv";
+  EXPECT_FALSE(WriteMatrixCsv(path, Tensor(1, 2), {"only_one"}).ok());
+}
+
+TEST(ExportTest, WriteScatterCsv) {
+  const std::string path = ::testing::TempDir() + "/scatter.csv";
+  Tensor layout = Tensor::FromRows({{0.5, -1.0}, {2.0, 3.0}});
+  ASSERT_TRUE(WriteScatterCsv(path, layout, {7.0, 8.0}).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y,color");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.5,-1,7");
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, WriteScatterCsvValidatesShapes) {
+  const std::string path = ::testing::TempDir() + "/x.csv";
+  EXPECT_FALSE(WriteScatterCsv(path, Tensor(2, 3), {1.0, 2.0}).ok());
+  EXPECT_FALSE(WriteScatterCsv(path, Tensor(2, 2), {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace cascn
