@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_small_cascades.dir/fig8_small_cascades.cpp.o"
+  "CMakeFiles/bench_fig8_small_cascades.dir/fig8_small_cascades.cpp.o.d"
+  "bench_fig8_small_cascades"
+  "bench_fig8_small_cascades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_small_cascades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

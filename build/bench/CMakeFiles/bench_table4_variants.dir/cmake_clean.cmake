@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_variants.dir/table4_variants.cpp.o"
+  "CMakeFiles/bench_table4_variants.dir/table4_variants.cpp.o.d"
+  "bench_table4_variants"
+  "bench_table4_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_params.cpp" "bench/CMakeFiles/bench_table5_params.dir/table5_params.cpp.o" "gcc" "bench/CMakeFiles/bench_table5_params.dir/table5_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchutil/CMakeFiles/cascn_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cascn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cascn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/cascn_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cascn_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cascn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cascn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cascn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cascn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cascn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

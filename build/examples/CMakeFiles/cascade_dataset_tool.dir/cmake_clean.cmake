@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_dataset_tool.dir/cascade_dataset_tool.cpp.o"
+  "CMakeFiles/cascade_dataset_tool.dir/cascade_dataset_tool.cpp.o.d"
+  "cascade_dataset_tool"
+  "cascade_dataset_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_dataset_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_forecast.dir/citation_forecast.cpp.o"
+  "CMakeFiles/citation_forecast.dir/citation_forecast.cpp.o.d"
+  "citation_forecast"
+  "citation_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

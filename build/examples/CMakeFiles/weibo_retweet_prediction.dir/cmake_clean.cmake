@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weibo_retweet_prediction.dir/weibo_retweet_prediction.cpp.o"
+  "CMakeFiles/weibo_retweet_prediction.dir/weibo_retweet_prediction.cpp.o.d"
+  "weibo_retweet_prediction"
+  "weibo_retweet_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weibo_retweet_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/deepcas_model.cc" "src/baselines/CMakeFiles/cascn_baselines.dir/deepcas_model.cc.o" "gcc" "src/baselines/CMakeFiles/cascn_baselines.dir/deepcas_model.cc.o.d"
+  "/root/repo/src/baselines/deephawkes_model.cc" "src/baselines/CMakeFiles/cascn_baselines.dir/deephawkes_model.cc.o" "gcc" "src/baselines/CMakeFiles/cascn_baselines.dir/deephawkes_model.cc.o.d"
+  "/root/repo/src/baselines/feature_deep.cc" "src/baselines/CMakeFiles/cascn_baselines.dir/feature_deep.cc.o" "gcc" "src/baselines/CMakeFiles/cascn_baselines.dir/feature_deep.cc.o.d"
+  "/root/repo/src/baselines/feature_linear.cc" "src/baselines/CMakeFiles/cascn_baselines.dir/feature_linear.cc.o" "gcc" "src/baselines/CMakeFiles/cascn_baselines.dir/feature_linear.cc.o.d"
+  "/root/repo/src/baselines/hawkes_model.cc" "src/baselines/CMakeFiles/cascn_baselines.dir/hawkes_model.cc.o" "gcc" "src/baselines/CMakeFiles/cascn_baselines.dir/hawkes_model.cc.o.d"
+  "/root/repo/src/baselines/lis_model.cc" "src/baselines/CMakeFiles/cascn_baselines.dir/lis_model.cc.o" "gcc" "src/baselines/CMakeFiles/cascn_baselines.dir/lis_model.cc.o.d"
+  "/root/repo/src/baselines/node2vec_model.cc" "src/baselines/CMakeFiles/cascn_baselines.dir/node2vec_model.cc.o" "gcc" "src/baselines/CMakeFiles/cascn_baselines.dir/node2vec_model.cc.o.d"
+  "/root/repo/src/baselines/topolstm_model.cc" "src/baselines/CMakeFiles/cascn_baselines.dir/topolstm_model.cc.o" "gcc" "src/baselines/CMakeFiles/cascn_baselines.dir/topolstm_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cascn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cascn_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cascn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cascn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cascn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cascn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cascn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_baselines.dir/deepcas_model.cc.o"
+  "CMakeFiles/cascn_baselines.dir/deepcas_model.cc.o.d"
+  "CMakeFiles/cascn_baselines.dir/deephawkes_model.cc.o"
+  "CMakeFiles/cascn_baselines.dir/deephawkes_model.cc.o.d"
+  "CMakeFiles/cascn_baselines.dir/feature_deep.cc.o"
+  "CMakeFiles/cascn_baselines.dir/feature_deep.cc.o.d"
+  "CMakeFiles/cascn_baselines.dir/feature_linear.cc.o"
+  "CMakeFiles/cascn_baselines.dir/feature_linear.cc.o.d"
+  "CMakeFiles/cascn_baselines.dir/hawkes_model.cc.o"
+  "CMakeFiles/cascn_baselines.dir/hawkes_model.cc.o.d"
+  "CMakeFiles/cascn_baselines.dir/lis_model.cc.o"
+  "CMakeFiles/cascn_baselines.dir/lis_model.cc.o.d"
+  "CMakeFiles/cascn_baselines.dir/node2vec_model.cc.o"
+  "CMakeFiles/cascn_baselines.dir/node2vec_model.cc.o.d"
+  "CMakeFiles/cascn_baselines.dir/topolstm_model.cc.o"
+  "CMakeFiles/cascn_baselines.dir/topolstm_model.cc.o.d"
+  "libcascn_baselines.a"
+  "libcascn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_benchutil.dir/experiment_runner.cc.o"
+  "CMakeFiles/cascn_benchutil.dir/experiment_runner.cc.o.d"
+  "CMakeFiles/cascn_benchutil.dir/table_printer.cc.o"
+  "CMakeFiles/cascn_benchutil.dir/table_printer.cc.o.d"
+  "libcascn_benchutil.a"
+  "libcascn_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcascn_benchutil.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_common.dir/cli_flags.cc.o"
+  "CMakeFiles/cascn_common.dir/cli_flags.cc.o.d"
+  "CMakeFiles/cascn_common.dir/logging.cc.o"
+  "CMakeFiles/cascn_common.dir/logging.cc.o.d"
+  "CMakeFiles/cascn_common.dir/math_util.cc.o"
+  "CMakeFiles/cascn_common.dir/math_util.cc.o.d"
+  "CMakeFiles/cascn_common.dir/rng.cc.o"
+  "CMakeFiles/cascn_common.dir/rng.cc.o.d"
+  "CMakeFiles/cascn_common.dir/status.cc.o"
+  "CMakeFiles/cascn_common.dir/status.cc.o.d"
+  "CMakeFiles/cascn_common.dir/string_util.cc.o"
+  "CMakeFiles/cascn_common.dir/string_util.cc.o.d"
+  "CMakeFiles/cascn_common.dir/thread_pool.cc.o"
+  "CMakeFiles/cascn_common.dir/thread_pool.cc.o.d"
+  "libcascn_common.a"
+  "libcascn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

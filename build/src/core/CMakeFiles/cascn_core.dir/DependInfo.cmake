@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cascn_model.cc" "src/core/CMakeFiles/cascn_core.dir/cascn_model.cc.o" "gcc" "src/core/CMakeFiles/cascn_core.dir/cascn_model.cc.o.d"
+  "/root/repo/src/core/cascn_path_model.cc" "src/core/CMakeFiles/cascn_core.dir/cascn_path_model.cc.o" "gcc" "src/core/CMakeFiles/cascn_core.dir/cascn_path_model.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "src/core/CMakeFiles/cascn_core.dir/encoder.cc.o" "gcc" "src/core/CMakeFiles/cascn_core.dir/encoder.cc.o.d"
+  "/root/repo/src/core/streaming_predictor.cc" "src/core/CMakeFiles/cascn_core.dir/streaming_predictor.cc.o" "gcc" "src/core/CMakeFiles/cascn_core.dir/streaming_predictor.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/cascn_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/cascn_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cascn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cascn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cascn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cascn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cascn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_core.dir/cascn_model.cc.o"
+  "CMakeFiles/cascn_core.dir/cascn_model.cc.o.d"
+  "CMakeFiles/cascn_core.dir/cascn_path_model.cc.o"
+  "CMakeFiles/cascn_core.dir/cascn_path_model.cc.o.d"
+  "CMakeFiles/cascn_core.dir/encoder.cc.o"
+  "CMakeFiles/cascn_core.dir/encoder.cc.o.d"
+  "CMakeFiles/cascn_core.dir/streaming_predictor.cc.o"
+  "CMakeFiles/cascn_core.dir/streaming_predictor.cc.o.d"
+  "CMakeFiles/cascn_core.dir/trainer.cc.o"
+  "CMakeFiles/cascn_core.dir/trainer.cc.o.d"
+  "libcascn_core.a"
+  "libcascn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

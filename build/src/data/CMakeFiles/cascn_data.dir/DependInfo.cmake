@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cascade_generator.cc" "src/data/CMakeFiles/cascn_data.dir/cascade_generator.cc.o" "gcc" "src/data/CMakeFiles/cascn_data.dir/cascade_generator.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/cascn_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/cascn_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/data/CMakeFiles/cascn_data.dir/statistics.cc.o" "gcc" "src/data/CMakeFiles/cascn_data.dir/statistics.cc.o.d"
+  "/root/repo/src/data/text_format.cc" "src/data/CMakeFiles/cascn_data.dir/text_format.cc.o" "gcc" "src/data/CMakeFiles/cascn_data.dir/text_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cascn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cascn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cascn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_data.dir/cascade_generator.cc.o"
+  "CMakeFiles/cascn_data.dir/cascade_generator.cc.o.d"
+  "CMakeFiles/cascn_data.dir/dataset.cc.o"
+  "CMakeFiles/cascn_data.dir/dataset.cc.o.d"
+  "CMakeFiles/cascn_data.dir/statistics.cc.o"
+  "CMakeFiles/cascn_data.dir/statistics.cc.o.d"
+  "CMakeFiles/cascn_data.dir/text_format.cc.o"
+  "CMakeFiles/cascn_data.dir/text_format.cc.o.d"
+  "libcascn_data.a"
+  "libcascn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

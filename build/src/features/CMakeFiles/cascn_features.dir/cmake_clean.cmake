@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_features.dir/cascade_features.cc.o"
+  "CMakeFiles/cascn_features.dir/cascade_features.cc.o.d"
+  "libcascn_features.a"
+  "libcascn_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

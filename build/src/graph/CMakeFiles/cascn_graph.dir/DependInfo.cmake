@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/cascade.cc" "src/graph/CMakeFiles/cascn_graph.dir/cascade.cc.o" "gcc" "src/graph/CMakeFiles/cascn_graph.dir/cascade.cc.o.d"
+  "/root/repo/src/graph/chebyshev.cc" "src/graph/CMakeFiles/cascn_graph.dir/chebyshev.cc.o" "gcc" "src/graph/CMakeFiles/cascn_graph.dir/chebyshev.cc.o.d"
+  "/root/repo/src/graph/laplacian.cc" "src/graph/CMakeFiles/cascn_graph.dir/laplacian.cc.o" "gcc" "src/graph/CMakeFiles/cascn_graph.dir/laplacian.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/graph/CMakeFiles/cascn_graph.dir/metrics.cc.o" "gcc" "src/graph/CMakeFiles/cascn_graph.dir/metrics.cc.o.d"
+  "/root/repo/src/graph/random_walk.cc" "src/graph/CMakeFiles/cascn_graph.dir/random_walk.cc.o" "gcc" "src/graph/CMakeFiles/cascn_graph.dir/random_walk.cc.o.d"
+  "/root/repo/src/graph/snapshot.cc" "src/graph/CMakeFiles/cascn_graph.dir/snapshot.cc.o" "gcc" "src/graph/CMakeFiles/cascn_graph.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/cascn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cascn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_graph.dir/cascade.cc.o"
+  "CMakeFiles/cascn_graph.dir/cascade.cc.o.d"
+  "CMakeFiles/cascn_graph.dir/chebyshev.cc.o"
+  "CMakeFiles/cascn_graph.dir/chebyshev.cc.o.d"
+  "CMakeFiles/cascn_graph.dir/laplacian.cc.o"
+  "CMakeFiles/cascn_graph.dir/laplacian.cc.o.d"
+  "CMakeFiles/cascn_graph.dir/metrics.cc.o"
+  "CMakeFiles/cascn_graph.dir/metrics.cc.o.d"
+  "CMakeFiles/cascn_graph.dir/random_walk.cc.o"
+  "CMakeFiles/cascn_graph.dir/random_walk.cc.o.d"
+  "CMakeFiles/cascn_graph.dir/snapshot.cc.o"
+  "CMakeFiles/cascn_graph.dir/snapshot.cc.o.d"
+  "libcascn_graph.a"
+  "libcascn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

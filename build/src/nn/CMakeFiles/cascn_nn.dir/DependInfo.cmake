@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cheb_conv.cc" "src/nn/CMakeFiles/cascn_nn.dir/cheb_conv.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/cheb_conv.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/cascn_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/graph_rnn_cells.cc" "src/nn/CMakeFiles/cascn_nn.dir/graph_rnn_cells.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/graph_rnn_cells.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/cascn_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/cascn_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/cascn_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/cascn_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/cascn_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/cascn_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn_cells.cc" "src/nn/CMakeFiles/cascn_nn.dir/rnn_cells.cc.o" "gcc" "src/nn/CMakeFiles/cascn_nn.dir/rnn_cells.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/cascn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cascn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_nn.dir/cheb_conv.cc.o"
+  "CMakeFiles/cascn_nn.dir/cheb_conv.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/embedding.cc.o"
+  "CMakeFiles/cascn_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/graph_rnn_cells.cc.o"
+  "CMakeFiles/cascn_nn.dir/graph_rnn_cells.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/init.cc.o"
+  "CMakeFiles/cascn_nn.dir/init.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/linear.cc.o"
+  "CMakeFiles/cascn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/loss.cc.o"
+  "CMakeFiles/cascn_nn.dir/loss.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/mlp.cc.o"
+  "CMakeFiles/cascn_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/module.cc.o"
+  "CMakeFiles/cascn_nn.dir/module.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/cascn_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/cascn_nn.dir/rnn_cells.cc.o"
+  "CMakeFiles/cascn_nn.dir/rnn_cells.cc.o.d"
+  "libcascn_nn.a"
+  "libcascn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_tensor.dir/csr_matrix.cc.o"
+  "CMakeFiles/cascn_tensor.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/cascn_tensor.dir/grad_check.cc.o"
+  "CMakeFiles/cascn_tensor.dir/grad_check.cc.o.d"
+  "CMakeFiles/cascn_tensor.dir/linalg.cc.o"
+  "CMakeFiles/cascn_tensor.dir/linalg.cc.o.d"
+  "CMakeFiles/cascn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/cascn_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/cascn_tensor.dir/variable.cc.o"
+  "CMakeFiles/cascn_tensor.dir/variable.cc.o.d"
+  "libcascn_tensor.a"
+  "libcascn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

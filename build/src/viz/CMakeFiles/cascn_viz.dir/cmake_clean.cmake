@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_viz.dir/export.cc.o"
+  "CMakeFiles/cascn_viz.dir/export.cc.o.d"
+  "CMakeFiles/cascn_viz.dir/tsne.cc.o"
+  "CMakeFiles/cascn_viz.dir/tsne.cc.o.d"
+  "libcascn_viz.a"
+  "libcascn_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

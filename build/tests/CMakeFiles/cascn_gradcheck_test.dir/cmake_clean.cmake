@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_gradcheck_test.dir/core/cascn_gradcheck_test.cc.o"
+  "CMakeFiles/cascn_gradcheck_test.dir/core/cascn_gradcheck_test.cc.o.d"
+  "cascn_gradcheck_test"
+  "cascn_gradcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascn_model_test.dir/core/cascn_model_test.cc.o"
+  "CMakeFiles/cascn_model_test.dir/core/cascn_model_test.cc.o.d"
+  "cascn_model_test"
+  "cascn_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_filter_test.dir/data/dataset_filter_test.cc.o"
+  "CMakeFiles/dataset_filter_test.dir/data/dataset_filter_test.cc.o.d"
+  "dataset_filter_test"
+  "dataset_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_baselines_test.dir/baselines/embedding_baselines_test.cc.o"
+  "CMakeFiles/embedding_baselines_test.dir/baselines/embedding_baselines_test.cc.o.d"
+  "embedding_baselines_test"
+  "embedding_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

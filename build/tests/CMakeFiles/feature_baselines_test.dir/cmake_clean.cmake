@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_baselines_test.dir/baselines/feature_baselines_test.cc.o"
+  "CMakeFiles/feature_baselines_test.dir/baselines/feature_baselines_test.cc.o.d"
+  "feature_baselines_test"
+  "feature_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_rnn_test.dir/nn/graph_rnn_test.cc.o"
+  "CMakeFiles/graph_rnn_test.dir/nn/graph_rnn_test.cc.o.d"
+  "graph_rnn_test"
+  "graph_rnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_rnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

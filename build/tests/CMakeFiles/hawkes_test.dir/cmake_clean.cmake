@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkes_test.dir/baselines/hawkes_test.cc.o"
+  "CMakeFiles/hawkes_test.dir/baselines/hawkes_test.cc.o.d"
+  "hawkes_test"
+  "hawkes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

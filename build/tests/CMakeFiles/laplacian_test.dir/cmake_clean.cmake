@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplacian_test.dir/graph/laplacian_test.cc.o"
+  "CMakeFiles/laplacian_test.dir/graph/laplacian_test.cc.o.d"
+  "laplacian_test"
+  "laplacian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplacian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_baselines_test.dir/baselines/sequence_baselines_test.cc.o"
+  "CMakeFiles/sequence_baselines_test.dir/baselines/sequence_baselines_test.cc.o.d"
+  "sequence_baselines_test"
+  "sequence_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

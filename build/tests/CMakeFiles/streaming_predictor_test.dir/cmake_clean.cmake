@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_predictor_test.dir/core/streaming_predictor_test.cc.o"
+  "CMakeFiles/streaming_predictor_test.dir/core/streaming_predictor_test.cc.o.d"
+  "streaming_predictor_test"
+  "streaming_predictor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_test.dir/tensor/variable_test.cc.o"
+  "CMakeFiles/variable_test.dir/tensor/variable_test.cc.o.d"
+  "variable_test"
+  "variable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
