@@ -1,0 +1,183 @@
+// Serving throughput/latency vs. worker count.
+//
+// A fixed replay workload — generated cascades streamed through concurrent
+// sessions (create, appends with periodic mid-stream predicts, final
+// predict, close) — is driven against PredictionService instances with 1,
+// 2, 4, and 8 workers. Reports requests/sec, latency percentiles from the
+// service's own histogram, and batching counters, as JSON on stdout.
+//
+//   ./bench_serve_throughput [--sessions=400] [--clients=8]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli_flags.h"
+#include "common/logging.h"
+#include "data/cascade_generator.h"
+#include "serve/checkpoint.h"
+#include "serve/prediction_service.h"
+
+namespace cascn::serve {
+namespace {
+
+constexpr double kWindow = 60.0;
+
+std::vector<std::vector<AdoptionEvent>> MakeWorkload(int sessions) {
+  GeneratorConfig config = WeiboLikeConfig();
+  config.num_cascades = sessions * 2;
+  config.user_universe = 500;
+  config.max_size = 40;
+  Rng rng(11);
+  std::vector<std::vector<AdoptionEvent>> replays;
+  for (const Cascade& cascade : GenerateCascades(config, rng)) {
+    const Cascade prefix = cascade.Prefix(kWindow);
+    if (prefix.size() < 3) continue;
+    replays.push_back(prefix.events());
+    if (static_cast<int>(replays.size()) == sessions) break;
+  }
+  return replays;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t requests = 0;
+  ServeMetrics::Snapshot snapshot;
+};
+
+RunResult RunWorkload(PredictionService& service,
+                      const std::vector<std::vector<AdoptionEvent>>& replays,
+                      int clients) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  for (int c = 0; c < clients; ++c) {
+    drivers.emplace_back([&, c] {
+      std::vector<size_t> mine;
+      for (size_t i = static_cast<size_t>(c); i < replays.size();
+           i += static_cast<size_t>(clients)) {
+        mine.push_back(i);
+        CASCN_CHECK(service
+                        .CallCreate("s" + std::to_string(i),
+                                    replays[i][0].user)
+                        .status.ok());
+      }
+      // Round r appends event r to every session this client owns, then
+      // fans the round's predictions out asynchronously: every session has
+      // fresh events, so each predict is a real forward pass, and the
+      // in-flight depth (one predict per live session) is what lets extra
+      // workers help.
+      std::vector<std::future<ServeResponse>> pending;
+      bool progressed = true;
+      for (size_t step = 1; progressed; ++step) {
+        progressed = false;
+        pending.clear();
+        for (size_t i : mine) {
+          if (step >= replays[i].size()) continue;
+          progressed = true;
+          const AdoptionEvent& event = replays[i][step];
+          const std::string id = "s" + std::to_string(i);
+          CASCN_CHECK(
+              service.CallAppend(id, event.user, event.parents[0], event.time)
+                  .status.ok());
+          auto submitted = service.SubmitPredict(id);
+          CASCN_CHECK(submitted.ok()) << submitted.status();
+          pending.push_back(std::move(submitted).value());
+        }
+        for (auto& future : pending)
+          CASCN_CHECK(future.get().status.ok());
+      }
+      for (size_t i : mine)
+        CASCN_CHECK(service.CallClose("s" + std::to_string(i)).status.ok());
+    });
+  }
+  for (auto& d : drivers) d.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.snapshot = service.metrics().TakeSnapshot();
+  result.requests = result.snapshot.counter(Counter::kRequestsTotal);
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  CliFlags flags;
+  CASCN_CHECK(flags.Parse(argc, argv).ok());
+  const int sessions = static_cast<int>(flags.GetInt("sessions", 400));
+  const int clients = static_cast<int>(flags.GetInt("clients", 8));
+
+  // One tiny deterministic model checkpoint shared by all runs.
+  CascnConfig config;
+  config.padded_size = 16;
+  config.hidden_dim = 6;
+  config.cheb_order = 2;
+  CascnModel model(config);
+  const std::string ckpt = "/tmp/cascn_bench_serve.ckpt";
+  CASCN_CHECK(SaveCascnCheckpoint(ckpt, model).ok());
+
+  const auto replays = MakeWorkload(sessions);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::fprintf(stderr,
+               "[serve_throughput] %zu sessions, %d clients, %u cores\n",
+               replays.size(), clients, cores);
+  if (cores < 2)
+    std::fprintf(stderr,
+                 "[serve_throughput] WARNING: single-core host — worker "
+                 "counts beyond 1 cannot speed up compute-bound predicts\n");
+
+  std::string results_json;
+  for (int workers : {1, 2, 4, 8}) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    options.queue_capacity = 16384;
+    options.max_batch = 16;
+    options.sessions.capacity = replays.size() + 16;
+    options.sessions.observation_window = kWindow;
+    auto service = PredictionService::CreateFromCheckpoint(options, ckpt);
+    CASCN_CHECK(service.ok()) << service.status();
+
+    const RunResult run = RunWorkload(**service, replays, clients);
+    (*service)->Shutdown();
+
+    const double rps =
+        run.seconds > 0.0 ? static_cast<double>(run.requests) / run.seconds
+                          : 0.0;
+    std::fprintf(stderr,
+                 "[serve_throughput] workers=%d requests=%llu seconds=%.3f "
+                 "rps=%.0f p50=%.0fus p99=%.0fus batched=%llu\n",
+                 workers, static_cast<unsigned long long>(run.requests),
+                 run.seconds, rps, run.snapshot.latency_p50_us,
+                 run.snapshot.latency_p99_us,
+                 static_cast<unsigned long long>(
+                     run.snapshot.counter(Counter::kBatchedRequests)));
+
+    char entry[512];
+    std::snprintf(
+        entry, sizeof(entry),
+        "%s\n    {\"workers\": %d, \"requests\": %llu, \"seconds\": %.4f, "
+        "\"requests_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"batches\": %llu, \"batched_requests\": %llu}",
+        results_json.empty() ? "" : ",", workers,
+        static_cast<unsigned long long>(run.requests), run.seconds, rps,
+        run.snapshot.latency_p50_us, run.snapshot.latency_p99_us,
+        static_cast<unsigned long long>(
+            run.snapshot.counter(Counter::kBatches)),
+        static_cast<unsigned long long>(
+            run.snapshot.counter(Counter::kBatchedRequests)));
+    results_json += entry;
+  }
+
+  std::printf(
+      "{\n  \"bench\": \"serve_throughput\",\n  \"sessions\": %zu,\n"
+      "  \"clients\": %d,\n  \"hardware_concurrency\": %u,\n"
+      "  \"results\": [%s\n  ]\n}\n",
+      replays.size(), clients, cores, results_json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cascn::serve
+
+int main(int argc, char** argv) { return cascn::serve::Main(argc, argv); }

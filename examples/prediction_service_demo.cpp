@@ -1,0 +1,143 @@
+// Prediction-service demo: the full serving lifecycle.
+//
+//   1. Train a small CasCN on simulated Weibo-like cascades.
+//   2. Write it to a checkpoint file.
+//   3. Bring up a PredictionService that reloads the checkpoint from disk
+//      (one model replica per worker — nothing is shared with training).
+//   4. Replay a fresh stream of simulated cascades as thousands of
+//      concurrent sessions: create / append / predict / close, driven from
+//      several client threads.
+//   5. Print the metrics snapshot and a few live forecasts.
+//
+//   ./prediction_service_demo [--cascades=300] [--epochs=4] [--workers=4]
+//                             [--sessions=1200] [--clients=8]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli_flags.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/cascn_model.h"
+#include "core/trainer.h"
+#include "data/cascade_generator.h"
+#include "data/dataset.h"
+#include "serve/checkpoint.h"
+#include "serve/prediction_service.h"
+
+int main(int argc, char** argv) {
+  using namespace cascn;
+  CliFlags flags;
+  CASCN_CHECK(flags.Parse(argc, argv).ok());
+  const double window = 60.0;  // observe 1 hour of each cascade
+
+  // 1. Train.
+  GeneratorConfig gen = WeiboLikeConfig();
+  gen.num_cascades = static_cast<int>(flags.GetInt("cascades", 300));
+  gen.user_universe = 1000;
+  Rng rng(42);
+  DatasetOptions data_opts;
+  data_opts.observation_window = window;
+  data_opts.min_observed_size = 5;
+  auto dataset = BuildDataset(GenerateCascades(gen, rng), data_opts);
+  CASCN_CHECK(dataset.ok()) << dataset.status();
+
+  CascnConfig config;
+  config.padded_size = 24;
+  config.hidden_dim = 8;
+  CascnModel model(config);
+  TrainerOptions trainer;
+  trainer.max_epochs = static_cast<int>(flags.GetInt("epochs", 4));
+  const TrainResult train = TrainRegressor(model, *dataset, trainer);
+  std::printf("trained CasCN: best validation MSLE %.3f (epoch %d)\n",
+              train.best_validation_msle, train.best_epoch);
+
+  // 2. Checkpoint.
+  const std::string ckpt = "/tmp/cascn_demo.ckpt";
+  CASCN_CHECK(serve::SaveCascnCheckpoint(ckpt, model).ok());
+  std::printf("checkpoint written to %s\n", ckpt.c_str());
+
+  // 3. Serve from the checkpoint (fresh replicas, nothing reused).
+  serve::ServiceOptions service_opts;
+  service_opts.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  service_opts.queue_capacity = 8192;
+  service_opts.sessions.observation_window = window;
+  service_opts.sessions.capacity = 8192;
+  auto service = serve::PredictionService::CreateFromCheckpoint(service_opts,
+                                                                ckpt);
+  CASCN_CHECK(service.ok()) << service.status();
+  std::printf("service up: %d workers, queue capacity %zu\n",
+              service.value()->num_workers(), service_opts.queue_capacity);
+
+  // 4. Replay a fresh cascade stream as concurrent sessions.
+  const int target_sessions =
+      static_cast<int>(flags.GetInt("sessions", 1200));
+  GeneratorConfig live = WeiboLikeConfig();
+  live.num_cascades = target_sessions * 2;
+  live.user_universe = 1000;
+  Rng live_rng(2024);
+  std::vector<std::vector<AdoptionEvent>> replays;
+  for (const Cascade& cascade : GenerateCascades(live, live_rng)) {
+    const Cascade prefix = cascade.Prefix(window);
+    if (prefix.size() < 3) continue;
+    replays.push_back(prefix.events());
+    if (static_cast<int>(replays.size()) == target_sessions) break;
+  }
+  std::printf("replaying %zu live cascades...\n", replays.size());
+
+  const int clients = static_cast<int>(flags.GetInt("clients", 8));
+  std::vector<double> final_counts(replays.size(), 0.0);
+  std::vector<std::thread> drivers;
+  for (int c = 0; c < clients; ++c) {
+    drivers.emplace_back([&, c] {
+      // Each client owns sessions c, c+clients, ...; all clients run
+      // concurrently, so sessions from every client overlap in time.
+      for (size_t i = static_cast<size_t>(c); i < replays.size();
+           i += static_cast<size_t>(clients)) {
+        const std::string id = "live-" + std::to_string(i);
+        CASCN_CHECK(
+            service.value()->CallCreate(id, replays[i][0].user).status.ok());
+      }
+      bool progressed = true;
+      for (size_t step = 1; progressed; ++step) {
+        progressed = false;
+        for (size_t i = static_cast<size_t>(c); i < replays.size();
+             i += static_cast<size_t>(clients)) {
+          if (step >= replays[i].size()) continue;
+          progressed = true;
+          const AdoptionEvent& e = replays[i][step];
+          const auto append = service.value()->CallAppend(
+              "live-" + std::to_string(i), e.user, e.parents[0], e.time);
+          CASCN_CHECK(append.status.ok()) << append.status;
+        }
+      }
+      for (size_t i = static_cast<size_t>(c); i < replays.size();
+           i += static_cast<size_t>(clients)) {
+        const auto p =
+            service.value()->CallPredict("live-" + std::to_string(i));
+        CASCN_CHECK(p.status.ok()) << p.status;
+        final_counts[i] = p.count_prediction;
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+
+  const size_t live_sessions = service.value()->sessions().size();
+  std::printf("served %zu sessions (%zu still live)\n", replays.size(),
+              live_sessions);
+  std::printf("\nsample forecasts (observed first hour -> expected further "
+              "adoptions):\n");
+  for (size_t i = 0; i < std::min<size_t>(5, replays.size()); ++i)
+    std::printf("  live-%zu: observed %zu, forecast %+.1f\n", i,
+                replays[i].size(), final_counts[i]);
+
+  // 5. Metrics.
+  service.value()->Shutdown();
+  const auto snapshot = service.value()->metrics().TakeSnapshot();
+  std::printf("\n%s", snapshot.ToString().c_str());
+  std::printf("\nmetrics json: %s\n", snapshot.ToJson().c_str());
+  return 0;
+}

@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kNotImplemented,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code`, e.g. "InvalidArgument".
@@ -66,6 +67,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

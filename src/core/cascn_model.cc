@@ -67,13 +67,29 @@ CascnModel::CascnModel(const CascnConfig& config) : config_(config) {
 std::string CascnModel::name() const { return VariantName(config_.variant); }
 
 const EncodedCascade& CascnModel::Encoded(const CascadeSample& sample) {
-  auto it = cache_.find(&sample);
-  if (it != cache_.end()) return it->second;
+  const uint64_t key = SampleFingerprint(sample);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+    return it->second.encoded;
+  }
   auto encoded = EncodeCascade(sample, config_);
   CASCN_CHECK(encoded.ok()) << "encoding failed for cascade "
                             << sample.observed.id() << ": "
                             << encoded.status().ToString();
-  return cache_.emplace(&sample, std::move(encoded).value()).first->second;
+  cache_lru_.push_front(key);
+  auto& entry = cache_[key];
+  entry.encoded = std::move(encoded).value();
+  entry.lru_it = cache_lru_.begin();
+  const size_t capacity =
+      config_.encoding_cache_capacity > 0
+          ? static_cast<size_t>(config_.encoding_cache_capacity)
+          : 1;
+  while (cache_.size() > capacity) {
+    cache_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+  return entry.encoded;
 }
 
 double CascnModel::EncodedLambdaMax(const CascadeSample& sample) {

@@ -18,6 +18,8 @@
 #ifndef CASCN_CORE_CASCN_MODEL_H_
 #define CASCN_CORE_CASCN_MODEL_H_
 
+#include <cstdint>
+#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -43,7 +45,14 @@ class CascnModel : public nn::Module, public CascadeRegressor {
     return Parameters();
   }
   std::string name() const override;
-  void ClearCache() override { cache_.clear(); }
+  void ClearCache() override {
+    cache_.clear();
+    cache_lru_.clear();
+  }
+
+  /// Number of cached per-sample encodings (bounded by
+  /// config.encoding_cache_capacity).
+  size_t EncodingCacheSize() const { return cache_.size(); }
 
   /// The pooled cascade representation h(C_i(t)) (1 x hidden_dim) after a
   /// forward pass; used by the Fig. 9 feature-visualisation experiment.
@@ -55,8 +64,10 @@ class CascnModel : public nn::Module, public CascadeRegressor {
   double EncodedLambdaMax(const CascadeSample& sample);
 
  private:
-  /// Cached per-sample encoding. The sample must outlive the cache entry
-  /// (datasets are immutable during training).
+  /// Cached per-sample encoding, keyed by SampleFingerprint so a recycled
+  /// heap address (e.g. the per-update samples of a streaming session) can
+  /// never alias a previous cascade's encoding. LRU-bounded by
+  /// config.encoding_cache_capacity.
   const EncodedCascade& Encoded(const CascadeSample& sample);
 
   /// Shared forward: pooled 1 x hidden representation.
@@ -75,7 +86,12 @@ class CascnModel : public nn::Module, public CascadeRegressor {
   ag::Variable attn_w_;  // hidden x hidden
   ag::Variable attn_v_;  // hidden x 1
   std::unique_ptr<nn::Mlp> mlp_;
-  std::unordered_map<const CascadeSample*, EncodedCascade> cache_;
+  struct CacheEntry {
+    EncodedCascade encoded;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+  std::list<uint64_t> cache_lru_;  // front = most recently used
 };
 
 }  // namespace cascn

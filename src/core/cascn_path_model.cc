@@ -24,8 +24,12 @@ CascnPathModel::CascnPathModel(const CascnPathConfig& config)
 
 const std::vector<std::vector<int>>& CascnPathModel::WalkUsers(
     const CascadeSample& sample) {
-  auto it = walk_cache_.find(&sample);
+  const uint64_t key = SampleFingerprint(sample);
+  auto it = walk_cache_.find(key);
   if (it != walk_cache_.end()) return it->second;
+  // Crude bound: the cache is per-training-run; wholesale reset on overflow
+  // keeps long streaming workloads from growing it without bound.
+  if (walk_cache_.size() >= 8192) walk_cache_.clear();
 
   // Deterministic walks: seed from the cascade id so repeated epochs see the
   // same sequences (matching precomputed-walk pipelines).
@@ -47,7 +51,7 @@ const std::vector<std::vector<int>>& CascnPathModel::WalkUsers(
           sample.observed.event(node).user % config_.user_universe;
     }
   }
-  return walk_cache_.emplace(&sample, std::move(per_step)).first->second;
+  return walk_cache_.emplace(key, std::move(per_step)).first->second;
 }
 
 ag::Variable CascnPathModel::PredictLog(const CascadeSample& sample) {

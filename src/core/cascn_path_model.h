@@ -9,6 +9,7 @@
 #ifndef CASCN_CORE_CASCN_PATH_MODEL_H_
 #define CASCN_CORE_CASCN_PATH_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -49,16 +50,16 @@ class CascnPathModel : public nn::Module, public CascadeRegressor {
 
  private:
   /// Walks are sampled once per sample (seeded deterministically by the
-  /// cascade id) and cached as per-step user-id columns.
+  /// cascade id) and cached as per-step user-id columns, keyed by content
+  /// fingerprint so recycled sample addresses never alias stale walks.
   const std::vector<std::vector<int>>& WalkUsers(const CascadeSample& sample);
 
   CascnPathConfig config_;
   std::unique_ptr<nn::Embedding> user_embedding_;
   std::unique_ptr<nn::LstmCell> lstm_;
   std::unique_ptr<nn::Mlp> mlp_;
-  // walk_cache_[sample][t] = user ids at walk position t (one per walk).
-  std::unordered_map<const CascadeSample*, std::vector<std::vector<int>>>
-      walk_cache_;
+  // walk_cache_[fingerprint][t] = user ids at walk position t (one per walk).
+  std::unordered_map<uint64_t, std::vector<std::vector<int>>> walk_cache_;
 };
 
 }  // namespace cascn

@@ -66,6 +66,11 @@ struct CascnConfig {
   /// Seed for parameter initialisation.
   uint64_t seed = 42;
 
+  /// Per-model cap on cached per-sample encodings (LRU-evicted beyond this).
+  /// Sized to hold a full training split; long-running serving workloads
+  /// stay bounded instead of growing one entry per observed update.
+  int encoding_cache_capacity = 8192;
+
   SnapshotOptions MakeSnapshotOptions() const {
     SnapshotOptions opts;
     opts.padded_size = padded_size;

@@ -48,9 +48,6 @@ Status StreamingPredictor::AddAdoption(int user, int parent_node,
 
 const CascadeSample& StreamingPredictor::CurrentSample() {
   if (sample_stale_) {
-    // Drop the stale encoding the model cached for the previous sample
-    // address before replacing it.
-    model_->ClearCache();
     auto cascade = Cascade::Create("streaming", events_);
     CASCN_CHECK(cascade.ok()) << cascade.status();
     sample_ = std::make_unique<CascadeSample>();

@@ -53,8 +53,8 @@ class StreamingPredictor {
   CascnModel* model_;
   double observation_window_;
   std::vector<AdoptionEvent> events_;
-  // Rebuilt lazily; the model caches encodings by sample address, so each
-  // update allocates a fresh sample object.
+  // Rebuilt lazily after each update; the model caches encodings by content
+  // fingerprint, so rebuilding in place is safe.
   std::unique_ptr<CascadeSample> sample_;
   bool sample_stale_ = true;
   std::optional<double> cached_prediction_;

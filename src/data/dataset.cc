@@ -1,10 +1,48 @@
 #include "data/dataset.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/math_util.h"
 
 namespace cascn {
+
+namespace {
+
+// FNV-1a, 64-bit.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashBytes(uint64_t& h, const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void HashValue(uint64_t& h, T value) {
+  HashBytes(h, &value, sizeof(value));
+}
+
+}  // namespace
+
+uint64_t SampleFingerprint(const CascadeSample& sample) {
+  uint64_t h = kFnvOffset;
+  const std::string& id = sample.observed.id();
+  HashBytes(h, id.data(), id.size());
+  HashValue(h, sample.observation_window);
+  for (const AdoptionEvent& e : sample.observed.events()) {
+    HashValue(h, e.node);
+    HashValue(h, e.user);
+    HashValue(h, e.time);
+    for (int parent : e.parents) HashValue(h, parent);
+    // Separator so {parents={1},node=2} != {parents={1,2}}.
+    HashValue(h, int{-1});
+  }
+  return h;
+}
 
 Result<CascadeDataset> BuildDataset(const std::vector<Cascade>& cascades,
                                     const DatasetOptions& options) {

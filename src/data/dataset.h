@@ -5,6 +5,7 @@
 #ifndef CASCN_DATA_DATASET_H_
 #define CASCN_DATA_DATASET_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,13 @@ struct CascadeSample {
   /// log2(1 + future_increment): the regression target.
   double log_label = 0.0;
 };
+
+/// Content fingerprint of the model-visible part of a sample (cascade id,
+/// events, observation window). Two samples with identical observed content
+/// hash equal; any append/edit changes the hash. Models key their per-sample
+/// encoding caches by this value — never by object address, which heap reuse
+/// can silently recycle for a different cascade.
+uint64_t SampleFingerprint(const CascadeSample& sample);
 
 /// Chronologically split samples.
 struct CascadeDataset {

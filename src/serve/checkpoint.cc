@@ -1,0 +1,236 @@
+#include "serve/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cascn::serve {
+
+namespace {
+
+constexpr uint32_t kMaxStringLength = 1 << 20;  // 1 MiB: headers are tiny
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status ReadU32(std::istream& in, uint32_t* v, const char* what) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in.good())
+    return Status::IoError(StrFormat("checkpoint truncated reading %s", what));
+  return Status::OK();
+}
+
+Status ReadString(std::istream& in, std::string* s, const char* what) {
+  uint32_t len = 0;
+  CASCN_RETURN_IF_ERROR(ReadU32(in, &len, what));
+  if (len > kMaxStringLength)
+    return Status::IoError(
+        StrFormat("checkpoint %s length %u is implausible", what, len));
+  s->assign(len, '\0');
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  if (!in.good())
+    return Status::IoError(StrFormat("checkpoint truncated reading %s", what));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(std::ostream& out, const std::string& model_type,
+                       const std::string& config_text,
+                       const nn::Module& module, double output_offset) {
+  WriteU32(out, kCheckpointMagic);
+  WriteU32(out, kCheckpointVersion);
+  WriteString(out, model_type);
+  WriteString(out, config_text);
+  out.write(reinterpret_cast<const char*>(&output_offset),
+            sizeof(output_offset));
+  if (!out.good()) return Status::IoError("failed writing checkpoint header");
+  CASCN_RETURN_IF_ERROR(module.Save(out));
+  WriteU32(out, kCheckpointFooter);
+  if (!out.good()) return Status::IoError("failed writing checkpoint footer");
+  return Status::OK();
+}
+
+Status WriteCheckpointFile(const std::string& path,
+                           const std::string& model_type,
+                           const std::string& config_text,
+                           const nn::Module& module, double output_offset) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open())
+    return Status::IoError("cannot open checkpoint for writing: " + path);
+  CASCN_RETURN_IF_ERROR(
+      WriteCheckpoint(out, model_type, config_text, module, output_offset));
+  out.flush();
+  if (!out.good())
+    return Status::IoError("failed flushing checkpoint: " + path);
+  return Status::OK();
+}
+
+Result<CheckpointHeader> ReadCheckpointHeader(std::istream& in) {
+  uint32_t magic = 0;
+  CASCN_RETURN_IF_ERROR(ReadU32(in, &magic, "magic"));
+  if (magic != kCheckpointMagic)
+    return Status::InvalidArgument(
+        StrFormat("not a CasCN checkpoint (magic 0x%08x)", magic));
+  CheckpointHeader header;
+  CASCN_RETURN_IF_ERROR(ReadU32(in, &header.version, "version"));
+  if (header.version != kCheckpointVersion)
+    return Status::InvalidArgument(
+        StrFormat("unsupported checkpoint version %u (supported: %u)",
+                  header.version, kCheckpointVersion));
+  CASCN_RETURN_IF_ERROR(ReadString(in, &header.model_type, "model type"));
+  CASCN_RETURN_IF_ERROR(ReadString(in, &header.config_text, "config block"));
+  in.read(reinterpret_cast<char*>(&header.output_offset),
+          sizeof(header.output_offset));
+  if (!in.good())
+    return Status::IoError("checkpoint truncated reading output offset");
+  return header;
+}
+
+Result<CheckpointHeader> ReadCheckpointHeaderFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open())
+    return Status::IoError("cannot open checkpoint: " + path);
+  return ReadCheckpointHeader(in);
+}
+
+Status LoadCheckpointInto(std::istream& in,
+                          const std::string& expected_model_type,
+                          nn::Module& module, CheckpointHeader* header) {
+  CASCN_ASSIGN_OR_RETURN(CheckpointHeader parsed, ReadCheckpointHeader(in));
+  if (parsed.model_type != expected_model_type)
+    return Status::InvalidArgument(
+        StrFormat("checkpoint holds a '%s' model, expected '%s'",
+                  parsed.model_type.c_str(), expected_model_type.c_str()));
+  CASCN_RETURN_IF_ERROR(module.Load(in));
+  uint32_t footer = 0;
+  CASCN_RETURN_IF_ERROR(ReadU32(in, &footer, "footer"));
+  if (footer != kCheckpointFooter)
+    return Status::IoError(
+        StrFormat("checkpoint footer mismatch (0x%08x): truncated or "
+                  "corrupt parameter payload",
+                  footer));
+  if (header != nullptr) *header = std::move(parsed);
+  return Status::OK();
+}
+
+Status LoadCheckpointIntoFile(const std::string& path,
+                              const std::string& expected_model_type,
+                              nn::Module& module, CheckpointHeader* header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open())
+    return Status::IoError("cannot open checkpoint: " + path);
+  return LoadCheckpointInto(in, expected_model_type, module, header);
+}
+
+std::string EncodeCascnConfig(const CascnConfig& config) {
+  std::ostringstream out;
+  out << "variant=" << static_cast<int>(config.variant) << "\n";
+  out << "padded_size=" << config.padded_size << "\n";
+  out << "hidden_dim=" << config.hidden_dim << "\n";
+  out << "cheb_order=" << config.cheb_order << "\n";
+  out << "max_sequence_length=" << config.max_sequence_length << "\n";
+  out << "num_time_intervals=" << config.num_time_intervals << "\n";
+  out << "mlp_hidden1=" << config.mlp_hidden1 << "\n";
+  out << "mlp_hidden2=" << config.mlp_hidden2 << "\n";
+  out << "attention_pooling=" << (config.attention_pooling ? 1 : 0) << "\n";
+  out << "lambda_mode=" << static_cast<int>(config.lambda_mode) << "\n";
+  out << StrFormat("caslaplacian_alpha=%.17g\n", config.caslaplacian_alpha);
+  out << "seed=" << config.seed << "\n";
+  out << "encoding_cache_capacity=" << config.encoding_cache_capacity << "\n";
+  return out.str();
+}
+
+Result<CascnConfig> ParseCascnConfig(const std::string& text) {
+  CascnConfig config;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    const std::string_view line = Trim(raw_line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos)
+      return Status::InvalidArgument("malformed config line: " +
+                                     std::string(line));
+    const std::string key(line.substr(0, eq));
+    const std::string_view value = line.substr(eq + 1);
+    if (key == "caslaplacian_alpha") {
+      CASCN_ASSIGN_OR_RETURN(config.caslaplacian_alpha, ParseDouble(value));
+      continue;
+    }
+    CASCN_ASSIGN_OR_RETURN(const int64_t v, ParseInt64(value));
+    if (key == "variant") {
+      if (v < 0 || v > static_cast<int>(CascnVariant::kNoTimeDecay))
+        return Status::InvalidArgument(
+            StrFormat("unknown CasCN variant %lld", static_cast<long long>(v)));
+      config.variant = static_cast<CascnVariant>(v);
+    } else if (key == "padded_size") {
+      config.padded_size = static_cast<int>(v);
+    } else if (key == "hidden_dim") {
+      config.hidden_dim = static_cast<int>(v);
+    } else if (key == "cheb_order") {
+      config.cheb_order = static_cast<int>(v);
+    } else if (key == "max_sequence_length") {
+      config.max_sequence_length = static_cast<int>(v);
+    } else if (key == "num_time_intervals") {
+      config.num_time_intervals = static_cast<int>(v);
+    } else if (key == "mlp_hidden1") {
+      config.mlp_hidden1 = static_cast<int>(v);
+    } else if (key == "mlp_hidden2") {
+      config.mlp_hidden2 = static_cast<int>(v);
+    } else if (key == "attention_pooling") {
+      config.attention_pooling = v != 0;
+    } else if (key == "lambda_mode") {
+      if (v < 0 || v > static_cast<int>(LambdaMaxMode::kApproximateTwo))
+        return Status::InvalidArgument(
+            StrFormat("unknown lambda mode %lld", static_cast<long long>(v)));
+      config.lambda_mode = static_cast<LambdaMaxMode>(v);
+    } else if (key == "seed") {
+      config.seed = static_cast<uint64_t>(v);
+    } else if (key == "encoding_cache_capacity") {
+      config.encoding_cache_capacity = static_cast<int>(v);
+    } else {
+      return Status::InvalidArgument("unknown CasCN config key: " + key);
+    }
+  }
+  return config;
+}
+
+Status SaveCascnCheckpoint(const std::string& path, const CascnModel& model) {
+  return WriteCheckpointFile(path, kCascnModelType,
+                             EncodeCascnConfig(model.config()), model,
+                             model.output_offset());
+}
+
+Result<std::unique_ptr<CascnModel>> LoadCascnCheckpoint(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open())
+    return Status::IoError("cannot open checkpoint: " + path);
+  CASCN_ASSIGN_OR_RETURN(const CheckpointHeader header,
+                         ReadCheckpointHeader(in));
+  if (header.model_type != kCascnModelType)
+    return Status::InvalidArgument(
+        StrFormat("checkpoint holds a '%s' model, expected '%s'",
+                  header.model_type.c_str(), kCascnModelType));
+  CASCN_ASSIGN_OR_RETURN(const CascnConfig config,
+                         ParseCascnConfig(header.config_text));
+  auto model = std::make_unique<CascnModel>(config);
+  CASCN_RETURN_IF_ERROR(model->Load(in));
+  uint32_t footer = 0;
+  CASCN_RETURN_IF_ERROR(ReadU32(in, &footer, "footer"));
+  if (footer != kCheckpointFooter)
+    return Status::IoError(
+        StrFormat("checkpoint footer mismatch (0x%08x): truncated or "
+                  "corrupt parameter payload",
+                  footer));
+  model->set_output_offset(header.output_offset);
+  return model;
+}
+
+}  // namespace cascn::serve

@@ -1,0 +1,93 @@
+// Checkpoint files: durable serialization of trained models, so a model can
+// be trained once (e.g. by examples/quickstart) and served later from disk
+// by a different process.
+//
+// Layout (all integers little-endian, as written by the host):
+//
+//   uint32  magic          0x4E435343 ("CSCN")
+//   uint32  format version (kCheckpointVersion)
+//   uint32  model-type length,  bytes   e.g. "cascn"
+//   uint32  config length,      bytes   key=value lines, one per line
+//   double  output offset                (CascadeRegressor calibration)
+//   ----    Module::Save payload         (named parameter tensors)
+//   uint32  footer magic   0x4E444E45 ("ENDN")
+//
+// The footer magic distinguishes a cleanly written file from one truncated
+// mid-stream. Corrupt, truncated, or mismatched files are rejected with a
+// descriptive error Status — never a crash.
+
+#ifndef CASCN_SERVE_CHECKPOINT_H_
+#define CASCN_SERVE_CHECKPOINT_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/result.h"
+#include "core/cascn_model.h"
+#include "nn/module.h"
+
+namespace cascn::serve {
+
+inline constexpr uint32_t kCheckpointMagic = 0x4E435343;   // "CSCN"
+inline constexpr uint32_t kCheckpointFooter = 0x4E444E45;  // "ENDN"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Everything readable without knowing the concrete model class.
+struct CheckpointHeader {
+  uint32_t version = kCheckpointVersion;
+  std::string model_type;
+  std::string config_text;
+  double output_offset = 0.0;
+};
+
+/// Writes a checkpoint for any Module-backed model. `model_type` tags the
+/// concrete class (readers refuse a mismatched tag); `config_text` is an
+/// opaque block the loader uses to reconstruct the model shape.
+Status WriteCheckpoint(std::ostream& out, const std::string& model_type,
+                       const std::string& config_text,
+                       const nn::Module& module, double output_offset);
+Status WriteCheckpointFile(const std::string& path,
+                           const std::string& model_type,
+                           const std::string& config_text,
+                           const nn::Module& module, double output_offset);
+
+/// Reads and validates the header only (magic, version, strings, offset),
+/// leaving the stream positioned at the parameter payload.
+Result<CheckpointHeader> ReadCheckpointHeader(std::istream& in);
+Result<CheckpointHeader> ReadCheckpointHeaderFile(const std::string& path);
+
+/// Loads a checkpoint into an already-constructed module whose parameter
+/// names/shapes must match the file. Fails (without modifying observable
+/// behaviour guarantees) on magic/version/type mismatch, truncation, or
+/// trailing garbage. On success `*header` (optional) receives the header.
+Status LoadCheckpointInto(std::istream& in,
+                          const std::string& expected_model_type,
+                          nn::Module& module,
+                          CheckpointHeader* header = nullptr);
+Status LoadCheckpointIntoFile(const std::string& path,
+                              const std::string& expected_model_type,
+                              nn::Module& module,
+                              CheckpointHeader* header = nullptr);
+
+/// CascnConfig <-> config-block text (key=value lines). Parsing rejects
+/// unknown keys and malformed values so version skew is loud.
+std::string EncodeCascnConfig(const CascnConfig& config);
+Result<CascnConfig> ParseCascnConfig(const std::string& text);
+
+/// Model-type tag used by CasCN checkpoints.
+inline constexpr char kCascnModelType[] = "cascn";
+
+/// Saves a trained CasCN (parameters + config + calibration offset).
+Status SaveCascnCheckpoint(const std::string& path, const CascnModel& model);
+
+/// Rebuilds a CascnModel from a checkpoint written by SaveCascnCheckpoint:
+/// parses the config, constructs the model, loads parameters, and restores
+/// the output offset.
+Result<std::unique_ptr<CascnModel>> LoadCascnCheckpoint(
+    const std::string& path);
+
+}  // namespace cascn::serve
+
+#endif  // CASCN_SERVE_CHECKPOINT_H_

@@ -1,0 +1,123 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cascn::serve {
+
+std::string_view CounterName(Counter c) {
+  switch (c) {
+    case Counter::kRequestsTotal:
+      return "requests_total";
+    case Counter::kRequestsRejected:
+      return "requests_rejected";
+    case Counter::kSessionsCreated:
+      return "sessions_created";
+    case Counter::kAppends:
+      return "appends";
+    case Counter::kPredictions:
+      return "predictions";
+    case Counter::kSessionsClosed:
+      return "sessions_closed";
+    case Counter::kEvictions:
+      return "evictions";
+    case Counter::kPredictionCacheHits:
+      return "prediction_cache_hits";
+    case Counter::kBatches:
+      return "batches";
+    case Counter::kBatchedRequests:
+      return "batched_requests";
+    case Counter::kErrors:
+      return "errors";
+    case Counter::kNumCounters:
+      break;
+  }
+  return "unknown";
+}
+
+void ServeMetrics::RecordLatencyMicros(uint64_t us) {
+  int bucket = 0;
+  while (bucket + 1 < kNumLatencyBuckets && (uint64_t{1} << (bucket + 1)) <= us)
+    ++bucket;
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_sum_us_.fetch_add(us, std::memory_order_relaxed);
+  uint64_t prev = latency_max_us_.load(std::memory_order_relaxed);
+  while (prev < us && !latency_max_us_.compare_exchange_weak(
+                          prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+/// Upper edge of histogram bucket i, in microseconds.
+double BucketUpperUs(int i) { return static_cast<double>(uint64_t{1} << (i + 1)); }
+
+double Percentile(const std::array<uint64_t, ServeMetrics::kNumLatencyBuckets>&
+                      buckets,
+                  uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < ServeMetrics::kNumLatencyBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target) return BucketUpperUs(i);
+  }
+  return BucketUpperUs(ServeMetrics::kNumLatencyBuckets - 1);
+}
+
+}  // namespace
+
+ServeMetrics::Snapshot ServeMetrics::TakeSnapshot() const {
+  Snapshot snap;
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i)
+    snap.counters[i] = counters_[i].load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (int i = 0; i < kNumLatencyBuckets; ++i) {
+    snap.latency_buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);
+    total += snap.latency_buckets[i];
+  }
+  snap.latency_count = total;
+  snap.latency_max_us = latency_max_us_.load(std::memory_order_relaxed);
+  const uint64_t sum = latency_sum_us_.load(std::memory_order_relaxed);
+  snap.latency_mean_us =
+      total == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(total);
+  snap.latency_p50_us = Percentile(snap.latency_buckets, total, 0.50);
+  snap.latency_p90_us = Percentile(snap.latency_buckets, total, 0.90);
+  snap.latency_p99_us = Percentile(snap.latency_buckets, total, 0.99);
+  return snap;
+}
+
+std::string ServeMetrics::Snapshot::ToString() const {
+  std::ostringstream out;
+  out << "serve metrics:\n";
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i)
+    out << "  " << CounterName(static_cast<Counter>(i)) << " = "
+        << counters[i] << "\n";
+  out << StrFormat(
+      "  latency: n=%llu mean=%.1fus p50<=%.0fus p90<=%.0fus p99<=%.0fus "
+      "max=%lluus\n",
+      static_cast<unsigned long long>(latency_count), latency_mean_us,
+      latency_p50_us, latency_p90_us, latency_p99_us,
+      static_cast<unsigned long long>(latency_max_us));
+  return out.str();
+}
+
+std::string ServeMetrics::Snapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i)
+    out << "\"" << CounterName(static_cast<Counter>(i)) << "\": " << counters[i]
+        << ", ";
+  out << StrFormat(
+      "\"latency_count\": %llu, \"latency_mean_us\": %.1f, "
+      "\"latency_p50_us\": %.0f, \"latency_p90_us\": %.0f, "
+      "\"latency_p99_us\": %.0f, \"latency_max_us\": %llu}",
+      static_cast<unsigned long long>(latency_count), latency_mean_us,
+      latency_p50_us, latency_p90_us, latency_p99_us,
+      static_cast<unsigned long long>(latency_max_us));
+  return out.str();
+}
+
+}  // namespace cascn::serve

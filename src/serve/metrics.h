@@ -1,0 +1,83 @@
+// ServeMetrics: lock-cheap operational counters and latency histograms for
+// the prediction service. Every mutation is a single relaxed atomic
+// increment, so recording from many worker threads never contends on a
+// lock; Snapshot() assembles a consistent-enough view for reporting
+// (individual counters are exact; cross-counter skew is bounded by what was
+// in flight during the read).
+
+#ifndef CASCN_SERVE_METRICS_H_
+#define CASCN_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cascn::serve {
+
+/// Counter identifiers. Keep kNumCounters last.
+enum class Counter : int {
+  kRequestsTotal = 0,    // accepted into the queue
+  kRequestsRejected,     // refused with Unavailable (backpressure/shutdown)
+  kSessionsCreated,
+  kAppends,
+  kPredictions,
+  kSessionsClosed,
+  kEvictions,            // idle sessions LRU-evicted at capacity
+  kPredictionCacheHits,  // predictions served from the per-session cache
+  kBatches,              // worker dequeues that drained > 1 request
+  kBatchedRequests,      // requests processed as part of such a batch
+  kErrors,               // requests that completed with a non-OK status
+  kNumCounters,
+};
+
+std::string_view CounterName(Counter c);
+
+/// Aggregated metrics over many threads. All methods are thread-safe.
+class ServeMetrics {
+ public:
+  static constexpr int kNumLatencyBuckets = 24;
+
+  void Increment(Counter c, uint64_t n = 1) {
+    counters_[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Records one request latency. Bucket i covers [2^i, 2^{i+1}) us; the
+  /// last bucket absorbs everything above ~4 s.
+  void RecordLatencyMicros(uint64_t us);
+
+  /// Point-in-time copy of every counter plus histogram percentiles.
+  struct Snapshot {
+    std::array<uint64_t, static_cast<int>(Counter::kNumCounters)> counters{};
+    std::array<uint64_t, kNumLatencyBuckets> latency_buckets{};
+    uint64_t latency_count = 0;
+    uint64_t latency_max_us = 0;
+    double latency_mean_us = 0.0;
+    double latency_p50_us = 0.0;
+    double latency_p90_us = 0.0;
+    double latency_p99_us = 0.0;
+
+    uint64_t counter(Counter c) const {
+      return counters[static_cast<int>(c)];
+    }
+
+    /// Multi-line human-readable report.
+    std::string ToString() const;
+    /// One JSON object (counters by name + latency percentiles).
+    std::string ToJson() const;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, static_cast<int>(Counter::kNumCounters)>
+      counters_{};
+  std::array<std::atomic<uint64_t>, kNumLatencyBuckets> latency_buckets_{};
+  std::atomic<uint64_t> latency_sum_us_{0};
+  std::atomic<uint64_t> latency_max_us_{0};
+};
+
+}  // namespace cascn::serve
+
+#endif  // CASCN_SERVE_METRICS_H_

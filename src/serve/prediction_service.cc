@@ -1,0 +1,231 @@
+#include "serve/prediction_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "serve/checkpoint.h"
+
+namespace cascn::serve {
+
+PredictionService::PredictionService(const ServiceOptions& options)
+    : options_(options) {
+  CASCN_CHECK(options.num_workers >= 1);
+  CASCN_CHECK(options.queue_capacity >= 1);
+  CASCN_CHECK(options.max_batch >= 1);
+  sessions_ = std::make_unique<SessionManager>(options.sessions, &metrics_);
+}
+
+Result<std::unique_ptr<PredictionService>> PredictionService::Create(
+    const ServiceOptions& options, const ModelFactory& factory) {
+  // No make_unique: the constructor is private.
+  std::unique_ptr<PredictionService> service(new PredictionService(options));
+  for (int i = 0; i < options.num_workers; ++i) {
+    CASCN_ASSIGN_OR_RETURN(auto model, factory());
+    if (model == nullptr)
+      return Status::InvalidArgument("model factory produced a null model");
+    service->models_.push_back(std::move(model));
+  }
+  service->pool_ =
+      std::make_unique<ThreadPool>(static_cast<size_t>(options.num_workers));
+  for (int i = 0; i < options.num_workers; ++i)
+    service->pool_->Submit([svc = service.get(), i] { svc->WorkerLoop(i); });
+  return service;
+}
+
+Result<std::unique_ptr<PredictionService>>
+PredictionService::CreateFromCheckpoint(const ServiceOptions& options,
+                                        const std::string& checkpoint_path) {
+  return Create(options,
+                [checkpoint_path]() -> Result<std::unique_ptr<CascadeRegressor>> {
+                  CASCN_ASSIGN_OR_RETURN(auto model,
+                                         LoadCascnCheckpoint(checkpoint_path));
+                  return std::unique_ptr<CascadeRegressor>(std::move(model));
+                });
+}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+void PredictionService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+Result<std::future<ServeResponse>> PredictionService::Enqueue(
+    Request request) {
+  std::future<ServeResponse> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutting_down_) {
+      metrics_.Increment(Counter::kRequestsRejected);
+      return Status::Unavailable("service is shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      metrics_.Increment(Counter::kRequestsRejected);
+      return Status::Unavailable("request queue is full");
+    }
+    queue_.push_back(std::move(request));
+    metrics_.Increment(Counter::kRequestsTotal);
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+Result<std::future<ServeResponse>> PredictionService::SubmitCreate(
+    std::string session_id, int root_user) {
+  Request r;
+  r.type = RequestType::kCreate;
+  r.session_id = std::move(session_id);
+  r.user = root_user;
+  return Enqueue(std::move(r));
+}
+
+Result<std::future<ServeResponse>> PredictionService::SubmitAppend(
+    std::string session_id, int user, int parent_node, double time) {
+  Request r;
+  r.type = RequestType::kAppend;
+  r.session_id = std::move(session_id);
+  r.user = user;
+  r.parent_node = parent_node;
+  r.time = time;
+  return Enqueue(std::move(r));
+}
+
+Result<std::future<ServeResponse>> PredictionService::SubmitPredict(
+    std::string session_id) {
+  Request r;
+  r.type = RequestType::kPredict;
+  r.session_id = std::move(session_id);
+  return Enqueue(std::move(r));
+}
+
+Result<std::future<ServeResponse>> PredictionService::SubmitClose(
+    std::string session_id) {
+  Request r;
+  r.type = RequestType::kClose;
+  r.session_id = std::move(session_id);
+  return Enqueue(std::move(r));
+}
+
+namespace {
+
+ServeResponse WaitOrReject(Result<std::future<ServeResponse>> submitted) {
+  if (!submitted.ok()) {
+    ServeResponse response;
+    response.status = submitted.status();
+    return response;
+  }
+  return submitted.value().get();
+}
+
+}  // namespace
+
+ServeResponse PredictionService::CallCreate(std::string session_id,
+                                            int root_user) {
+  return WaitOrReject(SubmitCreate(std::move(session_id), root_user));
+}
+
+ServeResponse PredictionService::CallAppend(std::string session_id, int user,
+                                            int parent_node, double time) {
+  return WaitOrReject(
+      SubmitAppend(std::move(session_id), user, parent_node, time));
+}
+
+ServeResponse PredictionService::CallPredict(std::string session_id) {
+  return WaitOrReject(SubmitPredict(std::move(session_id)));
+}
+
+ServeResponse PredictionService::CallClose(std::string session_id) {
+  return WaitOrReject(SubmitClose(std::move(session_id)));
+}
+
+ServeResponse PredictionService::Execute(const Request& request,
+                                         CascadeRegressor& model) {
+  ServeResponse response;
+  switch (request.type) {
+    case RequestType::kCreate:
+      response.status = sessions_->Create(request.session_id, request.user);
+      break;
+    case RequestType::kAppend:
+      response.status = sessions_->Append(request.session_id, request.user,
+                                          request.parent_node, request.time);
+      break;
+    case RequestType::kPredict: {
+      auto prediction = sessions_->PredictLog(request.session_id, model);
+      if (prediction.ok()) {
+        response.log_prediction = prediction.value();
+        response.count_prediction = Exp2m1(prediction.value());
+      } else {
+        response.status = prediction.status();
+      }
+      break;
+    }
+    case RequestType::kClose:
+      response.status = sessions_->Close(request.session_id);
+      break;
+  }
+  if (!response.status.ok()) metrics_.Increment(Counter::kErrors);
+  return response;
+}
+
+void PredictionService::WorkerLoop(int worker_index) {
+  CascadeRegressor& model = *models_[static_cast<size_t>(worker_index)];
+  std::vector<Request> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      const size_t take = std::min(queue_.size(),
+                                   static_cast<size_t>(options_.max_batch));
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (batch.size() > 1) {
+      metrics_.Increment(Counter::kBatches);
+      metrics_.Increment(Counter::kBatchedRequests,
+                         static_cast<uint64_t>(batch.size()));
+    }
+    // Duplicate predicts for one session inside a batch are computed once;
+    // followers reuse the leader's response. (Appends invalidate the
+    // session's prediction cache, so only identical observed states share.)
+    std::unordered_map<std::string, ServeResponse> predict_memo;
+    for (Request& request : batch) {
+      const auto start = std::chrono::steady_clock::now();
+      ServeResponse response;
+      if (request.type == RequestType::kPredict) {
+        auto memo = predict_memo.find(request.session_id);
+        if (memo != predict_memo.end()) {
+          response = memo->second;
+          metrics_.Increment(Counter::kPredictions);
+          metrics_.Increment(Counter::kPredictionCacheHits);
+        } else {
+          response = Execute(request, model);
+          predict_memo.emplace(request.session_id, response);
+        }
+      } else {
+        response = Execute(request, model);
+        // Any mutation (create/append/close) changes what a predict for
+        // this session should observe: drop the memo entry.
+        predict_memo.erase(request.session_id);
+      }
+      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start);
+      metrics_.RecordLatencyMicros(static_cast<uint64_t>(elapsed.count()));
+      request.promise.set_value(std::move(response));
+    }
+  }
+}
+
+}  // namespace cascn::serve

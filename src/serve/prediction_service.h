@@ -1,0 +1,137 @@
+// PredictionService: the multi-threaded front end of the serving subsystem.
+//
+// Requests (create / append / predict / close) enter a bounded FIFO queue
+// and are drained by worker threads drawn from a ThreadPool. Each worker
+// owns a private model replica (loaded from the same checkpoint), so
+// forward passes never share mutable model state; session state is shared
+// through the SessionManager's per-session locks.
+//
+// Micro-batching: a worker drains up to `max_batch` queued requests in one
+// critical section and processes them together; duplicate predict requests
+// for the same session inside a batch are computed once. Backpressure: when
+// the queue is full, submission fails fast with Unavailable instead of
+// blocking unboundedly. Shutdown() stops intake, drains every queued
+// request (each still receives a response), and joins the workers.
+
+#ifndef CASCN_SERVE_PREDICTION_SERVICE_H_
+#define CASCN_SERVE_PREDICTION_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/regressor.h"
+#include "serve/metrics.h"
+#include "serve/session_manager.h"
+
+namespace cascn::serve {
+
+struct ServiceOptions {
+  /// Worker threads (and model replicas); >= 1.
+  int num_workers = 4;
+  /// Bounded request queue; submissions beyond this fail with Unavailable.
+  size_t queue_capacity = 4096;
+  /// Max requests one worker drains per critical section; >= 1.
+  int max_batch = 16;
+  SessionManagerOptions sessions;
+};
+
+/// Outcome of one request. `log_prediction`/`count_prediction` are set only
+/// for successful predict requests.
+struct ServeResponse {
+  Status status;
+  double log_prediction = 0.0;
+  double count_prediction = 0.0;
+};
+
+/// Multi-threaded, in-process cascade prediction service.
+class PredictionService {
+ public:
+  /// Produces one model replica per worker. Replicas must be functionally
+  /// identical (e.g. loaded from the same checkpoint): predictions are
+  /// cached per session regardless of which replica computed them.
+  using ModelFactory =
+      std::function<Result<std::unique_ptr<CascadeRegressor>>()>;
+
+  /// Builds the service and starts its workers.
+  static Result<std::unique_ptr<PredictionService>> Create(
+      const ServiceOptions& options, const ModelFactory& factory);
+
+  /// Convenience: every replica is loaded from a CasCN checkpoint file.
+  static Result<std::unique_ptr<PredictionService>> CreateFromCheckpoint(
+      const ServiceOptions& options, const std::string& checkpoint_path);
+
+  ~PredictionService();  // implies Shutdown()
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Async submission. The future always becomes ready (also during
+  /// shutdown drain). Fails fast with Unavailable when the queue is full or
+  /// the service is shutting down.
+  Result<std::future<ServeResponse>> SubmitCreate(std::string session_id,
+                                                  int root_user);
+  Result<std::future<ServeResponse>> SubmitAppend(std::string session_id,
+                                                  int user, int parent_node,
+                                                  double time);
+  Result<std::future<ServeResponse>> SubmitPredict(std::string session_id);
+  Result<std::future<ServeResponse>> SubmitClose(std::string session_id);
+
+  /// Blocking conveniences (submit + wait).
+  ServeResponse CallCreate(std::string session_id, int root_user);
+  ServeResponse CallAppend(std::string session_id, int user, int parent_node,
+                           double time);
+  ServeResponse CallPredict(std::string session_id);
+  ServeResponse CallClose(std::string session_id);
+
+  /// Stops intake, processes every queued request, joins workers.
+  /// Idempotent.
+  void Shutdown();
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  SessionManager& sessions() { return *sessions_; }
+  int num_workers() const { return static_cast<int>(models_.size()); }
+
+ private:
+  enum class RequestType { kCreate, kAppend, kPredict, kClose };
+
+  struct Request {
+    RequestType type;
+    std::string session_id;
+    int user = 0;
+    int parent_node = 0;
+    double time = 0.0;
+    std::promise<ServeResponse> promise;
+  };
+
+  explicit PredictionService(const ServiceOptions& options);
+
+  Result<std::future<ServeResponse>> Enqueue(Request request);
+  ServeResponse Execute(const Request& request, CascadeRegressor& model);
+  void WorkerLoop(int worker_index);
+
+  ServiceOptions options_;
+  ServeMetrics metrics_;
+  std::unique_ptr<SessionManager> sessions_;
+  std::vector<std::unique_ptr<CascadeRegressor>> models_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool shutting_down_ = false;
+
+  // Declared last so workers (which reference everything above) stop before
+  // any other member is destroyed.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace cascn::serve
+
+#endif  // CASCN_SERVE_PREDICTION_SERVICE_H_

@@ -1,0 +1,166 @@
+#include "serve/session_manager.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cascn::serve {
+
+SessionManager::SessionManager(const SessionManagerOptions& options,
+                               ServeMetrics* metrics)
+    : options_(options), metrics_(metrics) {
+  CASCN_CHECK(options.capacity >= 1);
+  CASCN_CHECK(options.observation_window > 0);
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::Acquire(
+    const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return nullptr;
+  ++it->second->pins;
+  lru_.splice(lru_.begin(), lru_, it->second->lru_it);
+  return it->second;
+}
+
+void SessionManager::Release(Session& session) const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  --session.pins;
+}
+
+Status SessionManager::Create(const std::string& session_id, int root_user) {
+  auto session = std::make_shared<Session>();
+  AdoptionEvent root;
+  root.node = 0;
+  root.user = root_user;
+  root.time = 0.0;
+  session->events.push_back(root);
+
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  if (sessions_.count(session_id) > 0)
+    return Status::InvalidArgument("session already exists: " + session_id);
+  if (sessions_.size() >= options_.capacity) {
+    // Evict the least-recently-used idle session. Iterating from the LRU
+    // tail skips sessions with an operation in flight (pinned).
+    bool evicted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto candidate = sessions_.find(*it);
+      CASCN_CHECK(candidate != sessions_.end());
+      if (candidate->second->pins > 0) continue;
+      lru_.erase(std::next(it).base());
+      sessions_.erase(candidate);
+      Record(Counter::kEvictions);
+      evicted = true;
+      break;
+    }
+    if (!evicted)
+      return Status::Unavailable(
+          "session table full and every session is busy");
+  }
+  lru_.push_front(session_id);
+  session->lru_it = lru_.begin();
+  sessions_.emplace(session_id, std::move(session));
+  Record(Counter::kSessionsCreated);
+  return Status::OK();
+}
+
+Status SessionManager::Append(const std::string& session_id, int user,
+                              int parent_node, double time) {
+  std::shared_ptr<Session> session = Acquire(session_id);
+  if (session == nullptr)
+    return Status::NotFound("unknown session: " + session_id);
+  Status status = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (parent_node < 0 ||
+        parent_node >= static_cast<int>(session->events.size())) {
+      status = Status::InvalidArgument(
+          StrFormat("unknown parent node %d", parent_node));
+    } else if (time < session->events.back().time) {
+      status =
+          Status::InvalidArgument("adoption times must be non-decreasing");
+    } else if (time > options_.observation_window) {
+      status = Status::OutOfRange("adoption outside the observation window");
+    } else {
+      AdoptionEvent e;
+      e.node = static_cast<int>(session->events.size());
+      e.user = user;
+      e.parents.push_back(parent_node);
+      e.time = time;
+      session->events.push_back(std::move(e));
+      session->sample_stale = true;
+      session->cached_prediction.reset();
+      Record(Counter::kAppends);
+    }
+  }
+  Release(*session);
+  return status;
+}
+
+const CascadeSample& SessionManager::CurrentSample(Session& session) const {
+  // Pre: session.mutex held.
+  if (session.sample_stale) {
+    auto cascade = Cascade::Create("session", session.events);
+    CASCN_CHECK(cascade.ok()) << cascade.status();
+    if (session.sample == nullptr)
+      session.sample = std::make_unique<CascadeSample>();
+    session.sample->observed = std::move(cascade).value();
+    session.sample->observation_window = options_.observation_window;
+    session.sample_stale = false;
+  }
+  return *session.sample;
+}
+
+Result<double> SessionManager::PredictLog(const std::string& session_id,
+                                          CascadeRegressor& model) {
+  std::shared_ptr<Session> session = Acquire(session_id);
+  if (session == nullptr)
+    return Status::NotFound("unknown session: " + session_id);
+  double prediction = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (session->cached_prediction.has_value()) {
+      Record(Counter::kPredictionCacheHits);
+      prediction = *session->cached_prediction;
+    } else {
+      const CascadeSample& sample = CurrentSample(*session);
+      prediction = model.PredictLogCalibrated(sample).value().At(0, 0);
+      session->cached_prediction = prediction;
+    }
+    Record(Counter::kPredictions);
+  }
+  Release(*session);
+  return prediction;
+}
+
+Status SessionManager::Close(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end())
+    return Status::NotFound("unknown session: " + session_id);
+  // An in-flight operation keeps the Session alive through its shared_ptr
+  // and completes on the detached object.
+  lru_.erase(it->second->lru_it);
+  sessions_.erase(it);
+  Record(Counter::kSessionsClosed);
+  return Status::OK();
+}
+
+Result<int> SessionManager::SessionSize(const std::string& session_id) const {
+  std::shared_ptr<Session> session = Acquire(session_id);
+  if (session == nullptr)
+    return Status::NotFound("unknown session: " + session_id);
+  int size = 0;
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    size = static_cast<int>(session->events.size());
+  }
+  Release(*session);
+  return size;
+}
+
+size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return sessions_.size();
+}
+
+}  // namespace cascn::serve

@@ -1,0 +1,110 @@
+// SessionManager: many concurrent live cascades, generalizing the
+// single-cascade StreamingPredictor to a keyed session table.
+//
+// Each session is one evolving cascade: Create() starts it with the root
+// post, Append() adds adoptions (with the same validation as
+// StreamingPredictor), Predict() runs a model over the cascade as observed
+// so far, Close() ends it. Sessions are independently locked, so operations
+// on different sessions proceed in parallel; the table itself is guarded by
+// a separate mutex held only for map/LRU bookkeeping, never across a model
+// forward pass.
+//
+// Capacity: at most `options.capacity` live sessions. Creating one more
+// evicts the least-recently-used *idle* session (idle = no operation
+// currently inside it); if every session is busy, Create returns
+// Unavailable rather than blocking.
+
+#ifndef CASCN_SERVE_SESSION_MANAGER_H_
+#define CASCN_SERVE_SESSION_MANAGER_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/regressor.h"
+#include "graph/cascade.h"
+#include "serve/metrics.h"
+
+namespace cascn::serve {
+
+struct SessionManagerOptions {
+  /// Maximum live sessions (>= 1).
+  size_t capacity = 4096;
+  /// Observation window for every session, in the dataset's native time
+  /// unit; adoptions after the window are rejected (OutOfRange).
+  double observation_window = 60.0;
+};
+
+/// Thread-safe table of live cascade sessions.
+class SessionManager {
+ public:
+  /// `metrics` may be null (no recording); otherwise it must outlive the
+  /// manager.
+  explicit SessionManager(const SessionManagerOptions& options,
+                          ServeMetrics* metrics = nullptr);
+
+  /// Starts a session whose cascade is the root post by `root_user` at time
+  /// 0. Fails with InvalidArgument if `session_id` already exists, or
+  /// Unavailable if the table is full of busy sessions.
+  Status Create(const std::string& session_id, int root_user);
+
+  /// Appends one adoption to the session's cascade. NotFound for unknown
+  /// sessions; otherwise the same validation as StreamingPredictor
+  /// (monotone times, known parent, inside the window).
+  Status Append(const std::string& session_id, int user, int parent_node,
+                double time);
+
+  /// The model's forecast of log2(1 + future increment) for the session's
+  /// cascade as observed so far. The caller supplies the model so each
+  /// service worker can use its own replica; results are cached per session
+  /// until the next append (replicas of one checkpoint are
+  /// interchangeable).
+  Result<double> PredictLog(const std::string& session_id,
+                            CascadeRegressor& model);
+
+  /// Ends a session. NotFound if it does not exist.
+  Status Close(const std::string& session_id);
+
+  /// Number of adoptions observed by a session.
+  Result<int> SessionSize(const std::string& session_id) const;
+
+  /// Live session count.
+  size_t size() const;
+
+  const SessionManagerOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    std::mutex mutex;  // guards everything below
+    std::vector<AdoptionEvent> events;
+    std::unique_ptr<CascadeSample> sample;  // rebuilt lazily after appends
+    bool sample_stale = true;
+    std::optional<double> cached_prediction;
+    int pins = 0;  // operations currently inside the session (eviction guard)
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Looks up + pins a session and moves it to the LRU front.
+  std::shared_ptr<Session> Acquire(const std::string& session_id) const;
+  void Release(Session& session) const;
+  const CascadeSample& CurrentSample(Session& session) const;
+  void Record(Counter c, uint64_t n = 1) const {
+    if (metrics_ != nullptr) metrics_->Increment(c, n);
+  }
+
+  SessionManagerOptions options_;
+  ServeMetrics* metrics_;
+
+  mutable std::mutex map_mutex_;
+  mutable std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+  mutable std::list<std::string> lru_;  // front = most recently used
+};
+
+}  // namespace cascn::serve
+
+#endif  // CASCN_SERVE_SESSION_MANAGER_H_

@@ -1,8 +1,9 @@
 #include "core/cascn_model.h"
 
-#include <sstream>
-
+#include <algorithm>
 #include <cmath>
+#include <new>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -101,6 +102,43 @@ TEST(CascnModelTest, EncodingIsCachedAcrossCalls) {
   model.ClearCache();
   const double third = model.PredictLog(dataset.train[0]).value().At(0, 0);
   EXPECT_DOUBLE_EQ(first, third);
+}
+
+TEST(CascnModelTest, CacheSurvivesHeapAddressReuse) {
+  // Regression: the encoding cache used to be keyed by sample address, so a
+  // different cascade constructed at a recycled address silently reused the
+  // previous cascade's encoding (exactly what per-update streaming sample
+  // allocation produces). Content-fingerprint keys must not care about
+  // addresses.
+  const CascadeDataset dataset = TinyDataset();
+  CascnModel model(TinyCascnConfig());
+  const double truth0 = model.PredictLog(dataset.train[0]).value().At(0, 0);
+  const double truth1 = model.PredictLog(dataset.train[1]).value().At(0, 0);
+  ASSERT_NE(truth0, truth1);
+  model.ClearCache();
+
+  alignas(CascadeSample) unsigned char storage[sizeof(CascadeSample)];
+  auto* first = new (storage) CascadeSample(dataset.train[0]);
+  EXPECT_DOUBLE_EQ(model.PredictLog(*first).value().At(0, 0), truth0);
+  first->~CascadeSample();
+  // A different cascade at the very same address must get its own encoding.
+  auto* second = new (storage) CascadeSample(dataset.train[1]);
+  EXPECT_DOUBLE_EQ(model.PredictLog(*second).value().At(0, 0), truth1);
+  second->~CascadeSample();
+}
+
+TEST(CascnModelTest, EncodingCacheIsBoundedWithLruEviction) {
+  const CascadeDataset dataset = TinyDataset();
+  CascnConfig config = TinyCascnConfig();
+  config.encoding_cache_capacity = 4;
+  CascnModel model(config);
+  const size_t n = std::min<size_t>(10, dataset.train.size());
+  ASSERT_GT(n, 4u);
+  for (size_t i = 0; i < n; ++i) model.PredictLog(dataset.train[i]);
+  EXPECT_EQ(model.EncodingCacheSize(), 4u);
+  // Evicted entries are simply recomputed, with identical results.
+  EXPECT_DOUBLE_EQ(model.PredictLog(dataset.train[0]).value().At(0, 0),
+                   model.PredictLog(dataset.train[0]).value().At(0, 0));
 }
 
 TEST(CascnModelTest, EncodedLambdaMaxModes) {

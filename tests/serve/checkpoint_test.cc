@@ -1,0 +1,279 @@
+#include "serve/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_data.h"
+#include "baselines/deepcas_model.h"
+#include "baselines/deephawkes_model.h"
+#include "baselines/feature_deep.h"
+#include "baselines/lis_model.h"
+#include "baselines/node2vec_model.h"
+#include "baselines/topolstm_model.h"
+#include "core/cascn_path_model.h"
+
+namespace cascn::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "cascn_ckpt_" + name + ".bin";
+}
+
+/// Asserts every parameter of `loaded` is bit-identical to `saved`.
+void ExpectParametersIdentical(const nn::Module& saved,
+                               const nn::Module& loaded) {
+  const auto a = saved.NamedParameters();
+  const auto b = loaded.NamedParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].first);
+    EXPECT_EQ(a[i].first, b[i].first);
+    const Tensor& ta = a[i].second.value();
+    const Tensor& tb = b[i].second.value();
+    ASSERT_EQ(ta.rows(), tb.rows());
+    ASSERT_EQ(ta.cols(), tb.cols());
+    EXPECT_EQ(std::memcmp(ta.data(), tb.data(),
+                          sizeof(double) * static_cast<size_t>(ta.size())),
+              0);
+  }
+}
+
+/// Round-trips `saved` through a checkpoint file into `loaded` (same
+/// architecture, different initialisation) and checks bit-identity plus
+/// offset restoration.
+template <typename ModelT>
+void ExpectRoundTrip(const std::string& tag, ModelT& saved, ModelT& loaded) {
+  saved.set_output_offset(1.25);
+  const std::string path = TempPath(tag);
+  ASSERT_TRUE(
+      WriteCheckpointFile(path, tag, "", saved, saved.output_offset()).ok());
+  CheckpointHeader header;
+  ASSERT_TRUE(LoadCheckpointIntoFile(path, tag, loaded, &header).ok());
+  loaded.set_output_offset(header.output_offset);
+  EXPECT_EQ(header.model_type, tag);
+  EXPECT_DOUBLE_EQ(loaded.output_offset(), 1.25);
+  ExpectParametersIdentical(saved, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundTripTest, CascnAllVariants) {
+  for (CascnVariant variant :
+       {CascnVariant::kDefault, CascnVariant::kGru, CascnVariant::kGcnLstm,
+        CascnVariant::kUndirected, CascnVariant::kNoTimeDecay}) {
+    SCOPED_TRACE(VariantName(variant));
+    CascnConfig config = testing::TinyCascnConfig();
+    config.variant = variant;
+    config.seed = 1;
+    CascnModel saved(config);
+    config.seed = 2;
+    CascnModel loaded(config);
+    ExpectRoundTrip("cascn-test", saved, loaded);
+  }
+}
+
+TEST(CheckpointRoundTripTest, CascnPath) {
+  CascnPathConfig config;
+  config.user_universe = 100;
+  config.seed = 1;
+  CascnPathModel saved(config);
+  config.seed = 2;
+  CascnPathModel loaded(config);
+  ExpectRoundTrip("cascn-path", saved, loaded);
+}
+
+TEST(CheckpointRoundTripTest, DeepBaselines) {
+  {
+    DeepCasModel::Config config;
+    config.user_universe = 100;
+    config.seed = 1;
+    DeepCasModel saved(config);
+    config.seed = 2;
+    DeepCasModel loaded(config);
+    ExpectRoundTrip("deepcas", saved, loaded);
+  }
+  {
+    TopoLstmModel::Config config;
+    config.user_universe = 100;
+    config.seed = 1;
+    TopoLstmModel saved(config);
+    config.seed = 2;
+    TopoLstmModel loaded(config);
+    ExpectRoundTrip("topolstm", saved, loaded);
+  }
+  {
+    DeepHawkesModel::Config config;
+    config.user_universe = 100;
+    config.seed = 1;
+    DeepHawkesModel saved(config);
+    config.seed = 2;
+    DeepHawkesModel loaded(config);
+    ExpectRoundTrip("deephawkes", saved, loaded);
+  }
+  {
+    FeatureDeepModel::Config config;
+    config.seed = 1;
+    FeatureDeepModel saved(config);
+    config.seed = 2;
+    FeatureDeepModel loaded(config);
+    ExpectRoundTrip("feature-deep", saved, loaded);
+  }
+  {
+    LisModel::Config config;
+    config.user_universe = 100;
+    config.seed = 1;
+    LisModel saved(config);
+    config.seed = 2;
+    LisModel loaded(config);
+    ExpectRoundTrip("lis", saved, loaded);
+  }
+  {
+    Node2VecModel::Config config;
+    config.user_universe = 100;
+    config.seed = 1;
+    Node2VecModel saved(config);
+    config.seed = 2;
+    Node2VecModel loaded(config);
+    ExpectRoundTrip("node2vec", saved, loaded);
+  }
+}
+
+TEST(CheckpointCascnTest, SaveLoadRestoresConfigAndPredictions) {
+  const CascadeDataset dataset = testing::TinyDataset();
+  CascnConfig config = testing::TinyCascnConfig();
+  config.variant = CascnVariant::kGru;
+  CascnModel model(config);
+  model.set_output_offset(2.5);
+
+  const std::string path = TempPath("cascn-full");
+  ASSERT_TRUE(SaveCascnCheckpoint(path, model).ok());
+  auto loaded = LoadCascnCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ((*loaded)->config().variant, CascnVariant::kGru);
+  EXPECT_EQ((*loaded)->config().padded_size, config.padded_size);
+  EXPECT_EQ((*loaded)->config().hidden_dim, config.hidden_dim);
+  EXPECT_DOUBLE_EQ((*loaded)->output_offset(), 2.5);
+
+  const CascadeSample& sample = dataset.test[0];
+  const double original = model.PredictLogCalibrated(sample).value().At(0, 0);
+  const double reloaded =
+      (*loaded)->PredictLogCalibrated(sample).value().At(0, 0);
+  EXPECT_DOUBLE_EQ(original, reloaded);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCascnTest, ConfigTextRoundTrip) {
+  CascnConfig config;
+  config.variant = CascnVariant::kUndirected;
+  config.padded_size = 17;
+  config.hidden_dim = 5;
+  config.attention_pooling = true;
+  config.lambda_mode = LambdaMaxMode::kApproximateTwo;
+  config.caslaplacian_alpha = 0.77;
+  config.seed = 1234;
+  auto parsed = ParseCascnConfig(EncodeCascnConfig(config));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->variant, CascnVariant::kUndirected);
+  EXPECT_EQ(parsed->padded_size, 17);
+  EXPECT_EQ(parsed->hidden_dim, 5);
+  EXPECT_TRUE(parsed->attention_pooling);
+  EXPECT_EQ(parsed->lambda_mode, LambdaMaxMode::kApproximateTwo);
+  EXPECT_DOUBLE_EQ(parsed->caslaplacian_alpha, 0.77);
+  EXPECT_EQ(parsed->seed, 1234u);
+}
+
+TEST(CheckpointCascnTest, ConfigParserRejectsUnknownKeysAndGarbage) {
+  EXPECT_FALSE(ParseCascnConfig("nonsense_key=3\n").ok());
+  EXPECT_FALSE(ParseCascnConfig("hidden_dim=abc\n").ok());
+  EXPECT_FALSE(ParseCascnConfig("no equals sign\n").ok());
+  EXPECT_FALSE(ParseCascnConfig("variant=99\n").ok());
+}
+
+class CheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corruption");
+    CascnConfig config = testing::TinyCascnConfig();
+    model_ = std::make_unique<CascnModel>(config);
+    ASSERT_TRUE(SaveCascnCheckpoint(path_, *model_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string ReadAll() {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+  void WriteAll(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::unique_ptr<CascnModel> model_;
+};
+
+TEST_F(CheckpointCorruptionTest, MissingFileIsIoError) {
+  auto result = LoadCascnCheckpoint(path_ + ".does-not-exist");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CheckpointCorruptionTest, GarbageMagicIsRejected) {
+  WriteAll("this is definitely not a checkpoint file, not even close");
+  auto result = LoadCascnCheckpoint(path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointCorruptionTest, UnsupportedVersionIsRejected) {
+  std::string bytes = ReadAll();
+  const uint32_t bogus_version = 999;
+  std::memcpy(bytes.data() + sizeof(uint32_t), &bogus_version,
+              sizeof(bogus_version));
+  WriteAll(bytes);
+  auto result = LoadCascnCheckpoint(path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, TruncationsAtEveryRegionAreRejected) {
+  const std::string bytes = ReadAll();
+  // Header, config block, parameter payload, and footer truncations.
+  for (size_t keep :
+       {size_t{2}, size_t{10}, bytes.size() / 2, bytes.size() - 1}) {
+    SCOPED_TRACE(keep);
+    WriteAll(bytes.substr(0, keep));
+    EXPECT_FALSE(LoadCascnCheckpoint(path_).ok());
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, WrongModelTypeIsRejected) {
+  CascnConfig config = testing::TinyCascnConfig();
+  CascnModel model(config);
+  ASSERT_TRUE(WriteCheckpointFile(path_, "some-other-model",
+                                  EncodeCascnConfig(config), model, 0.0)
+                  .ok());
+  auto result = LoadCascnCheckpoint(path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("some-other-model"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, ShapeMismatchIsRejected) {
+  CascnConfig other = testing::TinyCascnConfig();
+  other.hidden_dim += 2;  // same parameter names, different shapes
+  CascnModel destination(other);
+  EXPECT_FALSE(
+      LoadCheckpointIntoFile(path_, kCascnModelType, destination).ok());
+}
+
+}  // namespace
+}  // namespace cascn::serve

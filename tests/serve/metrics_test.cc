@@ -1,0 +1,87 @@
+#include "serve/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cascn::serve {
+namespace {
+
+TEST(ServeMetricsTest, CountersStartAtZero) {
+  ServeMetrics metrics;
+  const auto snap = metrics.TakeSnapshot();
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i)
+    EXPECT_EQ(snap.counters[i], 0u);
+  EXPECT_EQ(snap.latency_count, 0u);
+  EXPECT_EQ(snap.latency_p50_us, 0.0);
+}
+
+TEST(ServeMetricsTest, IncrementAccumulates) {
+  ServeMetrics metrics;
+  metrics.Increment(Counter::kRequestsTotal);
+  metrics.Increment(Counter::kRequestsTotal, 4);
+  metrics.Increment(Counter::kEvictions, 2);
+  const auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counter(Counter::kRequestsTotal), 5u);
+  EXPECT_EQ(snap.counter(Counter::kEvictions), 2u);
+  EXPECT_EQ(snap.counter(Counter::kPredictions), 0u);
+}
+
+TEST(ServeMetricsTest, LatencyPercentilesAreOrdered) {
+  ServeMetrics metrics;
+  for (uint64_t us = 1; us <= 1000; ++us) metrics.RecordLatencyMicros(us);
+  const auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.latency_count, 1000u);
+  EXPECT_EQ(snap.latency_max_us, 1000u);
+  EXPECT_GT(snap.latency_mean_us, 0.0);
+  EXPECT_LE(snap.latency_p50_us, snap.latency_p90_us);
+  EXPECT_LE(snap.latency_p90_us, snap.latency_p99_us);
+  // Bucketed upper bounds: p50 of uniform 1..1000 lands in [512, 1024].
+  EXPECT_GE(snap.latency_p50_us, 256.0);
+  EXPECT_LE(snap.latency_p99_us, 2048.0);
+}
+
+TEST(ServeMetricsTest, HugeLatencyLandsInLastBucket) {
+  ServeMetrics metrics;
+  metrics.RecordLatencyMicros(uint64_t{1} << 40);  // ~12 days
+  const auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.latency_buckets[ServeMetrics::kNumLatencyBuckets - 1], 1u);
+}
+
+TEST(ServeMetricsTest, ConcurrentIncrementsAreExact) {
+  ServeMetrics metrics;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics.Increment(Counter::kRequestsTotal);
+        metrics.RecordLatencyMicros(static_cast<uint64_t>(i % 100 + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counter(Counter::kRequestsTotal),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.latency_count, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ServeMetricsTest, SnapshotRendersTextAndJson) {
+  ServeMetrics metrics;
+  metrics.Increment(Counter::kBatchedRequests, 3);
+  metrics.RecordLatencyMicros(10);
+  const auto snap = metrics.TakeSnapshot();
+  const std::string text = snap.ToString();
+  EXPECT_NE(text.find("batched_requests = 3"), std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"batched_requests\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_count\": 1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace cascn::serve

@@ -1,0 +1,120 @@
+#include "serve/session_manager.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_data.h"
+#include "core/cascn_model.h"
+#include "core/streaming_predictor.h"
+
+namespace cascn::serve {
+namespace {
+
+class SessionManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CascnConfig config = testing::TinyCascnConfig();
+    model_ = std::make_unique<CascnModel>(config);
+    model_->set_output_offset(2.0);
+  }
+
+  SessionManagerOptions Options(size_t capacity = 64) {
+    SessionManagerOptions options;
+    options.capacity = capacity;
+    options.observation_window = 60.0;
+    return options;
+  }
+
+  std::unique_ptr<CascnModel> model_;
+};
+
+TEST_F(SessionManagerTest, CreateAppendPredictClose) {
+  ServeMetrics metrics;
+  SessionManager manager(Options(), &metrics);
+  ASSERT_TRUE(manager.Create("s1", /*root_user=*/7).ok());
+  EXPECT_EQ(manager.size(), 1u);
+  ASSERT_TRUE(manager.Append("s1", 8, 0, 5.0).ok());
+  ASSERT_TRUE(manager.Append("s1", 9, 1, 6.5).ok());
+  EXPECT_EQ(manager.SessionSize("s1").value(), 3);
+
+  auto prediction = manager.PredictLog("s1", *model_);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_TRUE(std::isfinite(prediction.value()));
+
+  ASSERT_TRUE(manager.Close("s1").ok());
+  EXPECT_EQ(manager.size(), 0u);
+  EXPECT_FALSE(manager.PredictLog("s1", *model_).ok());
+}
+
+TEST_F(SessionManagerTest, ValidationMatchesStreamingPredictor) {
+  SessionManager manager(Options());
+  EXPECT_EQ(manager.Append("nope", 1, 0, 1.0).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(manager.Create("s", 1).ok());
+  EXPECT_EQ(manager.Create("s", 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(manager.Append("s", 2, 5, 1.0).ok());   // unknown parent
+  EXPECT_FALSE(manager.Append("s", 2, 0, 70.0).ok());  // outside window
+  ASSERT_TRUE(manager.Append("s", 2, 0, 10.0).ok());
+  EXPECT_FALSE(manager.Append("s", 3, 0, 5.0).ok());  // time regression
+  EXPECT_EQ(manager.Close("gone").code(), StatusCode::kNotFound);
+}
+
+TEST_F(SessionManagerTest, AgreesWithStreamingPredictor) {
+  SessionManager manager(Options());
+  StreamingPredictor predictor(model_.get(), 60.0);
+
+  predictor.Start(3);
+  ASSERT_TRUE(manager.Create("s", 3).ok());
+  for (int i = 0; i < 6; ++i) {
+    const double time = 2.0 * (i + 1);
+    ASSERT_TRUE(predictor.AddAdoption(10 + i, i / 2, time).ok());
+    ASSERT_TRUE(manager.Append("s", 10 + i, i / 2, time).ok());
+  }
+  const auto managed = manager.PredictLog("s", *model_);
+  ASSERT_TRUE(managed.ok());
+  EXPECT_NEAR(managed.value(), predictor.CurrentPredictionLog(), 1e-12);
+}
+
+TEST_F(SessionManagerTest, PredictionCachedUntilAppend) {
+  ServeMetrics metrics;
+  SessionManager manager(Options(), &metrics);
+  ASSERT_TRUE(manager.Create("s", 1).ok());
+  ASSERT_TRUE(manager.Append("s", 2, 0, 1.0).ok());
+
+  const double first = manager.PredictLog("s", *model_).value();
+  const double second = manager.PredictLog("s", *model_).value();
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_EQ(metrics.TakeSnapshot().counter(Counter::kPredictionCacheHits), 1u);
+
+  ASSERT_TRUE(manager.Append("s", 3, 0, 2.0).ok());
+  manager.PredictLog("s", *model_).value();
+  // The append invalidated the cache: still exactly one hit.
+  EXPECT_EQ(metrics.TakeSnapshot().counter(Counter::kPredictionCacheHits), 1u);
+}
+
+TEST_F(SessionManagerTest, EvictsLeastRecentlyUsedIdleSession) {
+  ServeMetrics metrics;
+  SessionManager manager(Options(/*capacity=*/2), &metrics);
+  ASSERT_TRUE(manager.Create("a", 1).ok());
+  ASSERT_TRUE(manager.Create("b", 2).ok());
+  // Touch "a" so "b" becomes least recently used.
+  ASSERT_TRUE(manager.Append("a", 3, 0, 1.0).ok());
+  ASSERT_TRUE(manager.Create("c", 3).ok());
+  EXPECT_EQ(manager.size(), 2u);
+  EXPECT_TRUE(manager.SessionSize("a").ok());
+  EXPECT_FALSE(manager.SessionSize("b").ok());  // evicted
+  EXPECT_TRUE(manager.SessionSize("c").ok());
+  EXPECT_EQ(metrics.TakeSnapshot().counter(Counter::kEvictions), 1u);
+}
+
+TEST_F(SessionManagerTest, CapacityOneRecyclesTheSlot) {
+  SessionManager manager(Options(/*capacity=*/1));
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(manager.Create("s" + std::to_string(i), i).ok());
+  EXPECT_EQ(manager.size(), 1u);
+  EXPECT_TRUE(manager.SessionSize("s4").ok());
+}
+
+}  // namespace
+}  // namespace cascn::serve
