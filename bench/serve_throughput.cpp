@@ -140,6 +140,11 @@ int Main(int argc, char** argv) {
 
     const RunResult run = RunWorkload(**service, replays, clients);
     (*service)->Shutdown();
+    // Unified observability snapshot for this run: queue-depth gauge and
+    // batch-size histogram maintained by the service, plus the serve
+    // counters bridged in.
+    ExportToRegistry(run.snapshot, (*service)->registry());
+    const std::string obs_json = (*service)->registry().JsonSnapshot();
 
     const double rps =
         run.seconds > 0.0 ? static_cast<double>(run.requests) / run.seconds
@@ -158,7 +163,7 @@ int Main(int argc, char** argv) {
         entry, sizeof(entry),
         "%s\n    {\"workers\": %d, \"requests\": %llu, \"seconds\": %.4f, "
         "\"requests_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
-        "\"batches\": %llu, \"batched_requests\": %llu}",
+        "\"batches\": %llu, \"batched_requests\": %llu, \"obs\": ",
         results_json.empty() ? "" : ",", workers,
         static_cast<unsigned long long>(run.requests), run.seconds, rps,
         run.snapshot.latency_p50_us, run.snapshot.latency_p99_us,
@@ -167,6 +172,8 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(
             run.snapshot.counter(Counter::kBatchedRequests)));
     results_json += entry;
+    results_json += obs_json;
+    results_json += "}";
   }
 
   std::printf(

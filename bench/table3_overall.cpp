@@ -7,16 +7,28 @@
 //     feature-based and embedding baselines;
 //   * larger observation windows give lower MSLE for every method.
 
+// Observability: pass --trace_out=trace.json to record spans (Chebyshev
+// convolutions, LSTM steps, trainer phases) for the whole run, and
+// --metrics_out=metrics.json to dump the global registry (train counters).
+
 #include <cstdio>
 #include <iostream>
 #include <map>
 
 #include "benchutil/experiment_runner.h"
 #include "benchutil/table_printer.h"
+#include "common/cli_flags.h"
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cascn;
+  CliFlags flags;
+  CASCN_CHECK(flags.Parse(argc, argv).ok());
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!trace_out.empty()) obs::Tracer::Get().Enable();
   const double scale = bench::BenchScale();
   std::printf("Table III: overall performance comparison (MSLE, scale %.1f)\n\n",
               scale);
@@ -90,5 +102,21 @@ int main() {
   std::printf(
       "shape check: longer windows help in %d/%d model-window pairs\n",
       window_improvements, window_pairs);
+
+  if (!metrics_out.empty()) {
+    FILE* out = std::fopen(metrics_out.c_str(), "w");
+    CASCN_CHECK(out != nullptr) << "cannot open " << metrics_out;
+    std::fprintf(out, "%s\n",
+                 obs::MetricsRegistry::Get().JsonSnapshot().c_str());
+    std::fclose(out);
+    std::fprintf(stderr, "[table3] metrics snapshot written to %s\n",
+                 metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    const auto status = obs::Tracer::Get().WriteChromeTrace(trace_out);
+    CASCN_CHECK(status.ok()) << status;
+    std::fprintf(stderr, "[table3] trace with %zu events written to %s\n",
+                 obs::Tracer::Get().event_count(), trace_out.c_str());
+  }
   return 0;
 }

@@ -11,6 +11,12 @@
 //
 //   ./prediction_service_demo [--cascades=300] [--epochs=4] [--workers=4]
 //                             [--sessions=1200] [--clients=8]
+//
+// Observability outputs (all optional):
+//   --trace_out=trace.json       enable tracing, dump a Chrome trace-event
+//                                file (open in chrome://tracing / Perfetto)
+//   --telemetry_out=t.jsonl      per-epoch training telemetry (JSON lines)
+//   --metrics_out=metrics.json   unified metrics-registry snapshot
 
 #include <algorithm>
 #include <cstdio>
@@ -25,6 +31,9 @@
 #include "core/trainer.h"
 #include "data/cascade_generator.h"
 #include "data/dataset.h"
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/prediction_service.h"
 
@@ -33,6 +42,17 @@ int main(int argc, char** argv) {
   CliFlags flags;
   CASCN_CHECK(flags.Parse(argc, argv).ok());
   const double window = 60.0;  // observe 1 hour of each cascade
+
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  const std::string telemetry_out = flags.GetString("telemetry_out", "");
+  if (!trace_out.empty()) obs::Tracer::Get().Enable();
+  std::unique_ptr<obs::FileTelemetrySink> telemetry;
+  if (!telemetry_out.empty()) {
+    auto sink = obs::FileTelemetrySink::Open(telemetry_out);
+    CASCN_CHECK(sink.ok()) << sink.status();
+    telemetry = std::move(sink).value();
+  }
 
   // 1. Train.
   GeneratorConfig gen = WeiboLikeConfig();
@@ -51,6 +71,7 @@ int main(int argc, char** argv) {
   CascnModel model(config);
   TrainerOptions trainer;
   trainer.max_epochs = static_cast<int>(flags.GetInt("epochs", 4));
+  trainer.telemetry = telemetry.get();
   const TrainResult train = TrainRegressor(model, *dataset, trainer);
   std::printf("trained CasCN: best validation MSLE %.3f (epoch %d)\n",
               train.best_validation_msle, train.best_epoch);
@@ -134,10 +155,32 @@ int main(int argc, char** argv) {
     std::printf("  live-%zu: observed %zu, forecast %+.1f\n", i,
                 replays[i].size(), final_counts[i]);
 
-  // 5. Metrics.
+  // 5. Metrics: bridge the serve counters into the service's registry so
+  // one snapshot carries everything (plus queue depth and batch sizes).
   service.value()->Shutdown();
   const auto snapshot = service.value()->metrics().TakeSnapshot();
   std::printf("\n%s", snapshot.ToString().c_str());
-  std::printf("\nmetrics json: %s\n", snapshot.ToJson().c_str());
+  serve::ExportToRegistry(snapshot, service.value()->registry());
+  std::printf("\nunified registry:\n%s",
+              service.value()->registry().TextSnapshot().c_str());
+  std::printf("\ntrainer registry:\n%s",
+              obs::MetricsRegistry::Get().TextSnapshot().c_str());
+  if (!metrics_out.empty()) {
+    FILE* out = std::fopen(metrics_out.c_str(), "w");
+    CASCN_CHECK(out != nullptr) << "cannot open " << metrics_out;
+    const std::string json = service.value()->registry().JsonSnapshot();
+    std::fprintf(out, "%s\n", json.c_str());
+    std::fclose(out);
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+
+  // 6. Trace.
+  if (!trace_out.empty()) {
+    const auto status = obs::Tracer::Get().WriteChromeTrace(trace_out);
+    CASCN_CHECK(status.ok()) << status;
+    std::printf("trace with %zu events written to %s "
+                "(open in chrome://tracing or ui.perfetto.dev)\n",
+                obs::Tracer::Get().event_count(), trace_out.c_str());
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
@@ -27,6 +28,48 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+}  // namespace
+
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  std::string lower(name);
+  for (char& c : lower)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("CASCN_LOG_LEVEL");
+  if (env == nullptr) return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) {
+    SetLogLevel(level);
+  } else {
+    std::fprintf(stderr, "[W logging] unrecognized CASCN_LOG_LEVEL=\"%s\" "
+                 "(want debug|info|warning|error); keeping current level\n",
+                 env);
+  }
+}
+
+namespace {
+
+// Applies CASCN_LOG_LEVEL before main(). Touches only the atomic level and
+// stderr, so static-initialization order is irrelevant.
+[[maybe_unused]] const bool g_env_level_applied = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace cascn {
 
@@ -25,6 +26,16 @@ enum class LogLevel : int {
 /// Sets the minimum level that is actually emitted. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" / "error" (case-insensitive).
+/// Returns false and leaves `level` untouched on anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+
+/// Applies the CASCN_LOG_LEVEL environment variable, if set and valid, to
+/// the global level. Runs automatically at startup (static initializer in
+/// logging.cc) so tests and benches can silence or amplify chatter without
+/// code changes; exposed for tests and for re-reading after setenv.
+void InitLogLevelFromEnv();
 
 namespace internal_logging {
 

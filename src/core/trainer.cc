@@ -1,15 +1,29 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <numeric>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace cascn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 double EvaluateMsle(CascadeRegressor& model,
                     const std::vector<CascadeSample>& samples) {
@@ -21,6 +35,24 @@ double EvaluateMsle(CascadeRegressor& model,
     total += err * err;
   }
   return total / static_cast<double>(samples.size());
+}
+
+std::string EpochStats::ToTelemetryJson(const std::string& model_name) const {
+  return obs::JsonObjectBuilder()
+      .Add("event", "epoch")
+      .Add("model", model_name)
+      .Add("epoch", epoch)
+      .Add("train_loss", train_loss)
+      .Add("validation_msle", validation_msle)
+      .Add("epoch_seconds", epoch_seconds)
+      .Add("forward_seconds", forward_seconds)
+      .Add("backward_seconds", backward_seconds)
+      .Add("optimizer_seconds", optimizer_seconds)
+      .Add("validation_seconds", validation_seconds)
+      .Add("grad_norm", grad_norm)
+      .Add("learning_rate", learning_rate)
+      .Add("num_batches", num_batches)
+      .Build();
 }
 
 TrainResult TrainRegressor(CascadeRegressor& model,
@@ -46,43 +78,98 @@ TrainResult TrainRegressor(CascadeRegressor& model,
   std::vector<size_t> order(dataset.train.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Resolved once: registry lookups take a mutex and must stay off the
+  // batch loop.
+  obs::Counter& epochs_total =
+      obs::MetricsRegistry::Get().GetCounter("train_epochs_total");
+  obs::Counter& batches_total =
+      obs::MetricsRegistry::Get().GetCounter("train_batches_total");
+  obs::Counter& samples_total =
+      obs::MetricsRegistry::Get().GetCounter("train_samples_total");
+  obs::Gauge& grad_norm_gauge =
+      obs::MetricsRegistry::Get().GetGauge("train_grad_norm");
+
   TrainResult result;
   result.best_validation_msle = std::numeric_limits<double>::infinity();
   std::vector<Tensor> best_weights;
   int stagnant = 0;
 
   for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    CASCN_TRACE_SPAN("train_epoch");
+    const auto epoch_start = Clock::now();
     if (options.shuffle) rng.Shuffle(order);
+    EpochStats stats;
     double epoch_loss = 0;
+    double grad_norm_sum = 0;
     size_t processed = 0;
     while (processed < order.size()) {
+      CASCN_TRACE_SPAN("train_batch");
       const size_t batch_end =
           std::min(processed + options.batch_size, order.size());
+      const auto forward_start = Clock::now();
       std::vector<ag::Variable> losses;
       losses.reserve(batch_end - processed);
-      for (size_t i = processed; i < batch_end; ++i) {
-        const CascadeSample& sample = dataset.train[order[i]];
-        losses.push_back(
-            nn::SquaredError(model.PredictLogCalibrated(sample),
-                             sample.log_label));
+      {
+        CASCN_TRACE_SPAN("forward");
+        for (size_t i = processed; i < batch_end; ++i) {
+          const CascadeSample& sample = dataset.train[order[i]];
+          losses.push_back(
+              nn::SquaredError(model.PredictLogCalibrated(sample),
+                               sample.log_label));
+        }
       }
       const ag::Variable batch_loss = nn::MeanLoss(losses);
       epoch_loss += batch_loss.value().At(0, 0) *
                     static_cast<double>(batch_end - processed);
-      batch_loss.Backward();
-      optimizer.Step();
+      const auto backward_start = Clock::now();
+      stats.forward_seconds +=
+          std::chrono::duration<double>(backward_start - forward_start)
+              .count();
+      {
+        CASCN_TRACE_SPAN("backward");
+        batch_loss.Backward();
+      }
+      const double batch_grad_norm = nn::GlobalGradNorm(params);
+      grad_norm_sum += batch_grad_norm;
+      grad_norm_gauge.Set(batch_grad_norm);
+      const auto step_start = Clock::now();
+      stats.backward_seconds +=
+          std::chrono::duration<double>(step_start - backward_start).count();
+      {
+        CASCN_TRACE_SPAN("optimizer_step");
+        optimizer.Step();
+      }
+      stats.optimizer_seconds += SecondsSince(step_start);
+      ++stats.num_batches;
+      batches_total.Increment();
+      samples_total.Increment(static_cast<uint64_t>(batch_end - processed));
       processed = batch_end;
     }
-    EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = epoch_loss / static_cast<double>(order.size());
-    stats.validation_msle = EvaluateMsle(model, dataset.validation);
+    {
+      CASCN_TRACE_SPAN("validate");
+      const auto validation_start = Clock::now();
+      stats.validation_msle = EvaluateMsle(model, dataset.validation);
+      stats.validation_seconds = SecondsSince(validation_start);
+    }
+    stats.epoch_seconds = SecondsSince(epoch_start);
+    stats.grad_norm =
+        stats.num_batches == 0
+            ? 0.0
+            : grad_norm_sum / static_cast<double>(stats.num_batches);
+    stats.learning_rate = optimizer.learning_rate();
+    epochs_total.Increment();
     result.history.push_back(stats);
     if (options.verbose) {
       CASCN_LOG(INFO) << model.name() << " epoch " << epoch
                       << " train_loss=" << stats.train_loss
-                      << " val_msle=" << stats.validation_msle;
+                      << " val_msle=" << stats.validation_msle
+                      << StrFormat(" time=%.2fs grad_norm=%.3g",
+                                   stats.epoch_seconds, stats.grad_norm);
     }
+    if (options.telemetry != nullptr)
+      options.telemetry->Emit(stats.ToTelemetryJson(model.name()));
     if (stats.validation_msle < result.best_validation_msle - 1e-9) {
       result.best_validation_msle = stats.validation_msle;
       result.best_epoch = epoch;

@@ -7,10 +7,12 @@
 #define CASCN_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/regressor.h"
 #include "data/dataset.h"
+#include "obs/telemetry.h"
 
 namespace cascn {
 
@@ -31,13 +33,31 @@ struct TrainerOptions {
   uint64_t seed = 7;
   /// Log per-epoch progress at INFO level.
   bool verbose = false;
+  /// Receives one JSON object per epoch (timings, gradient norm, learning
+  /// rate — every EpochStats field). Not owned; may be null (no streaming).
+  obs::TelemetrySink* telemetry = nullptr;
 };
 
-/// Per-epoch record.
+/// Per-epoch record, including wall-clock and optimization telemetry.
 struct EpochStats {
   int epoch = 0;
   double train_loss = 0.0;
   double validation_msle = 0.0;
+  /// Wall-clock of the whole epoch (training batches + validation pass).
+  double epoch_seconds = 0.0;
+  /// Per-phase wall-clock, summed over the epoch's batches.
+  double forward_seconds = 0.0;    // loss-graph construction
+  double backward_seconds = 0.0;   // backprop
+  double optimizer_seconds = 0.0;  // Adam step
+  double validation_seconds = 0.0;
+  /// Mean pre-clip global gradient L2 norm across the epoch's batches.
+  double grad_norm = 0.0;
+  double learning_rate = 0.0;
+  int num_batches = 0;
+
+  /// One flat JSON object with every field plus `"event": "epoch"` and the
+  /// model name — the trainer's JSON-lines telemetry record.
+  std::string ToTelemetryJson(const std::string& model_name) const;
 };
 
 /// Outcome of a training run.

@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "nn/init.h"
+#include "obs/trace.h"
 
 namespace cascn::nn {
 
@@ -19,6 +20,7 @@ ChebConv::ChebConv(int in_features, int out_features, int k, Rng& rng,
 
 ag::Variable ChebConv::Forward(const std::vector<CsrMatrix>& cheb_basis,
                                const ag::Variable& x) const {
+  CASCN_TRACE_SPAN("cheb_conv");
   CASCN_CHECK(static_cast<int>(cheb_basis.size()) == order())
       << "Chebyshev basis order mismatch: basis has " << cheb_basis.size()
       << ", layer expects " << order();

@@ -1,6 +1,7 @@
 #include "nn/graph_rnn_cells.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace cascn::nn {
 
@@ -60,6 +61,7 @@ ag::Variable GraphConvLstmCell::Gate(const std::vector<CsrMatrix>& basis,
 RnnState GraphConvLstmCell::Step(const std::vector<CsrMatrix>& cheb_basis,
                                  const ag::Variable& x,
                                  const RnnState& prev) const {
+  CASCN_TRACE_SPAN("graph_lstm_step");
   CASCN_CHECK(x.rows() == num_nodes_ && x.cols() == num_nodes_)
       << "snapshot signal must be n x n";
   const ag::Variable i = ag::Sigmoid(
@@ -116,6 +118,7 @@ RnnState GraphConvGruCell::InitialState() const {
 RnnState GraphConvGruCell::Step(const std::vector<CsrMatrix>& cheb_basis,
                                 const ag::Variable& x,
                                 const RnnState& prev) const {
+  CASCN_TRACE_SPAN("graph_gru_step");
   CASCN_CHECK(x.rows() == num_nodes_ && x.cols() == num_nodes_);
   const ag::Variable r = ag::Sigmoid(ag::AddRowBroadcast(
       ag::Add(conv_x_r_->Forward(cheb_basis, x),

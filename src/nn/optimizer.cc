@@ -74,15 +74,19 @@ void Sgd::Step() {
   }
 }
 
-void ClipGradNorm(std::vector<ag::Variable>& params, double max_norm) {
-  if (max_norm <= 0) return;
+double GlobalGradNorm(const std::vector<ag::Variable>& params) {
   double total = 0;
   for (const auto& p : params) {
     const Tensor& g = p.grad();
     for (int r = 0; r < g.rows(); ++r)
       for (int c = 0; c < g.cols(); ++c) total += g.At(r, c) * g.At(r, c);
   }
-  const double norm = std::sqrt(total);
+  return std::sqrt(total);
+}
+
+void ClipGradNorm(std::vector<ag::Variable>& params, double max_norm) {
+  if (max_norm <= 0) return;
+  const double norm = GlobalGradNorm(params);
   if (norm <= max_norm || norm == 0) return;
   const double scale = max_norm / norm;
   for (auto& p : params) {

@@ -75,6 +75,10 @@ class Sgd : public Optimizer {
   std::vector<Tensor> velocity_;
 };
 
+/// Global (concatenated) L2 norm of the gradients currently accumulated in
+/// `params`. Empty gradients contribute zero.
+double GlobalGradNorm(const std::vector<ag::Variable>& params);
+
 /// Scales all gradients so their global L2 norm is at most `max_norm`.
 /// No-op when max_norm <= 0 or the norm is already within bounds.
 void ClipGradNorm(std::vector<ag::Variable>& params, double max_norm);

@@ -1,0 +1,145 @@
+#include "obs/metrics_registry.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cascn::obs {
+
+Histogram::Histogram(int num_buckets)
+    : num_buckets_(num_buckets),
+      buckets_(new std::atomic<uint64_t>[static_cast<size_t>(num_buckets)]) {
+  CASCN_CHECK(num_buckets >= 1 && num_buckets <= 63)
+      << "log2 bucket count out of range: " << num_buckets;
+  for (int i = 0; i < num_buckets_; ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Record(uint64_t value) {
+  int bucket = 0;
+  while (bucket + 1 < num_buckets_ &&
+         (uint64_t{1} << (bucket + 1)) <= value)
+    ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value && !max_.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Snapshot::PercentileUpperBound(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target)
+      return static_cast<double>(uint64_t{1} << (i + 1));
+  }
+  return static_cast<double>(uint64_t{1} << buckets.size());
+}
+
+std::string Histogram::Snapshot::ToJson() const {
+  return StrFormat(
+      "{\"count\": %llu, \"mean\": %.3f, \"p50\": %.0f, \"p90\": %.0f, "
+      "\"p99\": %.0f, \"max\": %llu}",
+      static_cast<unsigned long long>(count), mean,
+      PercentileUpperBound(0.50), PercentileUpperBound(0.90),
+      PercentileUpperBound(0.99), static_cast<unsigned long long>(max));
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(static_cast<size_t>(num_buckets_));
+  for (int i = 0; i < num_buckets_; ++i) {
+    snap.buckets[static_cast<size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[static_cast<size_t>(i)];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.mean = snap.count == 0 ? 0.0
+                              : static_cast<double>(snap.sum) /
+                                    static_cast<double>(snap.count);
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         int num_buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(num_buckets);
+  return *slot;
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_)
+    out << name << " = " << counter->value() << "\n";
+  for (const auto& [name, gauge] : gauges_)
+    out << name << " = " << StrFormat("%.6g", gauge->value()) << "\n";
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->TakeSnapshot();
+    out << name
+        << StrFormat(
+               ": n=%llu mean=%.1f p50<=%.0f p90<=%.0f p99<=%.0f max=%llu\n",
+               static_cast<unsigned long long>(snap.count), snap.mean,
+               snap.PercentileUpperBound(0.50),
+               snap.PercentileUpperBound(0.90),
+               snap.PercentileUpperBound(0.99),
+               static_cast<unsigned long long>(snap.max));
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": " << counter->value();
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": " << StrFormat("%.6g", gauge->value());
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": " << histogram->TakeSnapshot().ToJson();
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace cascn::obs

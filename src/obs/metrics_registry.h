@@ -1,0 +1,129 @@
+// Named counters, gauges, and log2-bucketed histograms with text and JSON
+// exposition.
+//
+//   obs::Counter& evictions =
+//       obs::MetricsRegistry::Get().GetCounter("sessions_evicted_total");
+//   evictions.Increment();
+//
+// Primitives are lock-free (relaxed atomics) so recording from hot paths
+// never contends; only name lookup takes the registry mutex, so callers on
+// hot paths should resolve a metric once and keep the reference — returned
+// references stay valid for the registry's lifetime.
+//
+// `MetricsRegistry::Get()` is the process-global instance. Components that
+// need isolated numbers (e.g. one PredictionService per benchmark run) can
+// own a local MetricsRegistry instead; the exposition formats are the same.
+
+#ifndef CASCN_OBS_METRICS_REGISTRY_H_
+#define CASCN_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cascn::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, learning rate, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double prev = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(prev, prev + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram of non-negative integer samples in log2 buckets: bucket i
+/// counts values in [2^i, 2^{i+1}) (bucket 0 also absorbs 0, the last
+/// bucket absorbs everything at or above its lower edge). Generalizes the
+/// serve latency histogram; with the default 32 buckets the top bucket
+/// starts at 2^31, enough for hour-scale microsecond latencies.
+class Histogram {
+ public:
+  static constexpr int kDefaultBuckets = 32;
+
+  explicit Histogram(int num_buckets = kDefaultBuckets);
+
+  void Record(uint64_t value);
+  int num_buckets() const { return num_buckets_; }
+
+  struct Snapshot {
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    double mean = 0.0;
+
+    /// Upper edge of the bucket containing quantile `q` in [0, 1]; 0 when
+    /// the histogram is empty.
+    double PercentileUpperBound(double q) const;
+    /// One JSON object (count/mean/p50/p90/p99/max).
+    std::string ToJson() const;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  const int num_buckets_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Thread-safe name -> metric table. Metrics are created on first lookup
+/// and live as long as the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-global instance.
+  static MetricsRegistry& Get();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `num_buckets` only applies on first creation; later lookups of the
+  /// same name return the existing histogram unchanged.
+  Histogram& GetHistogram(const std::string& name,
+                          int num_buckets = Histogram::kDefaultBuckets);
+
+  /// Multi-line `name = value` report, one metric per line.
+  std::string TextSnapshot() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+  std::string JsonSnapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // node-based maps: values never move, so handed-out references are stable.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cascn::obs
+
+#endif  // CASCN_OBS_METRICS_REGISTRY_H_

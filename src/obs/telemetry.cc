@@ -1,0 +1,119 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace cascn::obs {
+
+namespace {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonObjectBuilder::AddKey(std::string_view key) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += "\"";
+  body_ += EscapeJson(key);
+  body_ += "\": ";
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key,
+                                          double value) {
+  AddKey(key);
+  // JSON has no NaN/Inf literals; null keeps the line parseable.
+  body_ += std::isfinite(value) ? StrFormat("%.6g", value) : "null";
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key,
+                                          int64_t value) {
+  AddKey(key);
+  body_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key,
+                                          uint64_t value) {
+  AddKey(key);
+  body_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key, bool value) {
+  AddKey(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key,
+                                          std::string_view value) {
+  AddKey(key);
+  body_ += "\"";
+  body_ += EscapeJson(value);
+  body_ += "\"";
+  return *this;
+}
+
+std::string JsonObjectBuilder::Build() const { return "{" + body_ + "}"; }
+
+void VectorTelemetrySink::Emit(const std::string& json_object) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(json_object);
+}
+
+std::vector<std::string> VectorTelemetrySink::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+Result<std::unique_ptr<FileTelemetrySink>> FileTelemetrySink::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr)
+    return Status::IoError("cannot open telemetry file: " + path);
+  return std::unique_ptr<FileTelemetrySink>(new FileTelemetrySink(file));
+}
+
+FileTelemetrySink::~FileTelemetrySink() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fclose(file_);
+}
+
+void FileTelemetrySink::Emit(const std::string& json_object) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(file_, "%s\n", json_object.c_str());
+  std::fflush(file_);
+}
+
+}  // namespace cascn::obs

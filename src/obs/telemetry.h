@@ -1,0 +1,92 @@
+// Streaming telemetry: one flat JSON object per event, emitted as JSON
+// lines ("jsonl") through a sink. The trainer streams one record per epoch
+// (timings, gradient norm, learning rate); anything that wants a durable,
+// machine-readable progress log can use the same machinery.
+//
+//   auto sink = obs::FileTelemetrySink::Open("telemetry.jsonl").value();
+//   options.telemetry = sink.get();
+//   ...
+//   sink->Emit(obs::JsonObjectBuilder()
+//                  .Add("event", "epoch")
+//                  .Add("loss", 0.42)
+//                  .Build());
+
+#ifndef CASCN_OBS_TELEMETRY_H_
+#define CASCN_OBS_TELEMETRY_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cascn::obs {
+
+/// Builds one flat JSON object incrementally. Keys are emitted in insertion
+/// order; string values are escaped.
+class JsonObjectBuilder {
+ public:
+  JsonObjectBuilder& Add(std::string_view key, double value);
+  JsonObjectBuilder& Add(std::string_view key, int64_t value);
+  JsonObjectBuilder& Add(std::string_view key, uint64_t value);
+  JsonObjectBuilder& Add(std::string_view key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  JsonObjectBuilder& Add(std::string_view key, bool value);
+  JsonObjectBuilder& Add(std::string_view key, std::string_view value);
+  JsonObjectBuilder& Add(std::string_view key, const char* value) {
+    return Add(key, std::string_view(value));
+  }
+
+  /// The finished object, e.g. `{"a": 1, "b": "x"}`.
+  std::string Build() const;
+
+ private:
+  void AddKey(std::string_view key);
+  std::string body_;
+};
+
+/// Receives one JSON object per call. Implementations must be thread-safe:
+/// several components may share one sink.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  /// `json_object` is a complete single-line JSON object (no trailing
+  /// newline); the sink supplies record framing.
+  virtual void Emit(const std::string& json_object) = 0;
+};
+
+/// Collects records in memory — tests and in-process consumers.
+class VectorTelemetrySink : public TelemetrySink {
+ public:
+  void Emit(const std::string& json_object) override;
+  std::vector<std::string> lines() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+/// Appends each record as one line to a file (JSON-lines). Flushes per
+/// record so a crash loses at most the record being written.
+class FileTelemetrySink : public TelemetrySink {
+ public:
+  static Result<std::unique_ptr<FileTelemetrySink>> Open(
+      const std::string& path);
+  ~FileTelemetrySink() override;
+
+  void Emit(const std::string& json_object) override;
+
+ private:
+  explicit FileTelemetrySink(std::FILE* file) : file_(file) {}
+
+  std::mutex mutex_;
+  std::FILE* file_;
+};
+
+}  // namespace cascn::obs
+
+#endif  // CASCN_OBS_TELEMETRY_H_

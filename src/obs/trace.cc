@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cascn::obs {
+
+thread_local std::shared_ptr<Tracer::ThreadBuffer> Tracer::tls_buffer_;
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  const char* env = std::getenv("CASCN_TRACE");
+  if (env != nullptr && env[0] != '\0' && std::string_view(env) != "0")
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives exiting threads
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  if (tls_buffer_ == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(buffers_mutex_);
+      buffers_.push_back(buffer);
+    }
+    tls_buffer_ = std::move(buffer);
+  }
+  return *tls_buffer_;
+}
+
+void Tracer::Record(const char* name, uint64_t start_ns,
+                    uint64_t duration_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  const TraceEvent event{name, start_ns, duration_ns};
+  if (buffer.ring.size() < kRingCapacity) {
+    buffer.ring.push_back(event);
+  } else {
+    buffer.ring[buffer.next] = event;
+    buffer.next = (buffer.next + 1) % kRingCapacity;
+    buffer.wrapped = true;
+  }
+}
+
+void Tracer::RecordSpan(const char* name,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point end) {
+  if (!enabled()) return;
+  if (end < start) end = start;
+  if (start < epoch_) start = epoch_;  // spans begun before tracer init
+  const auto start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_);
+  const auto duration_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
+  Record(name, static_cast<uint64_t>(start_ns.count()),
+         static_cast<uint64_t>(duration_ns.count()));
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->ring.clear();
+    buffer->next = 0;
+    buffer->wrapped = false;
+  }
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->ring.size();
+  }
+  return total;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  // Snapshot every buffer first so serialization happens unlocked.
+  struct Flat {
+    TraceEvent event;
+    int tid;
+  };
+  std::vector<Flat> events;
+  {
+    std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      for (const TraceEvent& event : buffer->ring)
+        events.push_back({event, buffer->tid});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Flat& a, const Flat& b) {
+              return a.event.start_ns < b.event.start_ns;
+            });
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const Flat& flat : events) {
+    if (!first) out << ",";
+    first = false;
+    // Chrome trace "complete" events; ts/dur are microseconds (fractional
+    // keeps the original nanosecond precision).
+    out << StrFormat(
+        "\n{\"name\": \"%s\", \"cat\": \"cascn\", \"ph\": \"X\", "
+        "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+        flat.event.name, flat.tid,
+        static_cast<double>(flat.event.start_ns) / 1000.0,
+        static_cast<double>(flat.event.duration_ns) / 1000.0);
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr)
+    return Status::IoError("cannot open trace output file: " + path);
+  const std::string json = ToChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size())
+    return Status::IoError("short write to trace output file: " + path);
+  return Status::OK();
+}
+
+}  // namespace cascn::obs

@@ -1,0 +1,142 @@
+// Low-overhead scoped trace spans with Chrome trace-event export.
+//
+//   void ChebConv::Forward(...) {
+//     CASCN_TRACE_SPAN("cheb_conv");
+//     ...
+//   }
+//
+// Spans record into per-thread ring buffers owned by the process-global
+// Tracer; `Tracer::Get().WriteChromeTrace(path)` serializes everything
+// collected so far as Chrome trace-event JSON, loadable in chrome://tracing
+// or https://ui.perfetto.dev. Tracing is disabled by default: a disabled
+// span costs one relaxed atomic load and records nothing, so instrumented
+// hot paths (graph convolutions, LSTM steps, serve requests) stay cheap in
+// production. Enable at runtime with `Tracer::Get().Enable()` or by setting
+// the CASCN_TRACE environment variable to anything but "0" before startup.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// recording stores the pointer, never a copy, to keep the hot path
+// allocation-free.
+
+#ifndef CASCN_OBS_TRACE_H_
+#define CASCN_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cascn::obs {
+
+/// One completed span, times in nanoseconds since the tracer's epoch.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+};
+
+/// Process-global span collector. All methods are thread-safe.
+class Tracer {
+ public:
+  /// Events retained per thread; older events are overwritten (newest-wins
+  /// ring), so a runaway trace degrades to a sliding window instead of
+  /// unbounded memory.
+  static constexpr size_t kRingCapacity = size_t{1} << 16;
+
+  static Tracer& Get();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops every recorded event (thread buffers stay registered).
+  void Clear();
+
+  /// Total events currently retained across all threads.
+  size_t event_count() const;
+
+  /// Records a completed span with explicit endpoints. Used for durations
+  /// whose begin and end happen on different threads (e.g. queue wait:
+  /// enqueue on a client thread, dequeue on a worker); the event lands in
+  /// the calling thread's buffer. No-op while disabled.
+  void RecordSpan(const char* name,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end);
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete "X" events).
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+ private:
+  friend class ScopedSpan;
+
+  struct ThreadBuffer {
+    // Guards the ring. Uncontended except while a snapshot is being taken:
+    // each thread writes only its own buffer.
+    std::mutex mutex;
+    std::vector<TraceEvent> ring;
+    size_t next = 0;      // insertion point once the ring is full
+    bool wrapped = false;
+    int tid = 0;          // stable per-thread id for the trace output
+  };
+
+  Tracer();
+
+  /// The calling thread's buffer, registered on first use.
+  ThreadBuffer& LocalBuffer();
+  void Record(const char* name, uint64_t start_ns, uint64_t duration_ns);
+
+  // Each thread holds a shared_ptr so its buffer outlives thread exit (the
+  // registry keeps the other reference; the serializer may still read it).
+  static thread_local std::shared_ptr<ThreadBuffer> tls_buffer_;
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> next_tid_{1};
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: measures construction-to-destruction on the current thread.
+/// Prefer the CASCN_TRACE_SPAN macro.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name), active_(Tracer::Get().enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedSpan() {
+    if (active_)
+      Tracer::Get().RecordSpan(name_, start_,
+                               std::chrono::steady_clock::now());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cascn::obs
+
+#define CASCN_OBS_CONCAT_INNER_(a, b) a##b
+#define CASCN_OBS_CONCAT_(a, b) CASCN_OBS_CONCAT_INNER_(a, b)
+
+/// Traces the enclosing scope under `name` (must be a string literal).
+#define CASCN_TRACE_SPAN(name)    \
+  ::cascn::obs::ScopedSpan CASCN_OBS_CONCAT_(cascn_trace_span_, \
+                                             __LINE__)(name)
+
+#endif  // CASCN_OBS_TRACE_H_

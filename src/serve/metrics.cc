@@ -1,6 +1,5 @@
 #include "serve/metrics.h"
 
-#include <algorithm>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -37,55 +36,19 @@ std::string_view CounterName(Counter c) {
   return "unknown";
 }
 
-void ServeMetrics::RecordLatencyMicros(uint64_t us) {
-  int bucket = 0;
-  while (bucket + 1 < kNumLatencyBuckets && (uint64_t{1} << (bucket + 1)) <= us)
-    ++bucket;
-  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  latency_sum_us_.fetch_add(us, std::memory_order_relaxed);
-  uint64_t prev = latency_max_us_.load(std::memory_order_relaxed);
-  while (prev < us && !latency_max_us_.compare_exchange_weak(
-                          prev, us, std::memory_order_relaxed)) {
-  }
-}
-
-namespace {
-
-/// Upper edge of histogram bucket i, in microseconds.
-double BucketUpperUs(int i) { return static_cast<double>(uint64_t{1} << (i + 1)); }
-
-double Percentile(const std::array<uint64_t, ServeMetrics::kNumLatencyBuckets>&
-                      buckets,
-                  uint64_t total, double q) {
-  if (total == 0) return 0.0;
-  const double target = q * static_cast<double>(total);
-  uint64_t cumulative = 0;
-  for (int i = 0; i < ServeMetrics::kNumLatencyBuckets; ++i) {
-    cumulative += buckets[i];
-    if (static_cast<double>(cumulative) >= target) return BucketUpperUs(i);
-  }
-  return BucketUpperUs(ServeMetrics::kNumLatencyBuckets - 1);
-}
-
-}  // namespace
-
 ServeMetrics::Snapshot ServeMetrics::TakeSnapshot() const {
   Snapshot snap;
   for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i)
-    snap.counters[i] = counters_[i].load(std::memory_order_relaxed);
-  uint64_t total = 0;
-  for (int i = 0; i < kNumLatencyBuckets; ++i) {
-    snap.latency_buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);
-    total += snap.latency_buckets[i];
-  }
-  snap.latency_count = total;
-  snap.latency_max_us = latency_max_us_.load(std::memory_order_relaxed);
-  const uint64_t sum = latency_sum_us_.load(std::memory_order_relaxed);
-  snap.latency_mean_us =
-      total == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(total);
-  snap.latency_p50_us = Percentile(snap.latency_buckets, total, 0.50);
-  snap.latency_p90_us = Percentile(snap.latency_buckets, total, 0.90);
-  snap.latency_p99_us = Percentile(snap.latency_buckets, total, 0.99);
+    snap.counters[i] = counters_[i].value();
+  const obs::Histogram::Snapshot latency = latency_.TakeSnapshot();
+  for (int i = 0; i < kNumLatencyBuckets; ++i)
+    snap.latency_buckets[i] = latency.buckets[static_cast<size_t>(i)];
+  snap.latency_count = latency.count;
+  snap.latency_max_us = latency.max;
+  snap.latency_mean_us = latency.mean;
+  snap.latency_p50_us = latency.PercentileUpperBound(0.50);
+  snap.latency_p90_us = latency.PercentileUpperBound(0.90);
+  snap.latency_p99_us = latency.PercentileUpperBound(0.99);
   return snap;
 }
 
@@ -118,6 +81,22 @@ std::string ServeMetrics::Snapshot::ToJson() const {
       latency_p50_us, latency_p90_us, latency_p99_us,
       static_cast<unsigned long long>(latency_max_us));
   return out.str();
+}
+
+void ExportToRegistry(const ServeMetrics::Snapshot& snapshot,
+                      obs::MetricsRegistry& registry) {
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i) {
+    const std::string name =
+        "serve_" + std::string(CounterName(static_cast<Counter>(i)));
+    registry.GetGauge(name).Set(static_cast<double>(snapshot.counters[i]));
+  }
+  registry.GetGauge("serve_latency_count")
+      .Set(static_cast<double>(snapshot.latency_count));
+  registry.GetGauge("serve_latency_mean_us").Set(snapshot.latency_mean_us);
+  registry.GetGauge("serve_latency_p50_us").Set(snapshot.latency_p50_us);
+  registry.GetGauge("serve_latency_p99_us").Set(snapshot.latency_p99_us);
+  registry.GetGauge("serve_latency_max_us")
+      .Set(static_cast<double>(snapshot.latency_max_us));
 }
 
 }  // namespace cascn::serve

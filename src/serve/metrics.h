@@ -4,15 +4,21 @@
 // lock; Snapshot() assembles a consistent-enough view for reporting
 // (individual counters are exact; cross-counter skew is bounded by what was
 // in flight during the read).
+//
+// The latency histogram is an obs::Histogram (log2 buckets); counters are
+// obs::Counter. ExportToRegistry() bridges a snapshot into an
+// obs::MetricsRegistry so serve numbers appear in the unified exposition
+// next to trainer and system metrics.
 
 #ifndef CASCN_SERVE_METRICS_H_
 #define CASCN_SERVE_METRICS_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
+
+#include "obs/metrics_registry.h"
 
 namespace cascn::serve {
 
@@ -39,13 +45,15 @@ class ServeMetrics {
  public:
   static constexpr int kNumLatencyBuckets = 24;
 
+  ServeMetrics() : latency_(kNumLatencyBuckets) {}
+
   void Increment(Counter c, uint64_t n = 1) {
-    counters_[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+    counters_[static_cast<size_t>(c)].Increment(n);
   }
 
   /// Records one request latency. Bucket i covers [2^i, 2^{i+1}) us; the
   /// last bucket absorbs everything above ~4 s.
-  void RecordLatencyMicros(uint64_t us);
+  void RecordLatencyMicros(uint64_t us) { latency_.Record(us); }
 
   /// Point-in-time copy of every counter plus histogram percentiles.
   struct Snapshot {
@@ -71,12 +79,17 @@ class ServeMetrics {
   Snapshot TakeSnapshot() const;
 
  private:
-  std::array<std::atomic<uint64_t>, static_cast<int>(Counter::kNumCounters)>
+  std::array<obs::Counter, static_cast<int>(Counter::kNumCounters)>
       counters_{};
-  std::array<std::atomic<uint64_t>, kNumLatencyBuckets> latency_buckets_{};
-  std::atomic<uint64_t> latency_sum_us_{0};
-  std::atomic<uint64_t> latency_max_us_{0};
+  obs::Histogram latency_;
 };
+
+/// Bridges a serve snapshot into `registry` as gauges named
+/// `serve_<counter>` plus `serve_latency_{count,mean_us,p50_us,p99_us,
+/// max_us}`. Gauges (not registry counters) because a snapshot is a
+/// point-in-time copy, re-exported wholesale on every bridge call.
+void ExportToRegistry(const ServeMetrics::Snapshot& snapshot,
+                      obs::MetricsRegistry& registry);
 
 }  // namespace cascn::serve
 

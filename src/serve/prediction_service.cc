@@ -7,12 +7,15 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 
 namespace cascn::serve {
 
 PredictionService::PredictionService(const ServiceOptions& options)
-    : options_(options) {
+    : options_(options),
+      queue_depth_(registry_.GetGauge("serve_queue_depth")),
+      batch_size_(registry_.GetHistogram("serve_batch_size", /*num_buckets=*/10)) {
   CASCN_CHECK(options.num_workers >= 1);
   CASCN_CHECK(options.queue_capacity >= 1);
   CASCN_CHECK(options.max_batch >= 1);
@@ -60,7 +63,9 @@ void PredictionService::Shutdown() {
 
 Result<std::future<ServeResponse>> PredictionService::Enqueue(
     Request request) {
+  CASCN_TRACE_SPAN("serve_enqueue");
   std::future<ServeResponse> future = request.promise.get_future();
+  request.enqueue_time = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (shutting_down_) {
@@ -73,6 +78,7 @@ Result<std::future<ServeResponse>> PredictionService::Enqueue(
     }
     queue_.push_back(std::move(request));
     metrics_.Increment(Counter::kRequestsTotal);
+    queue_depth_.Set(static_cast<double>(queue_.size()));
   }
   queue_cv_.notify_one();
   return future;
@@ -148,6 +154,22 @@ ServeResponse PredictionService::CallClose(std::string session_id) {
 
 ServeResponse PredictionService::Execute(const Request& request,
                                          CascadeRegressor& model) {
+  const char* span_name = "serve_request";
+  switch (request.type) {
+    case RequestType::kCreate:
+      span_name = "serve_create";
+      break;
+    case RequestType::kAppend:
+      span_name = "serve_append";
+      break;
+    case RequestType::kPredict:
+      span_name = "serve_predict";
+      break;
+    case RequestType::kClose:
+      span_name = "serve_close";
+      break;
+  }
+  CASCN_TRACE_SPAN(span_name);
   ServeResponse response;
   switch (request.type) {
     case RequestType::kCreate:
@@ -191,7 +213,17 @@ void PredictionService::WorkerLoop(int worker_index) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      queue_depth_.Set(static_cast<double>(queue_.size()));
     }
+    const auto dequeue_time = std::chrono::steady_clock::now();
+    obs::Tracer& tracer = obs::Tracer::Get();
+    if (tracer.enabled()) {
+      for (const Request& request : batch)
+        tracer.RecordSpan("serve_queue_wait", request.enqueue_time,
+                          dequeue_time);
+    }
+    batch_size_.Record(batch.size());
+    CASCN_TRACE_SPAN("serve_batch");
     if (batch.size() > 1) {
       metrics_.Increment(Counter::kBatches);
       metrics_.Increment(Counter::kBatchedRequests,

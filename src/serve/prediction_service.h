@@ -16,6 +16,7 @@
 #ifndef CASCN_SERVE_PREDICTION_SERVICE_H_
 #define CASCN_SERVE_PREDICTION_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -28,6 +29,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/regressor.h"
+#include "obs/metrics_registry.h"
 #include "serve/metrics.h"
 #include "serve/session_manager.h"
 
@@ -96,6 +98,12 @@ class PredictionService {
   void Shutdown();
 
   const ServeMetrics& metrics() const { return metrics_; }
+  /// Service-local observability registry: `serve_queue_depth` gauge and
+  /// `serve_batch_size` histogram, maintained live by the workers. Bridge
+  /// the ServeMetrics snapshot in with serve::ExportToRegistry() for one
+  /// unified exposition.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+  obs::MetricsRegistry& registry() { return registry_; }
   SessionManager& sessions() { return *sessions_; }
   int num_workers() const { return static_cast<int>(models_.size()); }
 
@@ -108,6 +116,7 @@ class PredictionService {
     int user = 0;
     int parent_node = 0;
     double time = 0.0;
+    std::chrono::steady_clock::time_point enqueue_time;
     std::promise<ServeResponse> promise;
   };
 
@@ -119,6 +128,9 @@ class PredictionService {
 
   ServiceOptions options_;
   ServeMetrics metrics_;
+  obs::MetricsRegistry registry_;
+  obs::Gauge& queue_depth_;        // owned by registry_
+  obs::Histogram& batch_size_;     // owned by registry_
   std::unique_ptr<SessionManager> sessions_;
   std::vector<std::unique_ptr<CascadeRegressor>> models_;
 

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace cascn::serve {
 
@@ -41,6 +42,7 @@ Status SessionManager::Create(const std::string& session_id, int root_user) {
   if (sessions_.size() >= options_.capacity) {
     // Evict the least-recently-used idle session. Iterating from the LRU
     // tail skips sessions with an operation in flight (pinned).
+    CASCN_TRACE_SPAN("session_evict");
     bool evicted = false;
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
       auto candidate = sessions_.find(*it);

@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace cascn {
+namespace {
+
+/// Restores the global level and CASCN_LOG_LEVEL after each test so the
+/// rest of the binary is unaffected.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override {
+    unsetenv("CASCN_LOG_LEVEL");
+    SetLogLevel(previous_);
+  }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsAllLevels) {
+  LogLevel level = LogLevel::kFatal;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ParseLogLevelIsCaseInsensitive) {
+  LogLevel level = LogLevel::kFatal;
+  EXPECT_TRUE(ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsGarbage) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("fatal", &level));  // not settable from env
+  EXPECT_EQ(level, LogLevel::kError);            // untouched on failure
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvAppliesValidLevel) {
+  setenv("CASCN_LOG_LEVEL", "error", /*overwrite=*/1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvIgnoresInvalidValue) {
+  SetLogLevel(LogLevel::kWarning);
+  setenv("CASCN_LOG_LEVEL", "extremely-loud", /*overwrite=*/1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvNoopWithoutVariable) {
+  SetLogLevel(LogLevel::kDebug);
+  unsetenv("CASCN_LOG_LEVEL");
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+}  // namespace
+}  // namespace cascn

@@ -120,5 +120,51 @@ TEST(TrainRegressorTest, DeterministicGivenSeed) {
   }
 }
 
+TEST(TrainRegressorTest, EpochStatsCarryTelemetry) {
+  CascadeDataset dataset = TinyDataset();
+  ConstantModel model;
+  TrainerOptions opts = TinyTrainerOptions(2);
+  opts.learning_rate = 0.05;
+  const TrainResult result = TrainRegressor(model, dataset, opts);
+  ASSERT_FALSE(result.history.empty());
+  for (const EpochStats& stats : result.history) {
+    EXPECT_GT(stats.epoch_seconds, 0.0);
+    EXPECT_GE(stats.forward_seconds, 0.0);
+    EXPECT_GE(stats.backward_seconds, 0.0);
+    EXPECT_GE(stats.optimizer_seconds, 0.0);
+    EXPECT_GE(stats.validation_seconds, 0.0);
+    // Phases are a subset of the epoch: their sum cannot exceed it.
+    EXPECT_LE(stats.forward_seconds + stats.backward_seconds +
+                  stats.optimizer_seconds + stats.validation_seconds,
+              stats.epoch_seconds + 1e-6);
+    EXPECT_GT(stats.grad_norm, 0.0);  // loss is non-degenerate here
+    EXPECT_DOUBLE_EQ(stats.learning_rate, opts.learning_rate);
+    EXPECT_GT(stats.num_batches, 0);
+  }
+}
+
+TEST(TrainRegressorTest, TelemetrySinkReceivesOneJsonLinePerEpoch) {
+  CascadeDataset dataset = TinyDataset();
+  ConstantModel model;
+  TrainerOptions opts = TinyTrainerOptions(3);
+  opts.patience = 10;  // no early stop: exactly max_epochs records
+  obs::VectorTelemetrySink sink;
+  opts.telemetry = &sink;
+  const TrainResult result = TrainRegressor(model, dataset, opts);
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), result.history.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].front(), '{');
+    EXPECT_EQ(lines[i].back(), '}');
+    EXPECT_NE(lines[i].find("\"event\": \"epoch\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"model\": \"Constant\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"epoch\": " + std::to_string(i + 1)),
+              std::string::npos);
+    EXPECT_NE(lines[i].find("\"grad_norm\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"forward_seconds\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"learning_rate\""), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace cascn

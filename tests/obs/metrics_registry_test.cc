@@ -1,0 +1,152 @@
+#include "obs/metrics_registry.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cascn::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_EQ(gauge.value(), 1.5);
+}
+
+TEST(HistogramTest, ZeroValueLandsInFirstBucket) {
+  Histogram histogram;
+  histogram.Record(0);
+  const auto snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.mean, 0.0);
+  EXPECT_LE(snap.PercentileUpperBound(0.50), 2.0);
+}
+
+TEST(HistogramTest, ValueAboveLastBucketIsAbsorbed) {
+  Histogram histogram(4);  // buckets up to [8, inf)
+  histogram.Record(uint64_t{1} << 40);
+  const auto snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.max, uint64_t{1} << 40);
+}
+
+TEST(HistogramTest, EmptySnapshotPercentilesAreZero) {
+  Histogram histogram;
+  const auto snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.PercentileUpperBound(0.50), 0.0);
+  EXPECT_EQ(snap.PercentileUpperBound(0.99), 0.0);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndBucketed) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const auto snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_NEAR(snap.mean, 500.5, 1e-9);
+  const double p50 = snap.PercentileUpperBound(0.50);
+  const double p90 = snap.PercentileUpperBound(0.90);
+  const double p99 = snap.PercentileUpperBound(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p99, 2048.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordAndSnapshot) {
+  Histogram histogram;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerWriter; ++i)
+        histogram.Record(static_cast<uint64_t>(i % 512));
+    });
+  }
+  // A reader snapshotting mid-flight must always see a self-consistent
+  // structure (counts never exceed the final total).
+  std::thread reader([&histogram] {
+    for (int i = 0; i < 100; ++i) {
+      const auto snap = histogram.TakeSnapshot();
+      EXPECT_LE(snap.count,
+                static_cast<uint64_t>(kWriters) * kPerWriter);
+    }
+  });
+  for (auto& t : threads) t.join();
+  reader.join();
+  EXPECT_EQ(histogram.TakeSnapshot().count,
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("hits");
+  Counter& b = registry.GetCounter("hits");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(&registry.GetGauge("depth"), &registry.GetGauge("depth"));
+  EXPECT_EQ(&registry.GetHistogram("lat"), &registry.GetHistogram("lat"));
+}
+
+TEST(MetricsRegistryTest, TextAndJsonExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total").Increment(7);
+  registry.GetGauge("queue_depth").Set(3.0);
+  registry.GetHistogram("batch_size").Record(4);
+
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("requests_total = 7"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth = 3"), std::string::npos);
+  EXPECT_NE(text.find("batch_size: n=1"), std::string::npos);
+
+  const std::string json = registry.JsonSnapshot();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"requests_total\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size\": {\"count\": 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupsAndUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("shared").Increment();
+        registry.GetHistogram("sizes").Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("sizes").TakeSnapshot().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, GlobalInstanceIsStable) {
+  EXPECT_EQ(&MetricsRegistry::Get(), &MetricsRegistry::Get());
+}
+
+}  // namespace
+}  // namespace cascn::obs

@@ -1,0 +1,95 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cascn::obs {
+namespace {
+
+TEST(JsonObjectBuilderTest, EmptyObject) {
+  EXPECT_EQ(JsonObjectBuilder().Build(), "{}");
+}
+
+TEST(JsonObjectBuilderTest, TypedFieldsInInsertionOrder) {
+  const std::string json = JsonObjectBuilder()
+                               .Add("event", "epoch")
+                               .Add("epoch", 3)
+                               .Add("loss", 0.5)
+                               .Add("count", uint64_t{18446744073709551615u})
+                               .Add("done", false)
+                               .Build();
+  EXPECT_EQ(json,
+            "{\"event\": \"epoch\", \"epoch\": 3, \"loss\": 0.5, "
+            "\"count\": 18446744073709551615, \"done\": false}");
+}
+
+TEST(JsonObjectBuilderTest, EscapesStrings) {
+  const std::string json =
+      JsonObjectBuilder().Add("name", "a\"b\\c\nd").Build();
+  EXPECT_EQ(json, "{\"name\": \"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonObjectBuilderTest, NonFiniteDoublesBecomeNull) {
+  const std::string json = JsonObjectBuilder()
+                               .Add("nan", std::nan(""))
+                               .Add("inf", HUGE_VAL)
+                               .Build();
+  EXPECT_EQ(json, "{\"nan\": null, \"inf\": null}");
+}
+
+TEST(VectorTelemetrySinkTest, CollectsInOrder) {
+  VectorTelemetrySink sink;
+  sink.Emit("{\"a\": 1}");
+  sink.Emit("{\"b\": 2}");
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"a\": 1}");
+  EXPECT_EQ(lines[1], "{\"b\": 2}");
+}
+
+TEST(VectorTelemetrySinkTest, ThreadSafeEmit) {
+  VectorTelemetrySink sink;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&sink] {
+      for (int i = 0; i < kPerThread; ++i) sink.Emit("{}");
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sink.lines().size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(FileTelemetrySinkTest, WritesJsonLines) {
+  const std::string path =
+      ::testing::TempDir() + "/cascn_telemetry_test.jsonl";
+  std::remove(path.c_str());
+  {
+    auto sink = FileTelemetrySink::Open(path);
+    ASSERT_TRUE(sink.ok()) << sink.status();
+    (*sink)->Emit("{\"epoch\": 1}");
+    (*sink)->Emit("{\"epoch\": 2}");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"epoch\": 1}");
+  EXPECT_EQ(lines[1], "{\"epoch\": 2}");
+  std::remove(path.c_str());
+}
+
+TEST(FileTelemetrySinkTest, OpenFailsOnBadPath) {
+  EXPECT_FALSE(FileTelemetrySink::Open("/nonexistent-dir/t.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace cascn::obs

@@ -69,6 +69,85 @@ TEST(ServeMetricsTest, ConcurrentIncrementsAreExact) {
   EXPECT_EQ(snap.latency_count, static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(ServeMetricsTest, ZeroLatencyLandsInFirstBucket) {
+  ServeMetrics metrics;
+  metrics.RecordLatencyMicros(0);
+  const auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.latency_count, 1u);
+  EXPECT_EQ(snap.latency_buckets[0], 1u);
+  EXPECT_EQ(snap.latency_max_us, 0u);
+  EXPECT_EQ(snap.latency_mean_us, 0.0);
+  EXPECT_LE(snap.latency_p50_us, 2.0);
+}
+
+TEST(ServeMetricsTest, EmptyHistogramPercentilesAreZero) {
+  ServeMetrics metrics;
+  metrics.Increment(Counter::kAppends);  // counters alone leave latency empty
+  const auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.latency_count, 0u);
+  EXPECT_EQ(snap.latency_p50_us, 0.0);
+  EXPECT_EQ(snap.latency_p90_us, 0.0);
+  EXPECT_EQ(snap.latency_p99_us, 0.0);
+  EXPECT_EQ(snap.latency_mean_us, 0.0);
+}
+
+TEST(ServeMetricsTest, ValuesAboveLastBucketKeepExactMaxAndMean) {
+  ServeMetrics metrics;
+  const uint64_t huge = uint64_t{1} << 30;  // ~18 min, above the ~4 s bucket
+  metrics.RecordLatencyMicros(huge);
+  metrics.RecordLatencyMicros(huge);
+  const auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.latency_buckets[ServeMetrics::kNumLatencyBuckets - 1], 2u);
+  EXPECT_EQ(snap.latency_max_us, huge);
+  EXPECT_EQ(snap.latency_mean_us, static_cast<double>(huge));
+}
+
+TEST(ServeMetricsTest, ConcurrentIncrementAndSnapshot) {
+  ServeMetrics metrics;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&metrics] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        metrics.Increment(Counter::kPredictions);
+        metrics.RecordLatencyMicros(static_cast<uint64_t>(i % 1000));
+      }
+    });
+  }
+  std::thread reader([&metrics] {
+    for (int i = 0; i < 200; ++i) {
+      const auto snap = metrics.TakeSnapshot();
+      EXPECT_LE(snap.counter(Counter::kPredictions),
+                static_cast<uint64_t>(kWriters) * kPerWriter);
+      EXPECT_LE(snap.latency_count,
+                static_cast<uint64_t>(kWriters) * kPerWriter);
+    }
+  });
+  for (auto& t : writers) t.join();
+  reader.join();
+  const auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counter(Counter::kPredictions),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(snap.latency_count,
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(ServeMetricsTest, ExportToRegistryBridgesCountersAndLatency) {
+  ServeMetrics metrics;
+  metrics.Increment(Counter::kRequestsTotal, 9);
+  metrics.Increment(Counter::kEvictions, 2);
+  metrics.RecordLatencyMicros(100);
+  obs::MetricsRegistry registry;
+  ExportToRegistry(metrics.TakeSnapshot(), registry);
+  EXPECT_EQ(registry.GetGauge("serve_requests_total").value(), 9.0);
+  EXPECT_EQ(registry.GetGauge("serve_evictions").value(), 2.0);
+  EXPECT_EQ(registry.GetGauge("serve_latency_count").value(), 1.0);
+  EXPECT_EQ(registry.GetGauge("serve_latency_max_us").value(), 100.0);
+  const std::string json = registry.JsonSnapshot();
+  EXPECT_NE(json.find("\"serve_requests_total\": 9"), std::string::npos);
+}
+
 TEST(ServeMetricsTest, SnapshotRendersTextAndJson) {
   ServeMetrics metrics;
   metrics.Increment(Counter::kBatchedRequests, 3);
