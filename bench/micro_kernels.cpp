@@ -2,15 +2,34 @@
 // dense matmul, sparse-dense matmul, the CasLaplacian construction
 // (Algorithm 1), the Chebyshev basis recursion, one graph-conv LSTM step
 // (forward and forward+backward), and snapshot encoding.
+//
+// Besides the usual console output, every run writes a machine-readable
+// BENCH_micro_kernels.json (see obs/bench_report.h) that the CI bench-guard
+// job diffs against bench/baselines/. Flags on top of google-benchmark's:
+//   --bench_out=PATH     report path (default BENCH_micro_kernels.json)
+//   --trace_out=PATH     Chrome trace of the run
+//   --metrics_out=PATH   global metrics-registry snapshot
+// Run with CASCN_PROFILE=1 for the per-op autograd profile (embedded in the
+// report and printed as a table on exit).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
 #include "common/rng.h"
 #include "core/encoder.h"
 #include "data/cascade_generator.h"
 #include "graph/chebyshev.h"
 #include "graph/laplacian.h"
 #include "nn/graph_rnn_cells.h"
+#include "obs/bench_report.h"
+#include "obs/shutdown.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 
 namespace cascn {
@@ -124,5 +143,106 @@ void BM_EncodeCascade(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeCascade)->Arg(16)->Arg(32)->Arg(64);
 
+/// One captured measurement, as fed into the BENCH_*.json results array.
+struct CapturedRun {
+  std::string name;
+  double real_ns_per_iter = 0.0;
+  double cpu_ns_per_iter = 0.0;
+  int64_t iterations = 0;
+  double items_per_second = 0.0;  // 0 when the benchmark sets no item count
+};
+
+/// Forwards to the normal console output while keeping each per-iteration
+/// measurement for the machine-readable report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      CapturedRun captured;
+      captured.name = run.run_name.str();
+      captured.real_ns_per_iter = run.GetAdjustedRealTime();
+      captured.cpu_ns_per_iter = run.GetAdjustedCPUTime();
+      captured.iterations = run.iterations;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) captured.items_per_second = it->second;
+      captured_.push_back(std::move(captured));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<CapturedRun>& captured() const { return captured_; }
+
+ private:
+  std::vector<CapturedRun> captured_;
+};
+
+/// Consumes --name=value from argv (so google-benchmark's own flag parsing
+/// never sees it); returns "" when absent.
+std::string TakeFlag(int& argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return value;
+}
+
+int MicroKernelsMain(int argc, char** argv) {
+  std::string bench_out = TakeFlag(argc, argv, "bench_out");
+  const std::string trace_out = TakeFlag(argc, argv, "trace_out");
+  const std::string metrics_out = TakeFlag(argc, argv, "metrics_out");
+  if (!trace_out.empty()) obs::Tracer::Get().Enable();
+  if (bench_out.empty())
+    bench_out = obs::BenchReport::DefaultPath("micro_kernels");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  const auto start = std::chrono::steady_clock::now();
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  obs::BenchReport report("micro_kernels");
+  report.AddConfig("profile_enabled",
+                   static_cast<int>(obs::Profiler::Get().enabled()))
+      .AddConfig("num_benchmarks",
+                 static_cast<int64_t>(reporter.captured().size()))
+      .SetWallClockSeconds(wall_seconds);
+  for (const CapturedRun& run : reporter.captured()) {
+    obs::JsonObjectBuilder row;
+    row.Add("benchmark", run.name)
+        .Add("real_ns_per_iter", run.real_ns_per_iter)
+        .Add("cpu_ns_per_iter", run.cpu_ns_per_iter)
+        .Add("iterations", run.iterations);
+    if (run.items_per_second > 0)
+      row.Add("items_per_second", run.items_per_second);
+    report.AddResult(row.Build());
+  }
+  report.CaptureProfile().CaptureMetrics(obs::MetricsRegistry::Get());
+  const Status write_status = report.WriteFile(bench_out);
+  CASCN_CHECK(write_status.ok()) << write_status;
+  std::fprintf(stderr, "[micro_kernels] benchmark report written to %s\n",
+               bench_out.c_str());
+
+  obs::ShutdownDumpOptions dump;
+  dump.trace_path = trace_out;
+  dump.metrics_path = metrics_out;
+  CASCN_CHECK(obs::ShutdownDump(dump).ok());
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace
 }  // namespace cascn
+
+int main(int argc, char** argv) { return cascn::MicroKernelsMain(argc, argv); }

@@ -7,6 +7,9 @@
 // service's own histogram, and batching counters, as JSON on stdout.
 //
 //   ./bench_serve_throughput [--sessions=400] [--clients=8]
+//
+// Also writes the machine-readable BENCH_serve_throughput.json
+// (obs/bench_report.h); --bench_out=PATH overrides its location.
 
 #include <chrono>
 #include <cstdio>
@@ -17,6 +20,9 @@
 #include "common/cli_flags.h"
 #include "common/logging.h"
 #include "data/cascade_generator.h"
+#include "obs/bench_report.h"
+#include "obs/shutdown.h"
+#include "obs/telemetry.h"
 #include "serve/checkpoint.h"
 #include "serve/prediction_service.h"
 
@@ -107,6 +113,10 @@ int Main(int argc, char** argv) {
   CASCN_CHECK(flags.Parse(argc, argv).ok());
   const int sessions = static_cast<int>(flags.GetInt("sessions", 400));
   const int clients = static_cast<int>(flags.GetInt("clients", 8));
+  std::string bench_out = flags.GetString("bench_out", "");
+  if (bench_out.empty())
+    bench_out = obs::BenchReport::DefaultPath("serve_throughput");
+  const auto bench_start = std::chrono::steady_clock::now();
 
   // One tiny deterministic model checkpoint shared by all runs.
   CascnConfig config;
@@ -126,6 +136,11 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "[serve_throughput] WARNING: single-core host — worker "
                  "counts beyond 1 cannot speed up compute-bound predicts\n");
+
+  obs::BenchReport report("serve_throughput");
+  report.AddConfig("sessions", static_cast<int64_t>(replays.size()))
+      .AddConfig("clients", clients)
+      .AddConfig("hardware_concurrency", static_cast<int64_t>(cores));
 
   std::string results_json;
   for (int workers : {1, 2, 4, 8}) {
@@ -151,22 +166,38 @@ int Main(int argc, char** argv) {
                           : 0.0;
     std::fprintf(stderr,
                  "[serve_throughput] workers=%d requests=%llu seconds=%.3f "
-                 "rps=%.0f p50=%.0fus p99=%.0fus batched=%llu\n",
+                 "rps=%.0f p50=%.0fus p95=%.0fus p99=%.0fus batched=%llu\n",
                  workers, static_cast<unsigned long long>(run.requests),
                  run.seconds, rps, run.snapshot.latency_p50_us,
-                 run.snapshot.latency_p99_us,
+                 run.snapshot.latency_p95_us, run.snapshot.latency_p99_us,
                  static_cast<unsigned long long>(
                      run.snapshot.counter(Counter::kBatchedRequests)));
 
-    char entry[512];
+    report.AddResult(
+        obs::JsonObjectBuilder()
+            .Add("workers", workers)
+            .Add("requests", run.requests)
+            .Add("seconds", run.seconds)
+            .Add("requests_per_sec", rps)
+            .Add("p50_us", run.snapshot.latency_p50_us)
+            .Add("p95_us", run.snapshot.latency_p95_us)
+            .Add("p99_us", run.snapshot.latency_p99_us)
+            .Add("batches", run.snapshot.counter(Counter::kBatches))
+            .Add("batched_requests",
+                 run.snapshot.counter(Counter::kBatchedRequests))
+            .Build());
+
+    char entry[640];
     std::snprintf(
         entry, sizeof(entry),
         "%s\n    {\"workers\": %d, \"requests\": %llu, \"seconds\": %.4f, "
-        "\"requests_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"requests_per_sec\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+        "\"p99_us\": %.1f, "
         "\"batches\": %llu, \"batched_requests\": %llu, \"obs\": ",
         results_json.empty() ? "" : ",", workers,
         static_cast<unsigned long long>(run.requests), run.seconds, rps,
-        run.snapshot.latency_p50_us, run.snapshot.latency_p99_us,
+        run.snapshot.latency_p50_us, run.snapshot.latency_p95_us,
+        run.snapshot.latency_p99_us,
         static_cast<unsigned long long>(
             run.snapshot.counter(Counter::kBatches)),
         static_cast<unsigned long long>(
@@ -181,6 +212,17 @@ int Main(int argc, char** argv) {
       "  \"clients\": %d,\n  \"hardware_concurrency\": %u,\n"
       "  \"results\": [%s\n  ]\n}\n",
       replays.size(), clients, cores, results_json.c_str());
+
+  report
+      .SetWallClockSeconds(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - bench_start)
+                               .count())
+      .CaptureProfile();
+  const Status write_status = report.WriteFile(bench_out);
+  CASCN_CHECK(write_status.ok()) << write_status;
+  std::fprintf(stderr, "[serve_throughput] benchmark report written to %s\n",
+               bench_out.c_str());
+  CASCN_CHECK(obs::ShutdownDump().ok());
   return 0;
 }
 

@@ -10,7 +10,10 @@
 // Observability: pass --trace_out=trace.json to record spans (Chebyshev
 // convolutions, LSTM steps, trainer phases) for the whole run, and
 // --metrics_out=metrics.json to dump the global registry (train counters).
+// A machine-readable BENCH_table3_overall.json (obs/bench_report.h) is
+// always written; --bench_out=PATH overrides its location.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -19,7 +22,10 @@
 #include "benchutil/table_printer.h"
 #include "common/cli_flags.h"
 #include "common/logging.h"
+#include "obs/bench_report.h"
 #include "obs/metrics_registry.h"
+#include "obs/shutdown.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 int main(int argc, char** argv) {
@@ -28,7 +34,11 @@ int main(int argc, char** argv) {
   CASCN_CHECK(flags.Parse(argc, argv).ok());
   const std::string trace_out = flags.GetString("trace_out", "");
   const std::string metrics_out = flags.GetString("metrics_out", "");
+  std::string bench_out = flags.GetString("bench_out", "");
+  if (bench_out.empty())
+    bench_out = obs::BenchReport::DefaultPath("table3_overall");
   if (!trace_out.empty()) obs::Tracer::Get().Enable();
+  const auto run_start = std::chrono::steady_clock::now();
   const double scale = bench::BenchScale();
   std::printf("Table III: overall performance comparison (MSLE, scale %.1f)\n\n",
               scale);
@@ -103,20 +113,42 @@ int main(int argc, char** argv) {
       "shape check: longer windows help in %d/%d model-window pairs\n",
       window_improvements, window_pairs);
 
-  if (!metrics_out.empty()) {
-    FILE* out = std::fopen(metrics_out.c_str(), "w");
-    CASCN_CHECK(out != nullptr) << "cannot open " << metrics_out;
-    std::fprintf(out, "%s\n",
-                 obs::MetricsRegistry::Get().JsonSnapshot().c_str());
-    std::fclose(out);
-    std::fprintf(stderr, "[table3] metrics snapshot written to %s\n",
-                 metrics_out.c_str());
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
+  obs::BenchReport report("table3_overall");
+  report.AddConfig("scale", scale)
+      .AddConfig("max_train", max_train)
+      .SetWallClockSeconds(wall_seconds);
+  for (const auto& [kind, msles] : cells) {
+    for (size_t col = 0; col < columns.size(); ++col) {
+      report.AddResult(
+          obs::JsonObjectBuilder()
+              .Add("model", bench::ModelKindName(kind))
+              .Add("dataset", columns[col].weibo ? "weibo" : "citation")
+              .Add("window",
+                   bench::WindowLabel(columns[col].weibo, columns[col].window))
+              .Add("test_msle", msles[col])
+              .Build());
+    }
   }
-  if (!trace_out.empty()) {
-    const auto status = obs::Tracer::Get().WriteChromeTrace(trace_out);
-    CASCN_CHECK(status.ok()) << status;
+  report.CaptureProfile().CaptureMetrics(obs::MetricsRegistry::Get());
+  const Status write_status = report.WriteFile(bench_out);
+  CASCN_CHECK(write_status.ok()) << write_status;
+  std::fprintf(stderr, "[table3] benchmark report written to %s\n",
+               bench_out.c_str());
+
+  // Single exit-time flush: nothing recorded after this point is dropped.
+  obs::ShutdownDumpOptions dump;
+  dump.trace_path = trace_out;
+  dump.metrics_path = metrics_out;
+  CASCN_CHECK(obs::ShutdownDump(dump).ok());
+  if (!trace_out.empty())
     std::fprintf(stderr, "[table3] trace with %zu events written to %s\n",
                  obs::Tracer::Get().event_count(), trace_out.c_str());
-  }
+  if (!metrics_out.empty())
+    std::fprintf(stderr, "[table3] metrics snapshot written to %s\n",
+                 metrics_out.c_str());
   return 0;
 }

@@ -5,16 +5,27 @@
 // the time decay (CasCN-Time) and the directed Laplacian
 // (CasCN-Undirected) both hurt; CasCN-GRU is close to the full model.
 
+// Observability: --trace_out=trace.json records spans for the whole run;
+// --metrics_out=metrics.json dumps the global registry on exit.
+
 #include <cstdio>
 #include <iostream>
 #include <map>
 
 #include "benchutil/experiment_runner.h"
 #include "benchutil/table_printer.h"
+#include "common/cli_flags.h"
 #include "common/logging.h"
+#include "obs/shutdown.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cascn;
+  CliFlags flags;
+  CASCN_CHECK(flags.Parse(argc, argv).ok());
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!trace_out.empty()) obs::Tracer::Get().Enable();
   const double scale = bench::BenchScale();
   std::printf(
       "Table IV: CasCN vs. its variants (MSLE, scale %.1f)\n\n", scale);
@@ -82,5 +93,10 @@ int main() {
       "shape check: %d/5 variants trail the full CasCN on average "
       "(paper: 5/5)\n",
       variants_behind);
+
+  obs::ShutdownDumpOptions dump;
+  dump.trace_path = trace_out;
+  dump.metrics_path = metrics_out;
+  CASCN_CHECK(obs::ShutdownDump(dump).ok());
   return 0;
 }

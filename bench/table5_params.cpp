@@ -5,15 +5,26 @@
 // Paper shape to reproduce: K = 2 edges out K = 1 and K = 3; the exact
 // lambda_max beats the approximation.
 
+// Observability: --trace_out=trace.json records spans for the whole run;
+// --metrics_out=metrics.json dumps the global registry on exit.
+
 #include <cstdio>
 #include <iostream>
 
 #include "benchutil/experiment_runner.h"
 #include "benchutil/table_printer.h"
+#include "common/cli_flags.h"
 #include "common/logging.h"
+#include "obs/shutdown.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cascn;
+  CliFlags flags;
+  CASCN_CHECK(flags.Parse(argc, argv).ok());
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!trace_out.empty()) obs::Tracer::Get().Enable();
   const double scale = bench::BenchScale();
   std::printf("Table V: parameter impact on CasCN (MSLE, scale %.1f)\n\n",
               scale);
@@ -77,5 +88,10 @@ int main() {
   std::printf("shape check: lambda~=2 %.3f vs exact %.3f "
               "(paper: exact better)\n",
               avg(3), avg(4));
+
+  obs::ShutdownDumpOptions dump;
+  dump.trace_path = trace_out;
+  dump.metrics_path = metrics_out;
+  CASCN_CHECK(obs::ShutdownDump(dump).ok());
   return 0;
 }

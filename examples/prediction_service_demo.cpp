@@ -32,6 +32,7 @@
 #include "data/cascade_generator.h"
 #include "data/dataset.h"
 #include "obs/metrics_registry.h"
+#include "obs/shutdown.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
@@ -165,22 +166,26 @@ int main(int argc, char** argv) {
               service.value()->registry().TextSnapshot().c_str());
   std::printf("\ntrainer registry:\n%s",
               obs::MetricsRegistry::Get().TextSnapshot().c_str());
-  if (!metrics_out.empty()) {
-    FILE* out = std::fopen(metrics_out.c_str(), "w");
-    CASCN_CHECK(out != nullptr) << "cannot open " << metrics_out;
-    const std::string json = service.value()->registry().JsonSnapshot();
-    std::fprintf(out, "%s\n", json.c_str());
-    std::fclose(out);
-    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
-  }
+  // The service-local registry dies with the service; snapshot it now so
+  // the exit-time dump can still write it.
+  const std::string service_metrics_json =
+      service.value()->registry().JsonSnapshot();
 
-  // 6. Trace.
-  if (!trace_out.empty()) {
-    const auto status = obs::Tracer::Get().WriteChromeTrace(trace_out);
-    CASCN_CHECK(status.ok()) << status;
+  // 6. Exit-time flush. Destroy the service *first* so the spans its
+  // destructor records land in the trace instead of being dropped, then
+  // dump every observability surface in one call.
+  service.value().reset();
+  obs::ShutdownDumpOptions dump;
+  dump.trace_path = trace_out;
+  dump.metrics_path = metrics_out;
+  dump.metrics_json_override = service_metrics_json;
+  dump.telemetry = {telemetry.get()};
+  CASCN_CHECK(obs::ShutdownDump(dump).ok());
+  if (!metrics_out.empty())
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  if (!trace_out.empty())
     std::printf("trace with %zu events written to %s "
                 "(open in chrome://tracing or ui.perfetto.dev)\n",
                 obs::Tracer::Get().event_count(), trace_out.c_str());
-  }
   return 0;
 }

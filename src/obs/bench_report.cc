@@ -1,0 +1,131 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
+
+namespace cascn::obs {
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)),
+      created_unix_(static_cast<int64_t>(std::time(nullptr))) {}
+
+BenchReport& BenchReport::AddConfig(std::string_view key,
+                                    std::string_view value) {
+  // JsonObjectBuilder handles key/value escaping; reuse one pair at a time.
+  const std::string obj = JsonObjectBuilder().Add(key, value).Build();
+  if (!config_body_.empty()) config_body_ += ", ";
+  config_body_ += obj.substr(1, obj.size() - 2);
+  return *this;
+}
+
+BenchReport& BenchReport::AddConfig(std::string_view key, double value) {
+  const std::string obj = JsonObjectBuilder().Add(key, value).Build();
+  if (!config_body_.empty()) config_body_ += ", ";
+  config_body_ += obj.substr(1, obj.size() - 2);
+  return *this;
+}
+
+BenchReport& BenchReport::AddConfig(std::string_view key, int64_t value) {
+  const std::string obj = JsonObjectBuilder().Add(key, value).Build();
+  if (!config_body_.empty()) config_body_ += ", ";
+  config_body_ += obj.substr(1, obj.size() - 2);
+  return *this;
+}
+
+BenchReport& BenchReport::SetWallClockSeconds(double seconds) {
+  wall_clock_seconds_ = seconds;
+  return *this;
+}
+
+BenchReport& BenchReport::AddHistogram(std::string_view name,
+                                       const Histogram::Snapshot& snapshot) {
+  if (!histograms_body_.empty()) histograms_body_ += ", ";
+  histograms_body_ += StrFormat(
+      "\"%.*s\": {\"count\": %llu, \"mean\": %.3f, \"p50\": %.1f, "
+      "\"p90\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"max\": %llu}",
+      static_cast<int>(name.size()), name.data(),
+      static_cast<unsigned long long>(snapshot.count), snapshot.mean,
+      snapshot.Percentile(0.50), snapshot.Percentile(0.90),
+      snapshot.Percentile(0.95), snapshot.Percentile(0.99),
+      static_cast<unsigned long long>(snapshot.max));
+  return *this;
+}
+
+BenchReport& BenchReport::AddResult(std::string json_object) {
+  results_.push_back(std::move(json_object));
+  return *this;
+}
+
+BenchReport& BenchReport::CaptureProfile() {
+  profile_json_ = Profiler::Get().TakeSnapshot().ToJson();
+  return *this;
+}
+
+BenchReport& BenchReport::CaptureMetrics(const MetricsRegistry& registry) {
+  metrics_json_ = registry.JsonSnapshot();
+  return *this;
+}
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream out;
+  const std::string name_kv =
+      JsonObjectBuilder().Add("name", name_).Add("git_sha", GitSha()).Build();
+  out << "{\n  \"schema_version\": 1,\n  "
+      << name_kv.substr(1, name_kv.size() - 2) << ",\n";
+  out << StrFormat("  \"created_unix\": %lld,\n",
+                   static_cast<long long>(created_unix_));
+  out << "  \"config\": {" << config_body_ << "},\n";
+  out << StrFormat("  \"wall_clock_seconds\": %.4f,\n", wall_clock_seconds_);
+  out << "  \"histograms\": {" << histograms_body_ << "},\n";
+  out << "  \"results\": [";
+  for (size_t i = 0; i < results_.size(); ++i)
+    out << (i == 0 ? "\n    " : ",\n    ") << results_[i];
+  out << (results_.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"profile\": "
+      << (profile_json_.empty() ? "{}" : profile_json_) << ",\n";
+  out << "  \"metrics\": " << (metrics_json_.empty() ? "{}" : metrics_json_)
+      << "\n}\n";
+  return out.str();
+}
+
+Status BenchReport::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr)
+    return Status::IoError("cannot open bench report file: " + path);
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size())
+    return Status::IoError("short write to bench report file: " + path);
+  return Status::OK();
+}
+
+Status BenchReport::WriteDefault() const {
+  return WriteFile(DefaultPath(name_));
+}
+
+std::string BenchReport::DefaultPath(const std::string& name) {
+  const char* dir = std::getenv("CASCN_BENCH_REPORT_DIR");
+  const std::string file = "BENCH_" + name + ".json";
+  if (dir == nullptr || dir[0] == '\0') return file;
+  std::string prefix(dir);
+  if (prefix.back() != '/') prefix += '/';
+  return prefix + file;
+}
+
+std::string BenchReport::GitSha() {
+#ifdef CASCN_GIT_SHA
+  if (std::string_view(CASCN_GIT_SHA) != "") return CASCN_GIT_SHA;
+#endif
+  const char* env = std::getenv("CASCN_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "unknown";
+}
+
+}  // namespace cascn::obs

@@ -1,0 +1,104 @@
+// BenchReport: the machine-readable benchmark report every bench binary
+// emits as BENCH_<name>.json, and the schema the CI bench-guard job diffs
+// against its checked-in baseline.
+//
+// Schema (version 1, documented in EXPERIMENTS.md):
+//
+//   {
+//     "schema_version": 1,
+//     "name": "micro_kernels",            // report/binary name
+//     "git_sha": "abc123...",             // baked in at configure time
+//     "created_unix": 1733500000,
+//     "config": {...},                    // flat knobs: scale, flags, host
+//     "wall_clock_seconds": 12.34,
+//     "histograms": {"latency_us": {count, mean, p50, p90, p95, p99, max}},
+//     "results": [{...}, ...],            // one flat object per measurement
+//     "profile": {"ops": [...], "memory": {...}},  // per-op breakdown
+//     "metrics": {...}                    // MetricsRegistry::JsonSnapshot
+//   }
+//
+//   obs::BenchReport report("micro_kernels");
+//   report.AddConfig("scale", 1.0);
+//   report.AddResult(obs::JsonObjectBuilder()
+//                        .Add("benchmark", "BM_DenseMatMul/64")
+//                        .Add("real_ns_per_iter", 123.4)
+//                        .Build());
+//   report.SetWallClockSeconds(12.3).CaptureProfile().WriteDefault();
+
+#ifndef CASCN_OBS_BENCH_REPORT_H_
+#define CASCN_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+
+namespace cascn::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Flat configuration knobs, emitted in insertion order.
+  BenchReport& AddConfig(std::string_view key, std::string_view value);
+  BenchReport& AddConfig(std::string_view key, const char* value) {
+    return AddConfig(key, std::string_view(value));
+  }
+  BenchReport& AddConfig(std::string_view key, double value);
+  BenchReport& AddConfig(std::string_view key, int64_t value);
+  BenchReport& AddConfig(std::string_view key, int value) {
+    return AddConfig(key, static_cast<int64_t>(value));
+  }
+  BenchReport& AddConfig(std::string_view key, uint64_t value) {
+    return AddConfig(key, static_cast<int64_t>(value));
+  }
+
+  BenchReport& SetWallClockSeconds(double seconds);
+
+  /// Latency percentiles (p50/p90/p95/p99 interpolated from the log2
+  /// buckets) plus count/mean/max under `histograms.<name>`.
+  BenchReport& AddHistogram(std::string_view name,
+                            const Histogram::Snapshot& snapshot);
+
+  /// Appends one measurement to `results`. `json_object` must be a complete
+  /// JSON object (use JsonObjectBuilder).
+  BenchReport& AddResult(std::string json_object);
+
+  /// Embeds the global Profiler snapshot (per-op breakdown + memory).
+  BenchReport& CaptureProfile();
+
+  /// Embeds `registry`'s JSON snapshot under `metrics`.
+  BenchReport& CaptureMetrics(const MetricsRegistry& registry);
+
+  const std::string& name() const { return name_; }
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+  /// Writes to DefaultPath(name()).
+  Status WriteDefault() const;
+
+  /// "BENCH_<name>.json", under $CASCN_BENCH_REPORT_DIR when set, else the
+  /// working directory.
+  static std::string DefaultPath(const std::string& name);
+
+  /// Git revision baked in at configure time; falls back to the
+  /// CASCN_GIT_SHA environment variable, then "unknown".
+  static std::string GitSha();
+
+ private:
+  std::string name_;
+  int64_t created_unix_ = 0;
+  double wall_clock_seconds_ = 0.0;
+  std::string config_body_;      // "k": v, ... (insertion-ordered)
+  std::string histograms_body_;  // "name": {...}, ...
+  std::vector<std::string> results_;
+  std::string profile_json_;     // empty until CaptureProfile()
+  std::string metrics_json_;     // empty until CaptureMetrics()
+};
+
+}  // namespace cascn::obs
+
+#endif  // CASCN_OBS_BENCH_REPORT_H_

@@ -1,5 +1,6 @@
 #include "obs/metrics_registry.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.h"
@@ -41,13 +42,37 @@ double Histogram::Snapshot::PercentileUpperBound(double q) const {
   return static_cast<double>(uint64_t{1} << buckets.size());
 }
 
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Bucket i covers [2^i, 2^{i+1}), except bucket 0 which also absorbs 0
+    // and the last bucket which is open-ended; interpolate linearly inside
+    // it, treating the observed max as the top edge of the last bucket.
+    const double lower = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << i);
+    double upper = static_cast<double>(uint64_t{1} << (i + 1));
+    if (i + 1 == buckets.size())
+      upper = std::max(lower, static_cast<double>(max));
+    const double frac =
+        (target - before) / static_cast<double>(buckets[i]);
+    const double estimate = lower + frac * (upper - lower);
+    return std::min(estimate, static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
 std::string Histogram::Snapshot::ToJson() const {
   return StrFormat(
-      "{\"count\": %llu, \"mean\": %.3f, \"p50\": %.0f, \"p90\": %.0f, "
-      "\"p99\": %.0f, \"max\": %llu}",
-      static_cast<unsigned long long>(count), mean,
-      PercentileUpperBound(0.50), PercentileUpperBound(0.90),
-      PercentileUpperBound(0.99), static_cast<unsigned long long>(max));
+      "{\"count\": %llu, \"mean\": %.3f, \"p50\": %.1f, \"p90\": %.1f, "
+      "\"p95\": %.1f, \"p99\": %.1f, \"max\": %llu}",
+      static_cast<unsigned long long>(count), mean, Percentile(0.50),
+      Percentile(0.90), Percentile(0.95), Percentile(0.99),
+      static_cast<unsigned long long>(max));
 }
 
 Histogram::Snapshot Histogram::TakeSnapshot() const {
@@ -104,11 +129,11 @@ std::string MetricsRegistry::TextSnapshot() const {
     const Histogram::Snapshot snap = histogram->TakeSnapshot();
     out << name
         << StrFormat(
-               ": n=%llu mean=%.1f p50<=%.0f p90<=%.0f p99<=%.0f max=%llu\n",
+               ": n=%llu mean=%.1f p50~%.0f p90~%.0f p95~%.0f p99~%.0f "
+               "max=%llu\n",
                static_cast<unsigned long long>(snap.count), snap.mean,
-               snap.PercentileUpperBound(0.50),
-               snap.PercentileUpperBound(0.90),
-               snap.PercentileUpperBound(0.99),
+               snap.Percentile(0.50), snap.Percentile(0.90),
+               snap.Percentile(0.95), snap.Percentile(0.99),
                static_cast<unsigned long long>(snap.max));
   }
   return out.str();

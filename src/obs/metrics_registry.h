@@ -77,9 +77,14 @@ class Histogram {
     double mean = 0.0;
 
     /// Upper edge of the bucket containing quantile `q` in [0, 1]; 0 when
-    /// the histogram is empty.
+    /// the histogram is empty. Coarse but monotone; prefer Percentile().
     double PercentileUpperBound(double q) const;
-    /// One JSON object (count/mean/p50/p90/p99/max).
+    /// Quantile estimate for `q` in [0, 1]: linearly interpolated within
+    /// the containing log2 bucket, clamped to the observed max. 0 when the
+    /// histogram is empty.
+    double Percentile(double q) const;
+    /// One JSON object (count/mean/p50/p90/p95/p99/max), interpolated
+    /// percentiles.
     std::string ToJson() const;
   };
 

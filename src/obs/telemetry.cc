@@ -116,4 +116,9 @@ void FileTelemetrySink::Emit(const std::string& json_object) {
   std::fflush(file_);
 }
 
+void FileTelemetrySink::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fflush(file_);
+}
+
 }  // namespace cascn::obs

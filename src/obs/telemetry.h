@@ -57,6 +57,9 @@ class TelemetrySink {
   /// `json_object` is a complete single-line JSON object (no trailing
   /// newline); the sink supplies record framing.
   virtual void Emit(const std::string& json_object) = 0;
+  /// Forces buffered records to their destination (obs::ShutdownDump calls
+  /// this on exit). Default: no-op for sinks that are always durable.
+  virtual void Flush() {}
 };
 
 /// Collects records in memory — tests and in-process consumers.
@@ -79,6 +82,7 @@ class FileTelemetrySink : public TelemetrySink {
   ~FileTelemetrySink() override;
 
   void Emit(const std::string& json_object) override;
+  void Flush() override;
 
  private:
   explicit FileTelemetrySink(std::FILE* file) : file_(file) {}

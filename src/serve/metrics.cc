@@ -46,9 +46,10 @@ ServeMetrics::Snapshot ServeMetrics::TakeSnapshot() const {
   snap.latency_count = latency.count;
   snap.latency_max_us = latency.max;
   snap.latency_mean_us = latency.mean;
-  snap.latency_p50_us = latency.PercentileUpperBound(0.50);
-  snap.latency_p90_us = latency.PercentileUpperBound(0.90);
-  snap.latency_p99_us = latency.PercentileUpperBound(0.99);
+  snap.latency_p50_us = latency.Percentile(0.50);
+  snap.latency_p90_us = latency.Percentile(0.90);
+  snap.latency_p95_us = latency.Percentile(0.95);
+  snap.latency_p99_us = latency.Percentile(0.99);
   return snap;
 }
 
@@ -59,10 +60,10 @@ std::string ServeMetrics::Snapshot::ToString() const {
     out << "  " << CounterName(static_cast<Counter>(i)) << " = "
         << counters[i] << "\n";
   out << StrFormat(
-      "  latency: n=%llu mean=%.1fus p50<=%.0fus p90<=%.0fus p99<=%.0fus "
-      "max=%lluus\n",
+      "  latency: n=%llu mean=%.1fus p50~%.0fus p90~%.0fus p95~%.0fus "
+      "p99~%.0fus max=%lluus\n",
       static_cast<unsigned long long>(latency_count), latency_mean_us,
-      latency_p50_us, latency_p90_us, latency_p99_us,
+      latency_p50_us, latency_p90_us, latency_p95_us, latency_p99_us,
       static_cast<unsigned long long>(latency_max_us));
   return out.str();
 }
@@ -75,10 +76,11 @@ std::string ServeMetrics::Snapshot::ToJson() const {
         << ", ";
   out << StrFormat(
       "\"latency_count\": %llu, \"latency_mean_us\": %.1f, "
-      "\"latency_p50_us\": %.0f, \"latency_p90_us\": %.0f, "
-      "\"latency_p99_us\": %.0f, \"latency_max_us\": %llu}",
+      "\"latency_p50_us\": %.1f, \"latency_p90_us\": %.1f, "
+      "\"latency_p95_us\": %.1f, \"latency_p99_us\": %.1f, "
+      "\"latency_max_us\": %llu}",
       static_cast<unsigned long long>(latency_count), latency_mean_us,
-      latency_p50_us, latency_p90_us, latency_p99_us,
+      latency_p50_us, latency_p90_us, latency_p95_us, latency_p99_us,
       static_cast<unsigned long long>(latency_max_us));
   return out.str();
 }
@@ -94,6 +96,7 @@ void ExportToRegistry(const ServeMetrics::Snapshot& snapshot,
       .Set(static_cast<double>(snapshot.latency_count));
   registry.GetGauge("serve_latency_mean_us").Set(snapshot.latency_mean_us);
   registry.GetGauge("serve_latency_p50_us").Set(snapshot.latency_p50_us);
+  registry.GetGauge("serve_latency_p95_us").Set(snapshot.latency_p95_us);
   registry.GetGauge("serve_latency_p99_us").Set(snapshot.latency_p99_us);
   registry.GetGauge("serve_latency_max_us")
       .Set(static_cast<double>(snapshot.latency_max_us));

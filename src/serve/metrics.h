@@ -55,7 +55,9 @@ class ServeMetrics {
   /// last bucket absorbs everything above ~4 s.
   void RecordLatencyMicros(uint64_t us) { latency_.Record(us); }
 
-  /// Point-in-time copy of every counter plus histogram percentiles.
+  /// Point-in-time copy of every counter plus histogram percentiles
+  /// (obs::Histogram::Snapshot::Percentile estimates — interpolated within
+  /// the log2 buckets, clamped to the observed max).
   struct Snapshot {
     std::array<uint64_t, static_cast<int>(Counter::kNumCounters)> counters{};
     std::array<uint64_t, kNumLatencyBuckets> latency_buckets{};
@@ -64,6 +66,7 @@ class ServeMetrics {
     double latency_mean_us = 0.0;
     double latency_p50_us = 0.0;
     double latency_p90_us = 0.0;
+    double latency_p95_us = 0.0;
     double latency_p99_us = 0.0;
 
     uint64_t counter(Counter c) const {
@@ -85,8 +88,8 @@ class ServeMetrics {
 };
 
 /// Bridges a serve snapshot into `registry` as gauges named
-/// `serve_<counter>` plus `serve_latency_{count,mean_us,p50_us,p99_us,
-/// max_us}`. Gauges (not registry counters) because a snapshot is a
+/// `serve_<counter>` plus `serve_latency_{count,mean_us,p50_us,p95_us,
+/// p99_us,max_us}`. Gauges (not registry counters) because a snapshot is a
 /// point-in-time copy, re-exported wholesale on every bridge call.
 void ExportToRegistry(const ServeMetrics::Snapshot& snapshot,
                       obs::MetricsRegistry& registry);

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "obs/profiler.h"
 #include "tensor/tensor.h"
 
 namespace cascn {
@@ -42,9 +43,9 @@ class CsrMatrix {
   int cols() const { return cols_; }
   int nnz() const { return static_cast<int>(values_.size()); }
 
-  const std::vector<int>& row_offsets() const { return row_offsets_; }
-  const std::vector<int>& col_indices() const { return col_indices_; }
-  const std::vector<double>& values() const { return values_; }
+  const obs::TrackedVector<int>& row_offsets() const { return row_offsets_; }
+  const obs::TrackedVector<int>& col_indices() const { return col_indices_; }
+  const obs::TrackedVector<double>& values() const { return values_; }
 
   /// Dense copy.
   Tensor ToDense() const;
@@ -72,9 +73,10 @@ class CsrMatrix {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<int> row_offsets_;  // size rows_ + 1
-  std::vector<int> col_indices_;  // size nnz
-  std::vector<double> values_;    // size nnz
+  // Tracked so the profiler can account live/peak operator bytes.
+  obs::TrackedVector<int> row_offsets_;  // size rows_ + 1
+  obs::TrackedVector<int> col_indices_;  // size nnz
+  obs::TrackedVector<double> values_;    // size nnz
 };
 
 }  // namespace cascn

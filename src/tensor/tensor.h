@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/profiler.h"
 
 namespace cascn {
 
@@ -104,7 +105,8 @@ class Tensor {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<double> data_;
+  // Tracked so the profiler can account live/peak tensor bytes.
+  obs::TrackedVector<double> data_;
 };
 
 /// C = A * B. Pre: A.cols == B.rows.

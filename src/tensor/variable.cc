@@ -1,5 +1,6 @@
 #include "tensor/variable.h"
 
+#include <chrono>
 #include <cmath>
 #include <unordered_set>
 
@@ -40,6 +41,45 @@ std::shared_ptr<Node> MakeOpNode(Tensor value,
 const std::shared_ptr<Node>& CheckedNode(const Variable& v) {
   CASCN_CHECK(v.defined()) << "operation on a null Variable";
   return v.node();
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Scopes one op construction for the profiler: started before the forward
+/// compute, finished via Done() with work estimates. Tags the node with its
+/// op kind unconditionally (an int store) so Backward() can attribute the
+/// closure even when profiling is switched on later; timing and FLOP
+/// accumulation only happen while the profiler is active.
+struct OpProfile {
+  explicit OpProfile(obs::OpKind kind)
+      : kind(kind), active(obs::Profiler::Get().enabled()) {
+    if (active) start_ns = NowNs();
+  }
+
+  Variable Done(std::shared_ptr<Node> node, uint64_t forward_flops,
+                uint64_t backward_flops) const {
+    node->op = kind;
+    if (active) {
+      node->profile_backward_flops = backward_flops;
+      obs::Profiler::Get().RecordForward(
+          kind, NowNs() - start_ns, forward_flops,
+          static_cast<uint64_t>(node->value.size()) * sizeof(double));
+    }
+    return Variable::FromNode(std::move(node));
+  }
+
+  obs::OpKind kind;
+  bool active;
+  uint64_t start_ns = 0;
+};
+
+uint64_t Elems(const std::shared_ptr<Node>& n) {
+  return static_cast<uint64_t>(n->value.size());
 }
 
 }  // namespace
@@ -115,9 +155,18 @@ void Variable::Backward() const {
   Tensor seed(1, 1);
   seed.At(0, 0) = 1.0;
   node_->AccumGrad(seed);
+  const bool profiling = obs::Profiler::Get().enabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
-    if (node->backward && !node->grad.empty()) node->backward(*node);
+    if (!node->backward || node->grad.empty()) continue;
+    if (profiling) {
+      const uint64_t start_ns = NowNs();
+      node->backward(*node);
+      obs::Profiler::Get().RecordBackward(node->op, NowNs() - start_ns,
+                                          node->profile_backward_flops);
+    } else {
+      node->backward(*node);
+    }
   }
 }
 
@@ -127,41 +176,56 @@ Variable Add(const Variable& a, const Variable& b) {
   const auto& an = CheckedNode(a);
   const auto& bn = CheckedNode(b);
   CASCN_CHECK(an->value.SameShape(bn->value)) << "Add shape mismatch";
-  return Variable::FromNode(MakeOpNode(
-      cascn::Add(an->value, bn->value), {an, bn}, [](Node& self) {
-        if (self.parents[0]->needs_grad) self.parents[0]->AccumGrad(self.grad);
-        if (self.parents[1]->needs_grad) self.parents[1]->AccumGrad(self.grad);
-      }));
+  OpProfile prof(obs::OpKind::kAdd);
+  const uint64_t n = Elems(an);
+  return prof.Done(
+      MakeOpNode(cascn::Add(an->value, bn->value), {an, bn},
+                 [](Node& self) {
+                   if (self.parents[0]->needs_grad)
+                     self.parents[0]->AccumGrad(self.grad);
+                   if (self.parents[1]->needs_grad)
+                     self.parents[1]->AccumGrad(self.grad);
+                 }),
+      n, 2 * n);
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   const auto& an = CheckedNode(a);
   const auto& bn = CheckedNode(b);
   CASCN_CHECK(an->value.SameShape(bn->value)) << "Sub shape mismatch";
-  return Variable::FromNode(MakeOpNode(
-      cascn::Sub(an->value, bn->value), {an, bn}, [](Node& self) {
-        if (self.parents[0]->needs_grad) self.parents[0]->AccumGrad(self.grad);
-        if (self.parents[1]->needs_grad) {
-          Tensor neg = self.grad;
-          neg.Scale(-1.0);
-          self.parents[1]->AccumGrad(neg);
-        }
-      }));
+  OpProfile prof(obs::OpKind::kSub);
+  const uint64_t n = Elems(an);
+  return prof.Done(
+      MakeOpNode(cascn::Sub(an->value, bn->value), {an, bn},
+                 [](Node& self) {
+                   if (self.parents[0]->needs_grad)
+                     self.parents[0]->AccumGrad(self.grad);
+                   if (self.parents[1]->needs_grad) {
+                     Tensor neg = self.grad;
+                     neg.Scale(-1.0);
+                     self.parents[1]->AccumGrad(neg);
+                   }
+                 }),
+      n, 2 * n);
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   const auto& an = CheckedNode(a);
   const auto& bn = CheckedNode(b);
   CASCN_CHECK(an->value.SameShape(bn->value)) << "Mul shape mismatch";
-  return Variable::FromNode(MakeOpNode(
-      cascn::Mul(an->value, bn->value), {an, bn}, [](Node& self) {
-        if (self.parents[0]->needs_grad)
-          self.parents[0]->AccumGrad(
-              cascn::Mul(self.grad, self.parents[1]->value));
-        if (self.parents[1]->needs_grad)
-          self.parents[1]->AccumGrad(
-              cascn::Mul(self.grad, self.parents[0]->value));
-      }));
+  OpProfile prof(obs::OpKind::kMul);
+  const uint64_t n = Elems(an);
+  return prof.Done(
+      MakeOpNode(cascn::Mul(an->value, bn->value), {an, bn},
+                 [](Node& self) {
+                   if (self.parents[0]->needs_grad)
+                     self.parents[0]->AccumGrad(
+                         cascn::Mul(self.grad, self.parents[1]->value));
+                   if (self.parents[1]->needs_grad)
+                     self.parents[1]->AccumGrad(
+                         cascn::Mul(self.grad, self.parents[0]->value));
+                 }),
+      n, 2 * n);
 }
 
 Variable AddRowBroadcast(const Variable& a, const Variable& b) {
@@ -169,37 +233,49 @@ Variable AddRowBroadcast(const Variable& a, const Variable& b) {
   const auto& bn = CheckedNode(b);
   CASCN_CHECK(bn->value.rows() == 1 && bn->value.cols() == an->value.cols())
       << "AddRowBroadcast expects b to be 1 x a.cols";
+  OpProfile prof(obs::OpKind::kAddRowBroadcast);
+  const uint64_t n = Elems(an);
   Tensor out = an->value;
   for (int i = 0; i < out.rows(); ++i)
     for (int j = 0; j < out.cols(); ++j) out.At(i, j) += bn->value.At(0, j);
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), {an, bn}, [](Node& self) {
-        if (self.parents[0]->needs_grad) self.parents[0]->AccumGrad(self.grad);
-        if (self.parents[1]->needs_grad)
-          self.parents[1]->AccumGrad(self.grad.ColSums());
-      }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an, bn},
+                 [](Node& self) {
+                   if (self.parents[0]->needs_grad)
+                     self.parents[0]->AccumGrad(self.grad);
+                   if (self.parents[1]->needs_grad)
+                     self.parents[1]->AccumGrad(self.grad.ColSums());
+                 }),
+      n, 2 * n);
 }
 
 Variable ScalarMul(const Variable& a, double alpha) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kScalarMul);
+  const uint64_t n = Elems(an);
   Tensor out = an->value;
   out.Scale(alpha);
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), {an}, [alpha](Node& self) {
-        Tensor g = self.grad;
-        g.Scale(alpha);
-        self.parents[0]->AccumGrad(g);
-      }));
+  return prof.Done(MakeOpNode(std::move(out), {an},
+                              [alpha](Node& self) {
+                                Tensor g = self.grad;
+                                g.Scale(alpha);
+                                self.parents[0]->AccumGrad(g);
+                              }),
+                   n, n);
 }
 
 Variable AddScalar(const Variable& a, double alpha) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kAddScalar);
+  const uint64_t n = Elems(an);
   Tensor out = an->value;
   for (int i = 0; i < out.rows(); ++i)
     for (int j = 0; j < out.cols(); ++j) out.At(i, j) += alpha;
-  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
-    self.parents[0]->AccumGrad(self.grad);
-  }));
+  return prof.Done(MakeOpNode(std::move(out), {an},
+                              [](Node& self) {
+                                self.parents[0]->AccumGrad(self.grad);
+                              }),
+                   n, n);
 }
 
 Variable ScaleByScalar(const Variable& a, const Variable& s) {
@@ -207,22 +283,27 @@ Variable ScaleByScalar(const Variable& a, const Variable& s) {
   const auto& sn = CheckedNode(s);
   CASCN_CHECK(sn->value.rows() == 1 && sn->value.cols() == 1)
       << "ScaleByScalar expects a 1x1 scale";
+  OpProfile prof(obs::OpKind::kScaleByScalar);
+  const uint64_t n = Elems(an);
   Tensor out = an->value;
   out.Scale(sn->value.At(0, 0));
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), {an, sn}, [](Node& self) {
-        const double sv = self.parents[1]->value.At(0, 0);
-        if (self.parents[0]->needs_grad) {
-          Tensor g = self.grad;
-          g.Scale(sv);
-          self.parents[0]->AccumGrad(g);
-        }
-        if (self.parents[1]->needs_grad) {
-          Tensor gs(1, 1);
-          gs.At(0, 0) = cascn::Mul(self.grad, self.parents[0]->value).Sum();
-          self.parents[1]->AccumGrad(gs);
-        }
-      }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an, sn},
+                 [](Node& self) {
+                   const double sv = self.parents[1]->value.At(0, 0);
+                   if (self.parents[0]->needs_grad) {
+                     Tensor g = self.grad;
+                     g.Scale(sv);
+                     self.parents[0]->AccumGrad(g);
+                   }
+                   if (self.parents[1]->needs_grad) {
+                     Tensor gs(1, 1);
+                     gs.At(0, 0) =
+                         cascn::Mul(self.grad, self.parents[0]->value).Sum();
+                     self.parents[1]->AccumGrad(gs);
+                   }
+                 }),
+      n, 2 * n);
 }
 
 // ---- Matrix products -------------------------------------------------------
@@ -231,109 +312,150 @@ Variable MatMul(const Variable& a, const Variable& b) {
   const auto& an = CheckedNode(a);
   const auto& bn = CheckedNode(b);
   CASCN_CHECK(an->value.cols() == bn->value.rows()) << "MatMul shape mismatch";
-  return Variable::FromNode(MakeOpNode(
-      cascn::MatMul(an->value, bn->value), {an, bn}, [](Node& self) {
-        // dL/dA = G B^T ; dL/dB = A^T G
-        if (self.parents[0]->needs_grad)
-          self.parents[0]->AccumGrad(
-              MatMulTransposeB(self.grad, self.parents[1]->value));
-        if (self.parents[1]->needs_grad)
-          self.parents[1]->AccumGrad(
-              MatMulTransposeA(self.parents[0]->value, self.grad));
-      }));
+  OpProfile prof(obs::OpKind::kMatMul);
+  const uint64_t m = static_cast<uint64_t>(an->value.rows());
+  const uint64_t k = static_cast<uint64_t>(an->value.cols());
+  const uint64_t n = static_cast<uint64_t>(bn->value.cols());
+  return prof.Done(
+      MakeOpNode(cascn::MatMul(an->value, bn->value), {an, bn},
+                 [](Node& self) {
+                   // dL/dA = G B^T ; dL/dB = A^T G
+                   if (self.parents[0]->needs_grad)
+                     self.parents[0]->AccumGrad(
+                         MatMulTransposeB(self.grad, self.parents[1]->value));
+                   if (self.parents[1]->needs_grad)
+                     self.parents[1]->AccumGrad(
+                         MatMulTransposeA(self.parents[0]->value, self.grad));
+                 }),
+      2 * m * k * n, 4 * m * k * n);
 }
 
 Variable SparseMatMul(const CsrMatrix& op, const Variable& x) {
   const auto& xn = CheckedNode(x);
   CASCN_CHECK(op.cols() == xn->value.rows()) << "SparseMatMul shape mismatch";
+  OpProfile prof(obs::OpKind::kSparseMatMul);
+  const uint64_t work = 2 * static_cast<uint64_t>(op.nnz()) *
+                        static_cast<uint64_t>(xn->value.cols());
   // The sparse operator is captured by value; cascade operators are small.
-  return Variable::FromNode(
-      MakeOpNode(op.MatMulDense(xn->value), {xn}, [op](Node& self) {
-        // dL/dX = Op^T G
-        self.parents[0]->AccumGrad(op.TransposeMatMulDense(self.grad));
-      }));
+  return prof.Done(
+      MakeOpNode(op.MatMulDense(xn->value), {xn},
+                 [op](Node& self) {
+                   // dL/dX = Op^T G
+                   self.parents[0]->AccumGrad(
+                       op.TransposeMatMulDense(self.grad));
+                 }),
+      work, work);
 }
 
 // ---- Nonlinearities --------------------------------------------------------
 
 Variable Sigmoid(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kSigmoid);
+  const uint64_t n = Elems(an);
   Tensor out = an->value.Map([](double x) {
     return x >= 0 ? 1.0 / (1.0 + std::exp(-x))
                   : std::exp(x) / (1.0 + std::exp(x));
   });
-  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
-    Tensor g(self.value.rows(), self.value.cols());
-    for (int i = 0; i < g.rows(); ++i)
-      for (int j = 0; j < g.cols(); ++j) {
-        const double y = self.value.At(i, j);
-        g.At(i, j) = self.grad.At(i, j) * y * (1.0 - y);
-      }
-    self.parents[0]->AccumGrad(g);
-  }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [](Node& self) {
+                   Tensor g(self.value.rows(), self.value.cols());
+                   for (int i = 0; i < g.rows(); ++i)
+                     for (int j = 0; j < g.cols(); ++j) {
+                       const double y = self.value.At(i, j);
+                       g.At(i, j) = self.grad.At(i, j) * y * (1.0 - y);
+                     }
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      4 * n, 3 * n);
 }
 
 Variable Tanh(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kTanh);
+  const uint64_t n = Elems(an);
   Tensor out = an->value.Map([](double x) { return std::tanh(x); });
-  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
-    Tensor g(self.value.rows(), self.value.cols());
-    for (int i = 0; i < g.rows(); ++i)
-      for (int j = 0; j < g.cols(); ++j) {
-        const double y = self.value.At(i, j);
-        g.At(i, j) = self.grad.At(i, j) * (1.0 - y * y);
-      }
-    self.parents[0]->AccumGrad(g);
-  }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [](Node& self) {
+                   Tensor g(self.value.rows(), self.value.cols());
+                   for (int i = 0; i < g.rows(); ++i)
+                     for (int j = 0; j < g.cols(); ++j) {
+                       const double y = self.value.At(i, j);
+                       g.At(i, j) = self.grad.At(i, j) * (1.0 - y * y);
+                     }
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      4 * n, 3 * n);
 }
 
 Variable Relu(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kRelu);
+  const uint64_t n = Elems(an);
   Tensor out = an->value.Map([](double x) { return x > 0 ? x : 0.0; });
-  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
-    Tensor g(self.value.rows(), self.value.cols());
-    for (int i = 0; i < g.rows(); ++i)
-      for (int j = 0; j < g.cols(); ++j)
-        g.At(i, j) = self.value.At(i, j) > 0 ? self.grad.At(i, j) : 0.0;
-    self.parents[0]->AccumGrad(g);
-  }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [](Node& self) {
+                   Tensor g(self.value.rows(), self.value.cols());
+                   for (int i = 0; i < g.rows(); ++i)
+                     for (int j = 0; j < g.cols(); ++j)
+                       g.At(i, j) =
+                           self.value.At(i, j) > 0 ? self.grad.At(i, j) : 0.0;
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      n, n);
 }
 
 Variable Square(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kSquare);
+  const uint64_t n = Elems(an);
   Tensor out = an->value.Map([](double x) { return x * x; });
-  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
-    Tensor g(self.value.rows(), self.value.cols());
-    const Tensor& x = self.parents[0]->value;
-    for (int i = 0; i < g.rows(); ++i)
-      for (int j = 0; j < g.cols(); ++j)
-        g.At(i, j) = self.grad.At(i, j) * 2.0 * x.At(i, j);
-    self.parents[0]->AccumGrad(g);
-  }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [](Node& self) {
+                   Tensor g(self.value.rows(), self.value.cols());
+                   const Tensor& x = self.parents[0]->value;
+                   for (int i = 0; i < g.rows(); ++i)
+                     for (int j = 0; j < g.cols(); ++j)
+                       g.At(i, j) = self.grad.At(i, j) * 2.0 * x.At(i, j);
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      n, 2 * n);
 }
 
 Variable Softplus(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kSoftplus);
+  const uint64_t n = Elems(an);
   Tensor out = an->value.Map([](double x) {
     // log(1 + e^x) without overflow: x + log1p(e^-x) for large x.
     return x > 20 ? x : std::log1p(std::exp(x));
   });
-  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
-    Tensor g(self.value.rows(), self.value.cols());
-    const Tensor& x = self.parents[0]->value;
-    for (int i = 0; i < g.rows(); ++i)
-      for (int j = 0; j < g.cols(); ++j) {
-        const double xv = x.At(i, j);
-        const double sig = xv >= 0 ? 1.0 / (1.0 + std::exp(-xv))
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [](Node& self) {
+                   Tensor g(self.value.rows(), self.value.cols());
+                   const Tensor& x = self.parents[0]->value;
+                   for (int i = 0; i < g.rows(); ++i)
+                     for (int j = 0; j < g.cols(); ++j) {
+                       const double xv = x.At(i, j);
+                       const double sig =
+                           xv >= 0 ? 1.0 / (1.0 + std::exp(-xv))
                                    : std::exp(xv) / (1.0 + std::exp(xv));
-        g.At(i, j) = self.grad.At(i, j) * sig;
-      }
-    self.parents[0]->AccumGrad(g);
-  }));
+                       g.At(i, j) = self.grad.At(i, j) * sig;
+                     }
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      4 * n, 4 * n);
 }
 
 Variable SoftmaxRows(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kSoftmaxRows);
+  const uint64_t n = Elems(an);
   Tensor out(an->value.rows(), an->value.cols());
   for (int i = 0; i < out.rows(); ++i) {
     double mx = -1e300;
@@ -346,74 +468,96 @@ Variable SoftmaxRows(const Variable& a) {
     }
     for (int j = 0; j < out.cols(); ++j) out.At(i, j) /= denom;
   }
-  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
-    // Per row: dL/dx_j = y_j (g_j - sum_k g_k y_k)
-    Tensor g(self.value.rows(), self.value.cols());
-    for (int i = 0; i < g.rows(); ++i) {
-      double dot = 0;
-      for (int j = 0; j < g.cols(); ++j)
-        dot += self.grad.At(i, j) * self.value.At(i, j);
-      for (int j = 0; j < g.cols(); ++j)
-        g.At(i, j) = self.value.At(i, j) * (self.grad.At(i, j) - dot);
-    }
-    self.parents[0]->AccumGrad(g);
-  }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [](Node& self) {
+                   // Per row: dL/dx_j = y_j (g_j - sum_k g_k y_k)
+                   Tensor g(self.value.rows(), self.value.cols());
+                   for (int i = 0; i < g.rows(); ++i) {
+                     double dot = 0;
+                     for (int j = 0; j < g.cols(); ++j)
+                       dot += self.grad.At(i, j) * self.value.At(i, j);
+                     for (int j = 0; j < g.cols(); ++j)
+                       g.At(i, j) =
+                           self.value.At(i, j) * (self.grad.At(i, j) - dot);
+                   }
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      5 * n, 3 * n);
 }
 
 // ---- Reductions and reshaping ---------------------------------------------
 
 Variable Sum(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kSum);
+  const uint64_t n = Elems(an);
   Tensor out(1, 1);
   out.At(0, 0) = an->value.Sum();
-  return Variable::FromNode(MakeOpNode(std::move(out), {an}, [](Node& self) {
-    const double g = self.grad.At(0, 0);
-    Tensor full(self.parents[0]->value.rows(), self.parents[0]->value.cols(),
-                g);
-    self.parents[0]->AccumGrad(full);
-  }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [](Node& self) {
+                   const double g = self.grad.At(0, 0);
+                   Tensor full(self.parents[0]->value.rows(),
+                               self.parents[0]->value.cols(), g);
+                   self.parents[0]->AccumGrad(full);
+                 }),
+      n, n);
 }
 
 Variable Mean(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kMean);
+  const uint64_t n = Elems(an);
   const double inv = 1.0 / std::max(1, an->value.size());
   Tensor out(1, 1);
   out.At(0, 0) = an->value.Sum() * inv;
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), {an}, [inv](Node& self) {
-        const double g = self.grad.At(0, 0) * inv;
-        Tensor full(self.parents[0]->value.rows(),
-                    self.parents[0]->value.cols(), g);
-        self.parents[0]->AccumGrad(full);
-      }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [inv](Node& self) {
+                   const double g = self.grad.At(0, 0) * inv;
+                   Tensor full(self.parents[0]->value.rows(),
+                               self.parents[0]->value.cols(), g);
+                   self.parents[0]->AccumGrad(full);
+                 }),
+      n, n);
 }
 
 Variable SumRows(const Variable& a) {
   const auto& an = CheckedNode(a);
-  return Variable::FromNode(
-      MakeOpNode(an->value.ColSums(), {an}, [](Node& self) {
-        Tensor g(self.parents[0]->value.rows(),
-                 self.parents[0]->value.cols());
-        for (int i = 0; i < g.rows(); ++i)
-          for (int j = 0; j < g.cols(); ++j) g.At(i, j) = self.grad.At(0, j);
-        self.parents[0]->AccumGrad(g);
-      }));
+  OpProfile prof(obs::OpKind::kSumRows);
+  const uint64_t n = Elems(an);
+  return prof.Done(
+      MakeOpNode(an->value.ColSums(), {an},
+                 [](Node& self) {
+                   Tensor g(self.parents[0]->value.rows(),
+                            self.parents[0]->value.cols());
+                   for (int i = 0; i < g.rows(); ++i)
+                     for (int j = 0; j < g.cols(); ++j)
+                       g.At(i, j) = self.grad.At(0, j);
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      n, n);
 }
 
 Variable MeanRows(const Variable& a) {
   const auto& an = CheckedNode(a);
+  OpProfile prof(obs::OpKind::kMeanRows);
+  const uint64_t n = Elems(an);
   const double inv = 1.0 / std::max(1, an->value.rows());
   Tensor out = an->value.ColSums();
   out.Scale(inv);
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), {an}, [inv](Node& self) {
-        Tensor g(self.parents[0]->value.rows(),
-                 self.parents[0]->value.cols());
-        for (int i = 0; i < g.rows(); ++i)
-          for (int j = 0; j < g.cols(); ++j)
-            g.At(i, j) = self.grad.At(0, j) * inv;
-        self.parents[0]->AccumGrad(g);
-      }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [inv](Node& self) {
+                   Tensor g(self.parents[0]->value.rows(),
+                            self.parents[0]->value.cols());
+                   for (int i = 0; i < g.rows(); ++i)
+                     for (int j = 0; j < g.cols(); ++j)
+                       g.At(i, j) = self.grad.At(0, j) * inv;
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      n, n);
 }
 
 Variable ConcatCols(const Variable& a, const Variable& b) {
@@ -421,31 +565,37 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   const auto& bn = CheckedNode(b);
   CASCN_CHECK(an->value.rows() == bn->value.rows())
       << "ConcatCols row mismatch";
+  OpProfile prof(obs::OpKind::kConcatCols);
   const int ca = an->value.cols(), cb = bn->value.cols();
   Tensor out(an->value.rows(), ca + cb);
   for (int i = 0; i < out.rows(); ++i) {
     for (int j = 0; j < ca; ++j) out.At(i, j) = an->value.At(i, j);
     for (int j = 0; j < cb; ++j) out.At(i, ca + j) = bn->value.At(i, j);
   }
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), {an, bn}, [ca, cb](Node& self) {
-        if (self.parents[0]->needs_grad) {
-          Tensor ga(self.grad.rows(), ca);
-          for (int i = 0; i < ga.rows(); ++i)
-            for (int j = 0; j < ca; ++j) ga.At(i, j) = self.grad.At(i, j);
-          self.parents[0]->AccumGrad(ga);
-        }
-        if (self.parents[1]->needs_grad) {
-          Tensor gb(self.grad.rows(), cb);
-          for (int i = 0; i < gb.rows(); ++i)
-            for (int j = 0; j < cb; ++j) gb.At(i, j) = self.grad.At(i, ca + j);
-          self.parents[1]->AccumGrad(gb);
-        }
-      }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an, bn},
+                 [ca, cb](Node& self) {
+                   if (self.parents[0]->needs_grad) {
+                     Tensor ga(self.grad.rows(), ca);
+                     for (int i = 0; i < ga.rows(); ++i)
+                       for (int j = 0; j < ca; ++j)
+                         ga.At(i, j) = self.grad.At(i, j);
+                     self.parents[0]->AccumGrad(ga);
+                   }
+                   if (self.parents[1]->needs_grad) {
+                     Tensor gb(self.grad.rows(), cb);
+                     for (int i = 0; i < gb.rows(); ++i)
+                       for (int j = 0; j < cb; ++j)
+                         gb.At(i, j) = self.grad.At(i, ca + j);
+                     self.parents[1]->AccumGrad(gb);
+                   }
+                 }),
+      0, 0);
 }
 
 Variable ConcatRows(const std::vector<Variable>& parts) {
   CASCN_CHECK(!parts.empty());
+  OpProfile prof(obs::OpKind::kConcatRows);
   std::vector<std::shared_ptr<internal::Node>> nodes;
   int total_rows = 0;
   const int cols = parts[0].cols();
@@ -460,44 +610,50 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
     for (int i = 0; i < n->value.rows(); ++i, ++r)
       for (int j = 0; j < cols; ++j) out.At(r, j) = n->value.At(i, j);
   }
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), std::move(nodes), [](Node& self) {
-        int r = 0;
-        for (auto& parent : self.parents) {
-          const int pr = parent->value.rows();
-          if (parent->needs_grad) {
-            Tensor g(pr, parent->value.cols());
-            for (int i = 0; i < pr; ++i)
-              for (int j = 0; j < g.cols(); ++j)
-                g.At(i, j) = self.grad.At(r + i, j);
-            parent->AccumGrad(g);
-          }
-          r += pr;
-        }
-      }));
+  return prof.Done(
+      MakeOpNode(std::move(out), std::move(nodes),
+                 [](Node& self) {
+                   int r = 0;
+                   for (auto& parent : self.parents) {
+                     const int pr = parent->value.rows();
+                     if (parent->needs_grad) {
+                       Tensor g(pr, parent->value.cols());
+                       for (int i = 0; i < pr; ++i)
+                         for (int j = 0; j < g.cols(); ++j)
+                           g.At(i, j) = self.grad.At(r + i, j);
+                       parent->AccumGrad(g);
+                     }
+                     r += pr;
+                   }
+                 }),
+      0, 0);
 }
 
 Variable SliceRows(const Variable& a, int start, int len) {
   const auto& an = CheckedNode(a);
   CASCN_CHECK(start >= 0 && len >= 0 && start + len <= an->value.rows())
       << "SliceRows out of range";
+  OpProfile prof(obs::OpKind::kSliceRows);
   Tensor out(len, an->value.cols());
   for (int i = 0; i < len; ++i)
     for (int j = 0; j < out.cols(); ++j)
       out.At(i, j) = an->value.At(start + i, j);
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), {an}, [start, len](Node& self) {
-        Tensor g(self.parents[0]->value.rows(),
-                 self.parents[0]->value.cols());
-        for (int i = 0; i < len; ++i)
-          for (int j = 0; j < g.cols(); ++j)
-            g.At(start + i, j) = self.grad.At(i, j);
-        self.parents[0]->AccumGrad(g);
-      }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {an},
+                 [start, len](Node& self) {
+                   Tensor g(self.parents[0]->value.rows(),
+                            self.parents[0]->value.cols());
+                   for (int i = 0; i < len; ++i)
+                     for (int j = 0; j < g.cols(); ++j)
+                       g.At(start + i, j) = self.grad.At(i, j);
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      0, 0);
 }
 
 Variable GatherRows(const Variable& table, const std::vector<int>& indices) {
   const auto& tn = CheckedNode(table);
+  OpProfile prof(obs::OpKind::kGatherRows);
   Tensor out(static_cast<int>(indices.size()), tn->value.cols());
   for (size_t i = 0; i < indices.size(); ++i) {
     CASCN_CHECK(indices[i] >= 0 && indices[i] < tn->value.rows())
@@ -505,23 +661,30 @@ Variable GatherRows(const Variable& table, const std::vector<int>& indices) {
     for (int j = 0; j < out.cols(); ++j)
       out.At(static_cast<int>(i), j) = tn->value.At(indices[i], j);
   }
-  return Variable::FromNode(
-      MakeOpNode(std::move(out), {tn}, [indices](Node& self) {
-        Tensor g(self.parents[0]->value.rows(),
-                 self.parents[0]->value.cols());
-        for (size_t i = 0; i < indices.size(); ++i)
-          for (int j = 0; j < g.cols(); ++j)
-            g.At(indices[i], j) += self.grad.At(static_cast<int>(i), j);
-        self.parents[0]->AccumGrad(g);
-      }));
+  return prof.Done(
+      MakeOpNode(std::move(out), {tn},
+                 [indices](Node& self) {
+                   Tensor g(self.parents[0]->value.rows(),
+                            self.parents[0]->value.cols());
+                   for (size_t i = 0; i < indices.size(); ++i)
+                     for (int j = 0; j < g.cols(); ++j)
+                       g.At(indices[i], j) +=
+                           self.grad.At(static_cast<int>(i), j);
+                   self.parents[0]->AccumGrad(g);
+                 }),
+      0, static_cast<uint64_t>(indices.size()) *
+             static_cast<uint64_t>(tn->value.cols()));
 }
 
 Variable Transpose(const Variable& a) {
   const auto& an = CheckedNode(a);
-  return Variable::FromNode(
-      MakeOpNode(an->value.Transposed(), {an}, [](Node& self) {
-        self.parents[0]->AccumGrad(self.grad.Transposed());
-      }));
+  OpProfile prof(obs::OpKind::kTranspose);
+  return prof.Done(
+      MakeOpNode(an->value.Transposed(), {an},
+                 [](Node& self) {
+                   self.parents[0]->AccumGrad(self.grad.Transposed());
+                 }),
+      0, 0);
 }
 
 }  // namespace cascn::ag

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "tensor/csr_matrix.h"
 #include "tensor/tensor.h"
 
@@ -35,6 +36,11 @@ struct Node {
   Tensor grad;  // allocated lazily on first accumulation
   bool requires_grad = false;
   bool needs_grad = false;  // requires_grad or any ancestor requires it
+  // The op that produced this node; Backward() attributes the backward
+  // closure's wall-clock to it when the profiler is active.
+  obs::OpKind op = obs::OpKind::kLeaf;
+  // Estimated backward FLOPs, set at construction while profiling.
+  uint64_t profile_backward_flops = 0;
   std::vector<std::shared_ptr<Node>> parents;
   // Propagates grad (already accumulated in `grad`) to parents.
   std::function<void(Node&)> backward;

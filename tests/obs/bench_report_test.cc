@@ -1,0 +1,115 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
+
+namespace cascn::obs {
+namespace {
+
+TEST(BenchReportTest, EmptyReportCarriesSchemaEnvelope) {
+  BenchReport report("empty");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"empty\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"created_unix\""), std::string::npos);
+  EXPECT_NE(json.find("\"results\": []"), std::string::npos);
+}
+
+TEST(BenchReportTest, ConfigPreservesInsertionOrderAndTypes) {
+  BenchReport report("cfg");
+  report.AddConfig("scale", 1.5)
+      .AddConfig("workers", 8)
+      .AddConfig("host", "ci-runner");
+  const std::string json = report.ToJson();
+  const size_t scale = json.find("\"scale\": 1.5");
+  const size_t workers = json.find("\"workers\": 8");
+  const size_t host = json.find("\"host\": \"ci-runner\"");
+  ASSERT_NE(scale, std::string::npos);
+  ASSERT_NE(workers, std::string::npos);
+  ASSERT_NE(host, std::string::npos);
+  EXPECT_LT(scale, workers);
+  EXPECT_LT(workers, host);
+}
+
+TEST(BenchReportTest, HistogramEmitsInterpolatedPercentiles) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  BenchReport report("hist");
+  report.AddHistogram("latency_us", histogram.TakeSnapshot());
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 1000"), std::string::npos);
+}
+
+TEST(BenchReportTest, ResultsAreEmbeddedVerbatim) {
+  BenchReport report("res");
+  report.AddResult(
+      JsonObjectBuilder().Add("benchmark", "BM_X/4").Add("ns", 12.5).Build());
+  report.AddResult(JsonObjectBuilder().Add("benchmark", "BM_Y/8").Build());
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("{\"benchmark\": \"BM_X/4\", \"ns\": 12.5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"benchmark\": \"BM_Y/8\"}"), std::string::npos);
+}
+
+TEST(BenchReportTest, CaptureMetricsEmbedsRegistrySnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("widgets_total").Increment(3);
+  BenchReport report("metrics");
+  report.CaptureMetrics(registry);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"widgets_total\""), std::string::npos);
+}
+
+TEST(BenchReportTest, CaptureProfileEmbedsOpsAndMemory) {
+  BenchReport report("prof");
+  report.CaptureProfile();
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"profile\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"memory\""), std::string::npos);
+}
+
+TEST(BenchReportTest, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/bench_report_test.json";
+  BenchReport report("roundtrip");
+  report.AddConfig("k", 2).SetWallClockSeconds(1.25);
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, WriteFileFailsOnBadPath) {
+  BenchReport report("bad");
+  EXPECT_FALSE(report.WriteFile("/nonexistent-dir/x/y.json").ok());
+}
+
+TEST(BenchReportTest, DefaultPathHonorsEnvDir) {
+  EXPECT_EQ(BenchReport::DefaultPath("micro_kernels"),
+            "BENCH_micro_kernels.json");
+  ::setenv("CASCN_BENCH_REPORT_DIR", "/tmp/reports", 1);
+  EXPECT_EQ(BenchReport::DefaultPath("micro_kernels"),
+            "/tmp/reports/BENCH_micro_kernels.json");
+  ::unsetenv("CASCN_BENCH_REPORT_DIR");
+}
+
+TEST(BenchReportTest, GitShaIsNonEmpty) {
+  EXPECT_FALSE(BenchReport::GitSha().empty());
+}
+
+}  // namespace
+}  // namespace cascn::obs

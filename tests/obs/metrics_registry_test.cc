@@ -68,6 +68,40 @@ TEST(HistogramTest, PercentilesAreOrderedAndBucketed) {
   EXPECT_LE(p99, 2048.0);
 }
 
+TEST(HistogramTest, InterpolatedPercentileTracksUniformData) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const auto snap = histogram.TakeSnapshot();
+  // Uniform 1..1000: the interpolated estimate should land near the true
+  // quantile, and always within the containing log2 bucket.
+  EXPECT_NEAR(snap.Percentile(0.50), 500.0, 160.0);
+  EXPECT_NEAR(snap.Percentile(0.90), 900.0, 130.0);
+  // Clamped to the observed max, never the bucket upper bound (2048).
+  EXPECT_LE(snap.Percentile(0.99), 1000.0);
+  EXPECT_GE(snap.Percentile(0.99), 900.0);
+  // Monotone in q.
+  EXPECT_LE(snap.Percentile(0.50), snap.Percentile(0.90));
+  EXPECT_LE(snap.Percentile(0.90), snap.Percentile(0.99));
+  // Never exceeds the loose upper bound.
+  EXPECT_LE(snap.Percentile(0.50), snap.PercentileUpperBound(0.50));
+}
+
+TEST(HistogramTest, InterpolatedPercentileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.TakeSnapshot().Percentile(0.99), 0.0);
+
+  Histogram single;
+  single.Record(0);
+  // A lone zero sample: estimate clamps to the observed max of 0.
+  EXPECT_EQ(single.TakeSnapshot().Percentile(0.50), 0.0);
+
+  Histogram one_value;
+  for (int i = 0; i < 10; ++i) one_value.Record(100);
+  const auto snap = one_value.TakeSnapshot();
+  EXPECT_LE(snap.Percentile(0.99), 100.0);
+  EXPECT_GE(snap.Percentile(0.01), 64.0);  // within the [64, 128) bucket
+}
+
 TEST(HistogramTest, ConcurrentRecordAndSnapshot) {
   Histogram histogram;
   constexpr int kWriters = 4;

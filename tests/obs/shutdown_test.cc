@@ -1,0 +1,110 @@
+#include "obs/shutdown.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace cascn::obs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ShutdownDumpTest, NoPathsIsANoOpSuccess) {
+  EXPECT_TRUE(ShutdownDump().ok());
+}
+
+TEST(ShutdownDumpTest, WritesMetricsSnapshotFromGivenRegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("shutdown_test_total").Increment(7);
+  const std::string path = ::testing::TempDir() + "/shutdown_metrics.json";
+  ShutdownDumpOptions options;
+  options.metrics_path = path;
+  options.registry = &registry;
+  ASSERT_TRUE(ShutdownDump(options).ok());
+  EXPECT_NE(ReadAll(path).find("\"shutdown_test_total\": 7"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ShutdownDumpTest, MetricsOverrideWinsOverRegistrySnapshot) {
+  // The override exists for registries that die before exit (e.g. a
+  // PredictionService-local registry snapshotted just before destruction).
+  const std::string path = ::testing::TempDir() + "/shutdown_override.json";
+  ShutdownDumpOptions options;
+  options.metrics_path = path;
+  options.metrics_json_override = "{\"from_override\": true}";
+  ASSERT_TRUE(ShutdownDump(options).ok());
+  EXPECT_EQ(ReadAll(path), "{\"from_override\": true}\n");
+  std::remove(path.c_str());
+}
+
+TEST(ShutdownDumpTest, CapturesSpansRecordedAfterEarlierTraceWrites) {
+  // The bug this API removes: binaries wrote the trace mid-main, dropping
+  // spans recorded afterwards (service destructors, late flushes). A dump
+  // at exit must include them.
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Enable();
+  const auto t0 = std::chrono::steady_clock::now();
+  tracer.RecordSpan("early_span", t0, t0 + std::chrono::microseconds(5));
+
+  const std::string early_path = ::testing::TempDir() + "/trace_early.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(early_path).ok());
+
+  tracer.RecordSpan("late_span", t0, t0 + std::chrono::microseconds(9));
+  const std::string final_path = ::testing::TempDir() + "/trace_final.json";
+  ShutdownDumpOptions options;
+  options.trace_path = final_path;
+  ASSERT_TRUE(ShutdownDump(options).ok());
+  tracer.Disable();
+
+  EXPECT_EQ(ReadAll(early_path).find("late_span"), std::string::npos);
+  const std::string final_trace = ReadAll(final_path);
+  EXPECT_NE(final_trace.find("early_span"), std::string::npos);
+  EXPECT_NE(final_trace.find("late_span"), std::string::npos);
+  std::remove(early_path.c_str());
+  std::remove(final_path.c_str());
+  tracer.Clear();
+}
+
+TEST(ShutdownDumpTest, FlushesEverySinkAndIgnoresNulls) {
+  // VectorTelemetrySink uses the default (no-op) Flush; the point here is
+  // that ShutdownDump walks the list without choking on null entries.
+  VectorTelemetrySink sink;
+  sink.Emit("{\"event\": \"x\"}");
+  ShutdownDumpOptions options;
+  options.telemetry = {nullptr, &sink, nullptr};
+  EXPECT_TRUE(ShutdownDump(options).ok());
+  EXPECT_EQ(sink.lines().size(), 1u);
+}
+
+TEST(ShutdownDumpTest, BadMetricsPathReportsErrorButStillWritesTrace) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Enable();
+  const auto t0 = std::chrono::steady_clock::now();
+  tracer.RecordSpan("survivor_span", t0, t0 + std::chrono::microseconds(2));
+
+  const std::string trace_path = ::testing::TempDir() + "/trace_survivor.json";
+  ShutdownDumpOptions options;
+  options.metrics_path = "/nonexistent-dir/x/metrics.json";
+  options.trace_path = trace_path;
+  EXPECT_FALSE(ShutdownDump(options).ok());
+  tracer.Disable();
+
+  EXPECT_NE(ReadAll(trace_path).find("survivor_span"), std::string::npos);
+  std::remove(trace_path.c_str());
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace cascn::obs
