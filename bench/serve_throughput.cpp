@@ -7,9 +7,13 @@
 // service's own histogram, and batching counters, as JSON on stdout.
 //
 //   ./bench_serve_throughput [--sessions=400] [--clients=8]
+//                            [--workers_list=1,2,4,8]
 //
 // Also writes the machine-readable BENCH_serve_throughput.json
-// (obs/bench_report.h); --bench_out=PATH overrides its location.
+// (obs/bench_report.h); --bench_out=PATH overrides its location. Each
+// result row carries "benchmark" ("serve/workers:N") and "real_ns_per_iter"
+// (ns per request) so tools/bench_guard.py can diff runs against the
+// checked-in baseline, calibration-normalized on the 1-worker row.
 
 #include <chrono>
 #include <cstdio>
@@ -19,6 +23,7 @@
 
 #include "common/cli_flags.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "data/cascade_generator.h"
 #include "obs/bench_report.h"
 #include "obs/shutdown.h"
@@ -113,6 +118,7 @@ int Main(int argc, char** argv) {
   CASCN_CHECK(flags.Parse(argc, argv).ok());
   const int sessions = static_cast<int>(flags.GetInt("sessions", 400));
   const int clients = static_cast<int>(flags.GetInt("clients", 8));
+  const std::string workers_list = flags.GetString("workers_list", "1,2,4,8");
   std::string bench_out = flags.GetString("bench_out", "");
   if (bench_out.empty())
     bench_out = obs::BenchReport::DefaultPath("serve_throughput");
@@ -140,10 +146,19 @@ int Main(int argc, char** argv) {
   obs::BenchReport report("serve_throughput");
   report.AddConfig("sessions", static_cast<int64_t>(replays.size()))
       .AddConfig("clients", clients)
+      .AddConfig("workers_list", workers_list)
       .AddConfig("hardware_concurrency", static_cast<int64_t>(cores));
 
+  std::vector<int> worker_counts;
+  for (const std::string& field : Split(workers_list, ',')) {
+    const long value = std::strtol(field.c_str(), nullptr, 10);
+    CASCN_CHECK(value >= 1) << "bad --workers_list entry: " << field;
+    worker_counts.push_back(static_cast<int>(value));
+  }
+  CASCN_CHECK(!worker_counts.empty());
+
   std::string results_json;
-  for (int workers : {1, 2, 4, 8}) {
+  for (int workers : worker_counts) {
     ServiceOptions options;
     options.num_workers = workers;
     options.queue_capacity = 16384;
@@ -173,8 +188,13 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      run.snapshot.counter(Counter::kBatchedRequests)));
 
+    const double ns_per_request =
+        run.requests > 0 ? run.seconds * 1e9 / static_cast<double>(run.requests)
+                         : 0.0;
     report.AddResult(
         obs::JsonObjectBuilder()
+            .Add("benchmark", "serve/workers:" + std::to_string(workers))
+            .Add("real_ns_per_iter", ns_per_request)
             .Add("workers", workers)
             .Add("requests", run.requests)
             .Add("seconds", run.seconds)

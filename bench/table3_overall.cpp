@@ -27,6 +27,7 @@
 #include "obs/shutdown.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 
 int main(int argc, char** argv) {
   using namespace cascn;
@@ -38,6 +39,10 @@ int main(int argc, char** argv) {
   if (bench_out.empty())
     bench_out = obs::BenchReport::DefaultPath("table3_overall");
   if (!trace_out.empty()) obs::Tracer::Get().Enable();
+  // --threads overrides the CASCN_THREADS environment default; 1 = serial.
+  const int64_t threads_flag = flags.GetInt("threads", 0);
+  if (threads_flag > 0)
+    parallel::SetThreads(static_cast<size_t>(threads_flag));
   const auto run_start = std::chrono::steady_clock::now();
   const double scale = bench::BenchScale();
   std::printf("Table III: overall performance comparison (MSLE, scale %.1f)\n\n",
@@ -120,6 +125,8 @@ int main(int argc, char** argv) {
   obs::BenchReport report("table3_overall");
   report.AddConfig("scale", scale)
       .AddConfig("max_train", max_train)
+      .AddConfig("threads",
+                 static_cast<int64_t>(parallel::ConfiguredThreads()))
       .SetWallClockSeconds(wall_seconds);
   for (const auto& [kind, msles] : cells) {
     for (size_t col = 0; col < columns.size(); ++col) {

@@ -18,6 +18,7 @@
 #include "common/logging.h"
 #include "obs/shutdown.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 
 int main(int argc, char** argv) {
   using namespace cascn;
@@ -26,9 +27,14 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.GetString("trace_out", "");
   const std::string metrics_out = flags.GetString("metrics_out", "");
   if (!trace_out.empty()) obs::Tracer::Get().Enable();
+  // --threads overrides the CASCN_THREADS environment default; 1 = serial.
+  const int64_t threads_flag = flags.GetInt("threads", 0);
+  if (threads_flag > 0)
+    parallel::SetThreads(static_cast<size_t>(threads_flag));
   const double scale = bench::BenchScale();
   std::printf(
-      "Table IV: CasCN vs. its variants (MSLE, scale %.1f)\n\n", scale);
+      "Table IV: CasCN vs. its variants (MSLE, scale %.1f, %zu threads)\n\n",
+      scale, parallel::ConfiguredThreads());
   const bench::SyntheticData data = bench::MakeSyntheticData(scale);
   const int max_train = static_cast<int>(200 * scale);
 

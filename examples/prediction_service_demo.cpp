@@ -10,7 +10,11 @@
 //   5. Print the metrics snapshot and a few live forecasts.
 //
 //   ./prediction_service_demo [--cascades=300] [--epochs=4] [--workers=4]
-//                             [--sessions=1200] [--clients=8]
+//                             [--sessions=1200] [--clients=8] [--threads=N]
+//
+// --threads (default: the CASCN_THREADS environment variable, else all
+// cores) sets the shared-pool size used for intra-batch parallel training;
+// 1 forces the serial path.
 //
 // Observability outputs (all optional):
 //   --trace_out=trace.json       enable tracing, dump a Chrome trace-event
@@ -26,7 +30,6 @@
 
 #include "common/cli_flags.h"
 #include "common/logging.h"
-#include "common/thread_pool.h"
 #include "core/cascn_model.h"
 #include "core/trainer.h"
 #include "data/cascade_generator.h"
@@ -35,6 +38,7 @@
 #include "obs/shutdown.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 #include "serve/checkpoint.h"
 #include "serve/prediction_service.h"
 
@@ -43,6 +47,10 @@ int main(int argc, char** argv) {
   CliFlags flags;
   CASCN_CHECK(flags.Parse(argc, argv).ok());
   const double window = 60.0;  // observe 1 hour of each cascade
+
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads > 0) parallel::SetThreads(static_cast<size_t>(threads));
+  std::printf("training threads: %zu\n", parallel::ConfiguredThreads());
 
   const std::string trace_out = flags.GetString("trace_out", "");
   const std::string metrics_out = flags.GetString("metrics_out", "");

@@ -66,21 +66,37 @@ CascnModel::CascnModel(const CascnConfig& config) : config_(config) {
 
 std::string CascnModel::name() const { return VariantName(config_.variant); }
 
-const EncodedCascade& CascnModel::Encoded(const CascadeSample& sample) {
+std::shared_ptr<const EncodedCascade> CascnModel::Encoded(
+    const CascadeSample& sample) {
   const uint64_t key = SampleFingerprint(sample);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
-    return it->second.encoded;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+      return it->second.encoded;
+    }
   }
+  // Encoding is the expensive part; do it outside the lock so concurrent
+  // misses on *different* samples don't serialize.
   auto encoded = EncodeCascade(sample, config_);
   CASCN_CHECK(encoded.ok()) << "encoding failed for cascade "
                             << sample.observed.id() << ": "
                             << encoded.status().ToString();
+  auto fresh =
+      std::make_shared<const EncodedCascade>(std::move(encoded).value());
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Another thread encoded the same sample first; keep its entry.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+    return it->second.encoded;
+  }
   cache_lru_.push_front(key);
   auto& entry = cache_[key];
-  entry.encoded = std::move(encoded).value();
+  entry.encoded = std::move(fresh);
   entry.lru_it = cache_lru_.begin();
+  auto result = entry.encoded;
   const size_t capacity =
       config_.encoding_cache_capacity > 0
           ? static_cast<size_t>(config_.encoding_cache_capacity)
@@ -89,11 +105,11 @@ const EncodedCascade& CascnModel::Encoded(const CascadeSample& sample) {
     cache_.erase(cache_lru_.back());
     cache_lru_.pop_back();
   }
-  return entry.encoded;
+  return result;
 }
 
 double CascnModel::EncodedLambdaMax(const CascadeSample& sample) {
-  return Encoded(sample).lambda_max;
+  return Encoded(sample)->lambda_max;
 }
 
 ag::Variable CascnModel::DecayFactor(int interval) const {
@@ -102,7 +118,8 @@ ag::Variable CascnModel::DecayFactor(int interval) const {
 }
 
 ag::Variable CascnModel::ForwardPooled(const CascadeSample& sample) {
-  const EncodedCascade& enc = Encoded(sample);
+  const std::shared_ptr<const EncodedCascade> enc_ptr = Encoded(sample);
+  const EncodedCascade& enc = *enc_ptr;
   const bool use_decay = config_.variant != CascnVariant::kNoTimeDecay;
 
   if (config_.variant == CascnVariant::kGcnLstm) {

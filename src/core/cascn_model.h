@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,13 +47,22 @@ class CascnModel : public nn::Module, public CascadeRegressor {
   }
   std::string name() const override;
   void ClearCache() override {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.clear();
     cache_lru_.clear();
   }
 
+  /// The encoding cache is mutex-guarded and parameters are only read during
+  /// forward, so per-sample graphs may be built concurrently (gradient
+  /// accumulation safety is the trainer's job via ag::ScopedGradCapture).
+  bool SupportsConcurrentForward() const override { return true; }
+
   /// Number of cached per-sample encodings (bounded by
   /// config.encoding_cache_capacity).
-  size_t EncodingCacheSize() const { return cache_.size(); }
+  size_t EncodingCacheSize() const {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_.size();
+  }
 
   /// The pooled cascade representation h(C_i(t)) (1 x hidden_dim) after a
   /// forward pass; used by the Fig. 9 feature-visualisation experiment.
@@ -67,8 +77,9 @@ class CascnModel : public nn::Module, public CascadeRegressor {
   /// Cached per-sample encoding, keyed by SampleFingerprint so a recycled
   /// heap address (e.g. the per-update samples of a streaming session) can
   /// never alias a previous cascade's encoding. LRU-bounded by
-  /// config.encoding_cache_capacity.
-  const EncodedCascade& Encoded(const CascadeSample& sample);
+  /// config.encoding_cache_capacity. Entries are shared_ptr so a concurrent
+  /// eviction can never invalidate an encoding another thread is reading.
+  std::shared_ptr<const EncodedCascade> Encoded(const CascadeSample& sample);
 
   /// Shared forward: pooled 1 x hidden representation.
   ag::Variable ForwardPooled(const CascadeSample& sample);
@@ -87,9 +98,10 @@ class CascnModel : public nn::Module, public CascadeRegressor {
   ag::Variable attn_v_;  // hidden x 1
   std::unique_ptr<nn::Mlp> mlp_;
   struct CacheEntry {
-    EncodedCascade encoded;
+    std::shared_ptr<const EncodedCascade> encoded;
     std::list<uint64_t>::iterator lru_it;
   };
+  mutable std::mutex cache_mutex_;  // guards cache_ and cache_lru_
   std::unordered_map<uint64_t, CacheEntry> cache_;
   std::list<uint64_t> cache_lru_;  // front = most recently used
 };

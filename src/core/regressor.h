@@ -35,6 +35,12 @@ class CascadeRegressor {
   /// different dataset). Default: no-op.
   virtual void ClearCache() {}
 
+  /// Whether PredictLog may be called concurrently from multiple threads on
+  /// this instance (the trainer then runs per-sample forward/backward on
+  /// the shared pool; see src/parallel). Requires any internal per-sample
+  /// caches to be thread-safe. Default: serial only.
+  virtual bool SupportsConcurrentForward() const { return false; }
+
   /// Constant added to every prediction. The trainer calibrates this to the
   /// train-mean label before optimisation so networks only learn residuals
   /// (otherwise the output bias must crawl from 0 to the label mean, wasting

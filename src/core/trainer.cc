@@ -12,6 +12,7 @@
 #include "nn/optimizer.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 
 namespace cascn {
 
@@ -23,17 +24,50 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+double SecondsBetween(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// PredictLogCalibrated with the failure surfaced: a model returning a null
+/// or non-scalar Variable aborts naming the offending cascade instead of
+/// failing later inside an unrelated op with no context.
+ag::Variable PredictChecked(CascadeRegressor& model,
+                            const CascadeSample& sample) {
+  ag::Variable pred = model.PredictLogCalibrated(sample);
+  CASCN_CHECK(pred.defined()) << model.name()
+                              << " returned a null prediction for cascade "
+                              << sample.observed.id();
+  CASCN_CHECK(pred.rows() == 1 && pred.cols() == 1)
+      << model.name() << " returned a " << pred.rows() << "x" << pred.cols()
+      << " prediction (want 1x1) for cascade " << sample.observed.id();
+  return pred;
+}
+
+/// Whether per-sample work may be fanned out over the shared pool.
+bool RunConcurrently(const CascadeRegressor& model) {
+  return parallel::ConfiguredThreads() > 1 &&
+         model.SupportsConcurrentForward();
+}
+
 }  // namespace
 
 double EvaluateMsle(CascadeRegressor& model,
                     const std::vector<CascadeSample>& samples) {
   CASCN_CHECK(!samples.empty());
-  double total = 0;
-  for (const CascadeSample& sample : samples) {
-    const double pred = model.PredictLogCalibrated(sample).value().At(0, 0);
-    const double err = pred - sample.log_label;
-    total += err * err;
+  std::vector<double> squared_error(samples.size());
+  auto eval_one = [&](size_t i) {
+    const double pred =
+        PredictChecked(model, samples[i]).value().At(0, 0);
+    const double err = pred - samples[i].log_label;
+    squared_error[i] = err * err;
+  };
+  if (RunConcurrently(model)) {
+    parallel::ParallelFor(samples.size(), eval_one);
+  } else {
+    for (size_t i = 0; i < samples.size(); ++i) eval_one(i);
   }
+  double total = 0;  // summed in sample order: identical at any thread count
+  for (const double sq : squared_error) total += sq;
   return total / static_cast<double>(samples.size());
 }
 
@@ -47,11 +81,13 @@ std::string EpochStats::ToTelemetryJson(const std::string& model_name) const {
       .Add("epoch_seconds", epoch_seconds)
       .Add("forward_seconds", forward_seconds)
       .Add("backward_seconds", backward_seconds)
+      .Add("reduce_seconds", reduce_seconds)
       .Add("optimizer_seconds", optimizer_seconds)
       .Add("validation_seconds", validation_seconds)
       .Add("grad_norm", grad_norm)
       .Add("learning_rate", learning_rate)
       .Add("num_batches", num_batches)
+      .Add("threads", threads)
       .Build();
 }
 
@@ -102,39 +138,90 @@ TrainResult TrainRegressor(CascadeRegressor& model,
     double epoch_loss = 0;
     double grad_norm_sum = 0;
     size_t processed = 0;
+    const bool concurrent = RunConcurrently(model);
     while (processed < order.size()) {
       CASCN_TRACE_SPAN("train_batch");
       const size_t batch_end =
           std::min(processed + options.batch_size, order.size());
-      const auto forward_start = Clock::now();
-      std::vector<ag::Variable> losses;
-      losses.reserve(batch_end - processed);
-      {
-        CASCN_TRACE_SPAN("forward");
-        for (size_t i = processed; i < batch_end; ++i) {
-          const CascadeSample& sample = dataset.train[order[i]];
-          losses.push_back(
-              nn::SquaredError(model.PredictLogCalibrated(sample),
-                               sample.log_label));
+      const size_t bn = batch_end - processed;
+      // Mean-loss gradient: every per-sample loss is scaled by 1/bn before
+      // its own Backward(), which matches backpropping Mean(losses) once.
+      const double inv = 1.0 / static_cast<double>(bn);
+
+      // One gradient sink per sample: each forward+backward captures its
+      // parameter gradients privately, so samples can run on any thread.
+      std::vector<ag::GradSink> sinks(bn);
+      std::vector<double> sample_loss(bn);
+      std::vector<double> sample_forward_s(bn);
+      std::vector<double> sample_backward_s(bn);
+      auto run_sample = [&](size_t s) {
+        const CascadeSample& sample = dataset.train[order[processed + s]];
+        const auto t0 = Clock::now();
+        ag::Variable loss;
+        {
+          CASCN_TRACE_SPAN("forward");
+          loss = nn::SquaredError(PredictChecked(model, sample),
+                                  sample.log_label);
+        }
+        sample_loss[s] = loss.value().At(0, 0);
+        const auto t1 = Clock::now();
+        {
+          CASCN_TRACE_SPAN("backward");
+          ag::ScopedGradCapture capture(&sinks[s]);
+          ag::ScalarMul(loss, inv).Backward();
+        }
+        sample_forward_s[s] = SecondsBetween(t0, t1);
+        sample_backward_s[s] = SecondsSince(t1);
+      };
+
+      const auto region_start = Clock::now();
+      if (concurrent) {
+        parallel::ParallelFor(bn, run_sample);
+      } else {
+        for (size_t s = 0; s < bn; ++s) run_sample(s);
+      }
+      const double region_seconds = SecondsSince(region_start);
+      // Apportion the fused region's wall-clock between the two phases by
+      // the per-sample time spent in each, keeping phase sums <= epoch
+      // wall-clock even when many workers overlapped.
+      double forward_total = 0, backward_total = 0;
+      for (size_t s = 0; s < bn; ++s) {
+        forward_total += sample_forward_s[s];
+        backward_total += sample_backward_s[s];
+        epoch_loss += sample_loss[s];
+      }
+      if (forward_total + backward_total > 0) {
+        const double scale =
+            region_seconds / (forward_total + backward_total);
+        stats.forward_seconds += forward_total * scale;
+        stats.backward_seconds += backward_total * scale;
+      }
+
+      // Fixed-order pairwise tree reduction over sample indices: the
+      // floating-point combination order is a function of bn alone, never
+      // of which thread produced which sink, so results are bit-identical
+      // at any thread count. Pairs within a level are disjoint and may
+      // themselves run on the pool.
+      const auto reduce_start = Clock::now();
+      for (size_t stride = 1; stride < bn; stride *= 2) {
+        std::vector<size_t> lefts;
+        for (size_t i = 0; i + stride < bn; i += 2 * stride)
+          lefts.push_back(i);
+        if (concurrent && lefts.size() > 1) {
+          parallel::ParallelFor(lefts.size(), [&](size_t p) {
+            sinks[lefts[p]].Merge(sinks[lefts[p] + stride]);
+          });
+        } else {
+          for (const size_t i : lefts) sinks[i].Merge(sinks[i + stride]);
         }
       }
-      const ag::Variable batch_loss = nn::MeanLoss(losses);
-      epoch_loss += batch_loss.value().At(0, 0) *
-                    static_cast<double>(batch_end - processed);
-      const auto backward_start = Clock::now();
-      stats.forward_seconds +=
-          std::chrono::duration<double>(backward_start - forward_start)
-              .count();
-      {
-        CASCN_TRACE_SPAN("backward");
-        batch_loss.Backward();
-      }
+      sinks[0].Flush();
+      stats.reduce_seconds += SecondsSince(reduce_start);
+
       const double batch_grad_norm = nn::GlobalGradNorm(params);
       grad_norm_sum += batch_grad_norm;
       grad_norm_gauge.Set(batch_grad_norm);
       const auto step_start = Clock::now();
-      stats.backward_seconds +=
-          std::chrono::duration<double>(step_start - backward_start).count();
       {
         CASCN_TRACE_SPAN("optimizer_step");
         optimizer.Step();
@@ -142,7 +229,7 @@ TrainResult TrainRegressor(CascadeRegressor& model,
       stats.optimizer_seconds += SecondsSince(step_start);
       ++stats.num_batches;
       batches_total.Increment();
-      samples_total.Increment(static_cast<uint64_t>(batch_end - processed));
+      samples_total.Increment(static_cast<uint64_t>(bn));
       processed = batch_end;
     }
     stats.epoch = epoch;
@@ -159,6 +246,7 @@ TrainResult TrainRegressor(CascadeRegressor& model,
             ? 0.0
             : grad_norm_sum / static_cast<double>(stats.num_batches);
     stats.learning_rate = optimizer.learning_rate();
+    stats.threads = static_cast<int>(parallel::ConfiguredThreads());
     epochs_total.Increment();
     result.history.push_back(stats);
     if (options.verbose) {

@@ -45,15 +45,22 @@ struct EpochStats {
   double validation_msle = 0.0;
   /// Wall-clock of the whole epoch (training batches + validation pass).
   double epoch_seconds = 0.0;
-  /// Per-phase wall-clock, summed over the epoch's batches.
+  /// Per-phase wall-clock, summed over the epoch's batches. When the batch
+  /// runs its samples concurrently, the fused forward+backward region's
+  /// wall-clock is apportioned to the two phases in proportion to the
+  /// per-sample time spent in each, so the phase columns still sum to at
+  /// most epoch_seconds rather than to thread-count multiples of it.
   double forward_seconds = 0.0;    // loss-graph construction
   double backward_seconds = 0.0;   // backprop
+  double reduce_seconds = 0.0;     // gradient tree reduction + flush
   double optimizer_seconds = 0.0;  // Adam step
   double validation_seconds = 0.0;
   /// Mean pre-clip global gradient L2 norm across the epoch's batches.
   double grad_norm = 0.0;
   double learning_rate = 0.0;
   int num_batches = 0;
+  /// parallel::ConfiguredThreads() during this epoch (1 = serial path).
+  int threads = 1;
 
   /// One flat JSON object with every field plus `"event": "epoch"` and the
   /// model name — the trainer's JSON-lines telemetry record.
@@ -67,12 +74,23 @@ struct TrainResult {
   int best_epoch = 0;
 };
 
-/// MSLE (Eq. 20) of `model` over `samples`.
+/// MSLE (Eq. 20) of `model` over `samples`. When the model supports
+/// concurrent forward and CASCN_THREADS > 1, per-sample errors are computed
+/// on the shared pool; the final sum is always taken in sample order, so the
+/// result is identical at any thread count.
 double EvaluateMsle(CascadeRegressor& model,
                     const std::vector<CascadeSample>& samples);
 
 /// Trains `model` on `dataset.train`, early-stopping on
 /// `dataset.validation`, restoring the best-epoch weights before returning.
+///
+/// When `model.SupportsConcurrentForward()` and CASCN_THREADS > 1, each
+/// batch's per-sample forward+backward passes run concurrently, every
+/// worker capturing parameter gradients in its own ag::GradSink; the sinks
+/// are then combined with a fixed-order tree reduction over sample indices
+/// and flushed before the (single) Adam step. Because the floating-point
+/// combination order depends only on sample indices, trained weights and
+/// losses are bit-identical run-to-run at any thread count.
 TrainResult TrainRegressor(CascadeRegressor& model,
                            const CascadeDataset& dataset,
                            const TrainerOptions& options);

@@ -1,0 +1,163 @@
+#include "parallel/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "parallel/thread_pool.h"
+
+namespace cascn::parallel {
+namespace {
+
+size_t ThreadsFromEnvironment() {
+  if (const char* env = std::getenv("CASCN_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<size_t>(value);
+    }
+  }
+  return HardwareConcurrency();
+}
+
+std::atomic<size_t> g_override{0};
+
+struct SharedPool {
+  std::mutex mutex;
+  std::unique_ptr<ThreadPool> pool;
+  size_t pool_threads = 0;
+};
+
+SharedPool& GlobalPool() {
+  static SharedPool* shared = new SharedPool();  // leaked: outlives main
+  return *shared;
+}
+
+// Grabs the shared pool, (re)building it when the configured size changed.
+// Returns nullptr when threads == 1 (serial path never creates the pool).
+ThreadPool* PoolFor(size_t threads) {
+  if (threads <= 1) return nullptr;
+  SharedPool& shared = GlobalPool();
+  std::lock_guard<std::mutex> lock(shared.mutex);
+  if (!shared.pool || shared.pool_threads != threads) {
+    shared.pool.reset();  // join old workers before spawning the new set
+    shared.pool = std::make_unique<ThreadPool>(threads - 1);
+    shared.pool_threads = threads;
+  }
+  return shared.pool.get();
+}
+
+// One ParallelFor invocation. Helpers hold a shared_ptr so a helper that
+// starts after the caller has already finished (and possibly thrown) still
+// touches valid memory and simply finds no chunks left.
+//
+// A helper counts itself in `active_helpers` only once it actually STARTS
+// running, never at submit time. This is what makes nested ParallelFor
+// deadlock-free: when every pool worker is busy with outer-loop chunks, an
+// inner loop's queued helper tasks may never start — the inner caller drains
+// all inner chunks itself and its completion wait must not block on tasks
+// that are stuck behind it in the pool queue. A helper that starts late
+// (after the caller returned) finds the chunk counter exhausted and exits
+// without touching `body`; the mutex hand-off makes that exhausted counter
+// visible before the helper can attempt a claim.
+struct LoopState {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> stop{false};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t active_helpers = 0;
+  std::exception_ptr error;
+
+  void RunChunks() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      const size_t begin = chunk * grain;
+      const size_t end = std::min(n, begin + grain);
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        stop.store(true, std::memory_order_relaxed);
+        // Exhaust the counter: the caller rethrows and returns once active
+        // helpers drain, after which `body` is dead — a helper starting
+        // later must be unable to claim a chunk.
+        next_chunk.store(num_chunks, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  }
+
+  // Pool-task entry point: register as active, work, deregister.
+  void RunAsHelper() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++active_helpers;
+    }
+    RunChunks();
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--active_helpers == 0) done.notify_all();
+  }
+};
+
+void RunLoop(size_t n, size_t grain,
+             const std::function<void(size_t, size_t)>& body) {
+  const size_t threads = ConfiguredThreads();
+  if (threads <= 1 || n <= grain) {
+    if (n > 0) body(0, n);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = (n + grain - 1) / grain;
+  state->body = &body;
+
+  ThreadPool* pool = PoolFor(threads);
+  const size_t helpers =
+      std::min(threads - 1, state->num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state] { state->RunAsHelper(); });
+  }
+
+  state->RunChunks();  // caller participates: nested calls cannot deadlock
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->active_helpers == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace
+
+size_t ConfiguredThreads() {
+  const size_t forced = g_override.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  static const size_t from_env = ThreadsFromEnvironment();
+  return from_env;
+}
+
+void SetThreads(size_t n) { g_override.store(n, std::memory_order_relaxed); }
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  ParallelForRange(n, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ParallelForRange(size_t n, size_t grain,
+                      const std::function<void(size_t, size_t)>& body) {
+  RunLoop(n, std::max<size_t>(1, grain), body);
+}
+
+}  // namespace cascn::parallel

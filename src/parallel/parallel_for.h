@@ -1,0 +1,52 @@
+// Shared-pool data parallelism for the trainer and tensor kernels.
+//
+// A single process-wide ThreadPool is created lazily on first use, sized by
+// ConfiguredThreads(): the CASCN_THREADS environment variable when set (a
+// value of 1 forces the fully serial path and never creates the pool),
+// otherwise HardwareConcurrency(). Benchmarks and tests override the size at
+// runtime with SetThreads(); the pool itself is rebuilt lazily when the
+// configured size changes.
+//
+// ParallelFor(n, body) runs body(i) for i in [0, n). Guarantees:
+//   * The calling thread always participates, claiming chunks from the same
+//     atomic counter as pool helpers. Nested ParallelFor calls (a kernel
+//     inside a trainer sample) therefore never deadlock: even when every
+//     pool worker is busy, the caller drains its own loop.
+//   * Work is claimed in chunks of contiguous indices; which *thread* runs
+//     an index is nondeterministic, so bodies must write to disjoint,
+//     index-addressed outputs. Determinism of final results is the caller's
+//     contract (the trainer re-establishes a fixed order with a tree
+//     reduction over sample indices).
+//   * The first exception thrown by any body is captured, remaining chunks
+//     are abandoned, and the exception is rethrown on the calling thread
+//     after all helpers retire.
+
+#ifndef CASCN_PARALLEL_PARALLEL_FOR_H_
+#define CASCN_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace cascn::parallel {
+
+/// Threads the shared pool is sized for: CASCN_THREADS env when set and
+/// valid, else HardwareConcurrency(). Always at least 1.
+size_t ConfiguredThreads();
+
+/// Overrides ConfiguredThreads() for the rest of the process (benchmarks,
+/// determinism tests). 0 restores the environment/hardware default.
+void SetThreads(size_t n);
+
+/// Runs body(i) for every i in [0, n). Serial when n < 2 or
+/// ConfiguredThreads() == 1.
+void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+/// Runs body(begin, end) over disjoint ranges covering [0, n), each at most
+/// `grain` long. Serial (one full-range call) when ConfiguredThreads() == 1
+/// or n <= grain.
+void ParallelForRange(size_t n, size_t grain,
+                      const std::function<void(size_t, size_t)>& body);
+
+}  // namespace cascn::parallel
+
+#endif  // CASCN_PARALLEL_PARALLEL_FOR_H_

@@ -1,9 +1,8 @@
-#include "common/thread_pool.h"
+#include "parallel/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
-namespace cascn {
+namespace cascn::parallel {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
@@ -59,26 +58,9 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool& pool, size_t n,
-                 const std::function<void(size_t)>& body) {
-  if (n == 0) return;
-  std::atomic<size_t> next{0};
-  const size_t workers = std::min(n, pool.num_threads());
-  for (size_t w = 0; w < workers; ++w) {
-    pool.Submit([&next, n, &body] {
-      while (true) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        body(i);
-      }
-    });
-  }
-  pool.Wait();
-}
-
 size_t HardwareConcurrency() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
 }
 
-}  // namespace cascn
+}  // namespace cascn::parallel

@@ -1,8 +1,12 @@
-// Fixed-size worker pool used by the benchmark harness to train independent
-// model configurations concurrently, plus a ParallelFor convenience.
+// Fixed-size worker pool shared by every multi-threaded subsystem: the
+// trainer's intra-batch data parallelism and row-parallel tensor kernels
+// (through parallel_for.h's lazily-created shared pool) and the serving
+// front end's long-running request workers (a dedicated instance per
+// PredictionService). Nothing in the repository spawns raw std::threads for
+// worker pools anymore.
 
-#ifndef CASCN_COMMON_THREAD_POOL_H_
-#define CASCN_COMMON_THREAD_POOL_H_
+#ifndef CASCN_PARALLEL_THREAD_POOL_H_
+#define CASCN_PARALLEL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -12,7 +16,7 @@
 #include <thread>
 #include <vector>
 
-namespace cascn {
+namespace cascn::parallel {
 
 /// A fixed set of worker threads draining a FIFO task queue. Destruction
 /// waits for all submitted tasks to finish.
@@ -45,14 +49,9 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
-/// Runs body(i) for i in [0, n) across `pool`, blocking until all complete.
-/// body must be safe to invoke concurrently for distinct i.
-void ParallelFor(ThreadPool& pool, size_t n,
-                 const std::function<void(size_t)>& body);
-
 /// Number of hardware threads, at least 1.
 size_t HardwareConcurrency();
 
-}  // namespace cascn
+}  // namespace cascn::parallel
 
-#endif  // CASCN_COMMON_THREAD_POOL_H_
+#endif  // CASCN_PARALLEL_THREAD_POOL_H_

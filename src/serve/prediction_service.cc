@@ -32,8 +32,8 @@ Result<std::unique_ptr<PredictionService>> PredictionService::Create(
       return Status::InvalidArgument("model factory produced a null model");
     service->models_.push_back(std::move(model));
   }
-  service->pool_ =
-      std::make_unique<ThreadPool>(static_cast<size_t>(options.num_workers));
+  service->pool_ = std::make_unique<parallel::ThreadPool>(
+      static_cast<size_t>(options.num_workers));
   for (int i = 0; i < options.num_workers; ++i)
     service->pool_->Submit([svc = service.get(), i] { svc->WorkerLoop(i); });
   return service;

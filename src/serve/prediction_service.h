@@ -27,8 +27,8 @@
 #include <vector>
 
 #include "common/result.h"
-#include "common/thread_pool.h"
 #include "core/regressor.h"
+#include "parallel/thread_pool.h"
 #include "obs/metrics_registry.h"
 #include "serve/metrics.h"
 #include "serve/session_manager.h"
@@ -141,7 +141,7 @@ class PredictionService {
 
   // Declared last so workers (which reference everything above) stop before
   // any other member is destroyed.
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
 };
 
 }  // namespace cascn::serve

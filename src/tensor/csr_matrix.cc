@@ -1,11 +1,30 @@
 #include "tensor/csr_matrix.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 
 #include "common/logging.h"
+#include "parallel/parallel_for.h"
 
 namespace cascn {
+
+namespace {
+
+// Multiply-add count (nnz * dense cols) below which sparse products stay
+// serial; per-snapshot operators in the CasCN configs are far under this.
+constexpr uint64_t kParallelSparseCutoff = uint64_t{1} << 18;
+
+bool UseParallelKernel(uint64_t work) {
+  return work >= kParallelSparseCutoff && parallel::ConfiguredThreads() > 1;
+}
+
+size_t RowGrain(int rows) {
+  const size_t chunks = parallel::ConfiguredThreads() * 4;
+  return std::max<size_t>(1, static_cast<size_t>(rows) / chunks);
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromTriplets(int rows, int cols,
                                   std::vector<Triplet> triplets) {
@@ -61,14 +80,25 @@ Tensor CsrMatrix::MatMulDense(const Tensor& dense) const {
   CASCN_CHECK(cols_ == dense.rows());
   Tensor out(rows_, dense.cols());
   const int n = dense.cols();
-  for (int r = 0; r < rows_; ++r) {
-    double* orow = out.data() + static_cast<size_t>(r) * n;
-    for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* drow =
-          dense.data() + static_cast<size_t>(col_indices_[k]) * n;
-      for (int j = 0; j < n; ++j) orow[j] += v * drow[j];
+  // Each output row gathers from disjoint state: safe to row-partition, and
+  // the per-row accumulation order (k ascending) is identical either way.
+  auto rows = [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      double* orow = out.data() + r * n;
+      for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        const double v = values_[k];
+        const double* drow =
+            dense.data() + static_cast<size_t>(col_indices_[k]) * n;
+        for (int j = 0; j < n; ++j) orow[j] += v * drow[j];
+      }
     }
+  };
+  const uint64_t work = uint64_t(values_.size()) * uint64_t(n);
+  if (UseParallelKernel(work)) {
+    parallel::ParallelForRange(static_cast<size_t>(rows_), RowGrain(rows_),
+                               rows);
+  } else {
+    rows(0, static_cast<size_t>(rows_));
   }
   return out;
 }
@@ -77,6 +107,29 @@ Tensor CsrMatrix::TransposeMatMulDense(const Tensor& dense) const {
   CASCN_CHECK(rows_ == dense.rows());
   Tensor out(cols_, dense.cols());
   const int n = dense.cols();
+  const uint64_t work = uint64_t(values_.size()) * uint64_t(n);
+  if (UseParallelKernel(work)) {
+    // The CSR scatter (out row = col index) races across input rows, so the
+    // parallel branch partitions *output* rows instead: every worker scans
+    // the full nonzero list and applies only entries landing in its slice.
+    // Per-output-row accumulation order (r, then k, ascending) matches the
+    // serial branch below — bit-identical results.
+    parallel::ParallelForRange(
+        static_cast<size_t>(cols_), RowGrain(cols_),
+        [&](size_t c0, size_t c1) {
+          for (int r = 0; r < rows_; ++r) {
+            const double* drow = dense.data() + static_cast<size_t>(r) * n;
+            for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+              const size_t c = static_cast<size_t>(col_indices_[k]);
+              if (c < c0 || c >= c1) continue;
+              const double v = values_[k];
+              double* orow = out.data() + c * n;
+              for (int j = 0; j < n; ++j) orow[j] += v * drow[j];
+            }
+          }
+        });
+    return out;
+  }
   for (int r = 0; r < rows_; ++r) {
     const double* drow = dense.data() + static_cast<size_t>(r) * n;
     for (int k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {

@@ -2,11 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "common/logging.h"
+#include "parallel/parallel_for.h"
 
 namespace cascn {
+
+namespace {
+
+// Multiply-add count below which a matmul is not worth farming out to the
+// pool. 2^19 keeps every per-snapshot kernel in the tiny CasCN configs —
+// and the bench-guard calibration benchmark (BM_DenseMatMul/64, 64^3 =
+// 2^18 work) — on the fast serial path.
+constexpr uint64_t kParallelDenseCutoff = uint64_t{1} << 19;
+
+bool UseParallelKernel(uint64_t work) {
+  return work >= kParallelDenseCutoff && parallel::ConfiguredThreads() > 1;
+}
+
+// Rows per chunk so each worker claims a handful of chunks (load balance)
+// without degenerating into per-row claims.
+size_t RowGrain(int rows) {
+  const size_t chunks = parallel::ConfiguredThreads() * 4;
+  return std::max<size_t>(1, static_cast<size_t>(rows) / chunks);
+}
+
+}  // namespace
 
 Tensor::Tensor(int rows, int cols) : rows_(rows), cols_(cols) {
   CASCN_CHECK(rows >= 0 && cols >= 0);
@@ -157,14 +180,25 @@ void MatMulAccum(const Tensor& a, const Tensor& b, Tensor& c) {
   const double* bd = b.data();
   double* cd = c.data();
   // i-k-j ordering: streams through B and C rows, autovectorises well.
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const double av = ad[static_cast<size_t>(i) * k + p];
-      if (av == 0.0) continue;
-      const double* brow = bd + static_cast<size_t>(p) * n;
-      double* crow = cd + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Output rows are independent, so large shapes are row-partitioned over
+  // the shared pool; each element's accumulation order (p ascending) is the
+  // same in both branches, so results are bit-identical either way.
+  auto rows = [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      for (int p = 0; p < k; ++p) {
+        const double av = ad[i * k + p];
+        if (av == 0.0) continue;
+        const double* brow = bd + static_cast<size_t>(p) * n;
+        double* crow = cd + i * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  const uint64_t work = uint64_t(m) * uint64_t(k) * uint64_t(n);
+  if (UseParallelKernel(work)) {
+    parallel::ParallelForRange(static_cast<size_t>(m), RowGrain(m), rows);
+  } else {
+    rows(0, static_cast<size_t>(m));
   }
 }
 
@@ -175,6 +209,25 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   const double* ad = a.data();
   const double* bd = b.data();
   double* cd = c.data();
+  const uint64_t work = uint64_t(m) * uint64_t(k) * uint64_t(n);
+  if (UseParallelKernel(work)) {
+    // Partition output rows i; the p loop stays innermost-ascending so each
+    // element accumulates in the same order as the serial branch below —
+    // bit-identical results at any thread count.
+    parallel::ParallelForRange(
+        static_cast<size_t>(m), RowGrain(m), [&](size_t i0, size_t i1) {
+          for (size_t i = i0; i < i1; ++i) {
+            double* crow = cd + i * n;
+            for (int p = 0; p < k; ++p) {
+              const double av = ad[static_cast<size_t>(p) * m + i];
+              if (av == 0.0) continue;
+              const double* brow = bd + static_cast<size_t>(p) * n;
+              for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          }
+        });
+    return c;
+  }
   for (int p = 0; p < k; ++p) {
     const double* arow = ad + static_cast<size_t>(p) * m;
     const double* brow = bd + static_cast<size_t>(p) * n;
@@ -194,14 +247,24 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   Tensor c(m, n);
   const double* ad = a.data();
   const double* bd = b.data();
-  for (int i = 0; i < m; ++i) {
-    const double* arow = ad + static_cast<size_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      const double* brow = bd + static_cast<size_t>(j) * k;
-      double s = 0;
-      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
-      c.At(i, j) = s;
+  // Independent dot products per output element: row-partitioning cannot
+  // change any accumulation order.
+  auto rows = [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const double* arow = ad + i * k;
+      for (int j = 0; j < n; ++j) {
+        const double* brow = bd + static_cast<size_t>(j) * k;
+        double s = 0;
+        for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+        c.At(static_cast<int>(i), j) = s;
+      }
     }
+  };
+  const uint64_t work = uint64_t(m) * uint64_t(k) * uint64_t(n);
+  if (UseParallelKernel(work)) {
+    parallel::ParallelForRange(static_cast<size_t>(m), RowGrain(m), rows);
+  } else {
+    rows(0, static_cast<size_t>(m));
   }
   return c;
 }

@@ -8,14 +8,63 @@
 
 namespace cascn::ag {
 
+namespace {
+
+// Capture target for the calling thread; see ScopedGradCapture.
+thread_local GradSink* t_active_sink = nullptr;
+
+}  // namespace
+
 namespace internal {
 
 void Node::AccumGrad(const Tensor& g) {
+  // Only requires_grad leaves (model parameters) are shared across
+  // concurrently-built per-sample graphs; divert those into the thread's
+  // sink when capture is active. Intermediate nodes are private to their
+  // graph and accumulate in place as always.
+  if (requires_grad && t_active_sink != nullptr) {
+    t_active_sink->Accumulate(this, g);
+    return;
+  }
   if (grad.empty()) grad = Tensor(value.rows(), value.cols());
   grad.AddInPlace(g);
 }
 
 }  // namespace internal
+
+void GradSink::Accumulate(internal::Node* node, const Tensor& g) {
+  auto [it, inserted] = index_.try_emplace(node, entries_.size());
+  if (inserted) {
+    entries_.emplace_back(node, g);
+  } else {
+    entries_[it->second].second.AddInPlace(g);
+  }
+}
+
+void GradSink::Merge(const GradSink& other) {
+  for (const auto& [node, g] : other.entries_) Accumulate(node, g);
+}
+
+void GradSink::Flush() {
+  for (auto& [node, g] : entries_) {
+    if (node->grad.empty())
+      node->grad = Tensor(node->value.rows(), node->value.cols());
+    node->grad.AddInPlace(g);
+  }
+  Clear();
+}
+
+void GradSink::Clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+ScopedGradCapture::ScopedGradCapture(GradSink* sink)
+    : previous_(t_active_sink) {
+  t_active_sink = sink;
+}
+
+ScopedGradCapture::~ScopedGradCapture() { t_active_sink = previous_; }
 
 using internal::Node;
 

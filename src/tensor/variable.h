@@ -20,6 +20,8 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/profiler.h"
@@ -88,6 +90,57 @@ class Variable {
 
  private:
   std::shared_ptr<internal::Node> node_;
+};
+
+// ---- Concurrent-backward gradient capture ---------------------------------
+
+/// Collects the parameter-leaf gradient accumulations of one or more
+/// Backward() passes instead of letting them land in the shared
+/// Node::grad buffers. While a ScopedGradCapture is active on a thread,
+/// every AccumGrad on a requires_grad leaf is diverted into the thread's
+/// sink; intermediate (per-graph, unshared) nodes are unaffected. This is
+/// what makes per-sample Backward() calls safe to run concurrently: each
+/// worker writes only its own sink, and the trainer later combines sinks in
+/// a fixed order (tree reduction over sample indices) so the floating-point
+/// accumulation order — and therefore every resulting bit — is independent
+/// of the thread count.
+///
+/// Entry order within a sink is the (deterministic) order leaves are first
+/// reached by the sample's serial backward pass.
+class GradSink {
+ public:
+  /// sink[node] += g, allocating the entry on first use.
+  void Accumulate(internal::Node* node, const Tensor& g);
+
+  /// this[node] += other[node] for every entry of `other`, appending
+  /// entries for leaves this sink has not seen. `other` is not modified.
+  void Merge(const GradSink& other);
+
+  /// Applies every captured gradient to its node's shared grad buffer
+  /// (exactly as AccumGrad would have without capture) and clears the sink.
+  /// Call outside any capture scope, from one thread.
+  void Flush();
+
+  void Clear();
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<internal::Node*, Tensor>> entries_;
+  std::unordered_map<internal::Node*, size_t> index_;
+};
+
+/// RAII: installs `sink` as the calling thread's gradient capture target,
+/// restoring the previous target (usually none) on destruction.
+class ScopedGradCapture {
+ public:
+  explicit ScopedGradCapture(GradSink* sink);
+  ~ScopedGradCapture();
+
+  ScopedGradCapture(const ScopedGradCapture&) = delete;
+  ScopedGradCapture& operator=(const ScopedGradCapture&) = delete;
+
+ private:
+  GradSink* previous_;
 };
 
 // ---- Element-wise and broadcast arithmetic --------------------------------

@@ -1,0 +1,154 @@
+#include "parallel/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/parallel_for.h"
+
+namespace cascn::parallel {
+namespace {
+
+// Restores the thread override on scope exit so tests cannot leak a
+// SetThreads() into each other.
+struct ScopedThreads {
+  explicit ScopedThreads(size_t n) { SetThreads(n); }
+  ~ScopedThreads() { SetThreads(0); }
+};
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(HardwareConcurrencyTest, AtLeastOne) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ScopedThreads threads(4);
+  std::vector<std::atomic<int>> hits(200);
+  ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  ScopedThreads threads(4);
+  ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ParallelForTest, MoreWorkThanThreads) {
+  ScopedThreads threads(2);
+  std::atomic<long> sum{0};
+  ParallelFor(1000,
+              [&sum](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  ScopedThreads threads(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> order;
+  ParallelFor(10, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(static_cast<int>(i));  // unsynchronized: serial contract
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  ScopedThreads threads(4);
+  std::atomic<int> ran{0};
+  try {
+    ParallelFor(64, [&ran](size_t i) {
+      ran.fetch_add(1);
+      if (i == 7) throw std::runtime_error("boom at 7");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  // The throwing chunk ran; remaining chunks may have been abandoned.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 64);
+}
+
+TEST(ParallelForTest, PoolIsReusableAfterException) {
+  ScopedThreads threads(4);
+  EXPECT_THROW(
+      ParallelFor(16, [](size_t) { throw std::runtime_error("fail"); }),
+      std::runtime_error);
+  std::atomic<int> counter{0};
+  ParallelFor(100, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  ScopedThreads threads(4);
+  std::atomic<long> sum{0};
+  ParallelFor(8, [&sum](size_t) {
+    ParallelFor(32, [&sum](size_t j) {
+      sum.fetch_add(static_cast<long>(j));
+    });
+  });
+  EXPECT_EQ(sum.load(), 8L * (31L * 32 / 2));
+}
+
+TEST(ParallelForRangeTest, RangesAreDisjointAndCoverAll) {
+  ScopedThreads threads(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelForRange(hits.size(), 64, [&hits](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end - begin, 64u);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ConfiguredThreadsTest, OverrideWinsAndResets) {
+  const size_t base = ConfiguredThreads();
+  EXPECT_GE(base, 1u);
+  {
+    ScopedThreads threads(3);
+    EXPECT_EQ(ConfiguredThreads(), 3u);
+  }
+  EXPECT_EQ(ConfiguredThreads(), base);
+}
+
+}  // namespace
+}  // namespace cascn::parallel

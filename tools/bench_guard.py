@@ -75,6 +75,10 @@ def main():
                         help="benchmark used to normalize out machine speed")
     parser.add_argument("--update", action="store_true",
                         help="refresh the baseline from --current and exit")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="skip baseline benchmarks absent from the "
+                             "current run instead of failing (for CI runs "
+                             "covering a reduced thread/worker list)")
     args = parser.parse_args()
 
     try:
@@ -106,9 +110,14 @@ def main():
 
     missing = sorted(set(baseline_times) - set(current_times))
     if missing:
-        print(f"bench_guard: benchmarks missing from current run: {missing}",
-              file=sys.stderr)
-        return 1
+        if not args.allow_missing:
+            print(f"bench_guard: benchmarks missing from current run: "
+                  f"{missing}", file=sys.stderr)
+            return 1
+        print(f"bench_guard: skipping baseline benchmarks absent from "
+              f"current run: {missing}")
+        for name in missing:
+            del baseline_times[name]
     added = sorted(set(current_times) - set(baseline_times))
     if added:
         print(f"bench_guard: NOTE: benchmarks not in baseline (run with "
