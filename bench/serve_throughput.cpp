@@ -25,6 +25,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "data/cascade_generator.h"
+#include "fault/fault.h"
 #include "obs/bench_report.h"
 #include "obs/shutdown.h"
 #include "obs/telemetry.h"
@@ -58,9 +59,13 @@ struct RunResult {
   ServeMetrics::Snapshot snapshot;
 };
 
+/// Drives the replay workload. `predict_deadline_ms` > 0 attaches that
+/// deadline to every async predict (the degraded-mode scenario); expired
+/// predicts resolve with DeadlineExceeded, which the driver tolerates —
+/// that is the degraded service surviving, not the benchmark failing.
 RunResult RunWorkload(PredictionService& service,
                       const std::vector<std::vector<AdoptionEvent>>& replays,
-                      int clients) {
+                      int clients, double predict_deadline_ms = 0.0) {
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> drivers;
   for (int c = 0; c < clients; ++c) {
@@ -92,12 +97,16 @@ RunResult RunWorkload(PredictionService& service,
           CASCN_CHECK(
               service.CallAppend(id, event.user, event.parents[0], event.time)
                   .status.ok());
-          auto submitted = service.SubmitPredict(id);
+          auto submitted = service.SubmitPredict(id, predict_deadline_ms);
           CASCN_CHECK(submitted.ok()) << submitted.status();
           pending.push_back(std::move(submitted).value());
         }
-        for (auto& future : pending)
-          CASCN_CHECK(future.get().status.ok());
+        for (auto& future : pending) {
+          const ServeResponse response = future.get();
+          CASCN_CHECK(response.status.ok() ||
+                      response.status.code() == StatusCode::kDeadlineExceeded)
+              << response.status;
+        }
       }
       for (size_t i : mine)
         CASCN_CHECK(service.CallClose("s" + std::to_string(i)).status.ok());
@@ -158,42 +167,33 @@ int Main(int argc, char** argv) {
   CASCN_CHECK(!worker_counts.empty());
 
   std::string results_json;
-  for (int workers : worker_counts) {
-    ServiceOptions options;
-    options.num_workers = workers;
-    options.queue_capacity = 16384;
-    options.max_batch = 16;
-    options.sessions.capacity = replays.size() + 16;
-    options.sessions.observation_window = kWindow;
-    auto service = PredictionService::CreateFromCheckpoint(options, ckpt);
-    CASCN_CHECK(service.ok()) << service.status();
-
-    const RunResult run = RunWorkload(**service, replays, clients);
-    (*service)->Shutdown();
-    // Unified observability snapshot for this run: queue-depth gauge and
-    // batch-size histogram maintained by the service, plus the serve
-    // counters bridged in.
-    ExportToRegistry(run.snapshot, (*service)->registry());
-    const std::string obs_json = (*service)->registry().JsonSnapshot();
-
+  // Emits one run's stderr line, report rows (throughput plus a "p95:"
+  // guard row so latency-tail regressions trip bench_guard, not just
+  // throughput ones), and its entry in the human-readable results array.
+  auto record_run = [&](const std::string& label, int workers,
+                        const RunResult& run, const std::string& obs_json) {
     const double rps =
         run.seconds > 0.0 ? static_cast<double>(run.requests) / run.seconds
                           : 0.0;
+    const uint64_t expired = run.snapshot.counter(Counter::kDeadlineExceeded);
     std::fprintf(stderr,
-                 "[serve_throughput] workers=%d requests=%llu seconds=%.3f "
-                 "rps=%.0f p50=%.0fus p95=%.0fus p99=%.0fus batched=%llu\n",
-                 workers, static_cast<unsigned long long>(run.requests),
+                 "[serve_throughput] %s requests=%llu seconds=%.3f "
+                 "rps=%.0f p50=%.0fus p95=%.0fus p99=%.0fus batched=%llu "
+                 "deadline_exceeded=%llu health=%s\n",
+                 label.c_str(), static_cast<unsigned long long>(run.requests),
                  run.seconds, rps, run.snapshot.latency_p50_us,
                  run.snapshot.latency_p95_us, run.snapshot.latency_p99_us,
                  static_cast<unsigned long long>(
-                     run.snapshot.counter(Counter::kBatchedRequests)));
+                     run.snapshot.counter(Counter::kBatchedRequests)),
+                 static_cast<unsigned long long>(expired),
+                 std::string(HealthName(run.snapshot.health)).c_str());
 
     const double ns_per_request =
         run.requests > 0 ? run.seconds * 1e9 / static_cast<double>(run.requests)
                          : 0.0;
     report.AddResult(
         obs::JsonObjectBuilder()
-            .Add("benchmark", "serve/workers:" + std::to_string(workers))
+            .Add("benchmark", "serve/" + label)
             .Add("real_ns_per_iter", ns_per_request)
             .Add("workers", workers)
             .Add("requests", run.requests)
@@ -205,26 +205,82 @@ int Main(int argc, char** argv) {
             .Add("batches", run.snapshot.counter(Counter::kBatches))
             .Add("batched_requests",
                  run.snapshot.counter(Counter::kBatchedRequests))
+            .Add("deadline_exceeded", expired)
+            .Build());
+    report.AddResult(
+        obs::JsonObjectBuilder()
+            .Add("benchmark", "serve/p95:" + label)
+            .Add("real_ns_per_iter", run.snapshot.latency_p95_us * 1000.0)
             .Build());
 
-    char entry[640];
+    char entry[704];
     std::snprintf(
         entry, sizeof(entry),
-        "%s\n    {\"workers\": %d, \"requests\": %llu, \"seconds\": %.4f, "
+        "%s\n    {\"run\": \"%s\", \"workers\": %d, \"requests\": %llu, "
+        "\"seconds\": %.4f, "
         "\"requests_per_sec\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
         "\"p99_us\": %.1f, "
-        "\"batches\": %llu, \"batched_requests\": %llu, \"obs\": ",
-        results_json.empty() ? "" : ",", workers,
+        "\"batches\": %llu, \"batched_requests\": %llu, "
+        "\"deadline_exceeded\": %llu, \"obs\": ",
+        results_json.empty() ? "" : ",", label.c_str(), workers,
         static_cast<unsigned long long>(run.requests), run.seconds, rps,
         run.snapshot.latency_p50_us, run.snapshot.latency_p95_us,
         run.snapshot.latency_p99_us,
         static_cast<unsigned long long>(
             run.snapshot.counter(Counter::kBatches)),
         static_cast<unsigned long long>(
-            run.snapshot.counter(Counter::kBatchedRequests)));
+            run.snapshot.counter(Counter::kBatchedRequests)),
+        static_cast<unsigned long long>(expired));
     results_json += entry;
     results_json += obs_json;
     results_json += "}";
+  };
+
+  auto make_options = [&](int workers) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    options.queue_capacity = 16384;
+    options.max_batch = 16;
+    options.sessions.capacity = replays.size() + 16;
+    options.sessions.observation_window = kWindow;
+    return options;
+  };
+
+  for (int workers : worker_counts) {
+    auto service =
+        PredictionService::CreateFromCheckpoint(make_options(workers), ckpt);
+    CASCN_CHECK(service.ok()) << service.status();
+
+    const RunResult run = RunWorkload(**service, replays, clients);
+    (*service)->Shutdown();
+    // Unified observability snapshot for this run: queue-depth gauge and
+    // batch-size histogram maintained by the service, plus the serve
+    // counters bridged in.
+    ExportToRegistry(run.snapshot, (*service)->registry());
+    record_run("workers:" + std::to_string(workers), workers, run,
+               (*service)->registry().JsonSnapshot());
+  }
+
+  // Degraded-mode scenario: a slice of predicts stalls inside the worker
+  // (the "serve.slow_predict" fault, armed deterministically) while every
+  // async predict carries a deadline. The service must keep draining —
+  // expired requests fail fast with DeadlineExceeded instead of piling onto
+  // workers — and the p95 guard row keeps the degraded latency tail honest.
+  {
+    const int workers = 2;
+    auto service =
+        PredictionService::CreateFromCheckpoint(make_options(workers), ckpt);
+    CASCN_CHECK(service.ok()) << service.status();
+    CASCN_CHECK(fault::FaultRegistry::Get()
+                    .Configure("serve.slow_predict=every:16@2")
+                    .ok());
+    const RunResult run =
+        RunWorkload(**service, replays, clients, /*predict_deadline_ms=*/10.0);
+    fault::FaultRegistry::Get().Clear();
+    (*service)->Shutdown();
+    ExportToRegistry(run.snapshot, (*service)->registry());
+    record_run("degraded", workers, run,
+               (*service)->registry().JsonSnapshot());
   }
 
   std::printf(

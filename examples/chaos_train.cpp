@@ -1,0 +1,158 @@
+// Chaos smoke: prove crash-safe training end to end.
+//
+// Trains CasCN twice on the same simulated dataset:
+//
+//   1. Uninterrupted: all --epochs epochs in one run.
+//   2. Chaos: the run is killed after --kill_after epochs (the process just
+//      stops training, like a crash at an epoch boundary), then resumed
+//      from the train-state file to the same total epoch count — with the
+//      "trainer.nan_loss" fault poisoning batch losses the whole time, so
+//      the non-finite guard and the resume path are exercised together.
+//
+// Both runs save a model checkpoint; the two files must be byte-identical,
+// which CI asserts with cmp. Exit status is non-zero if the checkpoints
+// differ, so the binary is its own assertion.
+//
+//   ./chaos_train [--cascades=200] [--epochs=4] [--kill_after=2]
+//                 [--state=/tmp/chaos_state.bin]
+//                 [--out=/tmp/chaos] [--seed=42]
+//                 [--nan_prob=0.1] [--verbose]
+//
+// Writes <out>_full.ckpt and <out>_resumed.ckpt.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/cli_flags.h"
+#include "common/logging.h"
+#include "core/cascn_model.h"
+#include "core/trainer.h"
+#include "data/cascade_generator.h"
+#include "data/dataset.h"
+#include "fault/fault.h"
+#include "serve/checkpoint.h"
+
+namespace cascn {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CASCN_CHECK(in.good()) << "cannot read " << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+int Main(int argc, char** argv) {
+  CliFlags flags;
+  CASCN_CHECK(flags.Parse(argc, argv).ok());
+  const int num_cascades = static_cast<int>(flags.GetInt("cascades", 200));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 4));
+  const int kill_after = static_cast<int>(flags.GetInt("kill_after", 2));
+  const std::string state_path =
+      flags.GetString("state", "/tmp/chaos_state.bin");
+  const std::string out = flags.GetString("out", "/tmp/chaos");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const double nan_prob = flags.GetDouble("nan_prob", 0.1);
+  const bool verbose = flags.GetBool("verbose", false);
+  CASCN_CHECK(kill_after >= 1 && kill_after < epochs)
+      << "--kill_after must interrupt the run: 1 <= kill_after < epochs";
+
+  GeneratorConfig gen = WeiboLikeConfig();
+  gen.num_cascades = num_cascades;
+  Rng rng(seed);
+  const std::vector<Cascade> cascades = GenerateCascades(gen, rng);
+  DatasetOptions data_opts;
+  data_opts.observation_window = 60.0;
+  data_opts.min_observed_size = 10;
+  auto dataset = BuildDataset(cascades, data_opts);
+  CASCN_CHECK(dataset.ok()) << dataset.status();
+  std::printf("chaos_train: %zu train cascades, %d epochs, kill after %d, "
+              "nan_prob %.2f\n",
+              dataset->train.size(), epochs, kill_after, nan_prob);
+
+  CascnConfig config;
+  config.padded_size = 32;
+  config.hidden_dim = 12;
+  config.cheb_order = 2;
+  config.seed = seed;
+
+  auto arm_faults = [&] {
+    fault::FaultRegistry::Get().Clear();
+    if (nan_prob > 0.0) {
+      fault::FaultRegistry::Get().set_seed(seed);
+      char spec[64];
+      std::snprintf(spec, sizeof(spec), "trainer.nan_loss=prob:%.4f",
+                    nan_prob);
+      CASCN_CHECK(fault::FaultRegistry::Get().Configure(spec).ok());
+    }
+  };
+  auto options = [&](int max_epochs, const std::string& checkpoint) {
+    TrainerOptions trainer;
+    trainer.max_epochs = max_epochs;
+    trainer.patience = max_epochs + 1;  // no early stop: epochs are fixed
+    trainer.seed = seed;
+    trainer.verbose = verbose;
+    trainer.checkpoint_path = checkpoint;
+    return trainer;
+  };
+
+  // Run 1: uninterrupted reference (no state file).
+  arm_faults();
+  CascnModel full_model(config);
+  const TrainResult full =
+      TrainRegressor(full_model, *dataset, options(epochs, ""));
+  const std::string full_ckpt = out + "_full.ckpt";
+  CASCN_CHECK(serve::SaveCascnCheckpoint(full_ckpt, full_model).ok());
+  std::printf("full run: %zu epochs, %lld poisoned steps skipped, "
+              "best MSLE %.4f\n",
+              full.history.size(),
+              static_cast<long long>(full.skipped_steps),
+              full.best_validation_msle);
+
+  // Run 2: "crash" at the kill point, then a fresh process-equivalent
+  // resumes from the state file and finishes the run.
+  std::remove(state_path.c_str());
+  arm_faults();
+  CascnModel killed_model(config);
+  TrainRegressor(killed_model, *dataset, options(kill_after, state_path));
+  std::printf("killed after epoch %d (state in %s)\n", kill_after,
+              state_path.c_str());
+
+  arm_faults();
+  CascnModel resumed_model(config);
+  const TrainResult resumed =
+      TrainRegressor(resumed_model, *dataset, options(epochs, state_path));
+  fault::FaultRegistry::Get().Clear();
+  CASCN_CHECK(resumed.resumed_from_checkpoint)
+      << "resume did not pick up the state file";
+  const std::string resumed_ckpt = out + "_resumed.ckpt";
+  CASCN_CHECK(serve::SaveCascnCheckpoint(resumed_ckpt, resumed_model).ok());
+  std::printf("resumed run: %zu epochs total, %lld poisoned steps skipped, "
+              "best MSLE %.4f\n",
+              resumed.history.size(),
+              static_cast<long long>(resumed.skipped_steps),
+              resumed.best_validation_msle);
+
+  // The whole point: interrupted + resumed training produces the exact
+  // same bytes as never crashing at all.
+  const std::string a = ReadAll(full_ckpt);
+  const std::string b = ReadAll(resumed_ckpt);
+  if (a.size() != b.size() || std::memcmp(a.data(), b.data(), a.size()) != 0) {
+    std::fprintf(stderr,
+                 "chaos_train: FAIL — %s and %s differ (%zu vs %zu bytes)\n",
+                 full_ckpt.c_str(), resumed_ckpt.c_str(), a.size(), b.size());
+    return 1;
+  }
+  std::printf("chaos_train: OK — checkpoints byte-identical (%zu bytes), "
+              "skipped steps match: %s\n",
+              a.size(),
+              full.skipped_steps == resumed.skipped_steps ? "yes" : "NO");
+  return full.skipped_steps == resumed.skipped_steps ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cascn
+
+int main(int argc, char** argv) { return cascn::Main(argc, argv); }

@@ -1,0 +1,31 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace cascn {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace cascn

@@ -1,0 +1,65 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace cascn {
+
+namespace {
+
+std::string ErrnoText() {
+  return errno != 0 ? std::strerror(errno) : "unknown error";
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  errno = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::IoError(
+        StrFormat("cannot open %s: %s", path.c_str(), ErrnoText().c_str()));
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    bytes.append(buffer, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error)
+    return Status::IoError(
+        StrFormat("error reading %s: %s", path.c_str(), ErrnoText().c_str()));
+  return bytes;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  errno = 0;
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    return Status::IoError(StrFormat("cannot open %s for writing: %s",
+                                     tmp.c_str(), ErrnoText().c_str()));
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    const std::string why = ErrnoText();
+    std::remove(tmp.c_str());
+    return Status::IoError(
+        StrFormat("short write to %s (%zu of %zu bytes): %s", tmp.c_str(),
+                  written, bytes.size(), why.c_str()));
+  }
+  errno = 0;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = ErrnoText();
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("cannot rename %s over %s: %s",
+                                     tmp.c_str(), path.c_str(), why.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace cascn

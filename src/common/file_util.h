@@ -1,0 +1,31 @@
+// Whole-file I/O with crash-safe writes and errno-bearing errors.
+//
+// WriteFileAtomic is the write primitive for everything durable (model
+// checkpoints, trainer resume state): it streams into a sibling temp file
+// and renames it over the destination only after a successful flush, so a
+// crash — or an injected fault — at any instant leaves either the previous
+// complete file or a stray temp file, never a torn destination. All failure
+// Statuses name the path and carry strerror(errno).
+
+#ifndef CASCN_COMMON_FILE_UTIL_H_
+#define CASCN_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace cascn {
+
+/// Reads the entire file into a string. IoError (path + strerror) when the
+/// file cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `bytes`: writes `path`.tmp, flushes,
+/// verifies the stream survived the final flush (short writes are errors,
+/// not silent truncation), then renames over `path`. On any failure the
+/// temp file is removed and `path` is untouched.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+}  // namespace cascn
+
+#endif  // CASCN_COMMON_FILE_UTIL_H_

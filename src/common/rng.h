@@ -76,6 +76,28 @@ class Rng {
     }
   }
 
+  /// Complete generator state, for checkpoint/resume: a generator whose
+  /// state is saved and later restored continues the exact same stream.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State SaveState() const {
+    State state;
+    for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+    state.has_cached_normal = has_cached_normal_;
+    state.cached_normal = cached_normal_;
+    return state;
+  }
+
+  void RestoreState(const State& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+    has_cached_normal_ = state.has_cached_normal;
+    cached_normal_ = state.cached_normal;
+  }
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

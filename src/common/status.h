@@ -25,6 +25,7 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code`, e.g. "InvalidArgument".
@@ -70,6 +71,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

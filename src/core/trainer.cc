@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <fstream>
 #include <limits>
 #include <numeric>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "core/train_state.h"
+#include "fault/fault.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "obs/metrics_registry.h"
@@ -87,6 +91,7 @@ std::string EpochStats::ToTelemetryJson(const std::string& model_name) const {
       .Add("grad_norm", grad_norm)
       .Add("learning_rate", learning_rate)
       .Add("num_batches", num_batches)
+      .Add("skipped_steps", skipped_steps)
       .Add("threads", threads)
       .Build();
 }
@@ -96,6 +101,9 @@ TrainResult TrainRegressor(CascadeRegressor& model,
                            const TrainerOptions& options) {
   CASCN_CHECK(!dataset.train.empty() && !dataset.validation.empty());
   CASCN_CHECK(options.max_epochs >= 1 && options.batch_size >= 1);
+  CASCN_CHECK(options.checkpoint_interval >= 1);
+  CASCN_CHECK(options.nonfinite_lr_backoff > 0 &&
+              options.nonfinite_lr_backoff <= 1.0);
 
   if (options.calibrate_output_offset) {
     double mean_label = 0;
@@ -122,6 +130,16 @@ TrainResult TrainRegressor(CascadeRegressor& model,
       obs::MetricsRegistry::Get().GetCounter("train_batches_total");
   obs::Counter& samples_total =
       obs::MetricsRegistry::Get().GetCounter("train_samples_total");
+  obs::Counter& nonfinite_total =
+      obs::MetricsRegistry::Get().GetCounter("train_nonfinite_steps_total");
+  obs::Counter& lr_backoffs_total =
+      obs::MetricsRegistry::Get().GetCounter("train_lr_backoffs_total");
+  obs::Counter& state_writes_total =
+      obs::MetricsRegistry::Get().GetCounter("train_state_writes_total");
+  obs::Counter& state_write_failures_total = obs::MetricsRegistry::Get()
+      .GetCounter("train_state_write_failures_total");
+  obs::Counter& resumes_total =
+      obs::MetricsRegistry::Get().GetCounter("train_resumes_total");
   obs::Gauge& grad_norm_gauge =
       obs::MetricsRegistry::Get().GetGauge("train_grad_norm");
 
@@ -129,15 +147,118 @@ TrainResult TrainRegressor(CascadeRegressor& model,
   result.best_validation_msle = std::numeric_limits<double>::infinity();
   std::vector<Tensor> best_weights;
   int stagnant = 0;
+  int start_epoch = 1;
+  uint64_t global_step = 0;
 
-  for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
+  // Resume from a prior run's state, when asked and the file is usable. A
+  // missing file is a silent fresh start; a corrupt or mismatched one is
+  // logged and ignored, never fatal.
+  if (!options.checkpoint_path.empty() && options.resume &&
+      std::ifstream(options.checkpoint_path).good()) {
+    Result<TrainState> loaded = LoadTrainState(options.checkpoint_path);
+    Status restore_status = loaded.status();
+    if (loaded.ok()) {
+      TrainState& st = loaded.value();
+      if (st.params.size() != params.size()) {
+        restore_status = Status::InvalidArgument(StrFormat(
+            "train state holds %zu parameters, model has %zu",
+            st.params.size(), params.size()));
+      } else {
+        restore_status = optimizer.RestoreState(
+            nn::Adam::State{st.adam_t, st.adam_m, st.adam_v});
+      }
+      if (restore_status.ok()) {
+        for (size_t i = 0; i < params.size(); ++i)
+          params[i].mutable_value() = st.params[i];
+        optimizer.set_learning_rate(st.learning_rate);
+        rng.RestoreState(st.rng);
+        model.set_output_offset(st.output_offset);
+        start_epoch = st.next_epoch;
+        stagnant = st.stagnant;
+        global_step = st.global_step;
+        result.best_epoch = st.best_epoch;
+        result.best_validation_msle = st.best_validation_msle;
+        result.skipped_steps = st.skipped_steps;
+        result.resumed_from_checkpoint = true;
+        best_weights = std::move(st.best_weights);
+        for (size_t i = 0; i < st.history_train_loss.size(); ++i) {
+          EpochStats past;
+          past.epoch = static_cast<int>(i) + 1;
+          past.train_loss = st.history_train_loss[i];
+          past.validation_msle = st.history_validation_msle[i];
+          result.history.push_back(past);
+        }
+        // A state saved by an early-stopped run must not train further.
+        if (stagnant > options.patience) start_epoch = options.max_epochs + 1;
+        resumes_total.Increment();
+        if (options.verbose) {
+          CASCN_LOG(INFO) << model.name() << " resuming from "
+                          << options.checkpoint_path << " at epoch "
+                          << start_epoch;
+        }
+      }
+    }
+    if (!restore_status.ok()) {
+      CASCN_LOG(WARNING) << model.name() << " ignoring unusable train state "
+                         << options.checkpoint_path << ": "
+                         << restore_status << "; starting fresh";
+    }
+  }
+
+  // Last-good snapshot the non-finite guard rolls back to. Updated after
+  // every successful optimizer step.
+  std::vector<Tensor> good_params;
+  good_params.reserve(params.size());
+  for (const auto& p : params) good_params.push_back(p.value());
+  nn::Adam::State good_adam = optimizer.SaveState();
+
+  // Writes the resumable state for `completed_epoch`; failures are logged
+  // and counted (training proceeds, the previous state file survives).
+  auto write_state = [&](int completed_epoch) {
+    TrainState st;
+    st.next_epoch = completed_epoch + 1;
+    st.learning_rate = optimizer.learning_rate();
+    st.stagnant = stagnant;
+    st.best_epoch = result.best_epoch;
+    st.best_validation_msle = result.best_validation_msle;
+    st.global_step = global_step;
+    st.skipped_steps = result.skipped_steps;
+    st.rng = rng.SaveState();
+    st.output_offset = model.output_offset();
+    for (const auto& p : params) st.params.push_back(p.value());
+    nn::Adam::State adam = optimizer.SaveState();
+    st.adam_t = adam.t;
+    st.adam_m = std::move(adam.m);
+    st.adam_v = std::move(adam.v);
+    st.best_weights = best_weights;
+    for (const EpochStats& past : result.history) {
+      st.history_train_loss.push_back(past.train_loss);
+      st.history_validation_msle.push_back(past.validation_msle);
+    }
+    const Status status = SaveTrainState(options.checkpoint_path, st);
+    if (status.ok()) {
+      state_writes_total.Increment();
+    } else {
+      state_write_failures_total.Increment();
+      CASCN_LOG(WARNING) << model.name() << " failed writing train state: "
+                         << status;
+    }
+  };
+
+  for (int epoch = start_epoch; epoch <= options.max_epochs; ++epoch) {
     CASCN_TRACE_SPAN("train_epoch");
     const auto epoch_start = Clock::now();
-    if (options.shuffle) rng.Shuffle(order);
+    // Re-derive the permutation from the identity so the epoch's order is a
+    // pure function of the Rng state — the state file can then resume it.
+    if (options.shuffle) {
+      std::iota(order.begin(), order.end(), 0);
+      rng.Shuffle(order);
+    }
     EpochStats stats;
     double epoch_loss = 0;
     double grad_norm_sum = 0;
     size_t processed = 0;
+    size_t counted_samples = 0;  // samples in non-skipped batches
     const bool concurrent = RunConcurrently(model);
     while (processed < order.size()) {
       CASCN_TRACE_SPAN("train_batch");
@@ -184,11 +305,11 @@ TrainResult TrainRegressor(CascadeRegressor& model,
       // Apportion the fused region's wall-clock between the two phases by
       // the per-sample time spent in each, keeping phase sums <= epoch
       // wall-clock even when many workers overlapped.
-      double forward_total = 0, backward_total = 0;
+      double forward_total = 0, backward_total = 0, batch_loss_sum = 0;
       for (size_t s = 0; s < bn; ++s) {
         forward_total += sample_forward_s[s];
         backward_total += sample_backward_s[s];
-        epoch_loss += sample_loss[s];
+        batch_loss_sum += sample_loss[s];
       }
       if (forward_total + backward_total > 0) {
         const double scale =
@@ -219,21 +340,57 @@ TrainResult TrainRegressor(CascadeRegressor& model,
       stats.reduce_seconds += SecondsSince(reduce_start);
 
       const double batch_grad_norm = nn::GlobalGradNorm(params);
-      grad_norm_sum += batch_grad_norm;
-      grad_norm_gauge.Set(batch_grad_norm);
-      const auto step_start = Clock::now();
-      {
-        CASCN_TRACE_SPAN("optimizer_step");
-        optimizer.Step();
+      // Non-finite guard. The injected poison (keyed by the global step so
+      // a resumed run sees the identical fault schedule) and a genuinely
+      // diverged batch take the same path: skip the optimizer step, roll
+      // parameters and Adam state back to the last good step, and back the
+      // learning rate off.
+      const double batch_loss = fault::PoisonNaN(
+          kFaultTrainerNanLoss, batch_loss_sum / static_cast<double>(bn),
+          global_step);
+      if (!std::isfinite(batch_loss) || !std::isfinite(batch_grad_norm)) {
+        optimizer.ZeroGrad();
+        for (size_t i = 0; i < params.size(); ++i)
+          params[i].mutable_value() = good_params[i];
+        CASCN_CHECK(optimizer.RestoreState(good_adam).ok());
+        optimizer.set_learning_rate(optimizer.learning_rate() *
+                                    options.nonfinite_lr_backoff);
+        nonfinite_total.Increment();
+        lr_backoffs_total.Increment();
+        ++stats.skipped_steps;
+        ++result.skipped_steps;
+        if (options.verbose) {
+          CASCN_LOG(WARNING)
+              << model.name() << " non-finite step " << global_step
+              << " skipped (loss=" << batch_loss
+              << " grad_norm=" << batch_grad_norm << "), lr backed off to "
+              << optimizer.learning_rate();
+        }
+      } else {
+        epoch_loss += batch_loss_sum;
+        counted_samples += bn;
+        grad_norm_sum += batch_grad_norm;
+        grad_norm_gauge.Set(batch_grad_norm);
+        const auto step_start = Clock::now();
+        {
+          CASCN_TRACE_SPAN("optimizer_step");
+          optimizer.Step();
+        }
+        stats.optimizer_seconds += SecondsSince(step_start);
+        for (size_t i = 0; i < params.size(); ++i)
+          good_params[i] = params[i].value();
+        good_adam = optimizer.SaveState();
       }
-      stats.optimizer_seconds += SecondsSince(step_start);
+      ++global_step;
       ++stats.num_batches;
       batches_total.Increment();
       samples_total.Increment(static_cast<uint64_t>(bn));
       processed = batch_end;
     }
     stats.epoch = epoch;
-    stats.train_loss = epoch_loss / static_cast<double>(order.size());
+    stats.train_loss = counted_samples == 0
+                           ? 0.0
+                           : epoch_loss / static_cast<double>(counted_samples);
     {
       CASCN_TRACE_SPAN("validate");
       const auto validation_start = Clock::now();
@@ -241,10 +398,11 @@ TrainResult TrainRegressor(CascadeRegressor& model,
       stats.validation_seconds = SecondsSince(validation_start);
     }
     stats.epoch_seconds = SecondsSince(epoch_start);
+    const int stepped_batches = stats.num_batches - stats.skipped_steps;
     stats.grad_norm =
-        stats.num_batches == 0
+        stepped_batches == 0
             ? 0.0
-            : grad_norm_sum / static_cast<double>(stats.num_batches);
+            : grad_norm_sum / static_cast<double>(stepped_batches);
     stats.learning_rate = optimizer.learning_rate();
     stats.threads = static_cast<int>(parallel::ConfiguredThreads());
     epochs_total.Increment();
@@ -258,6 +416,7 @@ TrainResult TrainRegressor(CascadeRegressor& model,
     }
     if (options.telemetry != nullptr)
       options.telemetry->Emit(stats.ToTelemetryJson(model.name()));
+    bool stop = false;
     if (stats.validation_msle < result.best_validation_msle - 1e-9) {
       result.best_validation_msle = stats.validation_msle;
       result.best_epoch = epoch;
@@ -265,8 +424,17 @@ TrainResult TrainRegressor(CascadeRegressor& model,
       best_weights.clear();
       for (const auto& p : params) best_weights.push_back(p.value());
     } else if (++stagnant > options.patience) {
-      break;
+      stop = true;
     }
+    // Epoch boundary reached: persist the resumable state. Also written on
+    // the final/stopping epoch regardless of the interval, so a resumed
+    // process sees a finished run instead of redoing the last epoch.
+    if (!options.checkpoint_path.empty() &&
+        (epoch % options.checkpoint_interval == 0 || stop ||
+         epoch == options.max_epochs)) {
+      write_state(epoch);
+    }
+    if (stop) break;
   }
   // Restore the best-epoch weights.
   if (!best_weights.empty()) {

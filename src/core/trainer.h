@@ -36,7 +36,26 @@ struct TrainerOptions {
   /// Receives one JSON object per epoch (timings, gradient norm, learning
   /// rate — every EpochStats field). Not owned; may be null (no streaming).
   obs::TelemetrySink* telemetry = nullptr;
+  /// Crash safety: when non-empty, the trainer writes a resumable state
+  /// file (core/train_state.h) here every `checkpoint_interval` epochs.
+  /// With `resume`, a valid existing file continues the run from its epoch;
+  /// the resumed run's weights are bit-identical to an uninterrupted run at
+  /// any thread count. A corrupt or mismatched file is logged and ignored
+  /// (fresh start); a failed write is logged and counted, never fatal.
+  std::string checkpoint_path;
+  int checkpoint_interval = 1;
+  bool resume = true;
+  /// Non-finite guard: when a batch produces a non-finite loss or gradient
+  /// norm, the step is skipped, parameters and Adam state are restored from
+  /// the last good step, and the learning rate is multiplied by this
+  /// backoff factor.
+  double nonfinite_lr_backoff = 0.5;
 };
+
+/// Fault-injection point (src/fault): poisons a batch loss with NaN, keyed
+/// by the global step so interrupted-and-resumed runs see the identical
+/// fault schedule.
+inline constexpr char kFaultTrainerNanLoss[] = "trainer.nan_loss";
 
 /// Per-epoch record, including wall-clock and optimization telemetry.
 struct EpochStats {
@@ -59,6 +78,8 @@ struct EpochStats {
   double grad_norm = 0.0;
   double learning_rate = 0.0;
   int num_batches = 0;
+  /// Batches whose optimizer step was skipped by the non-finite guard.
+  int skipped_steps = 0;
   /// parallel::ConfiguredThreads() during this epoch (1 = serial path).
   int threads = 1;
 
@@ -72,6 +93,12 @@ struct TrainResult {
   std::vector<EpochStats> history;
   double best_validation_msle = 0.0;
   int best_epoch = 0;
+  /// True when the run continued from TrainerOptions::checkpoint_path; the
+  /// history then covers the whole run, with pre-resume epochs carrying
+  /// losses only (no timings).
+  bool resumed_from_checkpoint = false;
+  /// Total batches skipped by the non-finite guard, across resumes.
+  int64_t skipped_steps = 0;
 };
 
 /// MSLE (Eq. 20) of `model` over `samples`. When the model supports

@@ -18,6 +18,26 @@ Adam::Adam(std::vector<ag::Variable> params, Options options)
   }
 }
 
+Status Adam::RestoreState(const State& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size())
+    return Status::InvalidArgument(
+        "optimizer state holds " + std::to_string(state.m.size()) +
+        " moment tensors, optimizer has " + std::to_string(params_.size()) +
+        " parameters");
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const auto& p = params_[i].value();
+    if (state.m[i].rows() != p.rows() || state.m[i].cols() != p.cols() ||
+        state.v[i].rows() != p.rows() || state.v[i].cols() != p.cols())
+      return Status::InvalidArgument(
+          "optimizer state moment " + std::to_string(i) +
+          " shape does not match its parameter");
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+  return Status::OK();
+}
+
 void Adam::Step() {
   if (options_.clip_norm > 0) ClipGradNorm(params_, options_.clip_norm);
   ++t_;

@@ -50,6 +50,20 @@ class Adam : public Optimizer {
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
   double learning_rate() const { return options_.learning_rate; }
 
+  /// Full optimizer state — step count and both moment vectors — so a
+  /// training run can checkpoint and later resume bit-identically. The
+  /// state is a deep copy; mutating the optimizer afterwards does not
+  /// change a saved State.
+  struct State {
+    int64_t t = 0;
+    std::vector<Tensor> m;
+    std::vector<Tensor> v;
+  };
+  State SaveState() const { return State{t_, m_, v_}; }
+  /// Rejects a State whose moment tensors do not match this optimizer's
+  /// parameter count/shapes (e.g. a checkpoint from a different model).
+  Status RestoreState(const State& state);
+
  private:
   Options options_;
   int64_t t_ = 0;

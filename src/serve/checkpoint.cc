@@ -1,9 +1,14 @@
 #include "serve/checkpoint.h"
 
+#include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
+#include "common/crc32.h"
+#include "common/file_util.h"
 #include "common/string_util.h"
+#include "fault/fault.h"
 
 namespace cascn::serve {
 
@@ -40,21 +45,120 @@ Status ReadString(std::istream& in, std::string* s, const char* what) {
   return Status::OK();
 }
 
+/// Serializes a complete current-version checkpoint (including the trailing
+/// CRC) into a byte string.
+Result<std::string> SerializeCheckpoint(const std::string& model_type,
+                                        const std::string& config_text,
+                                        const nn::Module& module,
+                                        double output_offset) {
+  std::ostringstream buffer;
+  WriteU32(buffer, kCheckpointMagic);
+  WriteU32(buffer, kCheckpointVersion);
+  WriteString(buffer, model_type);
+  WriteString(buffer, config_text);
+  buffer.write(reinterpret_cast<const char*>(&output_offset),
+               sizeof(output_offset));
+  if (!buffer.good())
+    return Status::IoError("failed serializing checkpoint header");
+  CASCN_RETURN_IF_ERROR(module.Save(buffer));
+  WriteU32(buffer, kCheckpointFooter);
+  if (!buffer.good())
+    return Status::IoError("failed serializing checkpoint footer");
+  std::string bytes = buffer.str();
+  const uint32_t crc = Crc32(bytes);
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return bytes;
+}
+
+/// Structural integrity of a whole checkpoint image: minimum size and, for
+/// version >= 2, the trailing CRC. `context` names the source (usually the
+/// path) in error messages. Magic/version/type validation happens during
+/// parsing; this runs first so a torn or bit-rotted file is called out as
+/// such instead of failing deep inside the parse.
+Status VerifyCheckpointBytes(const std::string& bytes,
+                             const std::string& context) {
+  if (bytes.size() < 2 * sizeof(uint32_t))
+    return Status::IoError(StrFormat(
+        "%s: %zu bytes is too short to be a checkpoint", context.c_str(),
+        bytes.size()));
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  if (magic != kCheckpointMagic)
+    return Status::InvalidArgument(
+        StrFormat("%s: not a CasCN checkpoint (magic 0x%08x)",
+                  context.c_str(), magic));
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(uint32_t), sizeof(version));
+  if (version < 2) return Status::OK();  // v1 carries no checksum
+  if (bytes.size() < 3 * sizeof(uint32_t))
+    return Status::IoError(
+        StrFormat("%s: truncated before the checksum", context.c_str()));
+  uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+              sizeof(stored));
+  const uint32_t computed =
+      Crc32(bytes.data(), bytes.size() - sizeof(stored));
+  if (stored != computed)
+    return Status::IoError(StrFormat(
+        "%s: checksum mismatch (stored 0x%08x, computed 0x%08x): torn or "
+        "corrupt checkpoint",
+        context.c_str(), stored, computed));
+  return Status::OK();
+}
+
+/// Bytes the parser must leave unconsumed at the end of a valid image.
+size_t ExpectedTrailingBytes(uint32_t version) {
+  return version >= 2 ? sizeof(uint32_t) : 0;
+}
+
+/// Parses header + module payload + footer from a full in-memory image that
+/// already passed VerifyCheckpointBytes. `load` receives the positioned
+/// stream and parsed header and loads the parameter payload.
+Status ParseCheckpointBytes(
+    const std::string& bytes, const std::string& context,
+    CheckpointHeader* header_out,
+    const std::function<Status(std::istream&, const CheckpointHeader&)>&
+        load) {
+  std::istringstream in(bytes);
+  CASCN_ASSIGN_OR_RETURN(CheckpointHeader header, ReadCheckpointHeader(in));
+  CASCN_RETURN_IF_ERROR(load(in, header));
+  uint32_t footer = 0;
+  CASCN_RETURN_IF_ERROR(ReadU32(in, &footer, "footer"));
+  if (footer != kCheckpointFooter)
+    return Status::IoError(
+        StrFormat("%s: checkpoint footer mismatch (0x%08x): truncated or "
+                  "corrupt parameter payload",
+                  context.c_str(), footer));
+  const std::streampos pos = in.tellg();
+  if (pos < 0 ||
+      bytes.size() - static_cast<size_t>(pos) !=
+          ExpectedTrailingBytes(header.version))
+    return Status::IoError(StrFormat(
+        "%s: %zu unexpected trailing bytes after the checkpoint footer",
+        context.c_str(),
+        pos < 0 ? size_t{0} : bytes.size() - static_cast<size_t>(pos)));
+  if (header_out != nullptr) *header_out = std::move(header);
+  return Status::OK();
+}
+
+/// Reads the whole stream (used by the istream-based loaders; checkpoint
+/// images are small enough to buffer).
+std::string DrainStream(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 }  // namespace
 
 Status WriteCheckpoint(std::ostream& out, const std::string& model_type,
                        const std::string& config_text,
                        const nn::Module& module, double output_offset) {
-  WriteU32(out, kCheckpointMagic);
-  WriteU32(out, kCheckpointVersion);
-  WriteString(out, model_type);
-  WriteString(out, config_text);
-  out.write(reinterpret_cast<const char*>(&output_offset),
-            sizeof(output_offset));
-  if (!out.good()) return Status::IoError("failed writing checkpoint header");
-  CASCN_RETURN_IF_ERROR(module.Save(out));
-  WriteU32(out, kCheckpointFooter);
-  if (!out.good()) return Status::IoError("failed writing checkpoint footer");
+  CASCN_ASSIGN_OR_RETURN(
+      const std::string bytes,
+      SerializeCheckpoint(model_type, config_text, module, output_offset));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) return Status::IoError("failed writing checkpoint");
   return Status::OK();
 }
 
@@ -62,15 +166,21 @@ Status WriteCheckpointFile(const std::string& path,
                            const std::string& model_type,
                            const std::string& config_text,
                            const nn::Module& module, double output_offset) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open())
-    return Status::IoError("cannot open checkpoint for writing: " + path);
-  CASCN_RETURN_IF_ERROR(
-      WriteCheckpoint(out, model_type, config_text, module, output_offset));
-  out.flush();
-  if (!out.good())
-    return Status::IoError("failed flushing checkpoint: " + path);
-  return Status::OK();
+  CASCN_ASSIGN_OR_RETURN(
+      const std::string bytes,
+      SerializeCheckpoint(model_type, config_text, module, output_offset));
+  if (fault::ShouldFire(kFaultCheckpointTornWrite)) {
+    // Simulate a crash mid-write: a torn image under the temp name, no
+    // rename — the destination (the previous checkpoint, if any) is
+    // untouched, exactly the guarantee the atomic write provides.
+    std::ofstream torn(path + ".tmp", std::ios::binary | std::ios::trunc);
+    torn.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size() / 2));
+    return Status::IoError("injected fault: checkpoint write to " + path +
+                           " torn mid-stream (destination untouched)");
+  }
+  CASCN_RETURN_IF_ERROR(fault::InjectStatus(kFaultCheckpointWriteFail));
+  return WriteFileAtomic(path, bytes);
 }
 
 Result<CheckpointHeader> ReadCheckpointHeader(std::istream& in) {
@@ -81,10 +191,11 @@ Result<CheckpointHeader> ReadCheckpointHeader(std::istream& in) {
         StrFormat("not a CasCN checkpoint (magic 0x%08x)", magic));
   CheckpointHeader header;
   CASCN_RETURN_IF_ERROR(ReadU32(in, &header.version, "version"));
-  if (header.version != kCheckpointVersion)
+  if (header.version < kCheckpointMinVersion ||
+      header.version > kCheckpointVersion)
     return Status::InvalidArgument(
-        StrFormat("unsupported checkpoint version %u (supported: %u)",
-                  header.version, kCheckpointVersion));
+        StrFormat("unsupported checkpoint version %u (supported: %u..%u)",
+                  header.version, kCheckpointMinVersion, kCheckpointVersion));
   CASCN_RETURN_IF_ERROR(ReadString(in, &header.model_type, "model type"));
   CASCN_RETURN_IF_ERROR(ReadString(in, &header.config_text, "config block"));
   in.read(reinterpret_cast<char*>(&header.output_offset),
@@ -95,39 +206,46 @@ Result<CheckpointHeader> ReadCheckpointHeader(std::istream& in) {
 }
 
 Result<CheckpointHeader> ReadCheckpointHeaderFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open())
-    return Status::IoError("cannot open checkpoint: " + path);
+  CASCN_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  std::istringstream in(bytes);
   return ReadCheckpointHeader(in);
 }
 
 Status LoadCheckpointInto(std::istream& in,
                           const std::string& expected_model_type,
                           nn::Module& module, CheckpointHeader* header) {
-  CASCN_ASSIGN_OR_RETURN(CheckpointHeader parsed, ReadCheckpointHeader(in));
-  if (parsed.model_type != expected_model_type)
-    return Status::InvalidArgument(
-        StrFormat("checkpoint holds a '%s' model, expected '%s'",
-                  parsed.model_type.c_str(), expected_model_type.c_str()));
-  CASCN_RETURN_IF_ERROR(module.Load(in));
-  uint32_t footer = 0;
-  CASCN_RETURN_IF_ERROR(ReadU32(in, &footer, "footer"));
-  if (footer != kCheckpointFooter)
-    return Status::IoError(
-        StrFormat("checkpoint footer mismatch (0x%08x): truncated or "
-                  "corrupt parameter payload",
-                  footer));
-  if (header != nullptr) *header = std::move(parsed);
-  return Status::OK();
+  const std::string bytes = DrainStream(in);
+  const std::string context = "checkpoint stream";
+  CASCN_RETURN_IF_ERROR(VerifyCheckpointBytes(bytes, context));
+  return ParseCheckpointBytes(
+      bytes, context, header,
+      [&](std::istream& stream, const CheckpointHeader& parsed) -> Status {
+        if (parsed.model_type != expected_model_type)
+          return Status::InvalidArgument(
+              StrFormat("checkpoint holds a '%s' model, expected '%s'",
+                        parsed.model_type.c_str(),
+                        expected_model_type.c_str()));
+        return module.Load(stream);
+      });
 }
 
 Status LoadCheckpointIntoFile(const std::string& path,
                               const std::string& expected_model_type,
                               nn::Module& module, CheckpointHeader* header) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open())
-    return Status::IoError("cannot open checkpoint: " + path);
-  return LoadCheckpointInto(in, expected_model_type, module, header);
+  CASCN_RETURN_IF_ERROR(fault::InjectStatus(kFaultCheckpointLoadFail));
+  fault::MaybeDelay(kFaultCheckpointLoadSlow);
+  CASCN_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  CASCN_RETURN_IF_ERROR(VerifyCheckpointBytes(bytes, path));
+  return ParseCheckpointBytes(
+      bytes, path, header,
+      [&](std::istream& stream, const CheckpointHeader& parsed) -> Status {
+        if (parsed.model_type != expected_model_type)
+          return Status::InvalidArgument(
+              StrFormat("checkpoint holds a '%s' model, expected '%s'",
+                        parsed.model_type.c_str(),
+                        expected_model_type.c_str()));
+        return stream.good() ? module.Load(stream) : Status::IoError("bad stream");
+      });
 }
 
 std::string EncodeCascnConfig(const CascnConfig& config) {
@@ -209,27 +327,25 @@ Status SaveCascnCheckpoint(const std::string& path, const CascnModel& model) {
 
 Result<std::unique_ptr<CascnModel>> LoadCascnCheckpoint(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open())
-    return Status::IoError("cannot open checkpoint: " + path);
-  CASCN_ASSIGN_OR_RETURN(const CheckpointHeader header,
-                         ReadCheckpointHeader(in));
-  if (header.model_type != kCascnModelType)
-    return Status::InvalidArgument(
-        StrFormat("checkpoint holds a '%s' model, expected '%s'",
-                  header.model_type.c_str(), kCascnModelType));
-  CASCN_ASSIGN_OR_RETURN(const CascnConfig config,
-                         ParseCascnConfig(header.config_text));
-  auto model = std::make_unique<CascnModel>(config);
-  CASCN_RETURN_IF_ERROR(model->Load(in));
-  uint32_t footer = 0;
-  CASCN_RETURN_IF_ERROR(ReadU32(in, &footer, "footer"));
-  if (footer != kCheckpointFooter)
-    return Status::IoError(
-        StrFormat("checkpoint footer mismatch (0x%08x): truncated or "
-                  "corrupt parameter payload",
-                  footer));
-  model->set_output_offset(header.output_offset);
+  CASCN_RETURN_IF_ERROR(fault::InjectStatus(kFaultCheckpointLoadFail));
+  fault::MaybeDelay(kFaultCheckpointLoadSlow);
+  CASCN_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  CASCN_RETURN_IF_ERROR(VerifyCheckpointBytes(bytes, path));
+  std::unique_ptr<CascnModel> model;
+  CASCN_RETURN_IF_ERROR(ParseCheckpointBytes(
+      bytes, path, nullptr,
+      [&](std::istream& stream, const CheckpointHeader& parsed) -> Status {
+        if (parsed.model_type != kCascnModelType)
+          return Status::InvalidArgument(
+              StrFormat("checkpoint holds a '%s' model, expected '%s'",
+                        parsed.model_type.c_str(), kCascnModelType));
+        CASCN_ASSIGN_OR_RETURN(const CascnConfig config,
+                               ParseCascnConfig(parsed.config_text));
+        model = std::make_unique<CascnModel>(config);
+        CASCN_RETURN_IF_ERROR(model->Load(stream));
+        model->set_output_offset(parsed.output_offset);
+        return Status::OK();
+      }));
   return model;
 }
 

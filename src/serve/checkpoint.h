@@ -11,10 +11,19 @@
 //   double  output offset                (CascadeRegressor calibration)
 //   ----    Module::Save payload         (named parameter tensors)
 //   uint32  footer magic   0x4E444E45 ("ENDN")
+//   uint32  CRC-32 of every preceding byte   (version >= 2)
 //
-// The footer magic distinguishes a cleanly written file from one truncated
-// mid-stream. Corrupt, truncated, or mismatched files are rejected with a
-// descriptive error Status — never a crash.
+// Version 2 (current) appends a CRC-32 of the whole file, so a single
+// flipped bit — not just truncation — is detected; version 1 files (no
+// checksum) are still read. The footer magic distinguishes a cleanly
+// written file from one truncated mid-stream. Corrupt, truncated, or
+// mismatched files are rejected with a descriptive error Status — never a
+// crash.
+//
+// Durability: WriteCheckpointFile is atomic (temp file + rename via
+// common/file_util.h). A crash mid-write — exercised by the
+// "checkpoint.torn_write" fault point — leaves the previous checkpoint
+// intact; a torn image can only ever exist under the temp name.
 
 #ifndef CASCN_SERVE_CHECKPOINT_H_
 #define CASCN_SERVE_CHECKPOINT_H_
@@ -32,7 +41,16 @@ namespace cascn::serve {
 
 inline constexpr uint32_t kCheckpointMagic = 0x4E435343;   // "CSCN"
 inline constexpr uint32_t kCheckpointFooter = 0x4E444E45;  // "ENDN"
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// Current write version. Version 2 added the trailing CRC-32; version 1
+/// files are still accepted by every loader.
+inline constexpr uint32_t kCheckpointVersion = 2;
+inline constexpr uint32_t kCheckpointMinVersion = 1;
+
+/// Fault-injection points (src/fault) wired through checkpoint I/O.
+inline constexpr char kFaultCheckpointTornWrite[] = "checkpoint.torn_write";
+inline constexpr char kFaultCheckpointWriteFail[] = "checkpoint.write_fail";
+inline constexpr char kFaultCheckpointLoadFail[] = "checkpoint.load_fail";
+inline constexpr char kFaultCheckpointLoadSlow[] = "checkpoint.load_slow";
 
 /// Everything readable without knowing the concrete model class.
 struct CheckpointHeader {
@@ -44,7 +62,10 @@ struct CheckpointHeader {
 
 /// Writes a checkpoint for any Module-backed model. `model_type` tags the
 /// concrete class (readers refuse a mismatched tag); `config_text` is an
-/// opaque block the loader uses to reconstruct the model shape.
+/// opaque block the loader uses to reconstruct the model shape. The stream
+/// variant serializes in memory first so the trailing CRC covers every
+/// byte; the file variant additionally writes atomically (temp + rename),
+/// reporting open/write failures with the path and strerror(errno).
 Status WriteCheckpoint(std::ostream& out, const std::string& model_type,
                        const std::string& config_text,
                        const nn::Module& module, double output_offset);

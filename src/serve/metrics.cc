@@ -30,14 +30,37 @@ std::string_view CounterName(Counter c) {
       return "batched_requests";
     case Counter::kErrors:
       return "errors";
+    case Counter::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Counter::kLoadRetries:
+      return "load_retries";
+    case Counter::kReloads:
+      return "reloads";
+    case Counter::kReloadFailures:
+      return "reload_failures";
+    case Counter::kShutdownDrained:
+      return "shutdown_drained";
     case Counter::kNumCounters:
       break;
   }
   return "unknown";
 }
 
+std::string_view HealthName(Health h) {
+  switch (h) {
+    case Health::kHealthy:
+      return "healthy";
+    case Health::kDegraded:
+      return "degraded";
+    case Health::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
+
 ServeMetrics::Snapshot ServeMetrics::TakeSnapshot() const {
   Snapshot snap;
+  snap.health = health();
   for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i)
     snap.counters[i] = counters_[i].value();
   const obs::Histogram::Snapshot latency = latency_.TakeSnapshot();
@@ -56,6 +79,7 @@ ServeMetrics::Snapshot ServeMetrics::TakeSnapshot() const {
 std::string ServeMetrics::Snapshot::ToString() const {
   std::ostringstream out;
   out << "serve metrics:\n";
+  out << "  health = " << HealthName(health) << "\n";
   for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i)
     out << "  " << CounterName(static_cast<Counter>(i)) << " = "
         << counters[i] << "\n";
@@ -70,7 +94,7 @@ std::string ServeMetrics::Snapshot::ToString() const {
 
 std::string ServeMetrics::Snapshot::ToJson() const {
   std::ostringstream out;
-  out << "{";
+  out << "{\"health\": \"" << HealthName(health) << "\", ";
   for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i)
     out << "\"" << CounterName(static_cast<Counter>(i)) << "\": " << counters[i]
         << ", ";
@@ -92,6 +116,8 @@ void ExportToRegistry(const ServeMetrics::Snapshot& snapshot,
         "serve_" + std::string(CounterName(static_cast<Counter>(i)));
     registry.GetGauge(name).Set(static_cast<double>(snapshot.counters[i]));
   }
+  registry.GetGauge("serve_health")
+      .Set(static_cast<double>(static_cast<int>(snapshot.health)));
   registry.GetGauge("serve_latency_count")
       .Set(static_cast<double>(snapshot.latency_count));
   registry.GetGauge("serve_latency_mean_us").Set(snapshot.latency_mean_us);

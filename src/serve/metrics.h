@@ -14,6 +14,7 @@
 #define CASCN_SERVE_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -35,10 +36,22 @@ enum class Counter : int {
   kBatches,              // worker dequeues that drained > 1 request
   kBatchedRequests,      // requests processed as part of such a batch
   kErrors,               // requests that completed with a non-OK status
+  kDeadlineExceeded,     // requests failed fast for missing their deadline
+  kLoadRetries,          // checkpoint load attempts retried after a failure
+  kReloads,              // successful hot checkpoint reloads
+  kReloadFailures,       // reloads rejected with the old version kept serving
+  kShutdownDrained,      // queued requests failed by Shutdown() before running
   kNumCounters,
 };
 
 std::string_view CounterName(Counter c);
+
+/// Coarse service condition, maintained by the prediction service:
+/// kHealthy while serving normally, kDegraded after a failed hot reload
+/// (old version still serving), kUnhealthy once shut down.
+enum class Health : int { kHealthy = 0, kDegraded = 1, kUnhealthy = 2 };
+
+std::string_view HealthName(Health h);
 
 /// Aggregated metrics over many threads. All methods are thread-safe.
 class ServeMetrics {
@@ -55,11 +68,19 @@ class ServeMetrics {
   /// last bucket absorbs everything above ~4 s.
   void RecordLatencyMicros(uint64_t us) { latency_.Record(us); }
 
+  void SetHealth(Health h) {
+    health_.store(static_cast<int>(h), std::memory_order_relaxed);
+  }
+  Health health() const {
+    return static_cast<Health>(health_.load(std::memory_order_relaxed));
+  }
+
   /// Point-in-time copy of every counter plus histogram percentiles
   /// (obs::Histogram::Snapshot::Percentile estimates — interpolated within
   /// the log2 buckets, clamped to the observed max).
   struct Snapshot {
     std::array<uint64_t, static_cast<int>(Counter::kNumCounters)> counters{};
+    Health health = Health::kHealthy;
     std::array<uint64_t, kNumLatencyBuckets> latency_buckets{};
     uint64_t latency_count = 0;
     uint64_t latency_max_us = 0;
@@ -85,6 +106,7 @@ class ServeMetrics {
   std::array<obs::Counter, static_cast<int>(Counter::kNumCounters)>
       counters_{};
   obs::Histogram latency_;
+  std::atomic<int> health_{static_cast<int>(Health::kHealthy)};
 };
 
 /// Bridges a serve snapshot into `registry` as gauges named

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
 
@@ -22,43 +24,138 @@ PredictionService::PredictionService(const ServiceOptions& options)
   sessions_ = std::make_unique<SessionManager>(options.sessions, &metrics_);
 }
 
-Result<std::unique_ptr<PredictionService>> PredictionService::Create(
-    const ServiceOptions& options, const ModelFactory& factory) {
-  // No make_unique: the constructor is private.
-  std::unique_ptr<PredictionService> service(new PredictionService(options));
-  for (int i = 0; i < options.num_workers; ++i) {
+Result<std::unique_ptr<PredictionService>> PredictionService::Start(
+    std::unique_ptr<PredictionService> service, const ModelFactory& factory) {
+  for (int i = 0; i < service->options_.num_workers; ++i) {
     CASCN_ASSIGN_OR_RETURN(auto model, factory());
     if (model == nullptr)
       return Status::InvalidArgument("model factory produced a null model");
     service->models_.push_back(std::move(model));
   }
   service->pool_ = std::make_unique<parallel::ThreadPool>(
-      static_cast<size_t>(options.num_workers));
-  for (int i = 0; i < options.num_workers; ++i)
+      static_cast<size_t>(service->options_.num_workers));
+  for (int i = 0; i < service->options_.num_workers; ++i)
     service->pool_->Submit([svc = service.get(), i] { svc->WorkerLoop(i); });
   return service;
+}
+
+Result<std::unique_ptr<PredictionService>> PredictionService::Create(
+    const ServiceOptions& options, const ModelFactory& factory) {
+  // No make_unique: the constructor is private.
+  std::unique_ptr<PredictionService> service(new PredictionService(options));
+  return Start(std::move(service), factory);
+}
+
+Result<std::unique_ptr<CascadeRegressor>>
+PredictionService::LoadReplicaWithRetry(const std::string& checkpoint_path,
+                                        const ServiceOptions& options,
+                                        ServeMetrics* metrics) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options.load_retries; ++attempt) {
+    if (attempt > 0) {
+      if (metrics != nullptr) metrics->Increment(Counter::kLoadRetries);
+      const double backoff_ms =
+          options.load_retry_backoff_ms * static_cast<double>(1 << (attempt - 1));
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(backoff_ms * 1000.0)));
+    }
+    Result<std::unique_ptr<CascnModel>> model =
+        LoadCascnCheckpoint(checkpoint_path);
+    if (model.ok())
+      return std::unique_ptr<CascadeRegressor>(std::move(model).value());
+    last = model.status();
+    // Only transient failures are worth retrying; a structurally invalid
+    // checkpoint (bad magic, wrong model type) will not heal with time.
+    if (last.code() != StatusCode::kIoError) break;
+  }
+  return last;
 }
 
 Result<std::unique_ptr<PredictionService>>
 PredictionService::CreateFromCheckpoint(const ServiceOptions& options,
                                         const std::string& checkpoint_path) {
-  return Create(options,
-                [checkpoint_path]() -> Result<std::unique_ptr<CascadeRegressor>> {
-                  CASCN_ASSIGN_OR_RETURN(auto model,
-                                         LoadCascnCheckpoint(checkpoint_path));
-                  return std::unique_ptr<CascadeRegressor>(std::move(model));
-                });
+  std::unique_ptr<PredictionService> service(new PredictionService(options));
+  ServeMetrics* metrics = &service->metrics_;
+  service->checkpoint_path_ = checkpoint_path;
+  return Start(std::move(service),
+               [checkpoint_path, &options,
+                metrics]() -> Result<std::unique_ptr<CascadeRegressor>> {
+                 return LoadReplicaWithRetry(checkpoint_path, options, metrics);
+               });
+}
+
+Status PredictionService::ReloadCheckpoint(const std::string& checkpoint_path) {
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  // Validate on one replica before touching the serving set: a corrupt or
+  // torn checkpoint must leave the current version serving.
+  std::vector<std::shared_ptr<CascadeRegressor>> fresh;
+  for (int i = 0; i < options_.num_workers; ++i) {
+    Result<std::unique_ptr<CascadeRegressor>> model =
+        LoadReplicaWithRetry(checkpoint_path, options_, &metrics_);
+    if (!model.ok()) {
+      metrics_.Increment(Counter::kReloadFailures);
+      metrics_.SetHealth(Health::kDegraded);
+      CASCN_LOG(WARNING) << "checkpoint reload from " << checkpoint_path
+                         << " failed (replica " << i
+                         << "); keeping the current version serving: "
+                         << model.status();
+      return model.status();
+    }
+    fresh.push_back(std::move(model).value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    models_ = std::move(fresh);
+  }
+  // Cached predictions were computed by the replaced version.
+  sessions_->InvalidateCachedPredictions();
+  checkpoint_path_ = checkpoint_path;
+  metrics_.Increment(Counter::kReloads);
+  metrics_.SetHealth(Health::kHealthy);
+  return Status::OK();
 }
 
 PredictionService::~PredictionService() { Shutdown(); }
 
 void PredictionService::Shutdown() {
   {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    if (shutdown_started_) {
+      // A concurrent or repeated call: wait for the first one to finish.
+      shutdown_cv_.wait(lock, [this] { return shutdown_done_; });
+      return;
+    }
+    shutdown_started_ = true;
+  }
+  {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     shutting_down_ = true;
   }
   queue_cv_.notify_all();
   if (pool_ != nullptr) pool_->Wait();
+  // Workers are gone; whatever is still queued was never executed. Fail
+  // each request with a status naming the shutdown, so callers can tell a
+  // drained request from backpressure.
+  std::deque<Request> drained;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    drained.swap(queue_);
+    queue_depth_.Set(0.0);
+  }
+  for (Request& request : drained) {
+    ServeResponse response;
+    response.status = Status::Unavailable(
+        "service shut down before executing this request (drained from "
+        "queue by Shutdown)");
+    metrics_.Increment(Counter::kShutdownDrained);
+    request.promise.set_value(std::move(response));
+  }
+  metrics_.SetHealth(Health::kUnhealthy);
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_done_ = true;
+  }
+  shutdown_cv_.notify_all();
 }
 
 Result<std::future<ServeResponse>> PredictionService::Enqueue(
@@ -66,6 +163,17 @@ Result<std::future<ServeResponse>> PredictionService::Enqueue(
   CASCN_TRACE_SPAN("serve_enqueue");
   std::future<ServeResponse> future = request.promise.get_future();
   request.enqueue_time = std::chrono::steady_clock::now();
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : (request.deadline_ms < 0.0
+                                        ? 0.0
+                                        : options_.default_deadline_ms);
+  if (deadline_ms > 0.0) {
+    request.has_deadline = true;
+    request.deadline =
+        request.enqueue_time +
+        std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1000.0));
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (shutting_down_) {
@@ -85,38 +193,43 @@ Result<std::future<ServeResponse>> PredictionService::Enqueue(
 }
 
 Result<std::future<ServeResponse>> PredictionService::SubmitCreate(
-    std::string session_id, int root_user) {
+    std::string session_id, int root_user, double deadline_ms) {
   Request r;
   r.type = RequestType::kCreate;
   r.session_id = std::move(session_id);
   r.user = root_user;
+  r.deadline_ms = deadline_ms;
   return Enqueue(std::move(r));
 }
 
 Result<std::future<ServeResponse>> PredictionService::SubmitAppend(
-    std::string session_id, int user, int parent_node, double time) {
+    std::string session_id, int user, int parent_node, double time,
+    double deadline_ms) {
   Request r;
   r.type = RequestType::kAppend;
   r.session_id = std::move(session_id);
   r.user = user;
   r.parent_node = parent_node;
   r.time = time;
+  r.deadline_ms = deadline_ms;
   return Enqueue(std::move(r));
 }
 
 Result<std::future<ServeResponse>> PredictionService::SubmitPredict(
-    std::string session_id) {
+    std::string session_id, double deadline_ms) {
   Request r;
   r.type = RequestType::kPredict;
   r.session_id = std::move(session_id);
+  r.deadline_ms = deadline_ms;
   return Enqueue(std::move(r));
 }
 
 Result<std::future<ServeResponse>> PredictionService::SubmitClose(
-    std::string session_id) {
+    std::string session_id, double deadline_ms) {
   Request r;
   r.type = RequestType::kClose;
   r.session_id = std::move(session_id);
+  r.deadline_ms = deadline_ms;
   return Enqueue(std::move(r));
 }
 
@@ -180,6 +293,7 @@ ServeResponse PredictionService::Execute(const Request& request,
                                           request.parent_node, request.time);
       break;
     case RequestType::kPredict: {
+      fault::MaybeDelay(kFaultServeSlowPredict);
       auto prediction = sessions_->PredictLog(request.session_id, model);
       if (prediction.ok()) {
         response.log_prediction = prediction.value();
@@ -198,7 +312,6 @@ ServeResponse PredictionService::Execute(const Request& request,
 }
 
 void PredictionService::WorkerLoop(int worker_index) {
-  CascadeRegressor& model = *models_[static_cast<size_t>(worker_index)];
   std::vector<Request> batch;
   while (true) {
     batch.clear();
@@ -206,7 +319,9 @@ void PredictionService::WorkerLoop(int worker_index) {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock,
                      [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
+      // Exit promptly on shutdown: whatever is still queued gets a named
+      // shutdown status from Shutdown() instead of late execution.
+      if (shutting_down_) return;
       const size_t take = std::min(queue_.size(),
                                    static_cast<size_t>(options_.max_batch));
       for (size_t i = 0; i < take; ++i) {
@@ -214,6 +329,13 @@ void PredictionService::WorkerLoop(int worker_index) {
         queue_.pop_front();
       }
       queue_depth_.Set(static_cast<double>(queue_.size()));
+    }
+    // The replica is re-acquired per batch so a hot reload takes effect at
+    // the next batch boundary without pausing serving.
+    std::shared_ptr<CascadeRegressor> model;
+    {
+      std::lock_guard<std::mutex> lock(models_mutex_);
+      model = models_[static_cast<size_t>(worker_index)];
     }
     const auto dequeue_time = std::chrono::steady_clock::now();
     obs::Tracer& tracer = obs::Tracer::Get();
@@ -236,18 +358,26 @@ void PredictionService::WorkerLoop(int worker_index) {
     for (Request& request : batch) {
       const auto start = std::chrono::steady_clock::now();
       ServeResponse response;
-      if (request.type == RequestType::kPredict) {
+      if (request.has_deadline && start > request.deadline) {
+        // Fail fast: the caller has already given up; executing now would
+        // only burn a worker on a dead request.
+        response.status = Status::DeadlineExceeded(
+            "deadline expired before execution for session " +
+            request.session_id);
+        metrics_.Increment(Counter::kDeadlineExceeded);
+        metrics_.Increment(Counter::kErrors);
+      } else if (request.type == RequestType::kPredict) {
         auto memo = predict_memo.find(request.session_id);
         if (memo != predict_memo.end()) {
           response = memo->second;
           metrics_.Increment(Counter::kPredictions);
           metrics_.Increment(Counter::kPredictionCacheHits);
         } else {
-          response = Execute(request, model);
+          response = Execute(request, *model);
           predict_memo.emplace(request.session_id, response);
         }
       } else {
-        response = Execute(request, model);
+        response = Execute(request, *model);
         // Any mutation (create/append/close) changes what a predict for
         // this session should observe: drop the memo entry.
         predict_memo.erase(request.session_id);

@@ -10,8 +10,24 @@
 // critical section and processes them together; duplicate predict requests
 // for the same session inside a batch are computed once. Backpressure: when
 // the queue is full, submission fails fast with Unavailable instead of
-// blocking unboundedly. Shutdown() stops intake, drains every queued
-// request (each still receives a response), and joins the workers.
+// blocking unboundedly.
+//
+// Self-healing:
+//  - Deadlines: a request carrying a deadline that expires before a worker
+//    reaches it fails fast with DeadlineExceeded instead of occupying the
+//    worker (the "serve.slow_predict" fault point exercises this).
+//  - Retrying loads: CreateFromCheckpoint retries failed checkpoint loads
+//    with exponential backoff (`load_retries`/`load_retry_backoff_ms`).
+//  - Hot reload: ReloadCheckpoint() validates a new checkpoint by loading
+//    one replica first; on any failure the old replicas keep serving and
+//    health drops to kDegraded. On success every replica is swapped and
+//    per-session prediction caches are invalidated.
+//  - Health: metrics().health() reports kHealthy / kDegraded / kUnhealthy.
+//
+// Shutdown() stops intake, lets workers finish the batches they hold, fails
+// every still-queued request with a status naming the shutdown, and joins
+// the workers. It is idempotent and safe to call concurrently; the
+// destructor implies it.
 
 #ifndef CASCN_SERVE_PREDICTION_SERVICE_H_
 #define CASCN_SERVE_PREDICTION_SERVICE_H_
@@ -42,8 +58,21 @@ struct ServiceOptions {
   size_t queue_capacity = 4096;
   /// Max requests one worker drains per critical section; >= 1.
   int max_batch = 16;
+  /// Deadline applied to requests submitted without one, in milliseconds;
+  /// 0 disables. A request whose deadline passes before a worker reaches it
+  /// fails with DeadlineExceeded.
+  double default_deadline_ms = 0.0;
+  /// Checkpoint-load retries (CreateFromCheckpoint and ReloadCheckpoint):
+  /// each failed load is retried up to this many times, sleeping
+  /// `load_retry_backoff_ms * 2^attempt` between attempts.
+  int load_retries = 0;
+  double load_retry_backoff_ms = 10.0;
   SessionManagerOptions sessions;
 };
+
+/// Fault-injection point (src/fault): delays predict execution by the
+/// armed @ms payload, forcing deadline misses under test.
+inline constexpr char kFaultServeSlowPredict[] = "serve.slow_predict";
 
 /// Outcome of one request. `log_prediction`/`count_prediction` are set only
 /// for successful predict requests.
@@ -77,14 +106,20 @@ class PredictionService {
 
   /// Async submission. The future always becomes ready (also during
   /// shutdown drain). Fails fast with Unavailable when the queue is full or
-  /// the service is shutting down.
+  /// the service is shutting down. `deadline_ms` > 0 sets a per-request
+  /// deadline, 0 uses ServiceOptions::default_deadline_ms, < 0 disables the
+  /// deadline for this request.
   Result<std::future<ServeResponse>> SubmitCreate(std::string session_id,
-                                                  int root_user);
+                                                  int root_user,
+                                                  double deadline_ms = 0.0);
   Result<std::future<ServeResponse>> SubmitAppend(std::string session_id,
                                                   int user, int parent_node,
-                                                  double time);
-  Result<std::future<ServeResponse>> SubmitPredict(std::string session_id);
-  Result<std::future<ServeResponse>> SubmitClose(std::string session_id);
+                                                  double time,
+                                                  double deadline_ms = 0.0);
+  Result<std::future<ServeResponse>> SubmitPredict(std::string session_id,
+                                                   double deadline_ms = 0.0);
+  Result<std::future<ServeResponse>> SubmitClose(std::string session_id,
+                                                 double deadline_ms = 0.0);
 
   /// Blocking conveniences (submit + wait).
   ServeResponse CallCreate(std::string session_id, int root_user);
@@ -93,8 +128,20 @@ class PredictionService {
   ServeResponse CallPredict(std::string session_id);
   ServeResponse CallClose(std::string session_id);
 
-  /// Stops intake, processes every queued request, joins workers.
-  /// Idempotent.
+  /// Hot-swaps every replica to `checkpoint_path`. The checkpoint is
+  /// validated by loading one replica first (with the configured retries);
+  /// any failure leaves the current replicas serving, sets health to
+  /// kDegraded, and returns the error. On success all replicas are
+  /// replaced, per-session prediction caches are invalidated, and health
+  /// returns to kHealthy. Reloads are serialized; safe while serving.
+  Status ReloadCheckpoint(const std::string& checkpoint_path);
+
+  /// Current service condition (also in metrics().TakeSnapshot()).
+  Health health() const { return metrics_.health(); }
+
+  /// Stops intake, fails still-queued requests with a status naming the
+  /// shutdown, joins workers, sets health to kUnhealthy. Idempotent and
+  /// safe to call concurrently.
   void Shutdown();
 
   const ServeMetrics& metrics() const { return metrics_; }
@@ -105,7 +152,7 @@ class PredictionService {
   const obs::MetricsRegistry& registry() const { return registry_; }
   obs::MetricsRegistry& registry() { return registry_; }
   SessionManager& sessions() { return *sessions_; }
-  int num_workers() const { return static_cast<int>(models_.size()); }
+  int num_workers() const { return options_.num_workers; }
 
  private:
   enum class RequestType { kCreate, kAppend, kPredict, kClose };
@@ -116,11 +163,25 @@ class PredictionService {
     int user = 0;
     int parent_node = 0;
     double time = 0.0;
+    /// Caller's deadline request (> 0 explicit, 0 service default, < 0
+    /// none); resolved into `deadline` at enqueue time.
+    double deadline_ms = 0.0;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
     std::chrono::steady_clock::time_point enqueue_time;
     std::promise<ServeResponse> promise;
   };
 
   explicit PredictionService(const ServiceOptions& options);
+
+  /// Loads replicas via `factory` and starts the workers.
+  static Result<std::unique_ptr<PredictionService>> Start(
+      std::unique_ptr<PredictionService> service, const ModelFactory& factory);
+  /// One checkpoint load with the configured retry/backoff schedule,
+  /// counting retries into `metrics` (may be null).
+  static Result<std::unique_ptr<CascadeRegressor>> LoadReplicaWithRetry(
+      const std::string& checkpoint_path, const ServiceOptions& options,
+      ServeMetrics* metrics);
 
   Result<std::future<ServeResponse>> Enqueue(Request request);
   ServeResponse Execute(const Request& request, CascadeRegressor& model);
@@ -132,12 +193,27 @@ class PredictionService {
   obs::Gauge& queue_depth_;        // owned by registry_
   obs::Histogram& batch_size_;     // owned by registry_
   std::unique_ptr<SessionManager> sessions_;
-  std::vector<std::unique_ptr<CascadeRegressor>> models_;
+  /// Replicas, one per worker. Guarded by models_mutex_; workers copy their
+  /// shared_ptr once per batch, so a hot reload swaps versions between
+  /// batches without pausing serving.
+  mutable std::mutex models_mutex_;
+  std::vector<std::shared_ptr<CascadeRegressor>> models_;
+  /// Serializes ReloadCheckpoint calls.
+  std::mutex reload_mutex_;
+  /// Path the replicas were loaded from (empty when factory-built).
+  std::string checkpoint_path_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Request> queue_;
   bool shutting_down_ = false;
+
+  // Shutdown idempotency: first caller runs the drain; concurrent callers
+  // block until it completes.
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_started_ = false;
+  bool shutdown_done_ = false;
 
   // Declared last so workers (which reference everything above) stop before
   // any other member is destroyed.

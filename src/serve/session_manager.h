@@ -70,6 +70,11 @@ class SessionManager {
   /// Ends a session. NotFound if it does not exist.
   Status Close(const std::string& session_id);
 
+  /// Drops every session's cached prediction. Called after a hot model
+  /// reload: cached values were computed by the replaced replicas and must
+  /// not be served against the new version.
+  void InvalidateCachedPredictions();
+
   /// Number of adoptions observed by a session.
   Result<int> SessionSize(const std::string& session_id) const;
 

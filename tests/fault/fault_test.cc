@@ -1,0 +1,166 @@
+// The fault-injection framework's own contract: zero effect when nothing is
+// armed, deterministic seeded triggering when armed, resume-safe keyed
+// evaluation, and loud rejection of malformed configuration.
+
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cascn::fault {
+namespace {
+
+/// Every test leaves the global registry empty.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Get().Clear(); }
+  void TearDown() override { FaultRegistry::Get().Clear(); }
+};
+
+TEST_F(FaultTest, DisabledRegistryNeverFires) {
+  EXPECT_FALSE(FaultRegistry::Get().enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ShouldFire("any.point"));
+    EXPECT_FALSE(ShouldFire("any.point", static_cast<uint64_t>(i)));
+  }
+  EXPECT_TRUE(InjectStatus("any.point").ok());
+  EXPECT_FALSE(MaybeDelay("any.point"));
+  EXPECT_DOUBLE_EQ(PoisonNaN("any.point", 1.5, 0), 1.5);
+  // Nothing was even evaluated: the disabled path records no stats.
+  EXPECT_EQ(FaultRegistry::Get().stats("any.point").evaluations, 0u);
+}
+
+TEST_F(FaultTest, AlwaysTriggerFiresEveryEvaluation) {
+  FaultRegistry::Get().Arm("p", FaultSpec{});
+  EXPECT_TRUE(FaultRegistry::Get().enabled());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ShouldFire("p"));
+  const auto stats = FaultRegistry::Get().stats("p");
+  EXPECT_EQ(stats.evaluations, 5u);
+  EXPECT_EQ(stats.fires, 5u);
+  // Unarmed points are unaffected.
+  EXPECT_FALSE(ShouldFire("other"));
+}
+
+TEST_F(FaultTest, NthTriggerFiresExactlyOnce) {
+  FaultSpec spec;
+  spec.trigger = Trigger::kNth;
+  spec.n = 3;
+  FaultRegistry::Get().Arm("p", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(ShouldFire("p"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+}
+
+TEST_F(FaultTest, EveryNTriggerIsPeriodic) {
+  FaultSpec spec;
+  spec.trigger = Trigger::kEveryN;
+  spec.n = 2;
+  FaultRegistry::Get().Arm("p", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(ShouldFire("p"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FaultTest, ProbabilityTriggerIsDeterministicInSeedAndKey) {
+  const uint64_t original_seed = FaultRegistry::Get().seed();
+  FaultSpec spec;
+  spec.trigger = Trigger::kProbability;
+  spec.probability = 0.5;
+  FaultRegistry::Get().set_seed(42);
+  FaultRegistry::Get().Arm("p", spec);
+  std::vector<bool> first;
+  for (uint64_t k = 0; k < 64; ++k) first.push_back(ShouldFire("p", k));
+  // Same seed and keys: identical schedule — this is what makes a resumed
+  // trainer see the same faults as an uninterrupted one.
+  std::vector<bool> second;
+  for (uint64_t k = 0; k < 64; ++k) second.push_back(ShouldFire("p", k));
+  EXPECT_EQ(first, second);
+  // With p=0.5 over 64 keys both outcomes must occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+
+  // A different seed produces a different schedule.
+  FaultRegistry::Get().set_seed(43);
+  std::vector<bool> reseeded;
+  for (uint64_t k = 0; k < 64; ++k) reseeded.push_back(ShouldFire("p", k));
+  EXPECT_NE(first, reseeded);
+  FaultRegistry::Get().set_seed(original_seed);
+}
+
+TEST_F(FaultTest, ProbabilityBoundsAreRespected) {
+  FaultSpec never;
+  never.trigger = Trigger::kProbability;
+  never.probability = 0.0;
+  FaultRegistry::Get().Arm("never", never);
+  FaultSpec always;
+  always.trigger = Trigger::kProbability;
+  always.probability = 1.0;
+  FaultRegistry::Get().Arm("always", always);
+  for (uint64_t k = 0; k < 32; ++k) {
+    EXPECT_FALSE(ShouldFire("never", k));
+    EXPECT_TRUE(ShouldFire("always", k));
+  }
+}
+
+TEST_F(FaultTest, ConfigureParsesTheEnvSyntax) {
+  ASSERT_TRUE(FaultRegistry::Get()
+                  .Configure("a=always, b=prob:0.25,c=nth:4,d=every:8@2.5")
+                  .ok());
+  EXPECT_TRUE(ShouldFire("a"));
+  EXPECT_EQ(FaultRegistry::Get().stats("b").evaluations, 0u);
+  EXPECT_DOUBLE_EQ(FaultRegistry::Get().ArmedValue("d", 10.0), 2.5);
+  // Unarmed value falls back.
+  EXPECT_DOUBLE_EQ(FaultRegistry::Get().ArmedValue("zzz", 10.0), 10.0);
+}
+
+TEST_F(FaultTest, ConfigureRejectsMalformedEntries) {
+  EXPECT_FALSE(FaultRegistry::Get().Configure("justapoint").ok());
+  EXPECT_FALSE(FaultRegistry::Get().Configure("p=banana").ok());
+  EXPECT_FALSE(FaultRegistry::Get().Configure("p=prob:1.5").ok());
+  EXPECT_FALSE(FaultRegistry::Get().Configure("p=nth:0").ok());
+  EXPECT_FALSE(FaultRegistry::Get().Configure("=always").ok());
+  FaultRegistry::Get().Clear();
+}
+
+TEST_F(FaultTest, InjectStatusNamesThePoint) {
+  FaultRegistry::Get().Arm("checkpoint.load_fail", FaultSpec{});
+  const Status status = InjectStatus("checkpoint.load_fail");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("checkpoint.load_fail"), std::string::npos);
+}
+
+TEST_F(FaultTest, PoisonNaNProducesNaNOnFire) {
+  FaultSpec spec;
+  spec.trigger = Trigger::kNth;
+  spec.n = 1;
+  FaultRegistry::Get().Arm("p", spec);
+  EXPECT_TRUE(std::isnan(PoisonNaN("p", 2.0, 0)));
+  EXPECT_DOUBLE_EQ(PoisonNaN("p", 2.0, 1), 2.0);
+}
+
+TEST_F(FaultTest, DisarmAndClearRestoreTheFastPath) {
+  FaultRegistry::Get().Arm("p", FaultSpec{});
+  FaultRegistry::Get().Arm("q", FaultSpec{});
+  FaultRegistry::Get().Disarm("p");
+  EXPECT_FALSE(ShouldFire("p"));
+  EXPECT_TRUE(FaultRegistry::Get().enabled());  // q is still armed
+  FaultRegistry::Get().Disarm("q");
+  EXPECT_FALSE(FaultRegistry::Get().enabled());
+}
+
+TEST_F(FaultTest, StatsSnapshotCoversAllPoints) {
+  FaultRegistry::Get().Configure("a=always,b=nth:5");
+  ShouldFire("a");
+  ShouldFire("b");
+  const auto snapshot = FaultRegistry::Get().StatsSnapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(FaultRegistry::Get().total_fires(), 1u);
+}
+
+}  // namespace
+}  // namespace cascn::fault

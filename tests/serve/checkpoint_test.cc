@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "../testing/test_data.h"
+#include "common/crc32.h"
 #include "baselines/deepcas_model.h"
 #include "baselines/deephawkes_model.h"
 #include "baselines/feature_deep.h"
@@ -236,11 +237,28 @@ TEST_F(CheckpointCorruptionTest, UnsupportedVersionIsRejected) {
   const uint32_t bogus_version = 999;
   std::memcpy(bytes.data() + sizeof(uint32_t), &bogus_version,
               sizeof(bogus_version));
+  // Recompute the trailing CRC so the version check itself is exercised
+  // rather than the checksum guard.
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint32_t), &crc,
+              sizeof(crc));
   WriteAll(bytes);
   auto result = LoadCascnCheckpoint(path_);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, VersionPatchedWithoutCrcFixIsCorruption) {
+  // A v2 file whose version field is damaged (without a matching CRC) is
+  // indistinguishable from bit rot and must be rejected as corrupt.
+  std::string bytes = ReadAll();
+  const uint32_t bogus_version = 1;
+  std::memcpy(bytes.data() + sizeof(uint32_t), &bogus_version,
+              sizeof(bogus_version));
+  WriteAll(bytes);
+  auto result = LoadCascnCheckpoint(path_);
+  ASSERT_FALSE(result.ok());
 }
 
 TEST_F(CheckpointCorruptionTest, TruncationsAtEveryRegionAreRejected) {

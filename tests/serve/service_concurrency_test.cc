@@ -194,16 +194,50 @@ TEST(ServiceConcurrencyTest, ShutdownDrainsInFlightWork) {
     pending.push_back(std::move(submitted).value());
   }
   service.value()->Shutdown();
-  // Every accepted request still gets a real answer.
+  // Every accepted request resolves: executed before shutdown (OK with a
+  // finite prediction) or failed with a status that names the shutdown —
+  // never a hung future or a generic rejection.
+  int executed = 0, drained = 0;
   for (auto& future : pending) {
     const ServeResponse response = future.get();
-    EXPECT_TRUE(response.status.ok()) << response.status;
-    EXPECT_TRUE(std::isfinite(response.log_prediction));
+    if (response.status.ok()) {
+      EXPECT_TRUE(std::isfinite(response.log_prediction));
+      ++executed;
+    } else {
+      EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+      EXPECT_NE(response.status.message().find("shut down"),
+                std::string::npos)
+          << response.status;
+      ++drained;
+    }
   }
+  EXPECT_EQ(executed + drained, 64);
+  EXPECT_EQ(
+      service.value()->metrics().TakeSnapshot().counter(
+          Counter::kShutdownDrained),
+      static_cast<uint64_t>(drained));
+  EXPECT_EQ(service.value()->health(), Health::kUnhealthy);
   // New work is refused after shutdown.
   auto late = service.value()->SubmitPredict("s");
   ASSERT_FALSE(late.ok());
   EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ServiceConcurrencyTest, ShutdownIsIdempotentAndConcurrent) {
+  WriteTestCheckpoint();
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.sessions.observation_window = kWindow;
+  auto service = PredictionService::CreateFromCheckpoint(options,
+                                                         CheckpointPath());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ASSERT_TRUE(service.value()->CallCreate("s", 1).status.ok());
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i)
+    callers.emplace_back([&service] { service.value()->Shutdown(); });
+  for (auto& t : callers) t.join();
+  service.value()->Shutdown();  // and once more, after completion
+  EXPECT_EQ(service.value()->health(), Health::kUnhealthy);
 }
 
 TEST(ServiceConcurrencyTest, FactoryErrorsPropagate) {
