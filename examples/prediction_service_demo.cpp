@@ -11,6 +11,14 @@
 //
 //   ./prediction_service_demo [--cascades=300] [--epochs=4] [--workers=4]
 //                             [--sessions=1200] [--clients=8] [--threads=N]
+//                             [--shards=1] [--tenants=2]
+//
+// --shards >= 2 serves through the sharded cluster tier instead of a single
+// PredictionService: sessions are consistent-hash routed across shards
+// (tenant labels round-robin across --tenants), and after the replay the
+// demo performs a live rebalance — draining one shard and handing its
+// sessions off to the survivors — then keeps predicting to show nothing
+// was lost.
 //
 // --threads (default: the CASCN_THREADS environment variable, else all
 // cores) sets the shared-pool size used for intra-batch parallel training;
@@ -28,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/shard_router.h"
 #include "common/cli_flags.h"
 #include "common/logging.h"
 #include "core/cascn_model.h"
@@ -90,19 +99,7 @@ int main(int argc, char** argv) {
   CASCN_CHECK(serve::SaveCascnCheckpoint(ckpt, model).ok());
   std::printf("checkpoint written to %s\n", ckpt.c_str());
 
-  // 3. Serve from the checkpoint (fresh replicas, nothing reused).
-  serve::ServiceOptions service_opts;
-  service_opts.num_workers = static_cast<int>(flags.GetInt("workers", 4));
-  service_opts.queue_capacity = 8192;
-  service_opts.sessions.observation_window = window;
-  service_opts.sessions.capacity = 8192;
-  auto service = serve::PredictionService::CreateFromCheckpoint(service_opts,
-                                                                ckpt);
-  CASCN_CHECK(service.ok()) << service.status();
-  std::printf("service up: %d workers, queue capacity %zu\n",
-              service.value()->num_workers(), service_opts.queue_capacity);
-
-  // 4. Replay a fresh cascade stream as concurrent sessions.
+  // 3. Build a fresh cascade stream to replay as concurrent sessions.
   const int target_sessions =
       static_cast<int>(flags.GetInt("sessions", 1200));
   GeneratorConfig live = WeiboLikeConfig();
@@ -116,9 +113,108 @@ int main(int argc, char** argv) {
     replays.push_back(prefix.events());
     if (static_cast<int>(replays.size()) == target_sessions) break;
   }
-  std::printf("replaying %zu live cascades...\n", replays.size());
 
   const int clients = static_cast<int>(flags.GetInt("clients", 8));
+  const int workers = static_cast<int>(flags.GetInt("workers", 4));
+  const int shards = static_cast<int>(flags.GetInt("shards", 1));
+  const int tenants = static_cast<int>(flags.GetInt("tenants", 2));
+
+  // Sharded serving path: the same lifecycle through the cluster tier,
+  // finished with a live rebalance that proves session state survives a
+  // shard being drained away.
+  if (shards >= 2) {
+    cluster::ShardRouterOptions cluster_opts;
+    cluster_opts.num_shards = shards;
+    cluster_opts.shard.num_workers = workers;
+    cluster_opts.shard.queue_capacity = 8192;
+    cluster_opts.shard.sessions.observation_window = window;
+    cluster_opts.shard.sessions.capacity = 8192;
+    auto router =
+        cluster::ShardRouter::CreateFromCheckpoint(cluster_opts, ckpt);
+    CASCN_CHECK(router.ok()) << router.status();
+    std::printf("cluster up: %d shards x %d workers, %d tenant labels\n",
+                shards, workers, tenants);
+    std::printf("replaying %zu live cascades...\n", replays.size());
+
+    const auto tenant_of = [tenants](size_t i) {
+      return "tenant-" +
+             std::to_string(i % static_cast<size_t>(std::max(1, tenants)));
+    };
+    std::vector<double> forecasts(replays.size(), 0.0);
+    std::vector<std::thread> cluster_drivers;
+    for (int c = 0; c < clients; ++c) {
+      cluster_drivers.emplace_back([&, c] {
+        for (size_t i = static_cast<size_t>(c); i < replays.size();
+             i += static_cast<size_t>(clients)) {
+          const std::string id = "live-" + std::to_string(i);
+          CASCN_CHECK(router.value()
+                          ->CallCreate(tenant_of(i), id, replays[i][0].user)
+                          .status.ok());
+          for (size_t step = 1; step < replays[i].size(); ++step) {
+            const AdoptionEvent& e = replays[i][step];
+            const auto append = router.value()->CallAppend(
+                tenant_of(i), id, e.user, e.parents[0], e.time);
+            CASCN_CHECK(append.status.ok()) << append.status;
+          }
+          const auto p = router.value()->CallPredict(tenant_of(i), id);
+          CASCN_CHECK(p.status.ok()) << p.status;
+          forecasts[i] = p.log_prediction;
+        }
+      });
+    }
+    for (auto& d : cluster_drivers) d.join();
+
+    auto snapshot = router.value()->TakeSnapshot();
+    std::printf("\n%s", snapshot.ToString().c_str());
+
+    // Live rebalance: drain the highest shard and hand its sessions to the
+    // survivors, then re-predict — every forecast must be unchanged.
+    const int victim = shards - 1;
+    std::printf("\nrebalancing: draining shard %d...\n", victim);
+    const Status removed = router.value()->RemoveShard(victim);
+    CASCN_CHECK(removed.ok()) << removed;
+    size_t checked = 0;
+    for (size_t i = 0; i < replays.size(); ++i) {
+      const auto p = router.value()->CallPredict(
+          tenant_of(i), "live-" + std::to_string(i));
+      CASCN_CHECK(p.status.ok()) << p.status;
+      CASCN_CHECK(p.log_prediction == forecasts[i])
+          << "session live-" << i << " drifted across the rebalance";
+      ++checked;
+    }
+    std::printf("shard %d removed: %zu sessions re-verified bit-identical "
+                "on %d surviving shards\n",
+                victim, checked, router.value()->num_shards());
+
+    obs::MetricsRegistry registry;
+    router.value()->ExportToRegistry(registry);
+    std::printf("\ncluster registry:\n%s", registry.TextSnapshot().c_str());
+    const std::string cluster_metrics_json = registry.JsonSnapshot();
+    router.value().reset();
+
+    obs::ShutdownDumpOptions dump;
+    dump.trace_path = trace_out;
+    dump.metrics_path = metrics_out;
+    dump.metrics_json_override = cluster_metrics_json;
+    dump.telemetry = {telemetry.get()};
+    CASCN_CHECK(obs::ShutdownDump(dump).ok());
+    if (!metrics_out.empty())
+      std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+    return 0;
+  }
+
+  // 4. Serve from the checkpoint (fresh replicas, nothing reused).
+  serve::ServiceOptions service_opts;
+  service_opts.num_workers = workers;
+  service_opts.queue_capacity = 8192;
+  service_opts.sessions.observation_window = window;
+  service_opts.sessions.capacity = 8192;
+  auto service = serve::PredictionService::CreateFromCheckpoint(service_opts,
+                                                                ckpt);
+  CASCN_CHECK(service.ok()) << service.status();
+  std::printf("service up: %d workers, queue capacity %zu\n",
+              service.value()->num_workers(), service_opts.queue_capacity);
+  std::printf("replaying %zu live cascades...\n", replays.size());
   std::vector<double> final_counts(replays.size(), 0.0);
   std::vector<std::thread> drivers;
   for (int c = 0; c < clients; ++c) {

@@ -1,0 +1,81 @@
+#include "cluster/admission.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace cascn::cluster {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+Status AdmissionController::AdmitTenant(const std::string& tenant,
+                                        TimePoint now) {
+  if (tenant.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = buckets_[tenant];
+  if (options_.tokens_per_second <= 0.0) {
+    // Quotas off: no limiting, but named tenants still get per-tenant
+    // accounting (the cluster's tenant metrics don't require quotas).
+    ++bucket.admitted;
+    return Status::OK();
+  }
+  if (!bucket.initialized) {
+    bucket.tokens = options_.burst;
+    bucket.last_refill = now;
+    bucket.initialized = true;
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(now - bucket.last_refill).count();
+  if (elapsed_s > 0.0) {
+    bucket.tokens = std::min(
+        options_.burst, bucket.tokens + elapsed_s * options_.tokens_per_second);
+    bucket.last_refill = now;
+  }
+  if (bucket.tokens < 1.0) {
+    ++bucket.rejected;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        StrFormat("tenant '%s' over quota (%.1f req/s, burst %.0f)",
+                  tenant.c_str(), options_.tokens_per_second, options_.burst));
+  }
+  bucket.tokens -= 1.0;
+  ++bucket.admitted;
+  return Status::OK();
+}
+
+Status AdmissionController::AdmitLoad(size_t queue_depth,
+                                      size_t queue_capacity) const {
+  if (options_.shed_queue_fraction >= 1.0 || queue_capacity == 0)
+    return Status::OK();
+  const double fraction =
+      static_cast<double>(queue_depth) / static_cast<double>(queue_capacity);
+  if (fraction <= options_.shed_queue_fraction) return Status::OK();
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ResourceExhausted(
+      StrFormat("shard overloaded: queue %zu/%zu past shed threshold %.2f",
+                queue_depth, queue_capacity, options_.shed_queue_fraction));
+}
+
+std::vector<AdmissionController::TenantStats> AdmissionController::Stats()
+    const {
+  std::vector<TenantStats> stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.reserve(buckets_.size());
+    for (const auto& [tenant, bucket] : buckets_)
+      stats.push_back(TenantStats{tenant, bucket.admitted, bucket.rejected,
+                                  bucket.tokens});
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const TenantStats& a, const TenantStats& b) {
+              return a.tenant < b.tenant;
+            });
+  return stats;
+}
+
+uint64_t AdmissionController::total_shed() const {
+  return shed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace cascn::cluster

@@ -1,0 +1,99 @@
+// Admission control for the sharded serving tier: per-tenant token-bucket
+// quotas plus cluster-level load shedding.
+//
+// Every request names a tenant. Each tenant owns a token bucket refilled at
+// `tokens_per_second` up to `burst` tokens; a request spends one token or
+// is rejected with ResourceExhausted. Buckets are keyed lazily, so tenants
+// need no registration. Time is passed in explicitly (a steady_clock
+// time_point) rather than read inside, which keeps quota tests fully
+// deterministic — production callers pass steady_clock::now().
+//
+// Load shedding is a second, orthogonal gate: when a shard's queue is
+// already more than `shed_queue_fraction` full, new work is rejected with
+// ResourceExhausted *before* enqueueing, so the queue keeps headroom for
+// requests of sessions already being served. Shedding is what keeps
+// accepted-request latency bounded when one shard turns slow: instead of
+// letting every queued request ride the collapse, excess offered load is
+// turned away at the door with a status the client can distinguish from
+// hard backpressure (Unavailable) and from its own deadline expiring
+// (DeadlineExceeded).
+
+#ifndef CASCN_CLUSTER_ADMISSION_H_
+#define CASCN_CLUSTER_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cascn::cluster {
+
+struct AdmissionOptions {
+  /// Steady-state per-tenant request rate. <= 0 disables tenant quotas
+  /// (every tenant always admitted).
+  double tokens_per_second = 0.0;
+  /// Bucket capacity: the largest burst a tenant may spend at once. Buckets
+  /// start full.
+  double burst = 32.0;
+  /// Shed new work when a shard's queue depth exceeds this fraction of its
+  /// capacity. >= 1 disables shedding (the queue's own backpressure still
+  /// applies, but rejects with Unavailable instead).
+  double shed_queue_fraction = 0.85;
+};
+
+/// Thread-safe admission gate. One instance serves the whole cluster; the
+/// router consults it before touching any shard.
+class AdmissionController {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit AdmissionController(const AdmissionOptions& options = {});
+
+  /// Charges one token to `tenant`'s bucket at time `now`. Returns OK when
+  /// the bucket had a token (or quotas are disabled), ResourceExhausted
+  /// otherwise. An empty tenant name is exempt from quotas.
+  Status AdmitTenant(const std::string& tenant, TimePoint now);
+
+  /// Load-shed gate for the shard about to receive the request: rejects
+  /// with ResourceExhausted when `queue_depth` is already past
+  /// shed_queue_fraction of `queue_capacity`.
+  Status AdmitLoad(size_t queue_depth, size_t queue_capacity) const;
+
+  struct TenantStats {
+    std::string tenant;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    double tokens = 0.0;  // balance at the last Admit call
+  };
+
+  /// Per-tenant admission counts, sorted by tenant name.
+  std::vector<TenantStats> Stats() const;
+
+  /// Total requests rejected by either gate.
+  uint64_t total_shed() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    TimePoint last_refill{};
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    bool initialized = false;
+  };
+
+  AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  mutable std::atomic<uint64_t> shed_{0};
+};
+
+}  // namespace cascn::cluster
+
+#endif  // CASCN_CLUSTER_ADMISSION_H_

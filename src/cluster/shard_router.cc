@@ -1,0 +1,594 @@
+#include "cluster/shard_router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "cluster/handoff.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "fault/fault.h"
+
+namespace cascn::cluster {
+
+using serve::Health;
+using serve::PredictionService;
+using serve::ServeResponse;
+using serve::ServiceOptions;
+
+std::string SlowShardFaultPoint(int shard_id) {
+  return std::string(kFaultSlowShardPrefix) + std::to_string(shard_id);
+}
+
+ShardRouter::ShardRouter(const ShardRouterOptions& options,
+                         std::string checkpoint_path)
+    : options_(options),
+      checkpoint_path_(std::move(checkpoint_path)),
+      admission_(options.admission),
+      ring_(options.ring) {}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::CreateFromCheckpoint(
+    const ShardRouterOptions& options, const std::string& checkpoint_path) {
+  if (options.num_shards < 1)
+    return Status::InvalidArgument(
+        StrFormat("num_shards must be >= 1, got %d", options.num_shards));
+  std::unique_ptr<ShardRouter> router(
+      new ShardRouter(options, checkpoint_path));
+  std::vector<int> ids;
+  for (int i = 0; i < options.num_shards; ++i) {
+    CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
+                           router->StartShard(i));
+    router->shards_[i] = Shard{std::move(service), 0};
+    ids.push_back(i);
+  }
+  router->ring_.SetShards(ids);
+  return router;
+}
+
+ShardRouter::~ShardRouter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, shard] : shards_) shard.service->Shutdown();
+  shards_.clear();
+}
+
+ServiceOptions ShardRouter::ShardServiceOptions(int shard_id) const {
+  ServiceOptions opts = options_.shard;
+  opts.extra_predict_fault_point = SlowShardFaultPoint(shard_id);
+  // Handoff moves *every* session a client still cares about, including
+  // LRU-evicted ones, so keep evicted histories spilled by default.
+  if (opts.sessions.spill_capacity == 0)
+    opts.sessions.spill_capacity = opts.sessions.capacity;
+  return opts;
+}
+
+Result<std::shared_ptr<PredictionService>> ShardRouter::StartShard(
+    int shard_id) {
+  CASCN_ASSIGN_OR_RETURN(
+      std::unique_ptr<PredictionService> service,
+      PredictionService::CreateFromCheckpoint(ShardServiceOptions(shard_id),
+                                              checkpoint_path_));
+  return std::shared_ptr<PredictionService>(std::move(service));
+}
+
+Result<std::shared_ptr<PredictionService>> ShardRouter::Route(
+    const std::string& tenant, const std::string& session_id, bool create) {
+  // Chaos hook: an armed "cluster.shard_crash" kills the shard named by its
+  // @V payload in the middle of routed load. Evaluated before taking the
+  // routing lock (the crash itself needs it).
+  if (fault::ShouldFire(kFaultShardCrash)) {
+    const int victim = static_cast<int>(
+        fault::FaultRegistry::Get().ArmedValue(kFaultShardCrash, -1.0));
+    if (victim >= 0) CrashShard(victim);
+  }
+
+  CASCN_RETURN_IF_ERROR(
+      admission_.AdmitTenant(tenant, std::chrono::steady_clock::now()));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shards_.empty())
+    return Status::Unavailable("no active shards in the cluster");
+
+  int target = -1;
+  bool pin_new = false;
+  const auto pin = pins_.find(session_id);
+  if (pin != pins_.end()) {
+    target = pin->second;
+    if (shards_.find(target) == shards_.end())
+      return Status::Unavailable(
+          StrFormat("session '%s' is pinned to shard %d, which is down",
+                    session_id.c_str(), target));
+  } else if (create) {
+    target = ring_.PickShard(session_id, [this](int s) {
+      return shards_.at(s).pinned;
+    });
+    pin_new = true;
+  } else {
+    // No pin and not a create: the session does not exist anywhere; route
+    // to the ring owner so the NotFound comes from the right shard.
+    target = ring_.OwnerOf(session_id);
+  }
+
+  std::shared_ptr<PredictionService> service = shards_.at(target).service;
+  CASCN_RETURN_IF_ERROR(
+      admission_.AdmitLoad(service->queue_depth(), service->queue_capacity()));
+  if (pin_new) {
+    pins_[session_id] = target;
+    ++shards_.at(target).pinned;
+  }
+  return service;
+}
+
+Result<std::future<ServeResponse>> ShardRouter::SubmitCreate(
+    const std::string& tenant, std::string session_id, int root_user,
+    double deadline_ms) {
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
+                         Route(tenant, session_id, /*create=*/true));
+  return service->SubmitCreate(std::move(session_id), root_user, deadline_ms);
+}
+
+Result<std::future<ServeResponse>> ShardRouter::SubmitAppend(
+    const std::string& tenant, std::string session_id, int user,
+    int parent_node, double time, double deadline_ms) {
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
+                         Route(tenant, session_id, /*create=*/false));
+  return service->SubmitAppend(std::move(session_id), user, parent_node, time,
+                               deadline_ms);
+}
+
+Result<std::future<ServeResponse>> ShardRouter::SubmitPredict(
+    const std::string& tenant, std::string session_id, double deadline_ms) {
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
+                         Route(tenant, session_id, /*create=*/false));
+  return service->SubmitPredict(std::move(session_id), deadline_ms);
+}
+
+Result<std::future<ServeResponse>> ShardRouter::SubmitClose(
+    const std::string& tenant, std::string session_id, double deadline_ms) {
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
+                         Route(tenant, session_id, /*create=*/false));
+  return service->SubmitClose(std::move(session_id), deadline_ms);
+}
+
+namespace {
+
+ServeResponse Wait(Result<std::future<ServeResponse>> submitted) {
+  if (!submitted.ok()) return ServeResponse{submitted.status()};
+  return submitted.value().get();
+}
+
+}  // namespace
+
+ServeResponse ShardRouter::CallCreate(const std::string& tenant,
+                                      std::string session_id, int root_user) {
+  return Wait(SubmitCreate(tenant, std::move(session_id), root_user));
+}
+
+ServeResponse ShardRouter::CallAppend(const std::string& tenant,
+                                      std::string session_id, int user,
+                                      int parent_node, double time) {
+  return Wait(
+      SubmitAppend(tenant, std::move(session_id), user, parent_node, time));
+}
+
+ServeResponse ShardRouter::CallPredict(const std::string& tenant,
+                                       std::string session_id) {
+  return Wait(SubmitPredict(tenant, std::move(session_id)));
+}
+
+ServeResponse ShardRouter::CallClose(const std::string& tenant,
+                                     std::string session_id) {
+  const std::string id = session_id;
+  ServeResponse response = Wait(SubmitClose(tenant, std::move(session_id)));
+  if (response.status.ok()) {
+    // The session is gone; release its pin so a future session with the
+    // same id places fresh by the ring.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto pin = pins_.find(id);
+    if (pin != pins_.end()) {
+      const auto shard = shards_.find(pin->second);
+      if (shard != shards_.end() && shard->second.pinned > 0)
+        --shard->second.pinned;
+      pins_.erase(pin);
+    }
+  }
+  return response;
+}
+
+Status ShardRouter::DrainQueue(PredictionService& service) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(options_.drain_timeout_ms * 1000.0));
+  while (service.queue_depth() > 0) {
+    if (std::chrono::steady_clock::now() >= deadline)
+      return Status::DeadlineExceeded(StrFormat(
+          "shard queue still has %zu requests after %.0f ms drain window",
+          service.queue_depth(), options_.drain_timeout_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::OK();
+}
+
+std::string ShardRouter::HandoffPath(int shard_id) const {
+  std::string dir = options_.handoff_dir;
+  if (dir.empty()) {
+    const size_t slash = checkpoint_path_.rfind('/');
+    dir = slash == std::string::npos ? "." : checkpoint_path_.substr(0, slash);
+  }
+  return StrFormat("%s/shard_%d.handoff", dir.c_str(), shard_id);
+}
+
+Result<HandoffImage> ShardRouter::WriteValidatedHandoff(
+    int shard_id, const std::vector<HandoffEntry>& entries) const {
+  const std::string path = HandoffPath(shard_id);
+  Status last = Status::Internal("handoff never attempted");
+  for (int attempt = 0; attempt < std::max(1, options_.handoff_write_attempts);
+       ++attempt) {
+    last = WriteHandoffFile(path, shard_id, entries);
+    if (!last.ok()) continue;  // e.g. injected torn write; just retry
+    Result<HandoffImage> image = ReadHandoffFile(path);
+    if (image.ok()) return image;
+    last = image.status();
+  }
+  return last;
+}
+
+Status ShardRouter::RemoveShard(int shard_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shards_.find(shard_id);
+  if (it == shards_.end())
+    return Status::FailedPrecondition(
+        StrFormat("shard %d is not active", shard_id));
+  if (shards_.size() == 1)
+    return Status::FailedPrecondition(
+        "cannot remove the last active shard");
+  Shard& source = it->second;
+  serve::SessionManager& sessions = source.service->sessions();
+
+  // Deactivate: while we hold the routing lock nothing new is routed, and
+  // the ring without this shard decides where its sessions will land.
+  std::vector<int> remaining;
+  for (const auto& [id, shard] : shards_)
+    if (id != shard_id) remaining.push_back(id);
+  ring_.SetShards(remaining);
+  const auto restore_ring = [this] {
+    std::vector<int> all;
+    for (const auto& [id, shard] : shards_) all.push_back(id);
+    ring_.SetShards(all);
+  };
+
+  Status drained = DrainQueue(*source.service);
+  if (!drained.ok()) {
+    restore_ring();
+    return drained;
+  }
+
+  // Extract every session (live and spilled). The queue is empty and no
+  // new work can arrive, so only a worker still inside a session blocks an
+  // extract — retry briefly, and abort the whole removal (nothing is lost,
+  // nothing has moved) if one stays busy.
+  std::vector<HandoffEntry> entries;
+  const auto put_back = [&] {
+    for (HandoffEntry& entry : entries) {
+      const Status st = sessions.Deserialize(entry.session_id, entry.blob);
+      CASCN_CHECK(st.ok()) << "re-inserting extracted session '"
+                           << entry.session_id
+                           << "' into its own shard failed: " << st.ToString();
+    }
+  };
+  for (const std::string& sid : sessions.SessionIds()) {
+    Result<std::string> blob = sessions.Extract(sid);
+    for (int retry = 0; !blob.ok() && retry < 100; ++retry) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      blob = sessions.Extract(sid);
+    }
+    if (!blob.ok()) {
+      put_back();
+      restore_ring();
+      return Status::Unavailable(
+          StrFormat("session '%s' stayed busy; shard %d was not removed",
+                    sid.c_str(), shard_id));
+    }
+    entries.push_back(HandoffEntry{sid, std::move(blob).value()});
+  }
+
+  // Durable leg: write + read back + CRC-validate before anything imports.
+  // The extracted sessions stay in `entries`, so a torn write (injected or
+  // real) costs a retry, never a session.
+  Result<HandoffImage> image = WriteValidatedHandoff(shard_id, entries);
+  if (!image.ok()) {
+    put_back();
+    restore_ring();
+    return image.status();
+  }
+
+  // Import from the validated image — the bytes a crash recovery would see,
+  // not the in-memory copies.
+  const auto load_of = [this](int s) { return shards_.at(s).pinned; };
+  for (const HandoffEntry& entry : image.value().entries) {
+    const int target = ring_.PickShard(entry.session_id, load_of);
+    const Status st =
+        shards_.at(target).service->sessions().Deserialize(entry.session_id,
+                                                           entry.blob);
+    if (!st.ok()) {
+      // Put this and all not-yet-imported entries back and keep the shard.
+      // Already-imported sessions are fine where they landed (their pins
+      // are updated), so the cluster stays consistent.
+      std::vector<HandoffEntry> rest(
+          std::find_if(entries.begin(), entries.end(),
+                       [&](const HandoffEntry& e) {
+                         return e.session_id == entry.session_id;
+                       }),
+          entries.end());
+      entries = std::move(rest);
+      put_back();
+      restore_ring();
+      return Status::Unavailable(StrFormat(
+          "import of session '%s' into shard %d failed (%s); shard %d kept",
+          entry.session_id.c_str(), target, st.message().c_str(), shard_id));
+    }
+    pins_[entry.session_id] = target;
+    ++shards_.at(target).pinned;
+    if (source.pinned > 0) --source.pinned;
+  }
+
+  source.service->Shutdown();
+  shards_.erase(it);
+  return Status::OK();
+}
+
+Status ShardRouter::AddShard(int shard_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shards_.find(shard_id) != shards_.end())
+    return Status::InvalidArgument(
+        StrFormat("shard %d is already active", shard_id));
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
+                         StartShard(shard_id));
+  shards_[shard_id] = Shard{std::move(service), 0};
+  crashed_.erase(shard_id);
+  std::vector<int> all;
+  for (const auto& [id, shard] : shards_) all.push_back(id);
+  ring_.SetShards(all);
+
+  // Pull over the sessions the grown ring assigns to the new shard — the
+  // consistent-hash guarantee keeps this to ~1/N of them, all moving TO the
+  // new shard. Busy sessions are skipped (they stay pinned where they are;
+  // routing by pin keeps them correct).
+  Shard& target = shards_.at(shard_id);
+  for (auto& [source_id, source] : shards_) {
+    if (source_id == shard_id) continue;
+    serve::SessionManager& sessions = source.service->sessions();
+    std::vector<std::string> moving;
+    for (const std::string& sid : sessions.SessionIds())
+      if (ring_.OwnerOf(sid) == shard_id) moving.push_back(sid);
+    if (moving.empty()) continue;
+    CASCN_RETURN_IF_ERROR(DrainQueue(*source.service));
+    std::vector<HandoffEntry> entries;
+    for (const std::string& sid : moving) {
+      Result<std::string> blob = sessions.Extract(sid);
+      if (!blob.ok()) continue;  // busy: leave it pinned to the source
+      entries.push_back(HandoffEntry{sid, std::move(blob).value()});
+    }
+    if (entries.empty()) continue;
+    Result<HandoffImage> image = WriteValidatedHandoff(source_id, entries);
+    if (!image.ok()) {
+      for (HandoffEntry& entry : entries) {
+        const Status st = sessions.Deserialize(entry.session_id, entry.blob);
+        CASCN_CHECK(st.ok())
+            << "re-inserting session '" << entry.session_id
+            << "' into shard " << source_id << " failed: " << st.ToString();
+      }
+      return image.status();
+    }
+    for (const HandoffEntry& entry : image.value().entries) {
+      const Status st = target.service->sessions().Deserialize(
+          entry.session_id, entry.blob);
+      if (!st.ok()) {
+        const Status back = sessions.Deserialize(entry.session_id, entry.blob);
+        CASCN_CHECK(back.ok())
+            << "session '" << entry.session_id
+            << "' could be imported nowhere: " << st.ToString();
+        continue;
+      }
+      pins_[entry.session_id] = shard_id;
+      ++target.pinned;
+      if (source.pinned > 0) --source.pinned;
+    }
+  }
+  return Status::OK();
+}
+
+void ShardRouter::CrashShard(int shard_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CrashShardLocked(shard_id);
+}
+
+void ShardRouter::CrashShardLocked(int shard_id) {
+  const auto it = shards_.find(shard_id);
+  if (it == shards_.end()) return;
+  // No drain, no handoff: exactly what a real crash leaves behind. Shutdown
+  // fails everything queued; the session table dies with the service.
+  it->second.service->Shutdown();
+  shards_.erase(it);
+  crashed_.insert(shard_id);
+  std::vector<int> remaining;
+  for (const auto& [id, shard] : shards_) remaining.push_back(id);
+  ring_.SetShards(remaining);
+}
+
+Status ShardRouter::RestartShard(int shard_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shards_.find(shard_id) != shards_.end())
+      return Status::InvalidArgument(
+          StrFormat("shard %d is still active", shard_id));
+    // Pins into the crashed shard point at state that died with it; drop
+    // them so re-created sessions place by the ring again.
+    for (auto it = pins_.begin(); it != pins_.end();) {
+      if (it->second == shard_id)
+        it = pins_.erase(it);
+      else
+        ++it;
+    }
+  }
+  return AddShard(shard_id);
+}
+
+Health ShardRouter::ClusterHealth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shards_.empty()) return Health::kUnhealthy;
+  bool degraded = !crashed_.empty();
+  for (const auto& [id, shard] : shards_)
+    if (shard.service->health() != Health::kHealthy) degraded = true;
+  return degraded ? Health::kDegraded : Health::kHealthy;
+}
+
+ShardRouter::Snapshot ShardRouter::TakeSnapshot() const {
+  Snapshot snap;
+  obs::Histogram::Snapshot merged;
+  merged.buckets.assign(serve::ServeMetrics::kNumLatencyBuckets, 0);
+  double weighted_sum = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool degraded = !crashed_.empty();
+    for (const auto& [id, shard] : shards_) {
+      ShardInfo info;
+      info.shard_id = id;
+      info.active = true;
+      info.queue_depth = shard.service->queue_depth();
+      info.num_sessions = shard.service->sessions().size();
+      info.pinned_sessions = shard.pinned;
+      info.metrics = shard.service->metrics().TakeSnapshot();
+      if (info.metrics.health != Health::kHealthy) degraded = true;
+      for (int b = 0; b < serve::ServeMetrics::kNumLatencyBuckets; ++b)
+        merged.buckets[static_cast<size_t>(b)] +=
+            info.metrics.latency_buckets[static_cast<size_t>(b)];
+      merged.count += info.metrics.latency_count;
+      merged.max = std::max(merged.max, info.metrics.latency_max_us);
+      weighted_sum += info.metrics.latency_mean_us *
+                      static_cast<double>(info.metrics.latency_count);
+      snap.shards.push_back(std::move(info));
+    }
+    for (int id : crashed_) {
+      ShardInfo info;
+      info.shard_id = id;
+      info.active = false;
+      snap.shards.push_back(std::move(info));
+    }
+    snap.crashed_shards = crashed_.size();
+    snap.health = shards_.empty()
+                      ? Health::kUnhealthy
+                      : (degraded ? Health::kDegraded : Health::kHealthy);
+  }
+  std::sort(snap.shards.begin(), snap.shards.end(),
+            [](const ShardInfo& a, const ShardInfo& b) {
+              return a.shard_id < b.shard_id;
+            });
+  if (merged.count > 0) {
+    merged.sum = static_cast<uint64_t>(weighted_sum);
+    merged.mean = weighted_sum / static_cast<double>(merged.count);
+  }
+  snap.latency_count = merged.count;
+  snap.latency_p50_us = merged.Percentile(0.50);
+  snap.latency_p95_us = merged.Percentile(0.95);
+  snap.latency_p99_us = merged.Percentile(0.99);
+  snap.tenants = admission_.Stats();
+  snap.total_shed = admission_.total_shed();
+  return snap;
+}
+
+std::string ShardRouter::Snapshot::ToString() const {
+  std::string out = StrFormat(
+      "cluster: health=%s shards=%zu (crashed %llu) shed=%llu "
+      "latency n=%llu p50~%.0fus p95~%.0fus p99~%.0fus\n",
+      std::string(serve::HealthName(health)).c_str(), shards.size(),
+      static_cast<unsigned long long>(crashed_shards),
+      static_cast<unsigned long long>(total_shed),
+      static_cast<unsigned long long>(latency_count), latency_p50_us,
+      latency_p95_us, latency_p99_us);
+  for (const ShardInfo& shard : shards) {
+    if (!shard.active) {
+      out += StrFormat("  shard %d: DOWN\n", shard.shard_id);
+      continue;
+    }
+    out += StrFormat(
+        "  shard %d: health=%s sessions=%zu pinned=%llu queue=%zu "
+        "requests=%llu p99~%.0fus\n",
+        shard.shard_id,
+        std::string(serve::HealthName(shard.metrics.health)).c_str(),
+        shard.num_sessions,
+        static_cast<unsigned long long>(shard.pinned_sessions),
+        shard.queue_depth,
+        static_cast<unsigned long long>(
+            shard.metrics.counter(serve::Counter::kRequestsTotal)),
+        shard.metrics.latency_p99_us);
+  }
+  for (const auto& tenant : tenants)
+    out += StrFormat("  tenant '%s': admitted=%llu rejected=%llu\n",
+                     tenant.tenant.c_str(),
+                     static_cast<unsigned long long>(tenant.admitted),
+                     static_cast<unsigned long long>(tenant.rejected));
+  return out;
+}
+
+void ShardRouter::ExportToRegistry(obs::MetricsRegistry& registry) const {
+  const Snapshot snap = TakeSnapshot();
+  for (const ShardInfo& shard : snap.shards) {
+    if (!shard.active) continue;
+    serve::ExportToRegistry(shard.metrics, registry,
+                            StrFormat("shard=\"%d\"", shard.shard_id));
+    registry.GetGauge(StrFormat("cluster_shard_sessions{shard=\"%d\"}",
+                                shard.shard_id))
+        .Set(static_cast<double>(shard.num_sessions));
+  }
+  registry.GetGauge("cluster_health")
+      .Set(static_cast<double>(static_cast<int>(snap.health)));
+  registry.GetGauge("cluster_shards_active")
+      .Set(static_cast<double>(snap.shards.size() - snap.crashed_shards));
+  registry.GetGauge("cluster_shards_crashed")
+      .Set(static_cast<double>(snap.crashed_shards));
+  registry.GetGauge("cluster_shed_total")
+      .Set(static_cast<double>(snap.total_shed));
+  registry.GetGauge("cluster_latency_p50_us").Set(snap.latency_p50_us);
+  registry.GetGauge("cluster_latency_p95_us").Set(snap.latency_p95_us);
+  registry.GetGauge("cluster_latency_p99_us").Set(snap.latency_p99_us);
+  for (const auto& tenant : snap.tenants) {
+    registry
+        .GetGauge(StrFormat("cluster_tenant_admitted{tenant=\"%s\"}",
+                            tenant.tenant.c_str()))
+        .Set(static_cast<double>(tenant.admitted));
+    registry
+        .GetGauge(StrFormat("cluster_tenant_rejected{tenant=\"%s\"}",
+                            tenant.tenant.c_str()))
+        .Set(static_cast<double>(tenant.rejected));
+  }
+}
+
+int ShardRouter::num_shards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(shards_.size());
+}
+
+std::vector<int> ShardRouter::ShardIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> ids;
+  ids.reserve(shards_.size());
+  for (const auto& [id, shard] : shards_) ids.push_back(id);
+  return ids;
+}
+
+int ShardRouter::ShardOf(const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto pin = pins_.find(session_id);
+  if (pin != pins_.end()) return pin->second;
+  if (ring_.empty()) return -1;
+  return ring_.OwnerOf(session_id);
+}
+
+PredictionService* ShardRouter::shard(int shard_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shards_.find(shard_id);
+  return it == shards_.end() ? nullptr : it->second.service.get();
+}
+
+}  // namespace cascn::cluster

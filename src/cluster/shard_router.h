@@ -1,0 +1,259 @@
+// ShardRouter: the sharded, replicated serving tier.
+//
+// N in-process PredictionService shards, each with its own worker pool,
+// model replicas, session table, and metrics, sit behind one router.
+// Session ids are placed by consistent hashing with bounded load
+// (cluster/consistent_hash.h): Create() picks the ring owner unless it is
+// already carrying more than `load_factor` times the mean session count, in
+// which case the walk continues to the next shard. The chosen shard is
+// *pinned* for the session's lifetime, so later requests route without load
+// information and a session's whole history lives on one shard.
+//
+// Admission control runs before any shard is touched: per-tenant token
+// buckets and queue-depth load shedding (cluster/admission.h), both
+// rejecting with ResourceExhausted — distinct from a full queue's
+// Unavailable and from DeadlineExceeded — so clients can tell "slow down"
+// from "retry elsewhere" from "too late".
+//
+// Rebalance (RemoveShard): deactivate -> wait for the shard's queue to
+// drain -> Extract every session -> write a CRC'd handoff file (atomic
+// write, retried on injected torn writes) -> re-read and validate it ->
+// Deserialize each session into its new owner -> update pins -> destroy the
+// shard. Sessions stay in the source shard's memory until the handoff file
+// has been read back successfully, so a torn write costs a retry, never a
+// session. RestartShard() is the inverse: a fresh shard joins the ring and
+// pulls back the sessions the ring now assigns to it.
+//
+// Failure model: CrashShard() (and the "cluster.shard_crash" fault point)
+// destroys a shard without a drain, as a real crash would. Pinned sessions
+// on the crashed shard lose their in-memory history (clients see NotFound
+// and re-create); *new* sessions route to the surviving shards because the
+// ring no longer contains the crashed one. Cluster health degrades while
+// any shard is down or degraded and recovers when the shard rejoins.
+
+#ifndef CASCN_CLUSTER_SHARD_ROUTER_H_
+#define CASCN_CLUSTER_SHARD_ROUTER_H_
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/admission.h"
+#include "cluster/consistent_hash.h"
+#include "cluster/handoff.h"
+#include "common/result.h"
+#include "obs/metrics_registry.h"
+#include "serve/metrics.h"
+#include "serve/prediction_service.h"
+
+namespace cascn::cluster {
+
+/// Fault-injection points (src/fault):
+///  - "cluster.shard_crash": evaluated on every routed request; when it
+///    fires, the shard named by the @V payload is crashed (no drain) before
+///    the request is routed — chaos runs use nth:K@ID to kill shard ID
+///    mid-load.
+///  - "cluster.slow_shard.<id>": per-shard predict delay (the @V payload in
+///    milliseconds), wired into that shard's service via
+///    ServiceOptions::extra_predict_fault_point. Slows one shard without
+///    touching the others.
+inline constexpr char kFaultShardCrash[] = "cluster.shard_crash";
+inline constexpr char kFaultSlowShardPrefix[] = "cluster.slow_shard.";
+
+/// Fault point name for slowing one specific shard.
+std::string SlowShardFaultPoint(int shard_id);
+
+struct ShardRouterOptions {
+  /// Initial shard count; shard ids are 0..num_shards-1. >= 1.
+  int num_shards = 2;
+  /// Per-shard service configuration. `sessions.spill_capacity` defaults to
+  /// the session capacity when left 0, so LRU-evicted histories survive to
+  /// be handed off (zero session loss includes evicted-but-not-closed
+  /// sessions).
+  serve::ServiceOptions shard;
+  HashRingOptions ring;
+  AdmissionOptions admission;
+  /// Directory for handoff files; empty = alongside the checkpoint.
+  std::string handoff_dir;
+  /// Attempts per handoff-file write (retries absorb injected torn writes).
+  int handoff_write_attempts = 3;
+  /// Max milliseconds RemoveShard waits for the draining shard's queue to
+  /// empty before giving up with DeadlineExceeded.
+  double drain_timeout_ms = 5000.0;
+};
+
+/// Routes session-keyed requests across in-process shards. All methods are
+/// thread-safe.
+class ShardRouter {
+ public:
+  /// Builds `num_shards` shards, each loading its replicas from
+  /// `checkpoint_path`.
+  static Result<std::unique_ptr<ShardRouter>> CreateFromCheckpoint(
+      const ShardRouterOptions& options, const std::string& checkpoint_path);
+
+  ~ShardRouter();  // shuts every shard down
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Async submission: admission control (tenant quota + load shed, both
+  /// ResourceExhausted), then routed to the session's shard. Unavailable
+  /// when the session is pinned to a crashed shard or the shard's queue is
+  /// full. The returned future always becomes ready.
+  Result<std::future<serve::ServeResponse>> SubmitCreate(
+      const std::string& tenant, std::string session_id, int root_user,
+      double deadline_ms = 0.0);
+  Result<std::future<serve::ServeResponse>> SubmitAppend(
+      const std::string& tenant, std::string session_id, int user,
+      int parent_node, double time, double deadline_ms = 0.0);
+  Result<std::future<serve::ServeResponse>> SubmitPredict(
+      const std::string& tenant, std::string session_id,
+      double deadline_ms = 0.0);
+  Result<std::future<serve::ServeResponse>> SubmitClose(
+      const std::string& tenant, std::string session_id,
+      double deadline_ms = 0.0);
+
+  /// Blocking conveniences (submit + wait); admission rejections surface as
+  /// the response status.
+  serve::ServeResponse CallCreate(const std::string& tenant,
+                                  std::string session_id, int root_user);
+  serve::ServeResponse CallAppend(const std::string& tenant,
+                                  std::string session_id, int user,
+                                  int parent_node, double time);
+  serve::ServeResponse CallPredict(const std::string& tenant,
+                                   std::string session_id);
+  serve::ServeResponse CallClose(const std::string& tenant,
+                                 std::string session_id);
+
+  /// Live rebalance: drains shard `shard_id`, hands its sessions off to the
+  /// remaining shards (see file comment for the protocol), and destroys it.
+  /// FailedPrecondition when it is the last active shard or unknown;
+  /// DeadlineExceeded when the queue does not drain in time. No session is
+  /// lost: on any error before the handoff file validates, the shard keeps
+  /// serving.
+  Status RemoveShard(int shard_id);
+
+  /// Starts a fresh shard with id `shard_id` (loading from the cluster's
+  /// checkpoint), adds it to the ring, and pulls over the sessions the ring
+  /// now assigns to it from the other shards (same handoff protocol).
+  /// InvalidArgument if the id is still active.
+  Status AddShard(int shard_id);
+
+  /// Crash simulation: destroys the shard with no drain and no handoff.
+  /// Pinned sessions on it are lost until clients re-create them; the ring
+  /// routes new sessions to the survivors. No-op for unknown ids.
+  void CrashShard(int shard_id);
+
+  /// Rejoin after a crash: AddShard() with the crashed shard's id, plus
+  /// dropping the dead pins so re-created sessions route by the ring again.
+  Status RestartShard(int shard_id);
+
+  /// Aggregate condition: kHealthy when every configured shard is up and
+  /// healthy; kDegraded when any shard is down, degraded, or was crashed
+  /// and not yet restarted; kUnhealthy when no shard is serving.
+  serve::Health ClusterHealth() const;
+
+  struct ShardInfo {
+    int shard_id = -1;
+    bool active = false;
+    size_t queue_depth = 0;
+    size_t num_sessions = 0;
+    uint64_t pinned_sessions = 0;
+    serve::ServeMetrics::Snapshot metrics;
+  };
+
+  struct Snapshot {
+    serve::Health health = serve::Health::kHealthy;
+    std::vector<ShardInfo> shards;          // sorted by shard id
+    std::vector<AdmissionController::TenantStats> tenants;
+    uint64_t total_shed = 0;
+    uint64_t crashed_shards = 0;            // crashed and not yet restarted
+    /// Accepted-request latency percentiles across every shard (merged
+    /// log2 histograms — shed requests never reach a histogram).
+    double latency_p50_us = 0.0;
+    double latency_p95_us = 0.0;
+    double latency_p99_us = 0.0;
+    uint64_t latency_count = 0;
+
+    std::string ToString() const;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  /// Exports per-shard serve metrics into `registry` with a shard label
+  /// (serve_requests_total{shard="0"}, ...) plus cluster_* gauges for
+  /// health, shed totals, and merged latency percentiles, and per-tenant
+  /// cluster_tenant_{admitted,rejected}{tenant="..."} gauges.
+  void ExportToRegistry(obs::MetricsRegistry& registry) const;
+
+  /// Active shard count / ids.
+  int num_shards() const;
+  std::vector<int> ShardIds() const;
+  /// The shard `session_id` routes to right now (pin, else ring owner);
+  /// -1 when the ring is empty.
+  int ShardOf(const std::string& session_id) const;
+  /// Direct access to one shard's service (tests); null when down.
+  serve::PredictionService* shard(int shard_id);
+
+  const AdmissionController& admission() const { return admission_; }
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+
+ private:
+  struct Shard {
+    std::shared_ptr<serve::PredictionService> service;
+    uint64_t pinned = 0;  // sessions pinned here (ring load measure)
+  };
+
+  explicit ShardRouter(const ShardRouterOptions& options,
+                       std::string checkpoint_path);
+
+  /// Builds one shard's service options (shard-scoped slow fault point,
+  /// spill default).
+  serve::ServiceOptions ShardServiceOptions(int shard_id) const;
+  /// Starts one shard's service. Pre: mutex_ held (startup excepted).
+  Result<std::shared_ptr<serve::PredictionService>> StartShard(int shard_id);
+
+  /// Admission + routing: resolves the target service for `session_id`,
+  /// creating a pin when `create` is true. Applies the shard-crash fault,
+  /// tenant quota, and load shedding.
+  Result<std::shared_ptr<serve::PredictionService>> Route(
+      const std::string& tenant, const std::string& session_id, bool create);
+
+  /// Crash internals shared by CrashShard and the fault hook. Pre: mutex_.
+  void CrashShardLocked(int shard_id);
+
+  /// Waits (bounded) for `service`'s queue to empty. Pre: mutex_ held — no
+  /// new work can be routed while the caller drains.
+  Status DrainQueue(serve::PredictionService& service) const;
+
+  /// Writes `entries` to shard_id's handoff file and reads it back,
+  /// retrying torn writes; returns the validated image. Pre: mutex_ held.
+  Result<HandoffImage> WriteValidatedHandoff(
+      int shard_id, const std::vector<HandoffEntry>& entries) const;
+
+  /// Handoff file path for a drain of `shard_id`.
+  std::string HandoffPath(int shard_id) const;
+
+  ShardRouterOptions options_;
+  std::string checkpoint_path_;
+  AdmissionController admission_;
+
+  /// Guards shards_, ring_, pins_, crashed_. Held only for routing
+  /// bookkeeping and topology changes, never across a model forward pass
+  /// (requests run on shard worker threads).
+  mutable std::mutex mutex_;
+  std::map<int, Shard> shards_;
+  HashRing ring_;
+  std::unordered_map<std::string, int> pins_;  // session id -> shard id
+  /// Shards destroyed by CrashShard and not yet restarted (health signal).
+  std::set<int> crashed_;
+};
+
+}  // namespace cascn::cluster
+
+#endif  // CASCN_CLUSTER_SHARD_ROUTER_H_

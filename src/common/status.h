@@ -26,6 +26,7 @@ enum class StatusCode {
   kNotImplemented,
   kUnavailable,
   kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code`, e.g. "InvalidArgument".
@@ -74,6 +75,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -22,6 +22,10 @@ std::string_view CounterName(Counter c) {
       return "sessions_closed";
     case Counter::kEvictions:
       return "evictions";
+    case Counter::kSpilled:
+      return "sessions_spilled";
+    case Counter::kSpillRestores:
+      return "spill_restores";
     case Counter::kPredictionCacheHits:
       return "prediction_cache_hits";
     case Counter::kBatches:
@@ -110,21 +114,27 @@ std::string ServeMetrics::Snapshot::ToJson() const {
 }
 
 void ExportToRegistry(const ServeMetrics::Snapshot& snapshot,
-                      obs::MetricsRegistry& registry) {
+                      obs::MetricsRegistry& registry,
+                      std::string_view label) {
+  const std::string suffix =
+      label.empty() ? std::string() : "{" + std::string(label) + "}";
+  auto gauge = [&](const std::string& name) -> obs::Gauge& {
+    return registry.GetGauge(name + suffix);
+  };
   for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i) {
     const std::string name =
         "serve_" + std::string(CounterName(static_cast<Counter>(i)));
-    registry.GetGauge(name).Set(static_cast<double>(snapshot.counters[i]));
+    gauge(name).Set(static_cast<double>(snapshot.counters[i]));
   }
-  registry.GetGauge("serve_health")
+  gauge("serve_health")
       .Set(static_cast<double>(static_cast<int>(snapshot.health)));
-  registry.GetGauge("serve_latency_count")
+  gauge("serve_latency_count")
       .Set(static_cast<double>(snapshot.latency_count));
-  registry.GetGauge("serve_latency_mean_us").Set(snapshot.latency_mean_us);
-  registry.GetGauge("serve_latency_p50_us").Set(snapshot.latency_p50_us);
-  registry.GetGauge("serve_latency_p95_us").Set(snapshot.latency_p95_us);
-  registry.GetGauge("serve_latency_p99_us").Set(snapshot.latency_p99_us);
-  registry.GetGauge("serve_latency_max_us")
+  gauge("serve_latency_mean_us").Set(snapshot.latency_mean_us);
+  gauge("serve_latency_p50_us").Set(snapshot.latency_p50_us);
+  gauge("serve_latency_p95_us").Set(snapshot.latency_p95_us);
+  gauge("serve_latency_p99_us").Set(snapshot.latency_p99_us);
+  gauge("serve_latency_max_us")
       .Set(static_cast<double>(snapshot.latency_max_us));
 }
 

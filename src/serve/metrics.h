@@ -32,6 +32,8 @@ enum class Counter : int {
   kPredictions,
   kSessionsClosed,
   kEvictions,            // idle sessions LRU-evicted at capacity
+  kSpilled,              // evicted sessions whose history was kept serialized
+  kSpillRestores,        // spilled sessions transparently restored on touch
   kPredictionCacheHits,  // predictions served from the per-session cache
   kBatches,              // worker dequeues that drained > 1 request
   kBatchedRequests,      // requests processed as part of such a batch
@@ -113,8 +115,14 @@ class ServeMetrics {
 /// `serve_<counter>` plus `serve_latency_{count,mean_us,p50_us,p95_us,
 /// p99_us,max_us}`. Gauges (not registry counters) because a snapshot is a
 /// point-in-time copy, re-exported wholesale on every bridge call.
+///
+/// `label` adds a dimension to every exported name — e.g. label
+/// `shard="0"` yields `serve_requests_total{shard="0"}` — so one registry
+/// can expose many keyed snapshots (per shard, per tenant) side by side
+/// instead of needing N parallel registries.
 void ExportToRegistry(const ServeMetrics::Snapshot& snapshot,
-                      obs::MetricsRegistry& registry);
+                      obs::MetricsRegistry& registry,
+                      std::string_view label = "");
 
 }  // namespace cascn::serve
 

@@ -117,6 +117,11 @@ Status PredictionService::ReloadCheckpoint(const std::string& checkpoint_path) {
 
 PredictionService::~PredictionService() { Shutdown(); }
 
+size_t PredictionService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
 void PredictionService::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(shutdown_mutex_);
@@ -294,6 +299,8 @@ ServeResponse PredictionService::Execute(const Request& request,
       break;
     case RequestType::kPredict: {
       fault::MaybeDelay(kFaultServeSlowPredict);
+      if (!options_.extra_predict_fault_point.empty())
+        fault::MaybeDelay(options_.extra_predict_fault_point);
       auto prediction = sessions_->PredictLog(request.session_id, model);
       if (prediction.ok()) {
         response.log_prediction = prediction.value();

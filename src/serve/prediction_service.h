@@ -67,6 +67,11 @@ struct ServiceOptions {
   /// `load_retry_backoff_ms * 2^attempt` between attempts.
   int load_retries = 0;
   double load_retry_backoff_ms = 10.0;
+  /// Additional fault-injection point checked (as a MaybeDelay) on every
+  /// predict, besides the global "serve.slow_predict". The cluster layer
+  /// sets this to a shard-scoped name ("cluster.slow_shard.<id>") so chaos
+  /// runs can slow one shard without touching the others.
+  std::string extra_predict_fault_point;
   SessionManagerOptions sessions;
 };
 
@@ -153,6 +158,12 @@ class PredictionService {
   obs::MetricsRegistry& registry() { return registry_; }
   SessionManager& sessions() { return *sessions_; }
   int num_workers() const { return options_.num_workers; }
+  /// Requests currently queued (admission control reads this to shed load
+  /// before a shard's queue collapses).
+  size_t queue_depth() const;
+  size_t queue_capacity() const { return options_.queue_capacity; }
+  /// Path the replicas were loaded from; empty when factory-built.
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
 
  private:
   enum class RequestType { kCreate, kAppend, kPredict, kClose };
@@ -203,7 +214,7 @@ class PredictionService {
   /// Path the replicas were loaded from (empty when factory-built).
   std::string checkpoint_path_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Request> queue_;
   bool shutting_down_ = false;

@@ -1,10 +1,131 @@
 #include "serve/session_manager.h"
 
+#include <cstring>
+
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
 
 namespace cascn::serve {
+
+namespace {
+
+// Serialized-session layout (all little-endian, as written by the host):
+//   uint32  magic 0x53455353 ("SESS")
+//   uint32  version (kSessionBlobVersion)
+//   uint32  event count
+//   per event: int32 node, int32 user, uint32 parent count, int32 parents...,
+//              double time
+//   uint32  CRC-32 of every preceding byte
+constexpr uint32_t kSessionBlobMagic = 0x53455353;
+constexpr uint32_t kSessionBlobVersion = 1;
+constexpr uint32_t kMaxBlobEvents = 1u << 24;  // 16M events is implausible
+
+void AppendRaw(std::string& out, const void* data, size_t len) {
+  out.append(reinterpret_cast<const char*>(data), len);
+}
+
+void AppendU32(std::string& out, uint32_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendI32(std::string& out, int32_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendF64(std::string& out, double v) { AppendRaw(out, &v, sizeof(v)); }
+
+/// Cursor over a blob; every read is bounds-checked so a truncated blob
+/// fails with a Status instead of reading past the end.
+struct BlobReader {
+  const std::string& bytes;
+  size_t pos = 0;
+
+  Status Read(void* dst, size_t len, const char* what) {
+    if (pos + len > bytes.size())
+      return Status::IoError(
+          StrFormat("session blob truncated reading %s", what));
+    std::memcpy(dst, bytes.data() + pos, len);
+    pos += len;
+    return Status::OK();
+  }
+};
+
+std::string SerializeAdoptionEvents(const std::vector<AdoptionEvent>& events) {
+  std::string out;
+  AppendU32(out, kSessionBlobMagic);
+  AppendU32(out, kSessionBlobVersion);
+  AppendU32(out, static_cast<uint32_t>(events.size()));
+  for (const AdoptionEvent& e : events) {
+    AppendI32(out, e.node);
+    AppendI32(out, e.user);
+    AppendU32(out, static_cast<uint32_t>(e.parents.size()));
+    for (int parent : e.parents) AppendI32(out, parent);
+    AppendF64(out, e.time);
+  }
+  const uint32_t crc = Crc32(out);
+  AppendU32(out, crc);
+  return out;
+}
+
+Result<std::vector<AdoptionEvent>> ParseAdoptionEvents(
+    const std::string& blob) {
+  if (blob.size() < 4 * sizeof(uint32_t))
+    return Status::IoError(StrFormat(
+        "session blob of %zu bytes is too short", blob.size()));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const uint32_t computed =
+      Crc32(blob.data(), blob.size() - sizeof(stored_crc));
+  if (stored_crc != computed)
+    return Status::IoError(StrFormat(
+        "session blob checksum mismatch (stored 0x%08x, computed 0x%08x): "
+        "torn or corrupt blob",
+        stored_crc, computed));
+
+  BlobReader reader{blob};
+  uint32_t magic = 0;
+  CASCN_RETURN_IF_ERROR(reader.Read(&magic, sizeof(magic), "magic"));
+  if (magic != kSessionBlobMagic)
+    return Status::IoError(
+        StrFormat("not a session blob (magic 0x%08x)", magic));
+  uint32_t version = 0;
+  CASCN_RETURN_IF_ERROR(reader.Read(&version, sizeof(version), "version"));
+  if (version != kSessionBlobVersion)
+    return Status::IoError(
+        StrFormat("unsupported session blob version %u", version));
+  uint32_t count = 0;
+  CASCN_RETURN_IF_ERROR(reader.Read(&count, sizeof(count), "event count"));
+  if (count == 0 || count > kMaxBlobEvents)
+    return Status::IoError(
+        StrFormat("implausible session blob event count %u", count));
+
+  std::vector<AdoptionEvent> events;
+  events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AdoptionEvent e;
+    int32_t node = 0, user = 0;
+    CASCN_RETURN_IF_ERROR(reader.Read(&node, sizeof(node), "node"));
+    CASCN_RETURN_IF_ERROR(reader.Read(&user, sizeof(user), "user"));
+    e.node = node;
+    e.user = user;
+    uint32_t num_parents = 0;
+    CASCN_RETURN_IF_ERROR(
+        reader.Read(&num_parents, sizeof(num_parents), "parent count"));
+    if (num_parents > count)
+      return Status::IoError(
+          StrFormat("implausible parent count %u", num_parents));
+    e.parents.reserve(num_parents);
+    for (uint32_t p = 0; p < num_parents; ++p) {
+      int32_t parent = 0;
+      CASCN_RETURN_IF_ERROR(reader.Read(&parent, sizeof(parent), "parent"));
+      e.parents.push_back(parent);
+    }
+    CASCN_RETURN_IF_ERROR(reader.Read(&e.time, sizeof(e.time), "time"));
+    events.push_back(std::move(e));
+  }
+  if (reader.pos != blob.size() - sizeof(stored_crc))
+    return Status::IoError("session blob has trailing bytes");
+  return events;
+}
+
+}  // namespace
 
 SessionManager::SessionManager(const SessionManagerOptions& options,
                                ServeMetrics* metrics)
@@ -13,11 +134,78 @@ SessionManager::SessionManager(const SessionManagerOptions& options,
   CASCN_CHECK(options.observation_window > 0);
 }
 
+void SessionManager::DropSpillLocked(const std::string& session_id) const {
+  auto it = spill_.find(session_id);
+  if (it == spill_.end()) return;
+  spill_lru_.erase(it->second.lru_it);
+  spill_.erase(it);
+}
+
+Status SessionManager::InsertLocked(
+    const std::string& session_id, std::shared_ptr<Session> session) const {
+  // Pre: map_mutex_ held, session_id not in sessions_.
+  if (sessions_.size() >= options_.capacity) {
+    // Evict the least-recently-used idle session. Iterating from the LRU
+    // tail skips sessions with an operation in flight (pinned).
+    CASCN_TRACE_SPAN("session_evict");
+    bool evicted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto candidate = sessions_.find(*it);
+      CASCN_CHECK(candidate != sessions_.end());
+      if (candidate->second->pins > 0) continue;
+      if (options_.spill_capacity > 0) {
+        // pins == 0 under map_mutex_ means no thread is inside the session
+        // (and the releasing thread's writes are visible through the mutex),
+        // so its events can be read without taking the session mutex —
+        // which keeps session mutexes out of map_mutex_'s lock graph.
+        DropSpillLocked(*it);
+        spill_lru_.push_front(*it);
+        Spilled spilled;
+        spilled.blob = SerializeAdoptionEvents(candidate->second->events);
+        spilled.lru_it = spill_lru_.begin();
+        spill_.emplace(*it, std::move(spilled));
+        while (spill_.size() > options_.spill_capacity) {
+          spill_.erase(spill_lru_.back());
+          spill_lru_.pop_back();
+        }
+        Record(Counter::kSpilled);
+      }
+      lru_.erase(std::next(it).base());
+      sessions_.erase(candidate);
+      Record(Counter::kEvictions);
+      evicted = true;
+      break;
+    }
+    if (!evicted)
+      return Status::Unavailable(
+          "session table full and every session is busy");
+  }
+  lru_.push_front(session_id);
+  session->lru_it = lru_.begin();
+  sessions_.emplace(session_id, std::move(session));
+  return Status::OK();
+}
+
 std::shared_ptr<SessionManager::Session> SessionManager::Acquire(
     const std::string& session_id) const {
   std::lock_guard<std::mutex> lock(map_mutex_);
   auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) return nullptr;
+  if (it == sessions_.end()) {
+    // A spilled session is transparently restored: the caller keeps its
+    // cascade history as if the eviction never happened.
+    auto spilled = spill_.find(session_id);
+    if (spilled == spill_.end()) return nullptr;
+    auto events = ParseAdoptionEvents(spilled->second.blob);
+    CASCN_CHECK(events.ok()) << "corrupt spill blob for session "
+                             << session_id << ": " << events.status();
+    auto session = std::make_shared<Session>();
+    session->events = std::move(events).value();
+    DropSpillLocked(session_id);
+    if (!InsertLocked(session_id, session).ok()) return nullptr;
+    Record(Counter::kSpillRestores);
+    it = sessions_.find(session_id);
+    CASCN_CHECK(it != sessions_.end());
+  }
   ++it->second->pins;
   lru_.splice(lru_.begin(), lru_, it->second->lru_it);
   return it->second;
@@ -39,28 +227,10 @@ Status SessionManager::Create(const std::string& session_id, int root_user) {
   std::lock_guard<std::mutex> lock(map_mutex_);
   if (sessions_.count(session_id) > 0)
     return Status::InvalidArgument("session already exists: " + session_id);
-  if (sessions_.size() >= options_.capacity) {
-    // Evict the least-recently-used idle session. Iterating from the LRU
-    // tail skips sessions with an operation in flight (pinned).
-    CASCN_TRACE_SPAN("session_evict");
-    bool evicted = false;
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      auto candidate = sessions_.find(*it);
-      CASCN_CHECK(candidate != sessions_.end());
-      if (candidate->second->pins > 0) continue;
-      lru_.erase(std::next(it).base());
-      sessions_.erase(candidate);
-      Record(Counter::kEvictions);
-      evicted = true;
-      break;
-    }
-    if (!evicted)
-      return Status::Unavailable(
-          "session table full and every session is busy");
-  }
-  lru_.push_front(session_id);
-  session->lru_it = lru_.begin();
-  sessions_.emplace(session_id, std::move(session));
+  // An explicit re-create starts a fresh cascade: the spilled history (if
+  // any) must not resurrect under it.
+  DropSpillLocked(session_id);
+  CASCN_RETURN_IF_ERROR(InsertLocked(session_id, std::move(session)));
   Record(Counter::kSessionsCreated);
   return Status::OK();
 }
@@ -136,6 +306,7 @@ Result<double> SessionManager::PredictLog(const std::string& session_id,
 
 Status SessionManager::Close(const std::string& session_id) {
   std::lock_guard<std::mutex> lock(map_mutex_);
+  DropSpillLocked(session_id);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end())
     return Status::NotFound("unknown session: " + session_id);
@@ -174,6 +345,76 @@ Result<int> SessionManager::SessionSize(const std::string& session_id) const {
   }
   Release(*session);
   return size;
+}
+
+Result<std::string> SessionManager::Serialize(
+    const std::string& session_id) const {
+  std::shared_ptr<Session> session = Acquire(session_id);
+  if (session == nullptr)
+    return Status::NotFound("unknown session: " + session_id);
+  std::string blob;
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    blob = SerializeAdoptionEvents(session->events);
+  }
+  Release(*session);
+  return blob;
+}
+
+Status SessionManager::Deserialize(const std::string& session_id,
+                                   const std::string& blob) {
+  CASCN_ASSIGN_OR_RETURN(std::vector<AdoptionEvent> events,
+                         ParseAdoptionEvents(blob));
+  // Validate the structure exactly as a live session would build it, so a
+  // syntactically valid blob with impossible events (bad parent indices,
+  // time regressions) is rejected here instead of crashing a later predict.
+  {
+    auto cascade = Cascade::Create(session_id, events);
+    if (!cascade.ok())
+      return Status::InvalidArgument("session blob fails cascade validation: " +
+                                     cascade.status().message());
+  }
+  auto session = std::make_shared<Session>();
+  session->events = std::move(events);
+
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  if (sessions_.count(session_id) > 0)
+    return Status::InvalidArgument("session already exists: " + session_id);
+  DropSpillLocked(session_id);
+  return InsertLocked(session_id, std::move(session));
+}
+
+Result<std::string> SessionManager::Extract(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    // A spilled session can be handed off directly: the blob format is the
+    // same.
+    auto spilled = spill_.find(session_id);
+    if (spilled == spill_.end())
+      return Status::NotFound("unknown session: " + session_id);
+    std::string blob = std::move(spilled->second.blob);
+    DropSpillLocked(session_id);
+    return blob;
+  }
+  if (it->second->pins > 0)
+    return Status::Unavailable("session is busy: " + session_id);
+  // pins == 0 under map_mutex_: safe to read events without the session
+  // mutex (see InsertLocked).
+  std::string blob = SerializeAdoptionEvents(it->second->events);
+  lru_.erase(it->second->lru_it);
+  sessions_.erase(it);
+  DropSpillLocked(session_id);
+  return blob;
+}
+
+std::vector<std::string> SessionManager::SessionIds() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size() + spill_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  for (const auto& [id, spilled] : spill_) ids.push_back(id);
+  return ids;
 }
 
 size_t SessionManager::size() const {

@@ -13,6 +13,18 @@
 // evicts the least-recently-used *idle* session (idle = no operation
 // currently inside it); if every session is busy, Create returns
 // Unavailable rather than blocking.
+//
+// Spill (options.spill_capacity > 0): an evicted session's event history is
+// kept as a serialized blob instead of being dropped, and the next
+// operation that touches the session transparently restores it — so a
+// client that never noticed the eviction keeps its cascade history instead
+// of silently losing it. Create() on a spilled id discards the blob (an
+// explicit re-create is a new cascade).
+//
+// Handoff: Serialize()/Deserialize() export one session's full history as a
+// self-validating binary blob and rebuild it elsewhere — the unit the
+// cluster layer moves between shards during rebalance. Extract() is the
+// remove-and-serialize variant used by a draining shard.
 
 #ifndef CASCN_SERVE_SESSION_MANAGER_H_
 #define CASCN_SERVE_SESSION_MANAGER_H_
@@ -38,6 +50,10 @@ struct SessionManagerOptions {
   /// Observation window for every session, in the dataset's native time
   /// unit; adoptions after the window are rejected (OutOfRange).
   double observation_window = 60.0;
+  /// Evicted sessions to retain as serialized blobs (0 disables). Spilled
+  /// sessions are restored transparently by the next operation that touches
+  /// them; the spill table is itself LRU-bounded.
+  size_t spill_capacity = 0;
 };
 
 /// Thread-safe table of live cascade sessions.
@@ -78,6 +94,27 @@ class SessionManager {
   /// Number of adoptions observed by a session.
   Result<int> SessionSize(const std::string& session_id) const;
 
+  /// Serializes a session's full event history into a self-validating
+  /// binary blob (magic + version + events + CRC-32). NotFound for unknown
+  /// sessions. Deserialize() on any SessionManager with the same
+  /// observation window rebuilds an equivalent session.
+  Result<std::string> Serialize(const std::string& session_id) const;
+
+  /// Rebuilds a session from a Serialize() blob. InvalidArgument if the id
+  /// already exists or the events fail cascade validation; IoError for a
+  /// torn or corrupt blob (bad magic/CRC/length). Subject to the same
+  /// capacity/eviction rules as Create().
+  Status Deserialize(const std::string& session_id, const std::string& blob);
+
+  /// Serialize() + remove in one step — the draining side of a shard
+  /// handoff. Unavailable if an operation is currently inside the session.
+  Result<std::string> Extract(const std::string& session_id);
+
+  /// Ids of every session the manager holds state for — live sessions plus
+  /// spilled ones (unspecified order). The drain loop of a shard handoff
+  /// iterates this and Extract()s each id, so spilled histories move too.
+  std::vector<std::string> SessionIds() const;
+
   /// Live session count.
   size_t size() const;
 
@@ -94,7 +131,8 @@ class SessionManager {
     std::list<std::string>::iterator lru_it;
   };
 
-  /// Looks up + pins a session and moves it to the LRU front.
+  /// Looks up + pins a session and moves it to the LRU front; restores a
+  /// spilled session first when the spill table holds one.
   std::shared_ptr<Session> Acquire(const std::string& session_id) const;
   void Release(Session& session) const;
   const CascadeSample& CurrentSample(Session& session) const;
@@ -102,12 +140,27 @@ class SessionManager {
     if (metrics_ != nullptr) metrics_->Increment(c, n);
   }
 
+  /// Inserts a prebuilt session. Pre: map_mutex_ held; id not present.
+  /// Evicts (and possibly spills) the LRU idle session at capacity;
+  /// Unavailable when every session is busy.
+  Status InsertLocked(const std::string& session_id,
+                      std::shared_ptr<Session> session) const;
+  /// Drops `session_id` from the spill table if present. Pre: map_mutex_.
+  void DropSpillLocked(const std::string& session_id) const;
+
   SessionManagerOptions options_;
   ServeMetrics* metrics_;
 
   mutable std::mutex map_mutex_;
   mutable std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
   mutable std::list<std::string> lru_;  // front = most recently used
+  /// Serialized histories of evicted sessions (spill_capacity > 0 only).
+  struct Spilled {
+    std::string blob;
+    std::list<std::string>::iterator lru_it;
+  };
+  mutable std::unordered_map<std::string, Spilled> spill_;
+  mutable std::list<std::string> spill_lru_;  // front = most recently spilled
 };
 
 }  // namespace cascn::serve

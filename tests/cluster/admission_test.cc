@@ -1,0 +1,106 @@
+// Admission control: per-tenant token buckets (with injected clocks, so
+// every refill is deterministic) and the queue-depth load-shed gate.
+
+#include "cluster/admission.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace cascn::cluster {
+namespace {
+
+using TimePoint = AdmissionController::TimePoint;
+
+TimePoint T0() { return TimePoint{}; }
+
+TimePoint After(double seconds) {
+  return T0() + std::chrono::duration_cast<TimePoint::duration>(
+                    std::chrono::duration<double>(seconds));
+}
+
+AdmissionOptions QuotaOptions(double rate, double burst) {
+  AdmissionOptions options;
+  options.tokens_per_second = rate;
+  options.burst = burst;
+  return options;
+}
+
+TEST(AdmissionTest, BurstThenRejectThenRefill) {
+  AdmissionController admission(QuotaOptions(10.0, 2.0));
+  // The bucket starts full: burst of 2 admitted back to back.
+  EXPECT_TRUE(admission.AdmitTenant("acme", T0()).ok());
+  EXPECT_TRUE(admission.AdmitTenant("acme", T0()).ok());
+  const Status rejected = admission.AdmitTenant("acme", T0());
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  // 100 ms at 10 tokens/s refills exactly one token.
+  EXPECT_TRUE(admission.AdmitTenant("acme", After(0.1)).ok());
+  EXPECT_EQ(admission.AdmitTenant("acme", After(0.1)).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(AdmissionTest, TenantsAreIsolated) {
+  AdmissionController admission(QuotaOptions(1.0, 1.0));
+  EXPECT_TRUE(admission.AdmitTenant("a", T0()).ok());
+  EXPECT_EQ(admission.AdmitTenant("a", T0()).code(),
+            StatusCode::kResourceExhausted);
+  // Tenant b's bucket is untouched by a's exhaustion.
+  EXPECT_TRUE(admission.AdmitTenant("b", T0()).ok());
+}
+
+TEST(AdmissionTest, RefillIsCappedAtBurst) {
+  AdmissionController admission(QuotaOptions(100.0, 3.0));
+  // An hour idle refills to the burst cap, not to 360000 tokens.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(admission.AdmitTenant("t", After(3600.0)).ok()) << i;
+  EXPECT_EQ(admission.AdmitTenant("t", After(3600.0)).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(AdmissionTest, DisabledQuotasAndAnonymousTenantsAlwaysAdmit) {
+  AdmissionController disabled{AdmissionOptions{}};  // rate 0 = off
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(disabled.AdmitTenant("anyone", T0()).ok());
+
+  AdmissionController strict(QuotaOptions(1.0, 1.0));
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(strict.AdmitTenant("", T0()).ok());  // unnamed = exempt
+}
+
+TEST(AdmissionTest, LoadShedGateTracksQueueFraction) {
+  AdmissionOptions options;
+  options.shed_queue_fraction = 0.85;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.AdmitLoad(84, 100).ok());
+  EXPECT_TRUE(admission.AdmitLoad(85, 100).ok());  // exactly at threshold
+  const Status shed = admission.AdmitLoad(86, 100);
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.total_shed(), 1u);
+}
+
+TEST(AdmissionTest, SheddingCanBeDisabled) {
+  AdmissionOptions options;
+  options.shed_queue_fraction = 1.0;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.AdmitLoad(100, 100).ok());
+}
+
+TEST(AdmissionTest, StatsCountAdmissionsPerTenant) {
+  AdmissionController admission(QuotaOptions(1.0, 2.0));
+  EXPECT_TRUE(admission.AdmitTenant("beta", T0()).ok());
+  EXPECT_TRUE(admission.AdmitTenant("alpha", T0()).ok());
+  EXPECT_TRUE(admission.AdmitTenant("alpha", T0()).ok());
+  EXPECT_FALSE(admission.AdmitTenant("alpha", T0()).ok());
+  const auto stats = admission.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].tenant, "alpha");  // sorted by name
+  EXPECT_EQ(stats[0].admitted, 2u);
+  EXPECT_EQ(stats[0].rejected, 1u);
+  EXPECT_EQ(stats[1].tenant, "beta");
+  EXPECT_EQ(stats[1].admitted, 1u);
+  EXPECT_EQ(stats[1].rejected, 0u);
+  EXPECT_EQ(admission.total_shed(), 1u);
+}
+
+}  // namespace
+}  // namespace cascn::cluster

@@ -1,0 +1,155 @@
+// Property tests for the consistent-hash ring: balance across shards,
+// minimal disruption when the shard set changes, and the bounded-load
+// placement walk.
+
+#include "cluster/consistent_hash.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cascn::cluster {
+namespace {
+
+std::vector<std::string> Keys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back("session-" + std::to_string(i));
+  return keys;
+}
+
+std::vector<int> ShardRange(int n) {
+  std::vector<int> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(i);
+  return ids;
+}
+
+TEST(HashRingTest, KeySpaceIsBalancedAcrossEightShards) {
+  HashRing ring;
+  ring.SetShards(ShardRange(8));
+  const auto keys = Keys(40000);
+  std::map<int, int> counts;
+  for (const auto& key : keys) ++counts[ring.OwnerOf(key)];
+  ASSERT_EQ(counts.size(), 8u);  // every shard owns something
+  const double mean = static_cast<double>(keys.size()) / 8.0;
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, mean * 0.85)
+        << "shard " << shard << " owns " << count << " of " << keys.size();
+    EXPECT_LT(count, mean * 1.15)
+        << "shard " << shard << " owns " << count << " of " << keys.size();
+  }
+}
+
+TEST(HashRingTest, RemovingOneShardOnlyMovesItsOwnKeys) {
+  HashRing ring;
+  ring.SetShards(ShardRange(8));
+  const auto keys = Keys(20000);
+  std::map<std::string, int> before;
+  for (const auto& key : keys) before[key] = ring.OwnerOf(key);
+
+  ring.SetShards({0, 1, 2, 4, 5, 6, 7});  // shard 3 removed
+  int moved = 0;
+  for (const auto& key : keys) {
+    const int now = ring.OwnerOf(key);
+    if (before[key] == 3) {
+      ++moved;
+      EXPECT_NE(now, 3);
+    } else {
+      // The structural guarantee: keys on surviving shards never move.
+      EXPECT_EQ(now, before[key]) << "key " << key << " moved without cause";
+    }
+  }
+  // Only shard 3's ~1/8 of the key space had to move (its ownership share
+  // is itself balanced to within ~15%).
+  EXPECT_LT(moved, static_cast<int>(keys.size()) / 8 * 1.2);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashRingTest, AddingOneShardOnlyPullsKeysToIt) {
+  HashRing ring;
+  ring.SetShards(ShardRange(8));
+  const auto keys = Keys(20000);
+  std::map<std::string, int> before;
+  for (const auto& key : keys) before[key] = ring.OwnerOf(key);
+
+  ring.SetShards(ShardRange(9));  // shard 8 added
+  int moved = 0;
+  for (const auto& key : keys) {
+    const int now = ring.OwnerOf(key);
+    if (now != before[key]) {
+      ++moved;
+      // Every remapped key moves TO the new shard, never between old ones.
+      EXPECT_EQ(now, 8) << "key " << key << " moved between old shards";
+    }
+  }
+  // The new shard takes ~1/9 of the keys (within the balance deviation).
+  EXPECT_LT(moved, static_cast<int>(keys.size()) / 9 * 1.3);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashRingTest, OwnerIsDeterministicAcrossInstances) {
+  HashRing a, b;
+  a.SetShards(ShardRange(5));
+  b.SetShards(ShardRange(5));
+  for (const auto& key : Keys(500)) EXPECT_EQ(a.OwnerOf(key), b.OwnerOf(key));
+}
+
+TEST(HashRingTest, PickShardRespectsTheLoadBound) {
+  HashRing ring;
+  ring.SetShards(ShardRange(4));
+  // Place 2000 keys one at a time, tracking load; no shard may exceed the
+  // bound ceil(1.25 * (total + 1) / 4) at its own placement time.
+  std::map<int, uint64_t> load;
+  for (int i = 0; i < 4; ++i) load[i] = 0;
+  uint64_t total = 0;
+  for (const auto& key : Keys(2000)) {
+    const int shard =
+        ring.PickShard(key, [&](int s) { return load[s]; });
+    const uint64_t bound = static_cast<uint64_t>(
+        std::ceil(1.25 * static_cast<double>(total + 1) / 4.0));
+    EXPECT_LT(load[shard], bound);
+    ++load[shard];
+    ++total;
+  }
+  // Bounded load also implies tight balance.
+  for (const auto& [shard, n] : load) {
+    EXPECT_GT(n, 300u) << "shard " << shard;
+    EXPECT_LT(n, 700u) << "shard " << shard;
+  }
+}
+
+TEST(HashRingTest, PickShardSkipsOverloadedOwner) {
+  HashRing ring;
+  ring.SetShards(ShardRange(3));
+  const std::string key = "hot-key";
+  const int owner = ring.OwnerOf(key);
+  // The owner is saturated; everyone else is empty.
+  const int picked = ring.PickShard(key, [&](int s) {
+    return s == owner ? uint64_t{1000} : uint64_t{0};
+  });
+  EXPECT_NE(picked, owner);
+}
+
+TEST(HashRingTest, PickShardReturnsOwnerWhenLoadsAreBalanced) {
+  HashRing ring;
+  ring.SetShards(ShardRange(4));
+  // Equal loads sit under the bound (1.25x the mean), so the bounded-load
+  // walk stops at the ring owner — placement stays consistent-hash stable.
+  for (const auto& key : Keys(200)) {
+    EXPECT_EQ(ring.PickShard(key, [](int) { return uint64_t{50}; }),
+              ring.OwnerOf(key));
+  }
+}
+
+TEST(HashRingTest, PickShardWithOneShardAlwaysReturnsIt) {
+  HashRing ring;
+  ring.SetShards({5});
+  EXPECT_EQ(ring.PickShard("k", [](int) { return uint64_t{100000}; }), 5);
+  EXPECT_EQ(ring.OwnerOf("anything"), 5);
+}
+
+}  // namespace
+}  // namespace cascn::cluster

@@ -1,0 +1,363 @@
+// ShardRouter: routing, admission, crash shedding, and — the acceptance
+// bar — a live rebalance that loses no session and leaves every session's
+// next prediction bit-identical to an unsharded reference service.
+
+#include "cluster/shard_router.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_data.h"
+#include "common/logging.h"
+#include "core/cascn_model.h"
+#include "fault/fault.h"
+#include "serve/checkpoint.h"
+
+namespace cascn::cluster {
+namespace {
+
+using serve::Health;
+using serve::PredictionService;
+using serve::ServeResponse;
+
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::FaultRegistry::Get().Clear();
+    checkpoint_ = ::testing::TempDir() + "router_ckpt.bin";
+    CascnModel model(testing::TinyCascnConfig());
+    model.set_output_offset(2.0);
+    ASSERT_TRUE(serve::SaveCascnCheckpoint(checkpoint_, model).ok());
+  }
+
+  void TearDown() override {
+    fault::FaultRegistry::Get().Clear();
+    std::remove(checkpoint_.c_str());
+  }
+
+  ShardRouterOptions Options(int shards) {
+    ShardRouterOptions options;
+    options.num_shards = shards;
+    options.shard.num_workers = 2;
+    options.shard.sessions.observation_window = 60.0;
+    options.handoff_dir = ::testing::TempDir();
+    return options;
+  }
+
+  std::unique_ptr<ShardRouter> MakeRouter(const ShardRouterOptions& options) {
+    auto router = ShardRouter::CreateFromCheckpoint(options, checkpoint_);
+    CASCN_CHECK(router.ok()) << router.status();
+    return std::move(router).value();
+  }
+
+  /// Builds K sessions with distinct small cascades through `create` and
+  /// `append` callables.
+  template <typename CreateFn, typename AppendFn>
+  static void BuildSessions(int k, CreateFn create, AppendFn append) {
+    for (int i = 0; i < k; ++i) {
+      const std::string id = "sess-" + std::to_string(i);
+      ASSERT_TRUE(create(id, i % 7).status.ok()) << id;
+      for (int e = 0; e < 2 + i % 3; ++e) {
+        ASSERT_TRUE(
+            append(id, 10 + e + i, e, 1.0 + e + 0.25 * (i % 4)).status.ok())
+            << id << " event " << e;
+      }
+    }
+  }
+
+  std::string checkpoint_;
+};
+
+TEST_F(ShardRouterTest, RoutesSessionsAcrossShardsAndPredicts) {
+  auto router = MakeRouter(Options(3));
+  BuildSessions(
+      24,
+      [&](const std::string& id, int u) { return router->CallCreate("", id, u); },
+      [&](const std::string& id, int u, int p, double t) {
+        return router->CallAppend("", id, u, p, t);
+      });
+  std::map<int, int> per_shard;
+  for (int i = 0; i < 24; ++i)
+    ++per_shard[router->ShardOf("sess-" + std::to_string(i))];
+  EXPECT_EQ(per_shard.size(), 3u) << "sessions all landed on one shard";
+  for (int i = 0; i < 24; ++i) {
+    const ServeResponse r =
+        router->CallPredict("", "sess-" + std::to_string(i));
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_TRUE(std::isfinite(r.log_prediction));
+  }
+  EXPECT_EQ(router->ClusterHealth(), Health::kHealthy);
+}
+
+TEST_F(ShardRouterTest, SessionOperationsStayOnOnePin) {
+  auto router = MakeRouter(Options(4));
+  ASSERT_TRUE(router->CallCreate("", "pinned", 1).status.ok());
+  const int home = router->ShardOf("pinned");
+  for (int e = 0; e < 6; ++e) {
+    ASSERT_TRUE(router->CallAppend("", "pinned", 2 + e, e, 1.0 + e).status.ok());
+    EXPECT_EQ(router->ShardOf("pinned"), home);
+  }
+  EXPECT_EQ(router->shard(home)->sessions().SessionSize("pinned").value(), 7);
+}
+
+// The acceptance test: K sessions across N shards, drain + handoff one
+// shard, and every session's next Predict is bit-identical to an unsharded
+// reference service loaded from the same checkpoint.
+TEST_F(ShardRouterTest, RebalanceLosesNoSessionAndPredictsBitIdentically) {
+  constexpr int kSessions = 30;
+
+  // Unsharded reference.
+  serve::ServiceOptions ref_opts;
+  ref_opts.num_workers = 1;
+  ref_opts.sessions.observation_window = 60.0;
+  auto reference = PredictionService::CreateFromCheckpoint(ref_opts,
+                                                           checkpoint_);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  BuildSessions(
+      kSessions,
+      [&](const std::string& id, int u) {
+        return reference.value()->CallCreate(id, u);
+      },
+      [&](const std::string& id, int u, int p, double t) {
+        return reference.value()->CallAppend(id, u, p, t);
+      });
+  std::map<std::string, double> expected;
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string id = "sess-" + std::to_string(i);
+    const ServeResponse r = reference.value()->CallPredict(id);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    expected[id] = r.log_prediction;
+  }
+
+  // Sharded cluster with the same sessions.
+  auto router = MakeRouter(Options(3));
+  BuildSessions(
+      kSessions,
+      [&](const std::string& id, int u) { return router->CallCreate("", id, u); },
+      [&](const std::string& id, int u, int p, double t) {
+        return router->CallAppend("", id, u, p, t);
+      });
+
+  // Drain + handoff shard 1.
+  ASSERT_TRUE(router->RemoveShard(1).ok());
+  EXPECT_EQ(router->num_shards(), 2);
+  EXPECT_EQ(router->shard(1), nullptr);
+
+  // Zero loss, bit-identical predictions, and nothing routed to shard 1.
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string id = "sess-" + std::to_string(i);
+    EXPECT_NE(router->ShardOf(id), 1) << id;
+    const ServeResponse r = router->CallPredict("", id);
+    ASSERT_TRUE(r.status.ok()) << id << ": " << r.status;
+    EXPECT_EQ(r.log_prediction, expected[id]) << id;
+  }
+  EXPECT_EQ(router->ClusterHealth(), Health::kHealthy);
+}
+
+TEST_F(ShardRouterTest, RebalanceRetriesThroughInjectedTornWrite) {
+  auto router = MakeRouter(Options(2));
+  BuildSessions(
+      12,
+      [&](const std::string& id, int u) { return router->CallCreate("", id, u); },
+      [&](const std::string& id, int u, int p, double t) {
+        return router->CallAppend("", id, u, p, t);
+      });
+  std::map<std::string, double> before;
+  for (int i = 0; i < 12; ++i) {
+    const std::string id = "sess-" + std::to_string(i);
+    const ServeResponse r = router->CallPredict("", id);
+    ASSERT_TRUE(r.status.ok());
+    before[id] = r.log_prediction;
+  }
+
+  // The first handoff write is torn mid-stream; the retry must land it and
+  // the drain must still lose nothing.
+  ASSERT_TRUE(fault::FaultRegistry::Get()
+                  .Configure(std::string(kFaultHandoffTornWrite) + "=nth:1")
+                  .ok());
+  ASSERT_TRUE(router->RemoveShard(0).ok());
+  EXPECT_GE(fault::FaultRegistry::Get()
+                .stats(kFaultHandoffTornWrite)
+                .fires,
+            1u);
+  for (const auto& [id, value] : before) {
+    const ServeResponse r = router->CallPredict("", id);
+    ASSERT_TRUE(r.status.ok()) << id << ": " << r.status;
+    EXPECT_EQ(r.log_prediction, value) << id;
+  }
+}
+
+TEST_F(ShardRouterTest, SpilledSessionsSurviveTheRebalance) {
+  // Tiny per-shard capacity: most sessions get LRU-evicted into the spill
+  // table, and the rebalance must move those histories too.
+  ShardRouterOptions options = Options(2);
+  options.shard.sessions.capacity = 2;
+  options.shard.sessions.spill_capacity = 64;
+  auto router = MakeRouter(options);
+  BuildSessions(
+      10,
+      [&](const std::string& id, int u) { return router->CallCreate("", id, u); },
+      [&](const std::string& id, int u, int p, double t) {
+        return router->CallAppend("", id, u, p, t);
+      });
+  ASSERT_TRUE(router->RemoveShard(1).ok());
+  for (int i = 0; i < 10; ++i) {
+    const std::string id = "sess-" + std::to_string(i);
+    const ServeResponse r = router->CallPredict("", id);
+    ASSERT_TRUE(r.status.ok()) << id << ": " << r.status;
+  }
+}
+
+TEST_F(ShardRouterTest, CrashShedsToSurvivorsAndRestartRejoins) {
+  auto router = MakeRouter(Options(3));
+  BuildSessions(
+      18,
+      [&](const std::string& id, int u) { return router->CallCreate("", id, u); },
+      [&](const std::string& id, int u, int p, double t) {
+        return router->CallAppend("", id, u, p, t);
+      });
+  std::vector<std::string> on_crashed, elsewhere;
+  for (int i = 0; i < 18; ++i) {
+    const std::string id = "sess-" + std::to_string(i);
+    (router->ShardOf(id) == 0 ? on_crashed : elsewhere).push_back(id);
+  }
+  ASSERT_FALSE(on_crashed.empty());
+  ASSERT_FALSE(elsewhere.empty());
+
+  router->CrashShard(0);
+  EXPECT_EQ(router->ClusterHealth(), Health::kDegraded);
+  EXPECT_EQ(router->num_shards(), 2);
+
+  // Sessions pinned to the dead shard fail distinctly; others keep serving.
+  for (const auto& id : on_crashed)
+    EXPECT_EQ(router->CallPredict("", id).status.code(),
+              StatusCode::kUnavailable)
+        << id;
+  for (const auto& id : elsewhere)
+    EXPECT_TRUE(router->CallPredict("", id).status.ok()) << id;
+
+  // New sessions shed to the survivors.
+  for (int i = 0; i < 12; ++i) {
+    const std::string id = "fresh-" + std::to_string(i);
+    ASSERT_TRUE(router->CallCreate("", id, i).status.ok()) << id;
+    EXPECT_NE(router->ShardOf(id), 0) << id;
+  }
+
+  // Rejoin: the shard comes back, health recovers, and the sessions the
+  // ring assigns to shard 0 are pulled over through the handoff path.
+  ASSERT_TRUE(router->RestartShard(0).ok());
+  EXPECT_EQ(router->ClusterHealth(), Health::kHealthy);
+  EXPECT_EQ(router->num_shards(), 3);
+  for (const auto& id : elsewhere)
+    EXPECT_TRUE(router->CallPredict("", id).status.ok()) << id;
+  for (int i = 0; i < 12; ++i) {
+    const std::string id = "fresh-" + std::to_string(i);
+    EXPECT_TRUE(router->CallPredict("", id).status.ok()) << id;
+  }
+  // Crashed-shard sessions were lost (as a crash loses memory) but can be
+  // re-created now that the pin is released.
+  for (const auto& id : on_crashed) {
+    EXPECT_EQ(router->CallPredict("", id).status.code(),
+              StatusCode::kNotFound)
+        << id;
+    EXPECT_TRUE(router->CallCreate("", id, 1).status.ok()) << id;
+  }
+}
+
+TEST_F(ShardRouterTest, ShardCrashFaultKillsTheNamedShardMidLoad) {
+  auto router = MakeRouter(Options(3));
+  // Fault: the 10th routed request crashes shard 1.
+  ASSERT_TRUE(fault::FaultRegistry::Get()
+                  .Configure(std::string(kFaultShardCrash) + "=nth:10@1")
+                  .ok());
+  int created = 0;
+  for (int i = 0; i < 40; ++i) {
+    const ServeResponse r =
+        router->CallCreate("", "chaos-" + std::to_string(i), i % 5);
+    if (r.status.ok()) ++created;
+  }
+  EXPECT_EQ(router->num_shards(), 2);
+  EXPECT_EQ(router->shard(1), nullptr);
+  EXPECT_EQ(router->ClusterHealth(), Health::kDegraded);
+  // Offered load after the crash kept landing on the survivors.
+  EXPECT_GE(created, 30);
+  const auto snapshot = router->TakeSnapshot();
+  EXPECT_EQ(snapshot.crashed_shards, 1u);
+}
+
+TEST_F(ShardRouterTest, TenantQuotasRejectWithResourceExhausted) {
+  ShardRouterOptions options = Options(2);
+  options.admission.tokens_per_second = 0.001;  // effectively no refill
+  options.admission.burst = 3.0;
+  auto router = MakeRouter(options);
+  int ok = 0, exhausted = 0;
+  for (int i = 0; i < 10; ++i) {
+    const ServeResponse r =
+        router->CallCreate("tenant-x", "q-" + std::to_string(i), i);
+    if (r.status.ok()) ++ok;
+    if (r.status.code() == StatusCode::kResourceExhausted) ++exhausted;
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(exhausted, 7);
+  // The unnamed tenant is exempt.
+  EXPECT_TRUE(router->CallCreate("", "exempt", 1).status.ok());
+  const auto snapshot = router->TakeSnapshot();
+  ASSERT_EQ(snapshot.tenants.size(), 1u);
+  EXPECT_EQ(snapshot.tenants[0].tenant, "tenant-x");
+  EXPECT_EQ(snapshot.tenants[0].admitted, 3u);
+  EXPECT_EQ(snapshot.tenants[0].rejected, 7u);
+  EXPECT_EQ(snapshot.total_shed, 7u);
+}
+
+TEST_F(ShardRouterTest, SlowShardFaultOnlySlowsTheNamedShard) {
+  auto router = MakeRouter(Options(2));
+  ASSERT_TRUE(router->CallCreate("", "a", 1).status.ok());
+  ASSERT_TRUE(router->CallAppend("", "a", 2, 0, 1.0).status.ok());
+  const int home = router->ShardOf("a");
+  const int other = home == 0 ? 1 : 0;
+  // Slow the *other* shard; session "a" must be unaffected by a deadline
+  // that the slowed shard could never meet.
+  ASSERT_TRUE(fault::FaultRegistry::Get()
+                  .Configure(SlowShardFaultPoint(other) + "=always@200")
+                  .ok());
+  auto submitted = router->SubmitPredict("", "a", /*deadline_ms=*/100.0);
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  const ServeResponse r = submitted.value().get();
+  EXPECT_TRUE(r.status.ok()) << r.status;
+}
+
+TEST_F(ShardRouterTest, ExportsLabeledPerShardAndClusterMetrics) {
+  auto router = MakeRouter(Options(2));
+  ASSERT_TRUE(router->CallCreate("acme", "m1", 1).status.ok());
+  ASSERT_TRUE(router->CallPredict("acme", "m1").status.ok());
+  obs::MetricsRegistry registry;
+  router->ExportToRegistry(registry);
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("serve_requests_total{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("serve_requests_total{shard=\"1\"}"), std::string::npos);
+  EXPECT_NE(text.find("cluster_health"), std::string::npos);
+  EXPECT_NE(text.find("cluster_latency_p99_us"), std::string::npos);
+  EXPECT_NE(text.find("cluster_tenant_admitted{tenant=\"acme\"}"),
+            std::string::npos);
+  // The two shard labels are distinct gauges in ONE registry, and their
+  // request counts sum to the cluster's total.
+  const double total =
+      registry.GetGauge("serve_requests_total{shard=\"0\"}").value() +
+      registry.GetGauge("serve_requests_total{shard=\"1\"}").value();
+  EXPECT_EQ(total, 2.0);
+}
+
+TEST_F(ShardRouterTest, RemovingTheLastShardIsRefused) {
+  auto router = MakeRouter(Options(1));
+  ASSERT_TRUE(router->CallCreate("", "only", 1).status.ok());
+  EXPECT_EQ(router->RemoveShard(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(router->CallPredict("", "only").status.ok());
+}
+
+}  // namespace
+}  // namespace cascn::cluster

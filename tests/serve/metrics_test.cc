@@ -148,6 +148,26 @@ TEST(ServeMetricsTest, ExportToRegistryBridgesCountersAndLatency) {
   EXPECT_NE(json.find("\"serve_requests_total\": 9"), std::string::npos);
 }
 
+TEST(ServeMetricsTest, LabeledExportKeepsShardsApartInOneRegistry) {
+  ServeMetrics shard0, shard1;
+  shard0.Increment(Counter::kRequestsTotal, 5);
+  shard1.Increment(Counter::kRequestsTotal, 7);
+  obs::MetricsRegistry registry;
+  ExportToRegistry(shard0.TakeSnapshot(), registry, "shard=\"0\"");
+  ExportToRegistry(shard1.TakeSnapshot(), registry, "shard=\"1\"");
+  EXPECT_EQ(registry.GetGauge("serve_requests_total{shard=\"0\"}").value(),
+            5.0);
+  EXPECT_EQ(registry.GetGauge("serve_requests_total{shard=\"1\"}").value(),
+            7.0);
+  EXPECT_EQ(registry.GetGauge("serve_health{shard=\"0\"}").value(), 0.0);
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("serve_requests_total{shard=\"0\"} = 5"),
+            std::string::npos);
+  // An unlabeled export still writes the plain names.
+  ExportToRegistry(shard0.TakeSnapshot(), registry);
+  EXPECT_EQ(registry.GetGauge("serve_requests_total").value(), 5.0);
+}
+
 TEST(ServeMetricsTest, SnapshotRendersTextAndJson) {
   ServeMetrics metrics;
   metrics.Increment(Counter::kBatchedRequests, 3);

@@ -1,7 +1,10 @@
 #include "serve/session_manager.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -114,6 +117,89 @@ TEST_F(SessionManagerTest, CapacityOneRecyclesTheSlot) {
     ASSERT_TRUE(manager.Create("s" + std::to_string(i), i).ok());
   EXPECT_EQ(manager.size(), 1u);
   EXPECT_TRUE(manager.SessionSize("s4").ok());
+}
+
+TEST_F(SessionManagerTest, SerializeDeserializeRoundTripsPredictions) {
+  SessionManager source(Options());
+  ASSERT_TRUE(source.Create("s", 3).ok());
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(source.Append("s", 10 + i, i / 2, 2.0 * (i + 1)).ok());
+  const double original = source.PredictLog("s", *model_).value();
+
+  Result<std::string> blob = source.Serialize("s");
+  ASSERT_TRUE(blob.ok()) << blob.status();
+  // Serialize does not disturb the source session.
+  EXPECT_EQ(source.SessionSize("s").value(), 6);
+
+  SessionManager target(Options());
+  ASSERT_TRUE(target.Deserialize("s", blob.value()).ok());
+  EXPECT_EQ(target.SessionSize("s").value(), 6);
+  // The rebuilt session keeps predicting exactly where the original left
+  // off — the bit-identity the shard handoff relies on.
+  EXPECT_EQ(target.PredictLog("s", *model_).value(), original);
+  // And keeps accepting appends with full validation state.
+  ASSERT_TRUE(target.Append("s", 99, 0, 20.0).ok());
+  EXPECT_FALSE(target.Append("s", 98, 0, 1.0).ok());  // time regression
+}
+
+TEST_F(SessionManagerTest, DeserializeRejectsDuplicatesAndCorruptBlobs) {
+  SessionManager manager(Options());
+  ASSERT_TRUE(manager.Create("s", 1).ok());
+  ASSERT_TRUE(manager.Append("s", 2, 0, 1.0).ok());
+  const std::string blob = manager.Serialize("s").value();
+  EXPECT_EQ(manager.Deserialize("s", blob).code(),
+            StatusCode::kInvalidArgument);  // id already live
+  std::string torn = blob.substr(0, blob.size() / 2);
+  EXPECT_EQ(manager.Deserialize("t", torn).code(), StatusCode::kIoError);
+  std::string corrupt = blob;
+  corrupt[blob.size() / 2] ^= 0x20;
+  EXPECT_EQ(manager.Deserialize("t", corrupt).code(), StatusCode::kIoError);
+  EXPECT_FALSE(manager.SessionSize("t").ok());  // nothing half-built
+}
+
+TEST_F(SessionManagerTest, ExtractRemovesAndBlobRebuildsElsewhere) {
+  SessionManager manager(Options());
+  ASSERT_TRUE(manager.Create("s", 1).ok());
+  ASSERT_TRUE(manager.Append("s", 2, 0, 1.0).ok());
+  const double original = manager.PredictLog("s", *model_).value();
+  Result<std::string> blob = manager.Extract("s");
+  ASSERT_TRUE(blob.ok()) << blob.status();
+  EXPECT_EQ(manager.size(), 0u);
+  EXPECT_EQ(manager.Append("s", 3, 0, 2.0).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(manager.Deserialize("s", blob.value()).ok());
+  EXPECT_EQ(manager.PredictLog("s", *model_).value(), original);
+}
+
+TEST_F(SessionManagerTest, SpillRestoresEvictedSessionTransparently) {
+  ServeMetrics metrics;
+  SessionManagerOptions options = Options(/*capacity=*/2);
+  options.spill_capacity = 8;
+  SessionManager manager(options, &metrics);
+  ASSERT_TRUE(manager.Create("a", 1).ok());
+  ASSERT_TRUE(manager.Append("a", 2, 0, 1.0).ok());
+  ASSERT_TRUE(manager.Create("b", 2).ok());
+  ASSERT_TRUE(manager.Create("c", 3).ok());  // evicts + spills "a"
+  EXPECT_EQ(metrics.TakeSnapshot().counter(Counter::kSpilled), 1u);
+  // The next touch restores "a" with its history intact.
+  EXPECT_EQ(manager.SessionSize("a").value(), 2);
+  EXPECT_EQ(metrics.TakeSnapshot().counter(Counter::kSpillRestores), 1u);
+  ASSERT_TRUE(manager.Append("a", 4, 0, 2.0).ok());
+}
+
+TEST_F(SessionManagerTest, SessionIdsCoverLiveAndSpilledSessions) {
+  SessionManagerOptions options = Options(/*capacity=*/2);
+  options.spill_capacity = 8;
+  SessionManager manager(options);
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(manager.Create("s" + std::to_string(i), i).ok());
+  EXPECT_EQ(manager.size(), 2u);  // three were evicted into the spill table
+  std::vector<std::string> ids = manager.SessionIds();
+  std::sort(ids.begin(), ids.end());
+  ASSERT_EQ(ids.size(), 5u);  // the drain loop must see every one of them
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ids[i], "s" + std::to_string(i));
+  // Extract works on a spilled id too (restore + remove).
+  EXPECT_TRUE(manager.Extract(ids[0]).ok());
+  EXPECT_EQ(manager.SessionIds().size(), 4u);
 }
 
 }  // namespace
