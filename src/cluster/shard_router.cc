@@ -38,7 +38,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::CreateFromCheckpoint(
   for (int i = 0; i < options.num_shards; ++i) {
     CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
                            router->StartShard(i));
-    router->shards_[i] = Shard{std::move(service), 0};
+    router->shards_[i] = Shard{std::move(service)};
     ids.push_back(i);
   }
   router->ring_.SetShards(ids);
@@ -58,7 +58,54 @@ ServiceOptions ShardRouter::ShardServiceOptions(int shard_id) const {
   // LRU-evicted ones, so keep evicted histories spilled by default.
   if (opts.sessions.spill_capacity == 0)
     opts.sessions.spill_capacity = opts.sessions.capacity;
+  // When the bounded spill LRU discards a session's history anyway, its pin
+  // must go too — otherwise pins_ grows without bound and keeps skewing the
+  // placement load metric. Captures the shared pin state, not the router:
+  // the callback runs on shard worker threads under the shard's session
+  // table lock (pins_->mutex is a leaf lock, so that nesting is safe).
+  opts.sessions.on_spill_drop = [pins = pins_,
+                                 shard_id](const std::string& session_id) {
+    std::lock_guard<std::mutex> lock(pins->mutex);
+    const auto it = pins->session_shard.find(session_id);
+    if (it == pins->session_shard.end() || it->second.shard_id != shard_id)
+      return;
+    const auto load = pins->shard_load.find(shard_id);
+    if (load != pins->shard_load.end() && load->second > 0) --load->second;
+    pins->session_shard.erase(it);
+  };
   return opts;
+}
+
+void ShardRouter::SetPin(PinState& pins, const std::string& session_id,
+                         int shard_id) {
+  std::lock_guard<std::mutex> lock(pins.mutex);
+  const auto it = pins.session_shard.find(session_id);
+  if (it != pins.session_shard.end()) {
+    const auto load = pins.shard_load.find(it->second.shard_id);
+    if (load != pins.shard_load.end() && load->second > 0) --load->second;
+  }
+  pins.session_shard[session_id] =
+      PinState::Pin{shard_id, ++pins.next_generation};
+  ++pins.shard_load[shard_id];
+}
+
+void ShardRouter::ReleasePinIfCurrent(PinState& pins,
+                                      const std::string& session_id,
+                                      uint64_t generation) {
+  std::lock_guard<std::mutex> lock(pins.mutex);
+  const auto it = pins.session_shard.find(session_id);
+  if (it == pins.session_shard.end() || it->second.generation != generation)
+    return;
+  const auto load = pins.shard_load.find(it->second.shard_id);
+  if (load != pins.shard_load.end() && load->second > 0) --load->second;
+  pins.session_shard.erase(it);
+}
+
+void ShardRouter::RebuildRingLocked() {
+  std::vector<int> ids;
+  for (const auto& [id, shard] : shards_)
+    if (draining_.count(id) == 0) ids.push_back(id);
+  ring_.SetShards(ids);
 }
 
 Result<std::shared_ptr<PredictionService>> ShardRouter::StartShard(
@@ -81,40 +128,65 @@ Result<std::shared_ptr<PredictionService>> ShardRouter::Route(
     if (victim >= 0) CrashShard(victim);
   }
 
-  CASCN_RETURN_IF_ERROR(
-      admission_.AdmitTenant(tenant, std::chrono::steady_clock::now()));
-
   std::lock_guard<std::mutex> lock(mutex_);
+  // Routing feasibility and the load-shed gate run BEFORE the tenant token
+  // is charged: a request that is guaranteed to fail must not consume
+  // quota, or retries against a degraded cluster compound the outage.
   if (shards_.empty())
     return Status::Unavailable("no active shards in the cluster");
 
   int target = -1;
   bool pin_new = false;
-  const auto pin = pins_.find(session_id);
-  if (pin != pins_.end()) {
-    target = pin->second;
+  bool pinned = false;
+  {
+    std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+    const auto pin = pins_->session_shard.find(session_id);
+    if (pin != pins_->session_shard.end()) {
+      pinned = true;
+      target = pin->second.shard_id;
+    }
+  }
+  if (pinned) {
     if (shards_.find(target) == shards_.end())
       return Status::Unavailable(
           StrFormat("session '%s' is pinned to shard %d, which is down",
                     session_id.c_str(), target));
+    if (draining_.count(target) > 0)
+      return Status::Unavailable(
+          StrFormat("session '%s' is pinned to shard %d, which is "
+                    "draining; retry shortly",
+                    session_id.c_str(), target));
+    if (migrating_.count(session_id) > 0)
+      return Status::Unavailable(StrFormat(
+          "session '%s' is migrating to another shard; retry shortly",
+          session_id.c_str()));
+    // Re-creating under an existing pin starts a new pin generation, so a
+    // still-unresolved close of the PREVIOUS incarnation cannot release the
+    // new session's pin when its future is finally consumed.
+    if (create) SetPin(*pins_, session_id, target);
   } else if (create) {
+    if (ring_.empty())
+      return Status::Unavailable("every shard is draining");
     target = ring_.PickShard(session_id, [this](int s) {
-      return shards_.at(s).pinned;
+      std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+      const auto it = pins_->shard_load.find(s);
+      return it == pins_->shard_load.end() ? uint64_t{0} : it->second;
     });
     pin_new = true;
   } else {
     // No pin and not a create: the session does not exist anywhere; route
     // to the ring owner so the NotFound comes from the right shard.
+    if (ring_.empty())
+      return Status::Unavailable("every shard is draining");
     target = ring_.OwnerOf(session_id);
   }
 
   std::shared_ptr<PredictionService> service = shards_.at(target).service;
   CASCN_RETURN_IF_ERROR(
       admission_.AdmitLoad(service->queue_depth(), service->queue_capacity()));
-  if (pin_new) {
-    pins_[session_id] = target;
-    ++shards_.at(target).pinned;
-  }
+  CASCN_RETURN_IF_ERROR(
+      admission_.AdmitTenant(tenant, std::chrono::steady_clock::now()));
+  if (pin_new) SetPin(*pins_, session_id, target);
   return service;
 }
 
@@ -146,7 +218,36 @@ Result<std::future<ServeResponse>> ShardRouter::SubmitClose(
     const std::string& tenant, std::string session_id, double deadline_ms) {
   CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
                          Route(tenant, session_id, /*create=*/false));
-  return service->SubmitClose(std::move(session_id), deadline_ms);
+  // Capture the pin's current generation before handing the close to the
+  // shard: the deferred release below only fires if the pin is still that
+  // incarnation when the caller resolves the future.
+  uint64_t generation = 0;
+  bool had_pin = false;
+  {
+    std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+    const auto it = pins_->session_shard.find(session_id);
+    if (it != pins_->session_shard.end()) {
+      had_pin = true;
+      generation = it->second.generation;
+    }
+  }
+  const std::string id = session_id;
+  CASCN_ASSIGN_OR_RETURN(
+      std::future<ServeResponse> inner,
+      service->SubmitClose(std::move(session_id), deadline_ms));
+  if (!had_pin) return inner;
+  // Wrap the future so that resolving a successful close releases the
+  // session's pin — the primary async interface does its own bookkeeping
+  // instead of leaking pins_. The wrapper captures only the shared pin
+  // state, never the router, so it stays safe if it outlives the router.
+  return std::async(std::launch::deferred,
+                    [pins = pins_, id, generation,
+                     fut = std::move(inner)]() mutable {
+                      ServeResponse response = fut.get();
+                      if (response.status.ok())
+                        ReleasePinIfCurrent(*pins, id, generation);
+                      return response;
+                    });
 }
 
 namespace {
@@ -177,28 +278,13 @@ ServeResponse ShardRouter::CallPredict(const std::string& tenant,
 
 ServeResponse ShardRouter::CallClose(const std::string& tenant,
                                      std::string session_id) {
-  const std::string id = session_id;
-  ServeResponse response = Wait(SubmitClose(tenant, std::move(session_id)));
-  if (response.status.ok()) {
-    // The session is gone; release its pin so a future session with the
-    // same id places fresh by the ring.
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto pin = pins_.find(id);
-    if (pin != pins_.end()) {
-      const auto shard = shards_.find(pin->second);
-      if (shard != shards_.end() && shard->second.pinned > 0)
-        --shard->second.pinned;
-      pins_.erase(pin);
-    }
-  }
-  return response;
+  // Resolving the SubmitClose future runs the pin release.
+  return Wait(SubmitClose(tenant, std::move(session_id)));
 }
 
-Status ShardRouter::DrainQueue(PredictionService& service) const {
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::microseconds(
-          static_cast<int64_t>(options_.drain_timeout_ms * 1000.0));
+Status ShardRouter::DrainQueue(
+    PredictionService& service,
+    std::chrono::steady_clock::time_point deadline) const {
   while (service.queue_depth() > 0) {
     if (std::chrono::steady_clock::now() >= deadline)
       return Status::DeadlineExceeded(StrFormat(
@@ -207,6 +293,30 @@ Status ShardRouter::DrainQueue(PredictionService& service) const {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return Status::OK();
+}
+
+Status ShardRouter::WaitQueuePassed(
+    PredictionService& service,
+    std::chrono::steady_clock::time_point deadline) const {
+  const auto total_enqueued = [&service] {
+    return service.metrics().TakeSnapshot().counter(
+        serve::Counter::kRequestsTotal);
+  };
+  const uint64_t mark = total_enqueued();
+  while (true) {
+    // processed = ever-enqueued - still-queued. Sampling the counter before
+    // the depth can only UNDER-estimate progress (requests enqueued between
+    // the two reads inflate the depth), so the wait is conservative.
+    const uint64_t total = total_enqueued();
+    const uint64_t depth = service.queue_depth();
+    const uint64_t processed = total >= depth ? total - depth : 0;
+    if (processed >= mark) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline)
+      return Status::DeadlineExceeded(StrFormat(
+          "shard queue did not pass its %.0f ms rebalance window",
+          options_.drain_timeout_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 std::string ShardRouter::HandoffPath(int shard_id) const {
@@ -234,33 +344,65 @@ Result<HandoffImage> ShardRouter::WriteValidatedHandoff(
 }
 
 Status ShardRouter::RemoveShard(int shard_id) {
+  // Phase 1 (routing lock, brief): mark the shard draining. The rebuilt
+  // ring no longer contains it (no new placements or ring routes) and
+  // requests pinned to it get a retryable Unavailable, so from here its
+  // queue can only shrink.
+  std::shared_ptr<PredictionService> source_service;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = shards_.find(shard_id);
+    if (it == shards_.end())
+      return Status::FailedPrecondition(
+          StrFormat("shard %d is not active", shard_id));
+    if (draining_.count(shard_id) > 0)
+      return Status::FailedPrecondition(
+          StrFormat("shard %d is already draining", shard_id));
+    if (shards_.size() - draining_.size() <= 1)
+      return Status::FailedPrecondition(
+          "cannot remove the last routable shard");
+    draining_.insert(shard_id);
+    RebuildRingLocked();
+    source_service = it->second.service;
+  }
+
+  // Phase 2 (UNLOCKED): wait out the queue. Routing for every other shard
+  // and tenant proceeds for the whole drain window — a one-shard rebalance
+  // must not be a cluster-wide pause.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(options_.drain_timeout_ms * 1000.0));
+  const Status drained = DrainQueue(*source_service, deadline);
+
+  // Phase 3 (routing lock): hand off and destroy.
   std::lock_guard<std::mutex> lock(mutex_);
+  const auto undrain = [&] {
+    draining_.erase(shard_id);
+    RebuildRingLocked();
+  };
   const auto it = shards_.find(shard_id);
-  if (it == shards_.end())
-    return Status::FailedPrecondition(
-        StrFormat("shard %d is not active", shard_id));
-  if (shards_.size() == 1)
-    return Status::FailedPrecondition(
-        "cannot remove the last active shard");
+  if (it == shards_.end()) {
+    // Crashed while we drained unlocked; nothing left to hand off.
+    draining_.erase(shard_id);
+    return Status::Unavailable(
+        StrFormat("shard %d went down during its drain", shard_id));
+  }
+  if (!drained.ok()) {
+    undrain();
+    return drained;
+  }
   Shard& source = it->second;
   serve::SessionManager& sessions = source.service->sessions();
-
-  // Deactivate: while we hold the routing lock nothing new is routed, and
-  // the ring without this shard decides where its sessions will land.
-  std::vector<int> remaining;
-  for (const auto& [id, shard] : shards_)
-    if (id != shard_id) remaining.push_back(id);
-  ring_.SetShards(remaining);
-  const auto restore_ring = [this] {
-    std::vector<int> all;
-    for (const auto& [id, shard] : shards_) all.push_back(id);
-    ring_.SetShards(all);
-  };
-
-  Status drained = DrainQueue(*source.service);
-  if (!drained.ok()) {
-    restore_ring();
-    return drained;
+  {
+    // Stragglers: a request routed just before the draining mark may have
+    // enqueued after the queue looked empty. With the lock held nothing
+    // new can route, so this pass (normally a no-op) settles them.
+    const Status settled = DrainQueue(*source.service, deadline);
+    if (!settled.ok()) {
+      undrain();
+      return settled;
+    }
   }
 
   // Extract every session (live and spilled). The queue is empty and no
@@ -284,7 +426,7 @@ Status ShardRouter::RemoveShard(int shard_id) {
     }
     if (!blob.ok()) {
       put_back();
-      restore_ring();
+      undrain();
       return Status::Unavailable(
           StrFormat("session '%s' stayed busy; shard %d was not removed",
                     sid.c_str(), shard_id));
@@ -298,13 +440,18 @@ Status ShardRouter::RemoveShard(int shard_id) {
   Result<HandoffImage> image = WriteValidatedHandoff(shard_id, entries);
   if (!image.ok()) {
     put_back();
-    restore_ring();
+    undrain();
     return image.status();
   }
 
   // Import from the validated image — the bytes a crash recovery would see,
-  // not the in-memory copies.
-  const auto load_of = [this](int s) { return shards_.at(s).pinned; };
+  // not the in-memory copies. The ring already excludes the draining
+  // shard, so every target is a surviving shard.
+  const auto load_of = [this](int s) {
+    std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+    const auto found = pins_->shard_load.find(s);
+    return found == pins_->shard_load.end() ? uint64_t{0} : found->second;
+  };
   for (const HandoffEntry& entry : image.value().entries) {
     const int target = ring_.PickShard(entry.session_id, load_of);
     const Status st =
@@ -322,79 +469,148 @@ Status ShardRouter::RemoveShard(int shard_id) {
           entries.end());
       entries = std::move(rest);
       put_back();
-      restore_ring();
+      undrain();
       return Status::Unavailable(StrFormat(
           "import of session '%s' into shard %d failed (%s); shard %d kept",
           entry.session_id.c_str(), target, st.message().c_str(), shard_id));
     }
-    pins_[entry.session_id] = target;
-    ++shards_.at(target).pinned;
-    if (source.pinned > 0) --source.pinned;
+    SetPin(*pins_, entry.session_id, target);
   }
 
   source.service->Shutdown();
   shards_.erase(it);
+  draining_.erase(shard_id);
+  RebuildRingLocked();
+  // Sweep stale pins: every handed-off session was re-pointed by the
+  // import loop, so anything still mapping to the removed shard is stale —
+  // an async close whose future was never resolved, or a spill-LRU drop —
+  // and would otherwise wedge its session id on a dead shard forever.
+  {
+    std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+    for (auto p = pins_->session_shard.begin();
+         p != pins_->session_shard.end();) {
+      p = p->second.shard_id == shard_id ? pins_->session_shard.erase(p)
+                                         : std::next(p);
+    }
+    pins_->shard_load.erase(shard_id);
+  }
   return Status::OK();
 }
 
 Status ShardRouter::AddShard(int shard_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (shards_.find(shard_id) != shards_.end())
-    return Status::InvalidArgument(
-        StrFormat("shard %d is already active", shard_id));
-  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
-                         StartShard(shard_id));
-  shards_[shard_id] = Shard{std::move(service), 0};
-  crashed_.erase(shard_id);
-  std::vector<int> all;
-  for (const auto& [id, shard] : shards_) all.push_back(id);
-  ring_.SetShards(all);
+  std::vector<int> sources;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shards_.find(shard_id) != shards_.end())
+      return Status::InvalidArgument(
+          StrFormat("shard %d is already active", shard_id));
+    CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
+                           StartShard(shard_id));
+    shards_[shard_id] = Shard{std::move(service)};
+    crashed_.erase(shard_id);
+    RebuildRingLocked();
+    for (const auto& [id, shard] : shards_)
+      if (id != shard_id && draining_.count(id) == 0) sources.push_back(id);
+  }
 
   // Pull over the sessions the grown ring assigns to the new shard — the
-  // consistent-hash guarantee keeps this to ~1/N of them, all moving TO the
-  // new shard. Busy sessions are skipped (they stay pinned where they are;
-  // routing by pin keeps them correct).
-  Shard& target = shards_.at(shard_id);
-  for (auto& [source_id, source] : shards_) {
-    if (source_id == shard_id) continue;
-    serve::SessionManager& sessions = source.service->sessions();
-    std::vector<std::string> moving;
-    for (const std::string& sid : sessions.SessionIds())
-      if (ring_.OwnerOf(sid) == shard_id) moving.push_back(sid);
-    if (moving.empty()) continue;
-    CASCN_RETURN_IF_ERROR(DrainQueue(*source.service));
-    std::vector<HandoffEntry> entries;
-    for (const std::string& sid : moving) {
-      Result<std::string> blob = sessions.Extract(sid);
-      if (!blob.ok()) continue;  // busy: leave it pinned to the source
-      entries.push_back(HandoffEntry{sid, std::move(blob).value()});
-    }
-    if (entries.empty()) continue;
-    Result<HandoffImage> image = WriteValidatedHandoff(source_id, entries);
-    if (!image.ok()) {
-      for (HandoffEntry& entry : entries) {
-        const Status st = sessions.Deserialize(entry.session_id, entry.blob);
-        CASCN_CHECK(st.ok())
-            << "re-inserting session '" << entry.session_id
-            << "' into shard " << source_id << " failed: " << st.ToString();
-      }
-      return image.status();
-    }
-    for (const HandoffEntry& entry : image.value().entries) {
-      const Status st = target.service->sessions().Deserialize(
-          entry.session_id, entry.blob);
-      if (!st.ok()) {
-        const Status back = sessions.Deserialize(entry.session_id, entry.blob);
-        CASCN_CHECK(back.ok())
-            << "session '" << entry.session_id
-            << "' could be imported nowhere: " << st.ToString();
-        continue;
-      }
-      pins_[entry.session_id] = shard_id;
-      ++target.pinned;
-      if (source.pinned > 0) --source.pinned;
-    }
+  // consistent-hash guarantee keeps this to ~1/N of them, all moving TO
+  // the new shard. One source shard at a time, and the routing lock is not
+  // held while a source's queued requests finish: only the moving sessions
+  // pause (retryable Unavailable); everything else keeps serving.
+  for (const int source_id : sources)
+    CASCN_RETURN_IF_ERROR(PullSessionsTo(shard_id, source_id));
+  return Status::OK();
+}
+
+Status ShardRouter::PullSessionsTo(int target_id, int source_id) {
+  // Mark the moving sessions under the lock, then wait unlocked.
+  std::shared_ptr<PredictionService> source_service;
+  std::vector<std::string> moving;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto source = shards_.find(source_id);
+    if (source == shards_.end() || draining_.count(source_id) > 0)
+      return Status::OK();  // source went away; nothing to pull
+    if (shards_.find(target_id) == shards_.end())
+      return Status::Unavailable(
+          StrFormat("shard %d went down mid-join", target_id));
+    source_service = source->second.service;
+    for (const std::string& sid : source_service->sessions().SessionIds())
+      if (ring_.OwnerOf(sid) == target_id) moving.push_back(sid);
+    if (moving.empty()) return Status::OK();
+    migrating_.insert(moving.begin(), moving.end());
   }
+  const auto unmark_locked = [&] {
+    for (const std::string& sid : moving) migrating_.erase(sid);
+  };
+
+  // Wait (UNLOCKED) until every request already queued on the source has
+  // been processed — including any for the now-unroutable moving sessions.
+  // A drain-to-empty would never finish while the source's other sessions
+  // keep it busy; the watermark wait does. (A request routed before the
+  // migrating mark but enqueued during this wait is the one remaining
+  // race: it can observe NotFound after the move. The session itself is
+  // never at risk — extraction skips busy sessions — and the client's
+  // retry lands on the new shard.)
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(options_.drain_timeout_ms * 1000.0));
+  const Status passed = WaitQueuePassed(*source_service, deadline);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!passed.ok()) {
+    unmark_locked();
+    return passed;
+  }
+  const auto source = shards_.find(source_id);
+  const auto target = shards_.find(target_id);
+  if (source == shards_.end() || target == shards_.end()) {
+    unmark_locked();
+    return source == shards_.end()
+               ? Status::OK()  // source crashed; its sessions died with it
+               : Status::Unavailable(
+                     StrFormat("shard %d went down mid-join", target_id));
+  }
+  serve::SessionManager& sessions = source->second.service->sessions();
+
+  // Busy sessions are skipped (they stay pinned to the source; routing by
+  // pin keeps them correct).
+  std::vector<HandoffEntry> entries;
+  for (const std::string& sid : moving) {
+    Result<std::string> blob = sessions.Extract(sid);
+    if (!blob.ok()) continue;
+    entries.push_back(HandoffEntry{sid, std::move(blob).value()});
+  }
+  if (entries.empty()) {
+    unmark_locked();
+    return Status::OK();
+  }
+  Result<HandoffImage> image = WriteValidatedHandoff(source_id, entries);
+  if (!image.ok()) {
+    for (HandoffEntry& entry : entries) {
+      const Status st = sessions.Deserialize(entry.session_id, entry.blob);
+      CASCN_CHECK(st.ok())
+          << "re-inserting session '" << entry.session_id
+          << "' into shard " << source_id << " failed: " << st.ToString();
+    }
+    unmark_locked();
+    return image.status();
+  }
+  for (const HandoffEntry& entry : image.value().entries) {
+    const Status st = target->second.service->sessions().Deserialize(
+        entry.session_id, entry.blob);
+    if (!st.ok()) {
+      const Status back = sessions.Deserialize(entry.session_id, entry.blob);
+      CASCN_CHECK(back.ok())
+          << "session '" << entry.session_id
+          << "' could be imported nowhere: " << st.ToString();
+      continue;
+    }
+    SetPin(*pins_, entry.session_id, target_id);
+  }
+  unmark_locked();
   return Status::OK();
 }
 
@@ -411,9 +627,7 @@ void ShardRouter::CrashShardLocked(int shard_id) {
   it->second.service->Shutdown();
   shards_.erase(it);
   crashed_.insert(shard_id);
-  std::vector<int> remaining;
-  for (const auto& [id, shard] : shards_) remaining.push_back(id);
-  ring_.SetShards(remaining);
+  RebuildRingLocked();
 }
 
 Status ShardRouter::RestartShard(int shard_id) {
@@ -424,12 +638,13 @@ Status ShardRouter::RestartShard(int shard_id) {
           StrFormat("shard %d is still active", shard_id));
     // Pins into the crashed shard point at state that died with it; drop
     // them so re-created sessions place by the ring again.
-    for (auto it = pins_.begin(); it != pins_.end();) {
-      if (it->second == shard_id)
-        it = pins_.erase(it);
-      else
-        ++it;
+    std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+    for (auto it = pins_->session_shard.begin();
+         it != pins_->session_shard.end();) {
+      it = it->second.shard_id == shard_id ? pins_->session_shard.erase(it)
+                                           : std::next(it);
     }
+    pins_->shard_load.erase(shard_id);
   }
   return AddShard(shard_id);
 }
@@ -450,6 +665,11 @@ ShardRouter::Snapshot ShardRouter::TakeSnapshot() const {
   double weighted_sum = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    std::unordered_map<int, uint64_t> shard_load;
+    {
+      std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+      shard_load = pins_->shard_load;
+    }
     bool degraded = !crashed_.empty();
     for (const auto& [id, shard] : shards_) {
       ShardInfo info;
@@ -457,7 +677,8 @@ ShardRouter::Snapshot ShardRouter::TakeSnapshot() const {
       info.active = true;
       info.queue_depth = shard.service->queue_depth();
       info.num_sessions = shard.service->sessions().size();
-      info.pinned_sessions = shard.pinned;
+      const auto load = shard_load.find(id);
+      info.pinned_sessions = load == shard_load.end() ? 0 : load->second;
       info.metrics = shard.service->metrics().TakeSnapshot();
       if (info.metrics.health != Health::kHealthy) degraded = true;
       for (int b = 0; b < serve::ServeMetrics::kNumLatencyBuckets; ++b)
@@ -579,8 +800,11 @@ std::vector<int> ShardRouter::ShardIds() const {
 
 int ShardRouter::ShardOf(const std::string& session_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto pin = pins_.find(session_id);
-  if (pin != pins_.end()) return pin->second;
+  {
+    std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+    const auto pin = pins_->session_shard.find(session_id);
+    if (pin != pins_->session_shard.end()) return pin->second.shard_id;
+  }
   if (ring_.empty()) return -1;
   return ring_.OwnerOf(session_id);
 }

@@ -13,16 +13,36 @@
 // buckets and queue-depth load shedding (cluster/admission.h), both
 // rejecting with ResourceExhausted — distinct from a full queue's
 // Unavailable and from DeadlineExceeded — so clients can tell "slow down"
-// from "retry elsewhere" from "too late".
+// from "retry elsewhere" from "too late". The tenant token is charged
+// *after* the routing checks and the load-shed gate: a request that is
+// guaranteed to fail (no shards, pinned to a down shard, queue shed) never
+// consumes quota, so retries against a degraded cluster do not compound
+// the outage.
 //
-// Rebalance (RemoveShard): deactivate -> wait for the shard's queue to
-// drain -> Extract every session -> write a CRC'd handoff file (atomic
+// Pin lifecycle: a pin is created by Create's placement and released when
+// the session ends — CallClose releases it inline, and the future returned
+// by SubmitClose releases it when the caller resolves a successful close
+// (the bookkeeping is deferred into the future, so it works even if the
+// router is gone by then). A session whose spilled history is discarded by
+// the shard's bounded spill LRU also releases its pin (the shard reports
+// the drop), and RemoveShard sweeps any stale pins still pointing at the
+// removed shard — so pins_ cannot grow without bound or permanently wedge
+// a session id on a dead shard.
+//
+// Rebalance (RemoveShard) is two-phase so the cluster never pauses:
+// phase 1 (routing lock) marks the shard draining — the ring drops it and
+// requests pinned to it get Unavailable (retryable) — then the lock is
+// RELEASED while the shard's queue empties; phase 2 re-takes the lock,
+// re-checks the queue (requests routed just before the mark may trickle
+// in), then Extract every session -> write a CRC'd handoff file (atomic
 // write, retried on injected torn writes) -> re-read and validate it ->
 // Deserialize each session into its new owner -> update pins -> destroy the
 // shard. Sessions stay in the source shard's memory until the handoff file
 // has been read back successfully, so a torn write costs a retry, never a
 // session. RestartShard() is the inverse: a fresh shard joins the ring and
-// pulls back the sessions the ring now assigns to it.
+// pulls back the sessions the ring now assigns to it; the sessions being
+// pulled are marked migrating (their requests get a retryable Unavailable)
+// while the rest of the cluster keeps serving.
 //
 // Failure model: CrashShard() (and the "cluster.shard_crash" fault point)
 // destroys a shard without a drain, as a real crash would. Pinned sessions
@@ -34,6 +54,7 @@
 #ifndef CASCN_CLUSTER_SHARD_ROUTER_H_
 #define CASCN_CLUSTER_SHARD_ROUTER_H_
 
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
@@ -41,6 +62,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/admission.h"
@@ -101,10 +123,14 @@ class ShardRouter {
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
-  /// Async submission: admission control (tenant quota + load shed, both
-  /// ResourceExhausted), then routed to the session's shard. Unavailable
-  /// when the session is pinned to a crashed shard or the shard's queue is
-  /// full. The returned future always becomes ready.
+  /// Async submission: routing feasibility first, then admission control
+  /// (load shed + tenant quota, both ResourceExhausted — the token is only
+  /// charged for requests that could actually run), then routed to the
+  /// session's shard. Unavailable when the session is pinned to a crashed
+  /// or draining shard or the shard's queue is full. The returned future
+  /// always becomes ready. SubmitClose's future additionally releases the
+  /// session's routing pin when resolved after a successful close, so
+  /// callers should resolve (get/wait) every close future.
   Result<std::future<serve::ServeResponse>> SubmitCreate(
       const std::string& tenant, std::string session_id, int root_user,
       double deadline_ms = 0.0);
@@ -130,12 +156,14 @@ class ShardRouter {
   serve::ServeResponse CallClose(const std::string& tenant,
                                  std::string session_id);
 
-  /// Live rebalance: drains shard `shard_id`, hands its sessions off to the
-  /// remaining shards (see file comment for the protocol), and destroys it.
-  /// FailedPrecondition when it is the last active shard or unknown;
-  /// DeadlineExceeded when the queue does not drain in time. No session is
-  /// lost: on any error before the handoff file validates, the shard keeps
-  /// serving.
+  /// Live rebalance: drains shard `shard_id` (two-phase — the routing lock
+  /// is not held while the queue empties, so the rest of the cluster keeps
+  /// serving), hands its sessions off to the remaining shards (see file
+  /// comment for the protocol), destroys it, and sweeps any stale pins
+  /// still pointing at it. FailedPrecondition when it is the last routable
+  /// shard, unknown, or already draining; DeadlineExceeded when the queue
+  /// does not drain in time. No session is lost: on any error before the
+  /// handoff file validates, the shard keeps serving.
   Status RemoveShard(int shard_id);
 
   /// Starts a fresh shard with id `shard_id` (loading from the cluster's
@@ -206,11 +234,41 @@ class ShardRouter {
  private:
   struct Shard {
     std::shared_ptr<serve::PredictionService> service;
-    uint64_t pinned = 0;  // sessions pinned here (ring load measure)
+  };
+
+  /// Session-pin bookkeeping. Held in a shared_ptr because deferred close
+  /// futures and per-shard spill-drop callbacks release pins through it and
+  /// may outlive the router. `mutex` is a LEAF lock: nothing else may be
+  /// acquired while holding it (the spill-drop callback runs under a
+  /// SessionManager's table lock, so the inverse order must stay out of the
+  /// lock graph).
+  struct PinState {
+    struct Pin {
+      int shard_id = -1;
+      /// Bumped whenever the pin is (re)placed; a deferred close release
+      /// only fires if the generation it captured is still current, so a
+      /// close resolved after the id was re-created cannot unpin the new
+      /// session.
+      uint64_t generation = 0;
+    };
+    std::mutex mutex;
+    std::unordered_map<std::string, Pin> session_shard;
+    std::unordered_map<int, uint64_t> shard_load;  // pinned sessions/shard
+    uint64_t next_generation = 0;
   };
 
   explicit ShardRouter(const ShardRouterOptions& options,
                        std::string checkpoint_path);
+
+  /// Points `session_id`'s pin at `shard_id` (new generation), fixing both
+  /// shards' load counts. Takes pins.mutex.
+  static void SetPin(PinState& pins, const std::string& session_id,
+                     int shard_id);
+  /// Drops `session_id`'s pin if its generation is still `generation`,
+  /// fixing the shard load. Takes pins.mutex.
+  static void ReleasePinIfCurrent(PinState& pins,
+                                  const std::string& session_id,
+                                  uint64_t generation);
 
   /// Builds one shard's service options (shard-scoped slow fault point,
   /// spill default).
@@ -227,9 +285,27 @@ class ShardRouter {
   /// Crash internals shared by CrashShard and the fault hook. Pre: mutex_.
   void CrashShardLocked(int shard_id);
 
-  /// Waits (bounded) for `service`'s queue to empty. Pre: mutex_ held — no
-  /// new work can be routed while the caller drains.
-  Status DrainQueue(serve::PredictionService& service) const;
+  /// Rebuilds the ring from the active, non-draining shards. Pre: mutex_.
+  void RebuildRingLocked();
+
+  /// Waits (bounded by `deadline`) for `service`'s queue to empty. Called
+  /// WITHOUT mutex_ held — the shard must already be unroutable (draining)
+  /// so the queue can only shrink, modulo requests routed just before the
+  /// mark, which the caller re-checks under the lock.
+  Status DrainQueue(serve::PredictionService& service,
+                    std::chrono::steady_clock::time_point deadline) const;
+
+  /// Waits (bounded by `deadline`) until every request enqueued to
+  /// `service` before this call has left the queue. Unlike a
+  /// drain-to-empty, this makes progress while other sessions keep the
+  /// queue busy, so it is safe to call without blocking routing.
+  Status WaitQueuePassed(serve::PredictionService& service,
+                         std::chrono::steady_clock::time_point deadline) const;
+
+  /// AddShard's per-source pull: marks the sessions the ring now assigns to
+  /// `target_id` as migrating, waits (unlocked) for their queued requests
+  /// to finish, then extracts and imports them under the routing lock.
+  Status PullSessionsTo(int target_id, int source_id);
 
   /// Writes `entries` to shard_id's handoff file and reads it back,
   /// retrying torn writes; returns the validated image. Pre: mutex_ held.
@@ -243,15 +319,23 @@ class ShardRouter {
   std::string checkpoint_path_;
   AdmissionController admission_;
 
-  /// Guards shards_, ring_, pins_, crashed_. Held only for routing
-  /// bookkeeping and topology changes, never across a model forward pass
-  /// (requests run on shard worker threads).
+  /// Guards shards_, ring_, crashed_, draining_, migrating_. Held only for
+  /// routing bookkeeping and topology changes — never across a model
+  /// forward pass (requests run on shard worker threads) and never while a
+  /// queue drains (rebalance waits run unlocked).
   mutable std::mutex mutex_;
   std::map<int, Shard> shards_;
   HashRing ring_;
-  std::unordered_map<std::string, int> pins_;  // session id -> shard id
+  /// Pin table (own leaf mutex; see PinState). Acquire order: mutex_ then
+  /// pins_->mutex, or pins_->mutex alone.
+  std::shared_ptr<PinState> pins_ = std::make_shared<PinState>();
   /// Shards destroyed by CrashShard and not yet restarted (health signal).
   std::set<int> crashed_;
+  /// Shards mid-RemoveShard: out of the ring, pinned requests rejected.
+  std::set<int> draining_;
+  /// Sessions mid-AddShard pull: their requests get a retryable
+  /// Unavailable until the move completes.
+  std::unordered_set<std::string> migrating_;
 };
 
 }  // namespace cascn::cluster

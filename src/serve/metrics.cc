@@ -26,6 +26,8 @@ std::string_view CounterName(Counter c) {
       return "sessions_spilled";
     case Counter::kSpillRestores:
       return "spill_restores";
+    case Counter::kSpillDropped:
+      return "spill_dropped";
     case Counter::kPredictionCacheHits:
       return "prediction_cache_hits";
     case Counter::kBatches:

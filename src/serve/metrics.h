@@ -34,6 +34,7 @@ enum class Counter : int {
   kEvictions,            // idle sessions LRU-evicted at capacity
   kSpilled,              // evicted sessions whose history was kept serialized
   kSpillRestores,        // spilled sessions transparently restored on touch
+  kSpillDropped,         // spilled histories discarded by the bounded spill LRU
   kPredictionCacheHits,  // predictions served from the per-session cache
   kBatches,              // worker dequeues that drained > 1 request
   kBatchedRequests,      // requests processed as part of such a batch

@@ -165,8 +165,18 @@ Status SessionManager::InsertLocked(
         spilled.lru_it = spill_lru_.begin();
         spill_.emplace(*it, std::move(spilled));
         while (spill_.size() > options_.spill_capacity) {
-          spill_.erase(spill_lru_.back());
+          // Capacity-driven session loss: the oldest spilled history is
+          // gone for good. Make it observable — operators otherwise have
+          // no signal that the zero-loss story stopped holding.
+          const std::string dropped = spill_lru_.back();
+          spill_.erase(dropped);
           spill_lru_.pop_back();
+          Record(Counter::kSpillDropped);
+          CASCN_LOG(WARNING)
+              << "spill table full (" << options_.spill_capacity
+              << " blobs): discarding spilled history of session '" << dropped
+              << "'";
+          if (options_.on_spill_drop) options_.on_spill_drop(dropped);
         }
         Record(Counter::kSpilled);
       }
@@ -186,7 +196,7 @@ Status SessionManager::InsertLocked(
   return Status::OK();
 }
 
-std::shared_ptr<SessionManager::Session> SessionManager::Acquire(
+Result<std::shared_ptr<SessionManager::Session>> SessionManager::Acquire(
     const std::string& session_id) const {
   std::lock_guard<std::mutex> lock(map_mutex_);
   auto it = sessions_.find(session_id);
@@ -194,14 +204,29 @@ std::shared_ptr<SessionManager::Session> SessionManager::Acquire(
     // A spilled session is transparently restored: the caller keeps its
     // cascade history as if the eviction never happened.
     auto spilled = spill_.find(session_id);
-    if (spilled == spill_.end()) return nullptr;
+    if (spilled == spill_.end())
+      return Status::NotFound("unknown session: " + session_id);
     auto events = ParseAdoptionEvents(spilled->second.blob);
     CASCN_CHECK(events.ok()) << "corrupt spill blob for session "
                              << session_id << ": " << events.status();
     auto session = std::make_shared<Session>();
     session->events = std::move(events).value();
+    // Set the blob aside rather than discarding it: dropping it before the
+    // insert keeps the restored id from LRU-evicting its own spill entry,
+    // and putting it back on insert failure keeps the no-loss guarantee
+    // (insert fails only when every live session is busy, so nothing was
+    // evicted and the freed spill slot is still free).
+    std::string blob = std::move(spilled->second.blob);
     DropSpillLocked(session_id);
-    if (!InsertLocked(session_id, session).ok()) return nullptr;
+    const Status inserted = InsertLocked(session_id, std::move(session));
+    if (!inserted.ok()) {
+      spill_lru_.push_front(session_id);
+      Spilled keep;
+      keep.blob = std::move(blob);
+      keep.lru_it = spill_lru_.begin();
+      spill_.emplace(session_id, std::move(keep));
+      return inserted;  // Unavailable: transient, the history is intact
+    }
     Record(Counter::kSpillRestores);
     it = sessions_.find(session_id);
     CASCN_CHECK(it != sessions_.end());
@@ -237,9 +262,8 @@ Status SessionManager::Create(const std::string& session_id, int root_user) {
 
 Status SessionManager::Append(const std::string& session_id, int user,
                               int parent_node, double time) {
-  std::shared_ptr<Session> session = Acquire(session_id);
-  if (session == nullptr)
-    return Status::NotFound("unknown session: " + session_id);
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         Acquire(session_id));
   Status status = Status::OK();
   {
     std::lock_guard<std::mutex> lock(session->mutex);
@@ -284,9 +308,8 @@ const CascadeSample& SessionManager::CurrentSample(Session& session) const {
 
 Result<double> SessionManager::PredictLog(const std::string& session_id,
                                           CascadeRegressor& model) {
-  std::shared_ptr<Session> session = Acquire(session_id);
-  if (session == nullptr)
-    return Status::NotFound("unknown session: " + session_id);
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         Acquire(session_id));
   double prediction = 0.0;
   {
     std::lock_guard<std::mutex> lock(session->mutex);
@@ -335,9 +358,8 @@ void SessionManager::InvalidateCachedPredictions() {
 }
 
 Result<int> SessionManager::SessionSize(const std::string& session_id) const {
-  std::shared_ptr<Session> session = Acquire(session_id);
-  if (session == nullptr)
-    return Status::NotFound("unknown session: " + session_id);
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         Acquire(session_id));
   int size = 0;
   {
     std::lock_guard<std::mutex> lock(session->mutex);
@@ -349,9 +371,8 @@ Result<int> SessionManager::SessionSize(const std::string& session_id) const {
 
 Result<std::string> SessionManager::Serialize(
     const std::string& session_id) const {
-  std::shared_ptr<Session> session = Acquire(session_id);
-  if (session == nullptr)
-    return Status::NotFound("unknown session: " + session_id);
+  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         Acquire(session_id));
   std::string blob;
   {
     std::lock_guard<std::mutex> lock(session->mutex);

@@ -29,6 +29,7 @@
 #ifndef CASCN_SERVE_SESSION_MANAGER_H_
 #define CASCN_SERVE_SESSION_MANAGER_H_
 
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -52,8 +53,17 @@ struct SessionManagerOptions {
   double observation_window = 60.0;
   /// Evicted sessions to retain as serialized blobs (0 disables). Spilled
   /// sessions are restored transparently by the next operation that touches
-  /// them; the spill table is itself LRU-bounded.
+  /// them; the spill table is itself LRU-bounded. When live + spilled
+  /// sessions exceed capacity + spill_capacity, the oldest spilled history
+  /// is discarded — counted as kSpillDropped, logged, and reported through
+  /// `on_spill_drop`.
   size_t spill_capacity = 0;
+  /// Invoked with the session id whenever a spilled history is discarded by
+  /// the bounded spill LRU (capacity-driven session loss). Called with the
+  /// session-table lock held: the callback must be cheap and must not call
+  /// back into this SessionManager. The cluster router uses it to release
+  /// the dropped session's routing pin.
+  std::function<void(const std::string&)> on_spill_drop;
 };
 
 /// Thread-safe table of live cascade sessions.
@@ -132,8 +142,11 @@ class SessionManager {
   };
 
   /// Looks up + pins a session and moves it to the LRU front; restores a
-  /// spilled session first when the spill table holds one.
-  std::shared_ptr<Session> Acquire(const std::string& session_id) const;
+  /// spilled session first when the spill table holds one. NotFound for
+  /// unknown ids; Unavailable when a spilled session cannot be restored
+  /// right now (table full of busy sessions — the blob is kept, so a retry
+  /// can succeed).
+  Result<std::shared_ptr<Session>> Acquire(const std::string& session_id) const;
   void Release(Session& session) const;
   const CascadeSample& CurrentSample(Session& session) const;
   void Record(Counter c, uint64_t n = 1) const {

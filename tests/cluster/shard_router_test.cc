@@ -359,5 +359,76 @@ TEST_F(ShardRouterTest, RemovingTheLastShardIsRefused) {
   EXPECT_TRUE(router->CallPredict("", "only").status.ok());
 }
 
+uint64_t TotalPinned(const ShardRouter::Snapshot& snap) {
+  uint64_t total = 0;
+  for (const auto& shard : snap.shards) total += shard.pinned_sessions;
+  return total;
+}
+
+TEST_F(ShardRouterTest, ResolvingAnAsyncCloseReleasesThePin) {
+  auto router = MakeRouter(Options(2));
+  ASSERT_TRUE(router->CallCreate("", "s", 1).status.ok());
+  EXPECT_EQ(TotalPinned(router->TakeSnapshot()), 1u);
+  auto submitted = router->SubmitClose("", "s");
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  ASSERT_TRUE(submitted.value().get().status.ok());
+  // The async close did its own pin bookkeeping — no blocking CallClose
+  // needed, and the load metric no longer counts the dead session.
+  EXPECT_EQ(TotalPinned(router->TakeSnapshot()), 0u);
+  EXPECT_EQ(router->CallPredict("", "s").status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(router->CallCreate("", "s", 2).status.ok());
+}
+
+TEST_F(ShardRouterTest, RemoveShardSweepsStalePinsSoTheIdStaysUsable) {
+  auto router = MakeRouter(Options(2));
+  ASSERT_TRUE(router->CallCreate("", "stale", 1).status.ok());
+  const int home = router->ShardOf("stale");
+  // Close behind the router's back: the session is gone from the shard but
+  // the router still carries its pin.
+  ASSERT_TRUE(router->shard(home)->CallClose("stale").status.ok());
+  ASSERT_TRUE(router->RemoveShard(home).ok());
+  // The sweep at the end of RemoveShard erased the stale pin; without it,
+  // every request for this id — including Create — would be Unavailable
+  // ("pinned to shard which is down") forever.
+  EXPECT_NE(router->ShardOf("stale"), home);
+  EXPECT_TRUE(router->CallCreate("", "stale", 2).status.ok());
+  EXPECT_TRUE(router->CallPredict("", "stale").status.ok());
+}
+
+TEST_F(ShardRouterTest, SpillLruDropReleasesThePin) {
+  // One shard with room for 1 live + 1 spilled session: the third create
+  // permanently drops the first session's history, and the router must
+  // drop its pin with it (or pins_ grows without bound and the placement
+  // load metric counts ghosts).
+  ShardRouterOptions options = Options(1);
+  options.shard.sessions.capacity = 1;
+  options.shard.sessions.spill_capacity = 1;
+  auto router = MakeRouter(options);
+  ASSERT_TRUE(router->CallCreate("", "g0", 1).status.ok());
+  ASSERT_TRUE(router->CallCreate("", "g1", 2).status.ok());
+  ASSERT_TRUE(router->CallCreate("", "g2", 3).status.ok());  // drops "g0"
+  const auto snapshot = router->TakeSnapshot();
+  EXPECT_EQ(TotalPinned(snapshot), 2u);  // g1 (spilled) + g2 (live), not 3
+  EXPECT_GE(snapshot.shards[0].metrics.counter(serve::Counter::kSpillDropped),
+            1u);
+}
+
+TEST_F(ShardRouterTest, DoomedRequestsDoNotConsumeTenantQuota) {
+  ShardRouterOptions options = Options(2);
+  options.admission.tokens_per_second = 0.001;  // effectively no refill
+  options.admission.burst = 2.0;
+  auto router = MakeRouter(options);
+  ASSERT_TRUE(router->CallCreate("t", "a", 1).status.ok());  // 1 token left
+  router->CrashShard(router->ShardOf("a"));
+  // Guaranteed-to-fail requests (pinned to a down shard) must not debit
+  // the bucket — a client retrying against a degraded cluster would
+  // otherwise burn its whole budget on failures.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(router->CallPredict("t", "a").status.code(),
+              StatusCode::kUnavailable);
+  // The surviving token still admits real work.
+  EXPECT_TRUE(router->CallCreate("t", "b", 2).status.ok());
+}
+
 }  // namespace
 }  // namespace cascn::cluster

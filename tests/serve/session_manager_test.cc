@@ -186,6 +186,30 @@ TEST_F(SessionManagerTest, SpillRestoresEvictedSessionTransparently) {
   ASSERT_TRUE(manager.Append("a", 4, 0, 2.0).ok());
 }
 
+TEST_F(SessionManagerTest, SpillOverflowDropsAreCountedAndReported) {
+  ServeMetrics metrics;
+  SessionManagerOptions options = Options(/*capacity=*/1);
+  options.spill_capacity = 1;
+  std::vector<std::string> dropped;
+  options.on_spill_drop = [&dropped](const std::string& id) {
+    dropped.push_back(id);
+  };
+  SessionManager manager(options, &metrics);
+  // capacity 1 + spill 1: the third create pushes "a"'s blob off the end
+  // of the spill LRU — capacity-driven session loss, which must be
+  // observable rather than silent.
+  ASSERT_TRUE(manager.Create("a", 1).ok());
+  ASSERT_TRUE(manager.Create("b", 2).ok());  // evicts+spills "a"
+  EXPECT_EQ(metrics.TakeSnapshot().counter(Counter::kSpillDropped), 0u);
+  ASSERT_TRUE(manager.Create("c", 3).ok());  // spills "b", drops "a"
+  EXPECT_EQ(metrics.TakeSnapshot().counter(Counter::kSpillDropped), 1u);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], "a");
+  EXPECT_EQ(manager.Append("a", 4, 0, 1.0).code(), StatusCode::kNotFound);
+  // "b" is still spilled and restorable.
+  EXPECT_EQ(manager.SessionSize("b").value(), 1);
+}
+
 TEST_F(SessionManagerTest, SessionIdsCoverLiveAndSpilledSessions) {
   SessionManagerOptions options = Options(/*capacity=*/2);
   options.spill_capacity = 8;
