@@ -43,6 +43,7 @@
 #include "obs/bench_report.h"
 #include "obs/shutdown.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/prediction_service.h"
 
@@ -275,6 +276,13 @@ int Main(int argc, char** argv) {
   const int shards = static_cast<int>(flags.GetInt("shards", 2));
   const int tenants = static_cast<int>(flags.GetInt("tenants", 2));
   const std::string workers_list = flags.GetString("workers_list", "1,2,4,8");
+  // --trace_out=PATH records the healthy cluster run with request tracing
+  // enabled and writes the Chrome trace there (open in chrome://tracing;
+  // flow arrows link each request's spans across threads).
+  const std::string trace_out = flags.GetString("trace_out", "");
+  // --flight_dir=DIR arms the cluster runs' flight recorders (per-shard +
+  // router JSON-lines dumps) and dumps them on demand after each run.
+  const std::string flight_dir = flags.GetString("flight_dir", "");
   std::string bench_out = flags.GetString("bench_out", "");
   if (bench_out.empty())
     bench_out = obs::BenchReport::DefaultPath("serve_throughput");
@@ -406,6 +414,22 @@ int Main(int argc, char** argv) {
     ExportToRegistry(run.snapshot, (*service)->registry());
     record_run("workers:" + std::to_string(workers), workers, run,
                (*service)->registry().JsonSnapshot());
+    if (workers == 2) {
+      // Guard row: serve throughput with tracing disabled. The request
+      // context, flight-recorder append, and SLI hooks are always on, so
+      // this row is what catches the hot-path cost of the observability
+      // plumbing itself creeping up.
+      CASCN_CHECK(!obs::Tracer::Get().enabled())
+          << "tracing_off row measured with tracing enabled";
+      report.AddResult(
+          obs::JsonObjectBuilder()
+              .Add("benchmark", "serve/tracing_off")
+              .Add("real_ns_per_iter",
+                   run.requests > 0
+                       ? run.seconds * 1e9 / static_cast<double>(run.requests)
+                       : 0.0)
+              .Build());
+    }
   }
 
   // Degraded-mode scenario: a slice of predicts stalls inside the worker
@@ -517,16 +541,33 @@ int Main(int argc, char** argv) {
       results_json += entry;
     };
 
-    // Healthy cluster baseline at 1x load.
+    // Healthy cluster baseline at 1x load. When --trace_out is set this run
+    // doubles as the tracing demo: every request carries a trace id minted
+    // at the router, and the written Chrome trace links each request's
+    // spans across the client and worker threads with flow events.
     cluster::ShardRouterOptions healthy_opts;
     healthy_opts.num_shards = shards;
     healthy_opts.shard = make_options(/*workers=*/2);
+    healthy_opts.flight_dir = flight_dir;
     auto router = cluster::ShardRouter::CreateFromCheckpoint(healthy_opts,
                                                              ckpt);
     CASCN_CHECK(router.ok()) << router.status();
+    if (!trace_out.empty()) obs::Tracer::Get().Enable();
     const ClusterRunResult healthy =
         RunClusterWorkload(**router, replays, clients, tenants);
+    if (!trace_out.empty()) {
+      obs::Tracer::Get().Disable();
+      CASCN_CHECK(obs::Tracer::Get().WriteChromeTrace(trace_out).ok());
+      std::fprintf(stderr,
+                   "[serve_throughput] chrome trace written to %s "
+                   "(%zu events, %llu spans dropped)\n",
+                   trace_out.c_str(), obs::Tracer::Get().event_count(),
+                   static_cast<unsigned long long>(
+                       obs::Tracer::Get().dropped_count()));
+    }
     CASCN_CHECK((*router)->ClusterHealth() == Health::kHealthy);
+    if (!flight_dir.empty())
+      CASCN_CHECK((*router)->DumpFlightRecorders("bench_on_demand").ok());
     record_cluster_run("cluster/shards:" + std::to_string(shards),
                        "cluster/p99", healthy, /*per_shard_rows=*/true);
     router->reset();
@@ -554,6 +595,7 @@ int Main(int argc, char** argv) {
     // admission turns excess load into ResourceExhausted *before* queues
     // deepen enough to distort the accepted requests' latency.
     overload_opts.admission.shed_queue_fraction = 0.25;
+    overload_opts.flight_dir = flight_dir;
     auto overload_router =
         cluster::ShardRouter::CreateFromCheckpoint(overload_opts, ckpt);
     CASCN_CHECK(overload_router.ok()) << overload_router.status();
@@ -576,6 +618,9 @@ int Main(int argc, char** argv) {
         << "accepted-request p99 " << overload.snapshot.latency_p99_us
         << "us exceeds 2x healthy baseline ("
         << healthy.snapshot.latency_p99_us << "us)";
+    if (!flight_dir.empty())
+      CASCN_CHECK(
+          (*overload_router)->DumpFlightRecorders("bench_on_demand").ok());
     record_cluster_run("cluster/overload", "cluster/overload_p99", overload,
                        /*per_shard_rows=*/false);
     overload_router->reset();

@@ -23,10 +23,12 @@
 //
 //   ./chaos_shard [--sessions=240] [--shards=3] [--out=/tmp/chaos_shard]
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/shard_router.h"
@@ -67,6 +69,12 @@ int Main(int argc, char** argv) {
   options.shard.sessions.capacity = static_cast<size_t>(sessions) + 64;
   options.admission.tokens_per_second = 1.0;  // named tenants: tiny rate...
   options.admission.burst = 8.0;              // ...and an 8-request burst
+  // The whole chaos story runs in seconds of wall clock, so shrink the SLO
+  // burn windows to the same timescale: a tenant that burns its error
+  // budget degrades cluster health, and a couple of quiet seconds later the
+  // burn ages out and health recovers.
+  options.slo.fast_window_seconds = 1;
+  options.slo.slow_window_seconds = 2;
   auto made = cluster::ShardRouter::CreateFromCheckpoint(options, ckpt);
   CASCN_CHECK(made.ok()) << made.status();
   auto router = std::move(made).value();
@@ -116,6 +124,19 @@ int Main(int argc, char** argv) {
   std::printf("greedy tenant: %d admitted, %d rejected ResourceExhausted\n",
               quota_ok, quota_rejected);
 
+  // The burst burned the greedy tenant's error budget across both SLO
+  // windows, so the cluster reports degraded — on SLO grounds alone, every
+  // shard is still up. Waiting out the slow window clears the burn.
+  CASCN_CHECK(router->ClusterHealth() == serve::Health::kDegraded);
+  const auto wait_for_burn_to_clear = [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        1000 * options.slo.slow_window_seconds + 200));
+  };
+  wait_for_burn_to_clear();
+  CASCN_CHECK(router->ClusterHealth() == serve::Health::kHealthy);
+  std::printf("greedy tenant burn degraded the cluster, then aged out of "
+              "the %ds SLO window\n", options.slo.slow_window_seconds);
+
   // Phase 3: kill shard `victim` mid-load. The fault point is evaluated on
   // every routed request; the 40th one pulls the trigger.
   const int victim = 1;
@@ -154,6 +175,10 @@ int Main(int argc, char** argv) {
   // that got a prediction out before the 40th request pulled the trigger.
   // Same events, same model => the exact same prediction bits.
   CASCN_CHECK(router->RestartShard(victim).ok());
+  // The crash wave's Unavailable failures count against the default
+  // tenant's SLO; age them out so the recovery check below sees shard
+  // health alone.
+  wait_for_burn_to_clear();
   CASCN_CHECK(router->ClusterHealth() == serve::Health::kHealthy);
   int recreated = 0;
   for (int i = 0; i < sessions; ++i) {

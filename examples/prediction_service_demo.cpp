@@ -29,6 +29,13 @@
 //                                file (open in chrome://tracing / Perfetto)
 //   --telemetry_out=t.jsonl      per-epoch training telemetry (JSON lines)
 //   --metrics_out=metrics.json   unified metrics-registry snapshot
+//   --flight_dir=DIR             arm the black-box flight recorders: runs an
+//                                anomaly drill (a fault-stalled worker makes
+//                                a deadlined request expire, triggering a
+//                                deadline_exceeded dump to
+//                                DIR/flight_demo.jsonl), and in cluster mode
+//                                dumps every shard's ring plus the router's
+//                                to DIR/flight_*.jsonl on demand
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +50,7 @@
 #include "core/trainer.h"
 #include "data/cascade_generator.h"
 #include "data/dataset.h"
+#include "fault/fault.h"
 #include "obs/metrics_registry.h"
 #include "obs/shutdown.h"
 #include "obs/telemetry.h"
@@ -99,6 +107,36 @@ int main(int argc, char** argv) {
   CASCN_CHECK(serve::SaveCascnCheckpoint(ckpt, model).ok());
   std::printf("checkpoint written to %s\n", ckpt.c_str());
 
+  // 2b. Anomaly drill (--flight_dir): stall a single-worker service with an
+  // injected 80ms predict, let a 5ms-deadline request expire behind it, and
+  // let the flight recorder dump the evidence on its own — the black box
+  // working exactly as it would after a real incident.
+  const std::string flight_dir = flags.GetString("flight_dir", "");
+  if (!flight_dir.empty()) {
+    serve::ServiceOptions drill_opts;
+    drill_opts.num_workers = 1;
+    drill_opts.sessions.observation_window = window;
+    drill_opts.flight_dump_path = flight_dir + "/flight_demo.jsonl";
+    auto drill =
+        serve::PredictionService::CreateFromCheckpoint(drill_opts, ckpt);
+    CASCN_CHECK(drill.ok()) << drill.status();
+    CASCN_CHECK(drill.value()->CallCreate("drill", 1).status.ok());
+    CASCN_CHECK(fault::FaultRegistry::Get()
+                    .Configure("serve.slow_predict=always@80")
+                    .ok());
+    auto blocker = drill.value()->SubmitPredict("drill", -1.0);
+    CASCN_CHECK(blocker.ok()) << blocker.status();
+    auto doomed = drill.value()->SubmitPredict("drill", 5.0);
+    CASCN_CHECK(doomed.ok()) << doomed.status();
+    const serve::ServeResponse r = doomed.value().get();
+    CASCN_CHECK(r.status.code() == StatusCode::kDeadlineExceeded) << r.status;
+    (void)blocker.value().get();
+    fault::FaultRegistry::Get().Clear();
+    std::printf("anomaly drill: deadline miss (trace %llx) dumped to %s\n",
+                static_cast<unsigned long long>(r.trace_id),
+                drill_opts.flight_dump_path.c_str());
+  }
+
   // 3. Build a fresh cascade stream to replay as concurrent sessions.
   const int target_sessions =
       static_cast<int>(flags.GetInt("sessions", 1200));
@@ -129,6 +167,7 @@ int main(int argc, char** argv) {
     cluster_opts.shard.queue_capacity = 8192;
     cluster_opts.shard.sessions.observation_window = window;
     cluster_opts.shard.sessions.capacity = 8192;
+    cluster_opts.flight_dir = flight_dir;
     auto router =
         cluster::ShardRouter::CreateFromCheckpoint(cluster_opts, ckpt);
     CASCN_CHECK(router.ok()) << router.status();
@@ -185,6 +224,16 @@ int main(int argc, char** argv) {
     std::printf("shard %d removed: %zu sessions re-verified bit-identical "
                 "on %d surviving shards\n",
                 victim, checked, router.value()->num_shards());
+
+    if (!flight_dir.empty()) {
+      // On-demand black-box dump: every surviving shard's ring plus the
+      // router's own, appended as JSON lines under --flight_dir.
+      const Status dumped =
+          router.value()->DumpFlightRecorders("demo_on_demand");
+      CASCN_CHECK(dumped.ok()) << dumped;
+      std::printf("flight recorders dumped to %s/flight_*.jsonl\n",
+                  flight_dir.c_str());
+    }
 
     obs::MetricsRegistry registry;
     router.value()->ExportToRegistry(registry);

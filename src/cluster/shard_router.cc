@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "fault/fault.h"
+#include "obs/trace.h"
 
 namespace cascn::cluster {
 
@@ -25,7 +26,13 @@ ShardRouter::ShardRouter(const ShardRouterOptions& options,
     : options_(options),
       checkpoint_path_(std::move(checkpoint_path)),
       admission_(options.admission),
-      ring_(options.ring) {}
+      clock_(options.clock ? options.clock
+                           : [] { return std::chrono::steady_clock::now(); }),
+      slo_(options.slo),
+      ring_(options.ring) {
+  if (!options_.flight_dir.empty())
+    router_flight_.SetDumpPath(options_.flight_dir + "/flight_router.jsonl");
+}
 
 Result<std::unique_ptr<ShardRouter>> ShardRouter::CreateFromCheckpoint(
     const ShardRouterOptions& options, const std::string& checkpoint_path) {
@@ -54,6 +61,20 @@ ShardRouter::~ShardRouter() {
 ServiceOptions ShardRouter::ShardServiceOptions(int shard_id) const {
   ServiceOptions opts = options_.shard;
   opts.extra_predict_fault_point = SlowShardFaultPoint(shard_id);
+  opts.shard_id = shard_id;
+  if (!options_.flight_dir.empty())
+    opts.flight_dump_path =
+        StrFormat("%s/flight_shard_%d.jsonl", options_.flight_dir.c_str(),
+                  shard_id);
+  // Every terminal outcome on this shard feeds its tenant's SLI. The
+  // callback runs on shard worker threads (and during the shard's Shutdown
+  // drain); slo_ and clock_ are declared before shards_ and ~ShardRouter
+  // shuts shards down first, so both strictly outlive every invocation.
+  opts.on_complete = [this](const obs::RequestContext& ctx,
+                            const Status& status, uint64_t latency_us) {
+    if (!ctx.tenant.empty())
+      slo_.RecordRequest(ctx.tenant, clock_(), status.ok(), latency_us);
+  };
   // Handoff moves *every* session a client still cares about, including
   // LRU-evicted ones, so keep evicted histories spilled by default.
   if (opts.sessions.spill_capacity == 0)
@@ -117,8 +138,38 @@ Result<std::shared_ptr<PredictionService>> ShardRouter::StartShard(
   return std::shared_ptr<PredictionService>(std::move(service));
 }
 
+void ShardRouter::RecordRejection(const obs::RequestContext& ctx,
+                                  const Status& status) {
+  if (!ctx.tenant.empty())
+    slo_.RecordRequest(ctx.tenant, clock_(), /*ok=*/false, /*latency_us=*/0);
+  obs::FlightRecord record;
+  record.trace_id = ctx.trace_id;
+  record.shard_id = -1;
+  record.op = obs::FlightOp::kRoute;
+  record.status = static_cast<uint8_t>(status.code());
+  record.set_tenant(ctx.tenant);
+  record.set_session(ctx.session_id);
+  router_flight_.Append(record);
+  if (status.code() == StatusCode::kResourceExhausted) {
+    // An overloaded tenant sheds thousands of requests per second and each
+    // dump serializes the whole ring: cap anomaly dumps at one per second
+    // (injected clock, so tests stay deterministic). The ring keeps every
+    // record either way; only the file append is throttled.
+    const int64_t second = std::chrono::duration_cast<std::chrono::seconds>(
+                               clock_().time_since_epoch())
+                               .count();
+    int64_t last = last_shed_dump_second_.load(std::memory_order_relaxed);
+    if (last != second &&
+        last_shed_dump_second_.compare_exchange_strong(
+            last, second, std::memory_order_relaxed))
+      router_flight_.TriggerDump("load_shed");
+  }
+}
+
 Result<std::shared_ptr<PredictionService>> ShardRouter::Route(
-    const std::string& tenant, const std::string& session_id, bool create) {
+    const obs::RequestContext& ctx, bool create) {
+  const std::string& tenant = ctx.tenant;
+  const std::string& session_id = ctx.session_id;
   // Chaos hook: an armed "cluster.shard_crash" kills the shard named by its
   // @V payload in the middle of routed load. Evaluated before taking the
   // routing lock (the crash itself needs it).
@@ -184,8 +235,7 @@ Result<std::shared_ptr<PredictionService>> ShardRouter::Route(
   std::shared_ptr<PredictionService> service = shards_.at(target).service;
   CASCN_RETURN_IF_ERROR(
       admission_.AdmitLoad(service->queue_depth(), service->queue_capacity()));
-  CASCN_RETURN_IF_ERROR(
-      admission_.AdmitTenant(tenant, std::chrono::steady_clock::now()));
+  CASCN_RETURN_IF_ERROR(admission_.AdmitTenant(tenant, clock_()));
   if (pin_new) SetPin(*pins_, session_id, target);
   return service;
 }
@@ -193,31 +243,65 @@ Result<std::shared_ptr<PredictionService>> ShardRouter::Route(
 Result<std::future<ServeResponse>> ShardRouter::SubmitCreate(
     const std::string& tenant, std::string session_id, int root_user,
     double deadline_ms) {
-  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
-                         Route(tenant, session_id, /*create=*/true));
-  return service->SubmitCreate(std::move(session_id), root_user, deadline_ms);
+  obs::RequestContext ctx =
+      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+  CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+  Result<std::shared_ptr<PredictionService>> service =
+      Route(ctx, /*create=*/true);
+  if (!service.ok()) {
+    RecordRejection(ctx, service.status());
+    return service.status();
+  }
+  std::string id = ctx.session_id;
+  return service.value()->SubmitCreate(std::move(ctx), std::move(id),
+                                       root_user, deadline_ms);
 }
 
 Result<std::future<ServeResponse>> ShardRouter::SubmitAppend(
     const std::string& tenant, std::string session_id, int user,
     int parent_node, double time, double deadline_ms) {
-  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
-                         Route(tenant, session_id, /*create=*/false));
-  return service->SubmitAppend(std::move(session_id), user, parent_node, time,
-                               deadline_ms);
+  obs::RequestContext ctx =
+      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+  CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+  Result<std::shared_ptr<PredictionService>> service =
+      Route(ctx, /*create=*/false);
+  if (!service.ok()) {
+    RecordRejection(ctx, service.status());
+    return service.status();
+  }
+  std::string id = ctx.session_id;
+  return service.value()->SubmitAppend(std::move(ctx), std::move(id), user,
+                                       parent_node, time, deadline_ms);
 }
 
 Result<std::future<ServeResponse>> ShardRouter::SubmitPredict(
     const std::string& tenant, std::string session_id, double deadline_ms) {
-  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
-                         Route(tenant, session_id, /*create=*/false));
-  return service->SubmitPredict(std::move(session_id), deadline_ms);
+  obs::RequestContext ctx =
+      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+  CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+  Result<std::shared_ptr<PredictionService>> service =
+      Route(ctx, /*create=*/false);
+  if (!service.ok()) {
+    RecordRejection(ctx, service.status());
+    return service.status();
+  }
+  std::string id = ctx.session_id;
+  return service.value()->SubmitPredict(std::move(ctx), std::move(id),
+                                        deadline_ms);
 }
 
 Result<std::future<ServeResponse>> ShardRouter::SubmitClose(
     const std::string& tenant, std::string session_id, double deadline_ms) {
-  CASCN_ASSIGN_OR_RETURN(std::shared_ptr<PredictionService> service,
-                         Route(tenant, session_id, /*create=*/false));
+  obs::RequestContext ctx =
+      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+  CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+  Result<std::shared_ptr<PredictionService>> routed =
+      Route(ctx, /*create=*/false);
+  if (!routed.ok()) {
+    RecordRejection(ctx, routed.status());
+    return routed.status();
+  }
+  std::shared_ptr<PredictionService> service = std::move(routed).value();
   // Capture the pin's current generation before handing the close to the
   // shard: the deferred release below only fires if the pin is still that
   // incarnation when the caller resolves the future.
@@ -225,16 +309,18 @@ Result<std::future<ServeResponse>> ShardRouter::SubmitClose(
   bool had_pin = false;
   {
     std::lock_guard<std::mutex> pin_lock(pins_->mutex);
-    const auto it = pins_->session_shard.find(session_id);
+    const auto it = pins_->session_shard.find(ctx.session_id);
     if (it != pins_->session_shard.end()) {
       had_pin = true;
       generation = it->second.generation;
     }
   }
-  const std::string id = session_id;
-  CASCN_ASSIGN_OR_RETURN(
-      std::future<ServeResponse> inner,
-      service->SubmitClose(std::move(session_id), deadline_ms));
+  const std::string id = ctx.session_id;
+  std::string session_arg = ctx.session_id;
+  CASCN_ASSIGN_OR_RETURN(std::future<ServeResponse> inner,
+                         service->SubmitClose(std::move(ctx),
+                                              std::move(session_arg),
+                                              deadline_ms));
   if (!had_pin) return inner;
   // Wrap the future so that resolving a successful close releases the
   // session's pin — the primary async interface does its own bookkeeping
@@ -335,10 +421,14 @@ Result<HandoffImage> ShardRouter::WriteValidatedHandoff(
   for (int attempt = 0; attempt < std::max(1, options_.handoff_write_attempts);
        ++attempt) {
     last = WriteHandoffFile(path, shard_id, entries);
-    if (!last.ok()) continue;  // e.g. injected torn write; just retry
+    if (!last.ok()) {  // e.g. injected torn write; just retry
+      router_flight_.TriggerDump("handoff_retry");
+      continue;
+    }
     Result<HandoffImage> image = ReadHandoffFile(path);
     if (image.ok()) return image;
     last = image.status();
+    router_flight_.TriggerDump("handoff_retry");
   }
   return last;
 }
@@ -622,6 +712,10 @@ void ShardRouter::CrashShard(int shard_id) {
 void ShardRouter::CrashShardLocked(int shard_id) {
   const auto it = shards_.find(shard_id);
   if (it == shards_.end()) return;
+  // Preserve the black box before the shard dies with its ring: the last
+  // few thousand requests are exactly what a post-mortem needs.
+  it->second.service->flight_recorder().TriggerDump("shard_crash");
+  router_flight_.TriggerDump("shard_crash");
   // No drain, no handoff: exactly what a real crash leaves behind. Shutdown
   // fails everything queued; the session table dies with the service.
   it->second.service->Shutdown();
@@ -650,9 +744,14 @@ Status ShardRouter::RestartShard(int shard_id) {
 }
 
 Health ShardRouter::ClusterHealth() const {
+  // Read the burn state before taking the routing lock (slo_ has its own
+  // leaf mutex). A tenant burning error budget on both windows degrades the
+  // cluster even while every shard process is nominally up: sustained burn
+  // is an outage in progress, surfaced before hard failure.
+  const bool burning = slo_.AnyTenantBurning(clock_());
   std::lock_guard<std::mutex> lock(mutex_);
   if (shards_.empty()) return Health::kUnhealthy;
-  bool degraded = !crashed_.empty();
+  bool degraded = burning || !crashed_.empty();
   for (const auto& [id, shard] : shards_)
     if (shard.service->health() != Health::kHealthy) degraded = true;
   return degraded ? Health::kDegraded : Health::kHealthy;
@@ -660,6 +759,10 @@ Health ShardRouter::ClusterHealth() const {
 
 ShardRouter::Snapshot ShardRouter::TakeSnapshot() const {
   Snapshot snap;
+  const auto now = clock_();
+  snap.slo = slo_.Snapshot(now);
+  bool burning = false;
+  for (const obs::TenantSli& sli : snap.slo) burning |= sli.burning;
   obs::Histogram::Snapshot merged;
   merged.buckets.assign(serve::ServeMetrics::kNumLatencyBuckets, 0);
   double weighted_sum = 0.0;
@@ -670,7 +773,7 @@ ShardRouter::Snapshot ShardRouter::TakeSnapshot() const {
       std::lock_guard<std::mutex> pin_lock(pins_->mutex);
       shard_load = pins_->shard_load;
     }
-    bool degraded = !crashed_.empty();
+    bool degraded = burning || !crashed_.empty();
     for (const auto& [id, shard] : shards_) {
       ShardInfo info;
       info.shard_id = id;
@@ -749,6 +852,13 @@ std::string ShardRouter::Snapshot::ToString() const {
                      tenant.tenant.c_str(),
                      static_cast<unsigned long long>(tenant.admitted),
                      static_cast<unsigned long long>(tenant.rejected));
+  for (const auto& sli : slo)
+    out += StrFormat(
+        "  slo '%s': fast avail=%.4f burn=%.1f | slow avail=%.4f "
+        "burn=%.1f%s\n",
+        sli.tenant.c_str(), sli.fast_availability, sli.fast_burn,
+        sli.slow_availability, sli.slow_burn,
+        sli.burning ? " BURNING" : "");
   return out;
 }
 
@@ -774,15 +884,37 @@ void ShardRouter::ExportToRegistry(obs::MetricsRegistry& registry) const {
   registry.GetGauge("cluster_latency_p95_us").Set(snap.latency_p95_us);
   registry.GetGauge("cluster_latency_p99_us").Set(snap.latency_p99_us);
   for (const auto& tenant : snap.tenants) {
+    // Tenant names are caller-supplied: escape them or a quote in a name
+    // corrupts every exposition line it appears on.
+    const std::string escaped = obs::EscapeLabelValue(tenant.tenant);
     registry
         .GetGauge(StrFormat("cluster_tenant_admitted{tenant=\"%s\"}",
-                            tenant.tenant.c_str()))
+                            escaped.c_str()))
         .Set(static_cast<double>(tenant.admitted));
     registry
         .GetGauge(StrFormat("cluster_tenant_rejected{tenant=\"%s\"}",
-                            tenant.tenant.c_str()))
+                            escaped.c_str()))
         .Set(static_cast<double>(tenant.rejected));
   }
+  slo_.ExportToRegistry(registry, clock_());
+}
+
+Status ShardRouter::DumpFlightRecorders(std::string_view reason) {
+  if (options_.flight_dir.empty())
+    return Status::FailedPrecondition(
+        "flight-recorder dumps need ShardRouterOptions::flight_dir");
+  std::vector<std::shared_ptr<PredictionService>> services;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    services.reserve(shards_.size());
+    for (const auto& [id, shard] : shards_) services.push_back(shard.service);
+  }
+  // Dump outside the routing lock: a dump is file I/O and must not stall
+  // routing.
+  for (const auto& service : services)
+    service->flight_recorder().TriggerDump(reason);
+  router_flight_.TriggerDump(reason);
+  return Status::OK();
 }
 
 int ShardRouter::num_shards() const {

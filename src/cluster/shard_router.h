@@ -54,13 +54,17 @@
 #ifndef CASCN_CLUSTER_SHARD_ROUTER_H_
 #define CASCN_CLUSTER_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -69,7 +73,10 @@
 #include "cluster/consistent_hash.h"
 #include "cluster/handoff.h"
 #include "common/result.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/request_context.h"
+#include "obs/slo.h"
 #include "serve/metrics.h"
 #include "serve/prediction_service.h"
 
@@ -107,6 +114,18 @@ struct ShardRouterOptions {
   /// Max milliseconds RemoveShard waits for the draining shard's queue to
   /// empty before giving up with DeadlineExceeded.
   double drain_timeout_ms = 5000.0;
+  /// Per-tenant SLO configuration (availability target, burn windows and
+  /// thresholds). Sustained burn degrades ClusterHealth.
+  obs::SloOptions slo;
+  /// Directory for flight-recorder anomaly dumps: each shard appends to
+  /// <flight_dir>/flight_shard_<id>.jsonl and the router to
+  /// <flight_dir>/flight_router.jsonl. Empty disables dumps (the rings
+  /// still record).
+  std::string flight_dir;
+  /// Time source for admission token buckets and SLO windows. Defaults to
+  /// steady_clock::now; tests inject a fake clock to replay hours of
+  /// traffic deterministically.
+  std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 /// Routes session-keyed requests across in-process shards. All methods are
@@ -199,6 +218,8 @@ class ShardRouter {
     serve::Health health = serve::Health::kHealthy;
     std::vector<ShardInfo> shards;          // sorted by shard id
     std::vector<AdmissionController::TenantStats> tenants;
+    /// Per-tenant rolling SLIs and burn rates at snapshot time.
+    std::vector<obs::TenantSli> slo;
     uint64_t total_shed = 0;
     uint64_t crashed_shards = 0;            // crashed and not yet restarted
     /// Accepted-request latency percentiles across every shard (merged
@@ -230,6 +251,19 @@ class ShardRouter {
 
   const AdmissionController& admission() const { return admission_; }
   const std::string& checkpoint_path() const { return checkpoint_path_; }
+  /// Per-tenant SLI/burn-rate tracker (time-injected; see
+  /// ShardRouterOptions::clock).
+  const obs::SloTracker& slo() const { return slo_; }
+  /// Router-level flight recorder: requests rejected before reaching a
+  /// shard (unroutable, shed, over quota) as op=Route, shard=-1.
+  const obs::FlightRecorder& router_flight_recorder() const {
+    return router_flight_;
+  }
+
+  /// On-demand black-box dump: appends every shard's flight-recorder ring
+  /// (and the router's) to its configured file, tagged `reason`.
+  /// FailedPrecondition when ShardRouterOptions::flight_dir is unset.
+  Status DumpFlightRecorders(std::string_view reason);
 
  private:
   struct Shard {
@@ -276,11 +310,16 @@ class ShardRouter {
   /// Starts one shard's service. Pre: mutex_ held (startup excepted).
   Result<std::shared_ptr<serve::PredictionService>> StartShard(int shard_id);
 
-  /// Admission + routing: resolves the target service for `session_id`,
+  /// Admission + routing: resolves the target service for ctx.session_id,
   /// creating a pin when `create` is true. Applies the shard-crash fault,
   /// tenant quota, and load shedding.
   Result<std::shared_ptr<serve::PredictionService>> Route(
-      const std::string& tenant, const std::string& session_id, bool create);
+      const obs::RequestContext& ctx, bool create);
+
+  /// Books a request rejected before reaching any shard: SLI error sample,
+  /// router flight record (op=Route), and a "load_shed" anomaly dump when
+  /// the rejection was admission control (ResourceExhausted).
+  void RecordRejection(const obs::RequestContext& ctx, const Status& status);
 
   /// Crash internals shared by CrashShard and the fault hook. Pre: mutex_.
   void CrashShardLocked(int shard_id);
@@ -318,6 +357,19 @@ class ShardRouter {
   ShardRouterOptions options_;
   std::string checkpoint_path_;
   AdmissionController admission_;
+  /// Injected time source (see ShardRouterOptions::clock); read by routing
+  /// admission, SLI samples, and shard on_complete callbacks.
+  std::function<std::chrono::steady_clock::time_point()> clock_;
+  /// Declared before shards_ so worker on_complete callbacks (which record
+  /// SLI samples during a shard's Shutdown drain) never outlive it.
+  /// mutable: recording a sample is observability, not router state.
+  mutable obs::SloTracker slo_;
+  /// Router-level black box for requests that never reached a shard.
+  mutable obs::FlightRecorder router_flight_;
+  /// Clock second of the last "load_shed" anomaly dump — sustained shedding
+  /// is throttled to one ring dump per second (see RecordRejection).
+  mutable std::atomic<int64_t> last_shed_dump_second_{
+      std::numeric_limits<int64_t>::min()};
 
   /// Guards shards_, ring_, crashed_, draining_, migrating_. Held only for
   /// routing bookkeeping and topology changes — never across a model

@@ -8,6 +8,82 @@
 
 namespace cascn::obs {
 
+namespace {
+
+// JSON string escape for metric names in expositions. Names built with
+// EscapeLabelValue contain backslashes and quotes by construction (the
+// label escapes themselves), so the exposition must escape them again or
+// the emitted JSON is unparseable.
+std::string JsonEscapeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Text exposition is line-oriented: a newline inside a name would split one
+// metric across lines. Quotes and backslashes stay as-is — label VALUES are
+// already escaped at name construction (EscapeLabelValue), and the text
+// format reads `name{label="value"}` literally — so only control characters
+// need rendering.
+std::string TextEscapeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\0': break;  // see header: NULs are dropped, not escaped
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\x%02x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 Histogram::Histogram(int num_buckets)
     : num_buckets_(num_buckets),
       buckets_(new std::atomic<uint64_t>[static_cast<size_t>(num_buckets)]) {
@@ -97,6 +173,8 @@ MetricsRegistry& MetricsRegistry::Get() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  CASCN_CHECK(name.find('\0') == std::string::npos)
+      << "metric name contains embedded NUL";
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -104,6 +182,8 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  CASCN_CHECK(name.find('\0') == std::string::npos)
+      << "metric name contains embedded NUL";
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -112,6 +192,8 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          int num_buckets) {
+  CASCN_CHECK(name.find('\0') == std::string::npos)
+      << "metric name contains embedded NUL";
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(num_buckets);
@@ -122,12 +204,13 @@ std::string MetricsRegistry::TextSnapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   for (const auto& [name, counter] : counters_)
-    out << name << " = " << counter->value() << "\n";
+    out << TextEscapeName(name) << " = " << counter->value() << "\n";
   for (const auto& [name, gauge] : gauges_)
-    out << name << " = " << StrFormat("%.6g", gauge->value()) << "\n";
+    out << TextEscapeName(name) << " = " << StrFormat("%.6g", gauge->value())
+        << "\n";
   for (const auto& [name, histogram] : histograms_) {
     const Histogram::Snapshot snap = histogram->TakeSnapshot();
-    out << name
+    out << TextEscapeName(name)
         << StrFormat(
                ": n=%llu mean=%.1f p50~%.0f p90~%.0f p95~%.0f p99~%.0f "
                "max=%llu\n",
@@ -147,21 +230,23 @@ std::string MetricsRegistry::JsonSnapshot() const {
   for (const auto& [name, counter] : counters_) {
     if (!first) out << ", ";
     first = false;
-    out << "\"" << name << "\": " << counter->value();
+    out << "\"" << JsonEscapeName(name) << "\": " << counter->value();
   }
   out << "}, \"gauges\": {";
   first = true;
   for (const auto& [name, gauge] : gauges_) {
     if (!first) out << ", ";
     first = false;
-    out << "\"" << name << "\": " << StrFormat("%.6g", gauge->value());
+    out << "\"" << JsonEscapeName(name)
+        << "\": " << StrFormat("%.6g", gauge->value());
   }
   out << "}, \"histograms\": {";
   first = true;
   for (const auto& [name, histogram] : histograms_) {
     if (!first) out << ", ";
     first = false;
-    out << "\"" << name << "\": " << histogram->TakeSnapshot().ToJson();
+    out << "\"" << JsonEscapeName(name)
+        << "\": " << histogram->TakeSnapshot().ToJson();
   }
   out << "}}";
   return out.str();

@@ -23,9 +23,18 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cascn::obs {
+
+/// Escapes a caller-supplied string for use inside a label value, e.g.
+/// `"cluster_tenant_admitted{tenant=\"" + EscapeLabelValue(tenant) + "\"}"`.
+/// Backslash, double quote, and newline become \\, \", \n (the Prometheus
+/// label escape set); other control characters are hex-escaped as \xNN.
+/// Embedded NUL bytes are dropped — metric names are handled as C-style
+/// strings in enough places that a NUL would silently truncate.
+std::string EscapeLabelValue(std::string_view value);
 
 /// Monotonically increasing event count.
 class Counter {

@@ -1,0 +1,128 @@
+// Per-tenant SLI tracking with multi-window error-budget burn rates.
+//
+// The serving tier promises each tenant an availability/latency SLO (e.g.
+// 99.9% of requests succeed within 50 ms). The SloTracker turns the stream
+// of per-request outcomes into the two numbers an operator pages on:
+//
+//   burn rate = observed error rate / error budget (1 - availability target)
+//
+// computed over a FAST window (default 60 s — catches a sudden outage) and
+// a SLOW window (default 30 min — filters one-off blips). A tenant is
+// "burning" only when BOTH windows exceed their thresholds: the fast window
+// must confirm the problem is happening *now*, the slow window that it has
+// been going on long enough to matter. This is the standard multi-window
+// multi-burn-rate alerting shape (SRE workbook ch. 5), applied here to
+// degrade ClusterHealth before tenants experience hard failure.
+//
+// Time is always injected: every entry point takes an explicit
+// steady_clock::time_point, so tests can replay hours of traffic in
+// microseconds and assert exact burn transitions. Internally each tenant
+// keeps a ring of per-second buckets sized to the slow window; memory is
+// O(tenants * slow_window_seconds) and recording is O(1).
+
+#ifndef CASCN_OBS_SLO_H_
+#define CASCN_OBS_SLO_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cascn::obs {
+
+class MetricsRegistry;
+
+struct SloOptions {
+  /// Fraction of requests that must be "good" (ok status AND within the
+  /// latency threshold). The error budget is 1 - availability_target.
+  double availability_target = 0.999;
+  /// A successful request slower than this still violates the SLI. 0
+  /// disables the latency component (availability only).
+  uint64_t latency_slo_us = 0;
+  int fast_window_seconds = 60;
+  int slow_window_seconds = 1800;
+  /// Burn-rate thresholds; both windows must exceed theirs to flag a
+  /// tenant. The defaults correspond to "exhausting a 30-day budget in
+  /// ~2 days" style paging: fast confirms immediacy, slow persistence.
+  double fast_burn_threshold = 14.0;
+  double slow_burn_threshold = 1.0;
+};
+
+/// One tenant's SLI snapshot at a point in time.
+struct TenantSli {
+  std::string tenant;
+  uint64_t fast_total = 0;
+  uint64_t fast_good = 0;
+  uint64_t slow_total = 0;
+  uint64_t slow_good = 0;
+  double fast_availability = 1.0;
+  double slow_availability = 1.0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  /// True when both windows' burn rates exceed their thresholds.
+  bool burning = false;
+};
+
+/// Rolling-window per-tenant SLI/burn-rate tracker. Thread-safe.
+class SloTracker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit SloTracker(SloOptions options = {});
+
+  const SloOptions& options() const { return options_; }
+
+  /// Records one terminal request outcome for `tenant` at time `now`.
+  /// `ok` is whether the request succeeded; a success slower than
+  /// latency_slo_us (when set) still counts against the SLI.
+  void RecordRequest(std::string_view tenant, TimePoint now, bool ok,
+                     uint64_t latency_us);
+
+  /// Current SLIs for every tenant ever recorded, sorted by tenant name.
+  std::vector<TenantSli> Snapshot(TimePoint now) const;
+
+  /// True when any tenant is burning at `now` (see TenantSli::burning).
+  bool AnyTenantBurning(TimePoint now) const;
+
+  /// Exports per-tenant gauges: slo_fast_burn{tenant=...},
+  /// slo_slow_burn{tenant=...}, slo_fast_availability{tenant=...},
+  /// slo_slow_availability{tenant=...}, slo_burning{tenant=...} (0/1).
+  /// Tenant labels are escaped via EscapeLabelValue.
+  void ExportToRegistry(MetricsRegistry& registry, TimePoint now) const;
+
+ private:
+  struct Bucket {
+    int64_t second = -1;  // absolute second this bucket currently holds
+    uint64_t total = 0;
+    uint64_t good = 0;
+  };
+  struct TenantState {
+    std::vector<Bucket> ring;  // slot = second % slow_window_seconds
+  };
+  struct WindowSums {
+    uint64_t total = 0;
+    uint64_t good = 0;
+  };
+
+  static int64_t ToSecond(TimePoint t) {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               t.time_since_epoch())
+        .count();
+  }
+
+  WindowSums SumWindow(const TenantState& state, int64_t now_second,
+                       int window_seconds) const;
+  TenantSli MakeSli(const std::string& tenant, const TenantState& state,
+                    int64_t now_second) const;
+
+  const SloOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantState, std::less<>> tenants_;
+};
+
+}  // namespace cascn::obs
+
+#endif  // CASCN_OBS_SLO_H_

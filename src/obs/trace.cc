@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/metrics_registry.h"
 
 namespace cascn::obs {
 
@@ -35,23 +36,32 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   return *tls_buffer_;
 }
 
-void Tracer::Record(const char* name, uint64_t start_ns,
-                    uint64_t duration_ns) {
+void Tracer::Record(const TraceEvent& event) {
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mutex);
-  const TraceEvent event{name, start_ns, duration_ns};
-  if (buffer.ring.size() < kRingCapacity) {
-    buffer.ring.push_back(event);
-  } else {
-    buffer.ring[buffer.next] = event;
-    buffer.next = (buffer.next + 1) % kRingCapacity;
-    buffer.wrapped = true;
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.ring.size() < kRingCapacity) {
+      buffer.ring.push_back(event);
+    } else {
+      buffer.ring[buffer.next] = event;
+      buffer.next = (buffer.next + 1) % kRingCapacity;
+      buffer.wrapped = true;
+      overwrote = true;
+    }
+  }
+  if (overwrote) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Resolved lazily (not in the Tracer ctor) to avoid an initialization
+    // cycle between the two leaked singletons; GetCounter is idempotent.
+    MetricsRegistry::Get().GetCounter("trace_spans_dropped").Increment();
   }
 }
 
 void Tracer::RecordSpan(const char* name,
                         std::chrono::steady_clock::time_point start,
-                        std::chrono::steady_clock::time_point end) {
+                        std::chrono::steady_clock::time_point end,
+                        uint64_t trace_id, SpanFlow flow) {
   if (!enabled()) return;
   if (end < start) end = start;
   if (start < epoch_) start = epoch_;  // spans begun before tracer init
@@ -59,8 +69,9 @@ void Tracer::RecordSpan(const char* name,
       std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_);
   const auto duration_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
-  Record(name, static_cast<uint64_t>(start_ns.count()),
-         static_cast<uint64_t>(duration_ns.count()));
+  Record(TraceEvent{name, static_cast<uint64_t>(start_ns.count()),
+                    static_cast<uint64_t>(duration_ns.count()), trace_id,
+                    flow});
 }
 
 void Tracer::Clear() {
@@ -71,6 +82,7 @@ void Tracer::Clear() {
     buffer->next = 0;
     buffer->wrapped = false;
   }
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 size_t Tracer::event_count() const {
@@ -98,25 +110,56 @@ std::string Tracer::ToChromeTraceJson() const {
         events.push_back({event, buffer->tid});
     }
   }
+  const uint64_t dropped = dropped_.load(std::memory_order_relaxed);
   std::sort(events.begin(), events.end(),
             [](const Flat& a, const Flat& b) {
               return a.event.start_ns < b.event.start_ns;
             });
 
   std::ostringstream out;
-  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  out << StrFormat(
+      "{\"displayTimeUnit\": \"ms\", \"spans_dropped\": %llu, "
+      "\"traceEvents\": [",
+      static_cast<unsigned long long>(dropped));
   bool first = true;
   for (const Flat& flat : events) {
     if (!first) out << ",";
     first = false;
+    const double ts_us = static_cast<double>(flat.event.start_ns) / 1000.0;
+    const double dur_us =
+        static_cast<double>(flat.event.duration_ns) / 1000.0;
     // Chrome trace "complete" events; ts/dur are microseconds (fractional
-    // keeps the original nanosecond precision).
-    out << StrFormat(
-        "\n{\"name\": \"%s\", \"cat\": \"cascn\", \"ph\": \"X\", "
-        "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
-        flat.event.name, flat.tid,
-        static_cast<double>(flat.event.start_ns) / 1000.0,
-        static_cast<double>(flat.event.duration_ns) / 1000.0);
+    // keeps the original nanosecond precision). Request-scoped spans carry
+    // the trace id as an arg for selection/search in the viewer.
+    if (flat.event.trace_id != 0) {
+      out << StrFormat(
+          "\n{\"name\": \"%s\", \"cat\": \"cascn\", \"ph\": \"X\", "
+          "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, "
+          "\"args\": {\"trace_id\": \"%llx\"}}",
+          flat.event.name, flat.tid, ts_us, dur_us,
+          static_cast<unsigned long long>(flat.event.trace_id));
+    } else {
+      out << StrFormat(
+          "\n{\"name\": \"%s\", \"cat\": \"cascn\", \"ph\": \"X\", "
+          "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+          flat.event.name, flat.tid, ts_us, dur_us);
+    }
+    // Matching flow event: same name/tid, timestamp inside the span so the
+    // viewer binds the arrow to this slice. "s" starts the chain on the
+    // submitting thread, "t" steps through intermediate hops, "f" (with
+    // bp:"e") terminates it on the executing thread; all keyed by trace id.
+    if (flat.event.trace_id != 0 && flat.event.flow != SpanFlow::kNone) {
+      const char* ph = flat.event.flow == SpanFlow::kOut   ? "s"
+                       : flat.event.flow == SpanFlow::kStep ? "t"
+                                                            : "f";
+      out << StrFormat(
+          "\n,{\"name\": \"request\", \"cat\": \"cascn.flow\", "
+          "\"ph\": \"%s\", \"id\": \"%llx\", \"pid\": 1, \"tid\": %d, "
+          "\"ts\": %.3f%s}",
+          ph, static_cast<unsigned long long>(flat.event.trace_id),
+          flat.tid, ts_us,
+          flat.event.flow == SpanFlow::kIn ? ", \"bp\": \"e\"" : "");
+    }
   }
   out << "\n]}\n";
   return out.str();

@@ -14,6 +14,20 @@
 // production. Enable at runtime with `Tracer::Get().Enable()` or by setting
 // the CASCN_TRACE environment variable to anything but "0" before startup.
 //
+// Request-scoped spans: a span can carry a 64-bit trace id (see
+// obs/request_context.h) plus a flow role. Spans with a flow role are
+// additionally serialized as Chrome flow events ("s" start, "t" step, "f"
+// finish) keyed on the trace id, which chrome://tracing renders as arrows
+// linking one request's spans ACROSS THREADS — the enqueue on a client
+// thread, the queue wait and execution on a worker, a retry on a different
+// shard. Select one request in the UI and its whole path lights up.
+//
+// Overflow accounting: each per-thread ring is bounded; when it wraps, the
+// overwritten spans are counted (never silently lost). The total is
+// exported as the `trace_spans_dropped` counter in the global
+// MetricsRegistry and embedded in the trace JSON metadata, so a truncated
+// trace is self-describing.
+//
 // Span names must be string literals (or otherwise outlive the tracer):
 // recording stores the pointer, never a copy, to keep the hot path
 // allocation-free.
@@ -33,11 +47,22 @@
 
 namespace cascn::obs {
 
+/// How a span participates in its request's cross-thread flow chain.
+/// Serialized as Chrome flow events alongside the span's "X" event.
+enum class SpanFlow : uint8_t {
+  kNone = 0,  // plain span; no flow event
+  kOut = 1,   // hands the request off (emits "s" — flow starts here)
+  kStep = 2,  // intermediate hop (emits "t" — flow passes through)
+  kIn = 3,    // receives the request (emits "f" — flow ends here)
+};
+
 /// One completed span, times in nanoseconds since the tracer's epoch.
 struct TraceEvent {
   const char* name = nullptr;
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
+  uint64_t trace_id = 0;  // 0 = not request-scoped
+  SpanFlow flow = SpanFlow::kNone;
 };
 
 /// Process-global span collector. All methods are thread-safe.
@@ -54,11 +79,19 @@ class Tracer {
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Drops every recorded event (thread buffers stay registered).
+  /// Drops every recorded event (thread buffers stay registered) and
+  /// resets the dropped-span count.
   void Clear();
 
   /// Total events currently retained across all threads.
   size_t event_count() const;
+
+  /// Spans overwritten by ring wrap since the last Clear(). Also exported
+  /// as the `trace_spans_dropped` counter in MetricsRegistry::Get() and in
+  /// the trace JSON metadata.
+  uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Records a completed span with explicit endpoints. Used for durations
   /// whose begin and end happen on different threads (e.g. queue wait:
@@ -66,9 +99,21 @@ class Tracer {
   /// the calling thread's buffer. No-op while disabled.
   void RecordSpan(const char* name,
                   std::chrono::steady_clock::time_point start,
-                  std::chrono::steady_clock::time_point end);
+                  std::chrono::steady_clock::time_point end) {
+    RecordSpan(name, start, end, /*trace_id=*/0, SpanFlow::kNone);
+  }
 
-  /// Chrome trace-event JSON ("traceEvents" array of complete "X" events).
+  /// Request-scoped variant: the span carries `trace_id` and, when `flow`
+  /// is not kNone, is serialized with the matching Chrome flow event so
+  /// cross-thread hops of one request link up in the viewer.
+  void RecordSpan(const char* name,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end,
+                  uint64_t trace_id, SpanFlow flow);
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete "X" events,
+  /// plus "s"/"t"/"f" flow events for request-scoped spans and a
+  /// "spans_dropped" metadata field).
   std::string ToChromeTraceJson() const;
 
   /// Writes ToChromeTraceJson() to `path`.
@@ -93,7 +138,7 @@ class Tracer {
 
   /// The calling thread's buffer, registered on first use.
   ThreadBuffer& LocalBuffer();
-  void Record(const char* name, uint64_t start_ns, uint64_t duration_ns);
+  void Record(const TraceEvent& event);
 
   // Each thread holds a shared_ptr so its buffer outlives thread exit (the
   // registry keeps the other reference; the serializer may still read it).
@@ -102,22 +147,30 @@ class Tracer {
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
   std::atomic<int> next_tid_{1};
+  std::atomic<uint64_t> dropped_{0};
   mutable std::mutex buffers_mutex_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };
 
 /// RAII span: measures construction-to-destruction on the current thread.
-/// Prefer the CASCN_TRACE_SPAN macro.
+/// Prefer the CASCN_TRACE_SPAN / CASCN_TRACE_SPAN_ID macros.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name)
-      : name_(name), active_(Tracer::Get().enabled()) {
+      : ScopedSpan(name, /*trace_id=*/0, SpanFlow::kNone) {}
+  ScopedSpan(const char* name, uint64_t trace_id,
+             SpanFlow flow = SpanFlow::kNone)
+      : name_(name),
+        trace_id_(trace_id),
+        flow_(flow),
+        active_(Tracer::Get().enabled()) {
     if (active_) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedSpan() {
     if (active_)
       Tracer::Get().RecordSpan(name_, start_,
-                               std::chrono::steady_clock::now());
+                               std::chrono::steady_clock::now(), trace_id_,
+                               flow_);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -125,6 +178,8 @@ class ScopedSpan {
 
  private:
   const char* name_;
+  uint64_t trace_id_;
+  SpanFlow flow_;
   bool active_;
   std::chrono::steady_clock::time_point start_;
 };
@@ -138,5 +193,10 @@ class ScopedSpan {
 #define CASCN_TRACE_SPAN(name)    \
   ::cascn::obs::ScopedSpan CASCN_OBS_CONCAT_(cascn_trace_span_, \
                                              __LINE__)(name)
+
+/// Request-scoped variant: the span carries `trace_id` and a flow role.
+#define CASCN_TRACE_SPAN_ID(name, trace_id, flow)                   \
+  ::cascn::obs::ScopedSpan CASCN_OBS_CONCAT_(cascn_trace_span_,     \
+                                             __LINE__)(name, trace_id, flow)
 
 #endif  // CASCN_OBS_TRACE_H_

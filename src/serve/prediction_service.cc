@@ -21,6 +21,8 @@ PredictionService::PredictionService(const ServiceOptions& options)
   CASCN_CHECK(options.num_workers >= 1);
   CASCN_CHECK(options.queue_capacity >= 1);
   CASCN_CHECK(options.max_batch >= 1);
+  if (!options.flight_dump_path.empty())
+    flight_.SetDumpPath(options.flight_dump_path);
   sessions_ = std::make_unique<SessionManager>(options.sessions, &metrics_);
 }
 
@@ -99,6 +101,7 @@ Status PredictionService::ReloadCheckpoint(const std::string& checkpoint_path) {
                          << " failed (replica " << i
                          << "); keeping the current version serving: "
                          << model.status();
+      flight_.TriggerDump("reload_rollback");
       return model.status();
     }
     fresh.push_back(std::move(model).value());
@@ -152,7 +155,9 @@ void PredictionService::Shutdown() {
     response.status = Status::Unavailable(
         "service shut down before executing this request (drained from "
         "queue by Shutdown)");
+    response.trace_id = request.ctx.trace_id;
     metrics_.Increment(Counter::kShutdownDrained);
+    RecordOutcome(request, response.status, 0, 0, 0);
     request.promise.set_value(std::move(response));
   }
   metrics_.SetHealth(Health::kUnhealthy);
@@ -163,9 +168,42 @@ void PredictionService::Shutdown() {
   shutdown_cv_.notify_all();
 }
 
+void PredictionService::RecordOutcome(const Request& request,
+                                      const Status& status,
+                                      uint64_t queue_wait_ns,
+                                      uint64_t exec_ns,
+                                      uint16_t fault_bits) {
+  obs::FlightRecord record;
+  record.trace_id = request.ctx.trace_id;
+  record.queue_wait_ns = queue_wait_ns;
+  record.exec_ns = exec_ns;
+  record.shard_id = static_cast<int16_t>(options_.shard_id);
+  switch (request.type) {
+    case RequestType::kCreate: record.op = obs::FlightOp::kCreate; break;
+    case RequestType::kAppend: record.op = obs::FlightOp::kAppend; break;
+    case RequestType::kPredict: record.op = obs::FlightOp::kPredict; break;
+    case RequestType::kClose: record.op = obs::FlightOp::kClose; break;
+  }
+  record.status = static_cast<uint8_t>(status.code());
+  record.fault_bits = fault_bits;
+  record.set_tenant(request.ctx.tenant);
+  record.set_session(request.session_id);
+  flight_.Append(record);
+  if (options_.on_complete)
+    options_.on_complete(request.ctx, status, exec_ns / 1000);
+}
+
 Result<std::future<ServeResponse>> PredictionService::Enqueue(
     Request request) {
-  CASCN_TRACE_SPAN("serve_enqueue");
+  // Every request carries a context from here on: the flight recorder and
+  // SLI attribution need a trace id even when the caller (a bare service
+  // user, not the cluster router) did not mint one.
+  if (!request.ctx.valid()) {
+    request.ctx.trace_id = obs::NewTraceId();
+    request.ctx.session_id = request.session_id;
+  }
+  CASCN_TRACE_SPAN_ID("serve_enqueue", request.ctx.trace_id,
+                      obs::SpanFlow::kOut);
   std::future<ServeResponse> future = request.promise.get_future();
   request.enqueue_time = std::chrono::steady_clock::now();
   const double deadline_ms = request.deadline_ms > 0.0
@@ -180,14 +218,20 @@ Result<std::future<ServeResponse>> PredictionService::Enqueue(
         std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1000.0));
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::unique_lock<std::mutex> lock(queue_mutex_);
     if (shutting_down_) {
       metrics_.Increment(Counter::kRequestsRejected);
-      return Status::Unavailable("service is shutting down");
+      lock.unlock();
+      const Status status = Status::Unavailable("service is shutting down");
+      RecordOutcome(request, status, 0, 0, 0);
+      return status;
     }
     if (queue_.size() >= options_.queue_capacity) {
       metrics_.Increment(Counter::kRequestsRejected);
-      return Status::Unavailable("request queue is full");
+      lock.unlock();
+      const Status status = Status::Unavailable("request queue is full");
+      RecordOutcome(request, status, 0, 0, 0);
+      return status;
     }
     queue_.push_back(std::move(request));
     metrics_.Increment(Counter::kRequestsTotal);
@@ -238,6 +282,52 @@ Result<std::future<ServeResponse>> PredictionService::SubmitClose(
   return Enqueue(std::move(r));
 }
 
+Result<std::future<ServeResponse>> PredictionService::SubmitCreate(
+    obs::RequestContext ctx, std::string session_id, int root_user,
+    double deadline_ms) {
+  Request r;
+  r.type = RequestType::kCreate;
+  r.ctx = std::move(ctx);
+  r.session_id = std::move(session_id);
+  r.user = root_user;
+  r.deadline_ms = deadline_ms;
+  return Enqueue(std::move(r));
+}
+
+Result<std::future<ServeResponse>> PredictionService::SubmitAppend(
+    obs::RequestContext ctx, std::string session_id, int user,
+    int parent_node, double time, double deadline_ms) {
+  Request r;
+  r.type = RequestType::kAppend;
+  r.ctx = std::move(ctx);
+  r.session_id = std::move(session_id);
+  r.user = user;
+  r.parent_node = parent_node;
+  r.time = time;
+  r.deadline_ms = deadline_ms;
+  return Enqueue(std::move(r));
+}
+
+Result<std::future<ServeResponse>> PredictionService::SubmitPredict(
+    obs::RequestContext ctx, std::string session_id, double deadline_ms) {
+  Request r;
+  r.type = RequestType::kPredict;
+  r.ctx = std::move(ctx);
+  r.session_id = std::move(session_id);
+  r.deadline_ms = deadline_ms;
+  return Enqueue(std::move(r));
+}
+
+Result<std::future<ServeResponse>> PredictionService::SubmitClose(
+    obs::RequestContext ctx, std::string session_id, double deadline_ms) {
+  Request r;
+  r.type = RequestType::kClose;
+  r.ctx = std::move(ctx);
+  r.session_id = std::move(session_id);
+  r.deadline_ms = deadline_ms;
+  return Enqueue(std::move(r));
+}
+
 namespace {
 
 ServeResponse WaitOrReject(Result<std::future<ServeResponse>> submitted) {
@@ -271,7 +361,8 @@ ServeResponse PredictionService::CallClose(std::string session_id) {
 }
 
 ServeResponse PredictionService::Execute(const Request& request,
-                                         CascadeRegressor& model) {
+                                         CascadeRegressor& model,
+                                         uint16_t* fault_bits) {
   const char* span_name = "serve_request";
   switch (request.type) {
     case RequestType::kCreate:
@@ -287,7 +378,9 @@ ServeResponse PredictionService::Execute(const Request& request,
       span_name = "serve_close";
       break;
   }
-  CASCN_TRACE_SPAN(span_name);
+  // The execute span terminates the request's cross-thread flow chain
+  // started by serve_enqueue (and stepped by serve_queue_wait).
+  CASCN_TRACE_SPAN_ID(span_name, request.ctx.trace_id, obs::SpanFlow::kIn);
   ServeResponse response;
   switch (request.type) {
     case RequestType::kCreate:
@@ -298,9 +391,12 @@ ServeResponse PredictionService::Execute(const Request& request,
                                           request.parent_node, request.time);
       break;
     case RequestType::kPredict: {
-      fault::MaybeDelay(kFaultServeSlowPredict);
-      if (!options_.extra_predict_fault_point.empty())
-        fault::MaybeDelay(options_.extra_predict_fault_point);
+      if (fault::MaybeDelay(kFaultServeSlowPredict) && fault_bits != nullptr)
+        *fault_bits |= obs::kFaultBitSlowPredict;
+      if (!options_.extra_predict_fault_point.empty() &&
+          fault::MaybeDelay(options_.extra_predict_fault_point) &&
+          fault_bits != nullptr)
+        *fault_bits |= obs::kFaultBitExtraPredict;
       auto prediction = sessions_->PredictLog(request.session_id, model);
       if (prediction.ok()) {
         response.log_prediction = prediction.value();
@@ -347,9 +443,12 @@ void PredictionService::WorkerLoop(int worker_index) {
     const auto dequeue_time = std::chrono::steady_clock::now();
     obs::Tracer& tracer = obs::Tracer::Get();
     if (tracer.enabled()) {
+      // Queue-wait spans land in the worker's buffer and step the request's
+      // flow chain: enqueue (client thread) -> queue wait -> execute (here).
       for (const Request& request : batch)
         tracer.RecordSpan("serve_queue_wait", request.enqueue_time,
-                          dequeue_time);
+                          dequeue_time, request.ctx.trace_id,
+                          obs::SpanFlow::kStep);
     }
     batch_size_.Record(batch.size());
     CASCN_TRACE_SPAN("serve_batch");
@@ -364,6 +463,12 @@ void PredictionService::WorkerLoop(int worker_index) {
     std::unordered_map<std::string, ServeResponse> predict_memo;
     for (Request& request : batch) {
       const auto start = std::chrono::steady_clock::now();
+      const uint64_t queue_wait_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              dequeue_time - request.enqueue_time)
+              .count());
+      uint16_t fault_bits = 0;
+      bool deadline_exceeded = false;
       ServeResponse response;
       if (request.has_deadline && start > request.deadline) {
         // Fail fast: the caller has already given up; executing now would
@@ -373,6 +478,7 @@ void PredictionService::WorkerLoop(int worker_index) {
             request.session_id);
         metrics_.Increment(Counter::kDeadlineExceeded);
         metrics_.Increment(Counter::kErrors);
+        deadline_exceeded = true;
       } else if (request.type == RequestType::kPredict) {
         auto memo = predict_memo.find(request.session_id);
         if (memo != predict_memo.end()) {
@@ -380,11 +486,11 @@ void PredictionService::WorkerLoop(int worker_index) {
           metrics_.Increment(Counter::kPredictions);
           metrics_.Increment(Counter::kPredictionCacheHits);
         } else {
-          response = Execute(request, *model);
+          response = Execute(request, *model, &fault_bits);
           predict_memo.emplace(request.session_id, response);
         }
       } else {
-        response = Execute(request, *model);
+        response = Execute(request, *model, &fault_bits);
         // Any mutation (create/append/close) changes what a predict for
         // this session should observe: drop the memo entry.
         predict_memo.erase(request.session_id);
@@ -392,6 +498,13 @@ void PredictionService::WorkerLoop(int worker_index) {
       const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start);
       metrics_.RecordLatencyMicros(static_cast<uint64_t>(elapsed.count()));
+      response.trace_id = request.ctx.trace_id;
+      // Record before fulfilling the promise so a caller that waits on the
+      // future observes the flight record (and any anomaly dump) already
+      // written.
+      RecordOutcome(request, response.status, queue_wait_ns,
+                    static_cast<uint64_t>(elapsed.count()) * 1000, fault_bits);
+      if (deadline_exceeded) flight_.TriggerDump("deadline_exceeded");
       request.promise.set_value(std::move(response));
     }
   }

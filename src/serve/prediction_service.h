@@ -45,7 +45,9 @@
 #include "common/result.h"
 #include "core/regressor.h"
 #include "parallel/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/request_context.h"
 #include "serve/metrics.h"
 #include "serve/session_manager.h"
 
@@ -72,6 +74,20 @@ struct ServiceOptions {
   /// sets this to a shard-scoped name ("cluster.slow_shard.<id>") so chaos
   /// runs can slow one shard without touching the others.
   std::string extra_predict_fault_point;
+  /// Stamped into every flight-recorder record; -1 = unsharded service.
+  int shard_id = -1;
+  /// File the flight recorder appends anomaly dumps to (deadline exceeded,
+  /// reload rollback); empty disables anomaly dumps (the ring still runs).
+  std::string flight_dump_path;
+  /// Invoked once per terminal request outcome — worker completion, enqueue
+  /// rejection, or shutdown drain — with the request's context, terminal
+  /// status, and execution latency (0 for requests never executed). The
+  /// cluster layer feeds per-tenant SLIs from this. May be called from
+  /// worker threads and from Shutdown(); must not call back into the
+  /// service and must outlive it.
+  std::function<void(const obs::RequestContext&, const Status&,
+                     uint64_t latency_us)>
+      on_complete;
   SessionManagerOptions sessions;
 };
 
@@ -85,6 +101,11 @@ struct ServeResponse {
   Status status;
   double log_prediction = 0.0;
   double count_prediction = 0.0;
+  /// Trace id the request executed under (minted at submit when the caller
+  /// did not provide a RequestContext); correlates the response with spans
+  /// in the Chrome trace and flight-recorder records. 0 only for requests
+  /// rejected before a context existed.
+  uint64_t trace_id = 0;
 };
 
 /// Multi-threaded, in-process cascade prediction service.
@@ -126,6 +147,26 @@ class PredictionService {
   Result<std::future<ServeResponse>> SubmitClose(std::string session_id,
                                                  double deadline_ms = 0.0);
 
+  /// Context-carrying variants: the request is traced, flight-recorded, and
+  /// SLI-attributed under `ctx` (trace id, tenant) instead of a context
+  /// minted at enqueue. The cluster router mints one context per request at
+  /// the edge and passes it down through these.
+  Result<std::future<ServeResponse>> SubmitCreate(obs::RequestContext ctx,
+                                                  std::string session_id,
+                                                  int root_user,
+                                                  double deadline_ms = 0.0);
+  Result<std::future<ServeResponse>> SubmitAppend(obs::RequestContext ctx,
+                                                  std::string session_id,
+                                                  int user, int parent_node,
+                                                  double time,
+                                                  double deadline_ms = 0.0);
+  Result<std::future<ServeResponse>> SubmitPredict(obs::RequestContext ctx,
+                                                   std::string session_id,
+                                                   double deadline_ms = 0.0);
+  Result<std::future<ServeResponse>> SubmitClose(obs::RequestContext ctx,
+                                                 std::string session_id,
+                                                 double deadline_ms = 0.0);
+
   /// Blocking conveniences (submit + wait).
   ServeResponse CallCreate(std::string session_id, int root_user);
   ServeResponse CallAppend(std::string session_id, int user, int parent_node,
@@ -150,6 +191,10 @@ class PredictionService {
   void Shutdown();
 
   const ServeMetrics& metrics() const { return metrics_; }
+  /// Always-on black box of recent request records; dumps on anomaly
+  /// triggers when ServiceOptions::flight_dump_path is set, and on demand.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  obs::FlightRecorder& flight_recorder() { return flight_; }
   /// Service-local observability registry: `serve_queue_depth` gauge and
   /// `serve_batch_size` histogram, maintained live by the workers. Bridge
   /// the ServeMetrics snapshot in with serve::ExportToRegistry() for one
@@ -170,6 +215,7 @@ class PredictionService {
 
   struct Request {
     RequestType type;
+    obs::RequestContext ctx;
     std::string session_id;
     int user = 0;
     int parent_node = 0;
@@ -195,11 +241,20 @@ class PredictionService {
       ServeMetrics* metrics);
 
   Result<std::future<ServeResponse>> Enqueue(Request request);
-  ServeResponse Execute(const Request& request, CascadeRegressor& model);
+  /// `fault_bits` (may be null) accumulates FlightFault bits for the fault
+  /// points that fired while executing this request.
+  ServeResponse Execute(const Request& request, CascadeRegressor& model,
+                        uint16_t* fault_bits);
   void WorkerLoop(int worker_index);
+  /// Appends the request's flight record and reports the terminal outcome
+  /// through ServiceOptions::on_complete.
+  void RecordOutcome(const Request& request, const Status& status,
+                     uint64_t queue_wait_ns, uint64_t exec_ns,
+                     uint16_t fault_bits);
 
   ServiceOptions options_;
   ServeMetrics metrics_;
+  obs::FlightRecorder flight_;
   obs::MetricsRegistry registry_;
   obs::Gauge& queue_depth_;        // owned by registry_
   obs::Histogram& batch_size_;     // owned by registry_

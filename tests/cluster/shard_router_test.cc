@@ -4,9 +4,13 @@
 
 #include "cluster/shard_router.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,8 +18,10 @@
 
 #include "../testing/test_data.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "core/cascn_model.h"
 #include "fault/fault.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 
 namespace cascn::cluster {
@@ -428,6 +434,204 @@ TEST_F(ShardRouterTest, DoomedRequestsDoNotConsumeTenantQuota) {
               StatusCode::kUnavailable);
   // The surviving token still admits real work.
   EXPECT_TRUE(router->CallCreate("t", "b", 2).status.ok());
+}
+
+// Satellite: the cluster's merged latency percentiles must equal the
+// percentiles computed from the UNION of the per-shard log2 histograms —
+// same buckets, same count, same observed max — not an average of per-shard
+// percentiles (which would be wrong whenever shard loads differ).
+TEST_F(ShardRouterTest, SnapshotMergesLatencyHistogramsAsTheirUnion) {
+  auto router = MakeRouter(Options(3));
+  BuildSessions(
+      24,
+      [&](const std::string& id, int u) { return router->CallCreate("", id, u); },
+      [&](const std::string& id, int u, int p, double t) {
+        return router->CallAppend("", id, u, p, t);
+      });
+  for (int i = 0; i < 24; ++i)
+    ASSERT_TRUE(
+        router->CallPredict("", "sess-" + std::to_string(i)).status.ok());
+
+  const auto snap = router->TakeSnapshot();
+  obs::Histogram::Snapshot merged;
+  merged.buckets.assign(serve::ServeMetrics::kNumLatencyBuckets, 0);
+  for (const auto& shard : snap.shards) {
+    ASSERT_TRUE(shard.active);
+    // Every shard served something, so the merge is a real 3-way union.
+    ASSERT_GT(shard.metrics.latency_count, 0u) << shard.shard_id;
+    for (size_t b = 0; b < merged.buckets.size(); ++b)
+      merged.buckets[b] += shard.metrics.latency_buckets[b];
+    merged.count += shard.metrics.latency_count;
+    merged.max = std::max(merged.max, shard.metrics.latency_max_us);
+  }
+  EXPECT_EQ(snap.latency_count, merged.count);
+  EXPECT_EQ(snap.latency_p50_us, merged.Percentile(0.50));
+  EXPECT_EQ(snap.latency_p95_us, merged.Percentile(0.95));
+  EXPECT_EQ(snap.latency_p99_us, merged.Percentile(0.99));
+  // Percentiles are ordered and clamped by the union's max.
+  EXPECT_LE(snap.latency_p50_us, snap.latency_p95_us);
+  EXPECT_LE(snap.latency_p95_us, snap.latency_p99_us);
+  EXPECT_LE(snap.latency_p99_us, static_cast<double>(merged.max));
+}
+
+// Acceptance: one request's spans share a trace id and are linked by flow
+// events across at least two threads (submitter + shard worker).
+TEST_F(ShardRouterTest, TraceIdLinksSpansAcrossThreadsViaFlowEvents) {
+  obs::Tracer::Get().Clear();
+  obs::Tracer::Get().Enable();
+  auto router = MakeRouter(Options(3));
+  ASSERT_TRUE(router->CallCreate("acme", "traced", 1).status.ok());
+  auto submitted = router->SubmitPredict("acme", "traced");
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  const ServeResponse r = submitted.value().get();
+  obs::Tracer::Get().Disable();
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  ASSERT_NE(r.trace_id, 0u) << "response must echo the request's trace id";
+
+  const std::string hex =
+      StrFormat("%llx", static_cast<unsigned long long>(r.trace_id));
+  const std::string json = obs::Tracer::Get().ToChromeTraceJson();
+  obs::Tracer::Get().Clear();
+
+  // Walk the one-event-per-line serialization: collect the tids of X spans
+  // carrying this trace id, and the flow phases keyed by it.
+  std::set<int> span_tids;
+  std::set<std::string> flow_phases;
+  std::set<int> flow_tids;
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const bool is_span =
+        line.find("\"trace_id\": \"" + hex + "\"") != std::string::npos;
+    const bool is_flow =
+        line.find("\"id\": \"" + hex + "\"") != std::string::npos;
+    if (!is_span && !is_flow) continue;
+    const size_t tid_pos = line.find("\"tid\": ");
+    ASSERT_NE(tid_pos, std::string::npos) << line;
+    const int tid = std::atoi(line.c_str() + tid_pos + 7);
+    if (is_span) span_tids.insert(tid);
+    if (is_flow) {
+      const size_t ph_pos = line.find("\"ph\": \"");
+      ASSERT_NE(ph_pos, std::string::npos) << line;
+      flow_phases.insert(line.substr(ph_pos + 7, 1));
+      flow_tids.insert(tid);
+    }
+  }
+  EXPECT_GE(span_tids.size(), 2u)
+      << "request spans must land on >= 2 threads";
+  // The flow chain starts on the submitting thread ("s"), steps through the
+  // queue hop ("t"), and finishes on the worker ("f") — so chrome://tracing
+  // draws one arrow through the whole request.
+  EXPECT_TRUE(flow_phases.count("s")) << json;
+  EXPECT_TRUE(flow_phases.count("t")) << json;
+  EXPECT_TRUE(flow_phases.count("f")) << json;
+  EXPECT_GE(flow_tids.size(), 2u) << "flow must cross threads";
+}
+
+// Acceptance: a fault-injected deadline miss triggers a flight-recorder
+// dump whose records include the doomed request's trace id.
+TEST_F(ShardRouterTest, DeadlineExceededTriggersFlightDumpWithTraceId) {
+  ShardRouterOptions options = Options(1);
+  options.shard.num_workers = 1;
+  options.flight_dir = ::testing::TempDir();
+  const std::string dump_path = options.flight_dir + "/flight_shard_0.jsonl";
+  std::remove(dump_path.c_str());
+  auto router = MakeRouter(options);
+  ASSERT_TRUE(router->CallCreate("acme", "doomed", 1).status.ok());
+
+  // Every predict stalls 80 ms; the first occupies the lone worker, so the
+  // second — carrying a 5 ms deadline — expires in the queue.
+  ASSERT_TRUE(fault::FaultRegistry::Get()
+                  .Configure(std::string(serve::kFaultServeSlowPredict) +
+                             "=always@80")
+                  .ok());
+  auto blocker = router->SubmitPredict("acme", "doomed");
+  ASSERT_TRUE(blocker.ok()) << blocker.status();
+  auto doomed = router->SubmitPredict("acme", "doomed", /*deadline_ms=*/5.0);
+  ASSERT_TRUE(doomed.ok()) << doomed.status();
+  const ServeResponse r = doomed.value().get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded) << r.status;
+  ASSERT_NE(r.trace_id, 0u);
+  (void)blocker.value().get();
+
+  // The worker dumped the shard's ring before fulfilling the promise, so
+  // the file is already complete here.
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "expected anomaly dump at " << dump_path;
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string dump = content.str();
+  EXPECT_NE(dump.find("\"reason\": \"deadline_exceeded\""),
+            std::string::npos);
+  EXPECT_NE(dump.find(StrFormat(
+                "\"trace_id\": \"%llx\"",
+                static_cast<unsigned long long>(r.trace_id))),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"status\": \"DeadlineExceeded\""), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+// Acceptance: a deterministic over-quota scenario (fake clock) drives one
+// tenant's burn rate over both window thresholds; ClusterHealth degrades
+// while the well-behaved tenant's SLIs stay green.
+TEST_F(ShardRouterTest, SustainedOverQuotaBurnDegradesHealthPerTenant) {
+  ShardRouterOptions options = Options(2);
+  options.admission.tokens_per_second = 1.0;  // 1 request/second sustained
+  options.admission.burst = 2.0;
+  options.slo.fast_window_seconds = 60;
+  options.slo.slow_window_seconds = 120;
+  std::atomic<int64_t> fake_second{1'000'000};
+  options.clock = [&fake_second] {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::seconds(fake_second.load()));
+  };
+  auto router = MakeRouter(options);
+  EXPECT_EQ(router->ClusterHealth(), Health::kHealthy);
+
+  // Two minutes of injected time: "calm" sends 1 rps (inside quota, all
+  // good); "noisy" sends 20 rps against a 1 rps quota, so ~95% of its
+  // requests reject with ResourceExhausted — an SLI error every time.
+  for (int s = 0; s < 120; ++s) {
+    fake_second.fetch_add(1);
+    ASSERT_TRUE(
+        router->CallCreate("calm", StrFormat("calm-%d", s), 1).status.ok());
+    for (int i = 0; i < 20; ++i)
+      (void)router->CallCreate("noisy", StrFormat("noisy-%d-%d", s, i), 1);
+  }
+
+  EXPECT_EQ(router->ClusterHealth(), Health::kDegraded)
+      << "sustained burn must degrade cluster health";
+  const auto snap = router->TakeSnapshot();
+  EXPECT_EQ(snap.health, Health::kDegraded);
+  const obs::TenantSli* calm = nullptr;
+  const obs::TenantSli* noisy = nullptr;
+  for (const auto& sli : snap.slo) {
+    if (sli.tenant == "calm") calm = &sli;
+    if (sli.tenant == "noisy") noisy = &sli;
+  }
+  ASSERT_NE(calm, nullptr);
+  ASSERT_NE(noisy, nullptr);
+  EXPECT_TRUE(noisy->burning);
+  EXPECT_GT(noisy->fast_burn, options.slo.fast_burn_threshold);
+  EXPECT_GT(noisy->slow_burn, options.slo.slow_burn_threshold);
+  EXPECT_FALSE(calm->burning);
+  EXPECT_DOUBLE_EQ(calm->fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(calm->slow_availability, 1.0);
+  // The blast radius stops at observability: the noisy tenant's own
+  // admitted requests and the calm tenant keep serving.
+  EXPECT_TRUE(router->CallCreate("calm", "calm-after", 1).status.ok());
+
+  // The router's black box kept records of the shed requests (op=Route).
+  EXPECT_GT(router->router_flight_recorder().total_appended(), 0u);
+  const auto records = router->router_flight_recorder().Snapshot();
+  ASSERT_FALSE(records.empty());
+  bool saw_route_shed = false;
+  for (const auto& rec : records) {
+    if (rec.op == obs::FlightOp::kRoute &&
+        rec.status == static_cast<uint8_t>(StatusCode::kResourceExhausted))
+      saw_route_shed = true;
+  }
+  EXPECT_TRUE(saw_route_shed);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cascn::obs {
+namespace {
+
+FlightRecord MakeRecord(uint64_t trace_id, const std::string& tenant) {
+  FlightRecord r;
+  r.trace_id = trace_id;
+  r.queue_wait_ns = 1234;
+  r.exec_ns = 5678;
+  r.shard_id = 2;
+  r.op = FlightOp::kPredict;
+  r.status = 0;  // kOk
+  r.fault_bits = kFaultBitSlowPredict;
+  r.set_tenant(tenant);
+  r.set_session("sess-1");
+  return r;
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(8).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(9).capacity(), 16u);
+  EXPECT_EQ(FlightRecorder(1000).capacity(), 1024u);
+}
+
+TEST(FlightRecorderTest, AppendSnapshotRoundTripsFields) {
+  FlightRecorder recorder(16);
+  recorder.Append(MakeRecord(0xabc123, "acme"));
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  const FlightRecord& r = records[0];
+  EXPECT_EQ(r.trace_id, 0xabc123u);
+  EXPECT_EQ(r.queue_wait_ns, 1234u);
+  EXPECT_EQ(r.exec_ns, 5678u);
+  EXPECT_EQ(r.shard_id, 2);
+  EXPECT_EQ(r.op, FlightOp::kPredict);
+  EXPECT_EQ(r.fault_bits, kFaultBitSlowPredict);
+  EXPECT_STREQ(r.tenant, "acme");
+  EXPECT_STREQ(r.session, "sess-1");
+}
+
+TEST(FlightRecorderTest, TenantAndSessionTruncateAtFifteenBytes) {
+  FlightRecord r;
+  r.set_tenant("a-very-long-tenant-name-indeed");
+  r.set_session("an-equally-long-session-identifier");
+  EXPECT_EQ(std::string(r.tenant), "a-very-long-ten");
+  EXPECT_EQ(std::string(r.session), "an-equally-long");
+}
+
+TEST(FlightRecorderTest, RingOverwriteKeepsNewestInArrivalOrder) {
+  FlightRecorder recorder(8);
+  for (uint64_t i = 0; i < 20; ++i) {
+    recorder.Append(MakeRecord(/*trace_id=*/100 + i, "t"));
+  }
+  EXPECT_EQ(recorder.total_appended(), 20u);
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 8u);
+  // Oldest-first, and only the last 8 appends survive the lapping.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq_no, 12 + i);
+    EXPECT_EQ(records[i].trace_id, 112 + i);
+  }
+}
+
+TEST(FlightRecorderTest, ConcurrentAppendsAllAccountedFor) {
+  FlightRecorder recorder(1024);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Append(MakeRecord(static_cast<uint64_t>(t) << 32 | i, "t"));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.total_appended(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // Every surviving slot is a coherent record (no torn reads): seq_nos are
+  // unique and within the appended range.
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  EXPECT_LE(records.size(), recorder.capacity());
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].seq_no, records[i].seq_no);
+  }
+  for (const FlightRecord& r : records) {
+    EXPECT_LT(r.seq_no, static_cast<uint64_t>(kThreads) * kPerThread);
+  }
+}
+
+TEST(FlightRecorderTest, ToJsonLinesHeaderAndRecordSchema) {
+  FlightRecorder recorder(8);
+  recorder.Append(MakeRecord(0xdeadbeef, "acme"));
+  const std::string dump = recorder.ToJsonLines("unit_test");
+  std::istringstream lines(dump);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_NE(header.find("\"event\": \"flight_dump\""), std::string::npos);
+  EXPECT_NE(header.find("\"reason\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(header.find("\"records\": 1"), std::string::npos);
+  std::string record;
+  ASSERT_TRUE(std::getline(lines, record));
+  EXPECT_NE(record.find("\"trace_id\": \"deadbeef\""), std::string::npos);
+  EXPECT_NE(record.find("\"tenant\": \"acme\""), std::string::npos);
+  EXPECT_NE(record.find("\"op\": \"Predict\""), std::string::npos);
+  EXPECT_NE(record.find("\"status\": \"OK\""), std::string::npos);
+  EXPECT_NE(record.find("\"shard\": 2"), std::string::npos);
+  EXPECT_NE(record.find("\"queue_wait_ns\": 1234"), std::string::npos);
+  EXPECT_NE(record.find("\"exec_ns\": 5678"), std::string::npos);
+  // Each line must be a standalone JSON object: balanced braces throughout.
+  for (const std::string& line : {header, record}) {
+    int depth = 0;
+    for (char c : line) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+  }
+}
+
+TEST(FlightRecorderTest, HostileTenantNamesAreJsonEscaped) {
+  FlightRecorder recorder(8);
+  FlightRecord r = MakeRecord(1, "a\"b\\c\nd");
+  recorder.Append(r);
+  const std::string dump = recorder.ToJsonLines("escape");
+  EXPECT_NE(dump.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  // No raw newline may survive inside a record line.
+  std::istringstream lines(dump);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 2);  // header + one record, nothing split
+}
+
+TEST(FlightRecorderTest, DumpAppendsToFile) {
+  FlightRecorder recorder(8);
+  recorder.Append(MakeRecord(7, "t"));
+  const std::string path =
+      ::testing::TempDir() + "/cascn_flight_dump_test.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(recorder.Dump(path, "first").ok());
+  ASSERT_TRUE(recorder.Dump(path, "second").ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  // Both dumps landed in the same file, in order.
+  const size_t first = text.find("\"reason\": \"first\"");
+  const size_t second = text.find("\"reason\": \"second\"");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DumpRejectsBadPath) {
+  FlightRecorder recorder(8);
+  EXPECT_FALSE(recorder.Dump("/nonexistent-dir/flight.jsonl", "bad").ok());
+}
+
+TEST(FlightRecorderTest, TriggerDumpIsNoOpWithoutPath) {
+  FlightRecorder recorder(8);
+  recorder.Append(MakeRecord(1, "t"));
+  recorder.TriggerDump("anomaly");
+  EXPECT_EQ(recorder.dumps_triggered(), 0u);
+}
+
+TEST(FlightRecorderTest, TriggerDumpWritesConfiguredPath) {
+  FlightRecorder recorder(8);
+  recorder.Append(MakeRecord(0x42, "t"));
+  const std::string path =
+      ::testing::TempDir() + "/cascn_flight_trigger_test.jsonl";
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  EXPECT_EQ(recorder.dump_path(), path);
+  recorder.TriggerDump("deadline_exceeded");
+  EXPECT_EQ(recorder.dumps_triggered(), 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"reason\": \"deadline_exceeded\""),
+            std::string::npos);
+  EXPECT_NE(content.str().find("\"trace_id\": \"42\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cascn::obs

@@ -1,5 +1,7 @@
 #include "obs/metrics_registry.h"
 
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -180,6 +182,85 @@ TEST(MetricsRegistryTest, ConcurrentLookupsAndUpdates) {
 
 TEST(MetricsRegistryTest, GlobalInstanceIsStable) {
   EXPECT_EQ(&MetricsRegistry::Get(), &MetricsRegistry::Get());
+}
+
+TEST(EscapeLabelValueTest, PassesCleanValuesThrough) {
+  EXPECT_EQ(EscapeLabelValue("acme-prod_01"), "acme-prod_01");
+  EXPECT_EQ(EscapeLabelValue(""), "");
+}
+
+TEST(EscapeLabelValueTest, EscapesQuotesBackslashesAndNewlines) {
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  // Escaping composes: an attacker-supplied closing sequence stays inert.
+  EXPECT_EQ(EscapeLabelValue("\"} evil{x=\""), "\\\"} evil{x=\\\"");
+}
+
+TEST(EscapeLabelValueTest, DropsNulAndHexEscapesOtherControls) {
+  EXPECT_EQ(EscapeLabelValue(std::string_view("a\0b", 3)), "ab");
+  EXPECT_EQ(EscapeLabelValue("a\x01"), "a\\x01");
+  EXPECT_EQ(EscapeLabelValue("\x1f"), "\\x1f");
+}
+
+TEST(MetricsRegistryTest, LabeledNamesSurviveTextExpositionLiterally) {
+  MetricsRegistry registry;
+  const std::string name =
+      "requests_total{tenant=\"" + EscapeLabelValue("a\"b") + "\"}";
+  registry.GetCounter(name).Increment(3);
+  const std::string text = registry.TextSnapshot();
+  // Text format is line-oriented; the escaped label value appears verbatim.
+  EXPECT_NE(text.find("requests_total{tenant=\"a\\\"b\"} = 3"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HostileNamesKeepJsonExpositionBalanced) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("evil{tenant=\"" + EscapeLabelValue("x\"\\\n") + "\"}")
+      .Increment();
+  registry.GetGauge("g\tname").Set(1.0);
+  const std::string json = registry.JsonSnapshot();
+  // No raw control characters and no unescaped quotes that would terminate
+  // a JSON string early: brace/quote structure must stay balanced.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistryTest, NewlineInNameCannotSplitTextLines) {
+  MetricsRegistry registry;
+  registry.GetCounter("bad\nname").Increment();
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("bad\\nname = 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryDeathTest, EmbeddedNulInNameIsRejected) {
+  MetricsRegistry registry;
+  const std::string nul_name("nul\0metric", 10);
+  EXPECT_DEATH(registry.GetCounter(nul_name), "NUL");
+  EXPECT_DEATH(registry.GetGauge(nul_name), "NUL");
+  EXPECT_DEATH(registry.GetHistogram(nul_name), "NUL");
 }
 
 }  // namespace

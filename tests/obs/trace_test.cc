@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
 #include <cstdio>
+
+#include "obs/metrics_registry.h"
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -130,6 +132,61 @@ TEST_F(TraceTest, WriteChromeTraceProducesParseableFile) {
 TEST_F(TraceTest, WriteChromeTraceRejectsBadPath) {
   EXPECT_FALSE(
       Tracer::Get().WriteChromeTrace("/nonexistent-dir/trace.json").ok());
+}
+
+TEST_F(TraceTest, RequestScopedSpanCarriesTraceIdAndFlowEvents) {
+  Tracer::Get().Enable();
+  const uint64_t trace_id = 0xdeadbeefcafeULL;
+  const auto start = std::chrono::steady_clock::now();
+  Tracer::Get().RecordSpan("submit", start, start + std::chrono::microseconds(10),
+                           trace_id, SpanFlow::kOut);
+  Tracer::Get().RecordSpan("queue", start, start + std::chrono::microseconds(20),
+                           trace_id, SpanFlow::kStep);
+  Tracer::Get().RecordSpan("execute", start,
+                           start + std::chrono::microseconds(30), trace_id,
+                           SpanFlow::kIn);
+  const std::string json = Tracer::Get().ToChromeTraceJson();
+  // Every span's X event carries the id as an arg...
+  EXPECT_NE(json.find("\"trace_id\": \"deadbeefcafe\""), std::string::npos);
+  // ...and the flow chain start/step/finish events all key on it.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": \"deadbeefcafe\""), std::string::npos);
+}
+
+TEST_F(TraceTest, PlainSpansEmitNoFlowEvents) {
+  Tracer::Get().Enable();
+  {
+    CASCN_TRACE_SPAN("plain");
+  }
+  const std::string json = Tracer::Get().ToChromeTraceJson();
+  EXPECT_EQ(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_EQ(json.find("trace_id"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingOverflowCountsDroppedSpans) {
+  Tracer::Get().Enable();
+  ASSERT_EQ(Tracer::Get().dropped_count(), 0u);
+  const uint64_t counter_before =
+      MetricsRegistry::Get().GetCounter("trace_spans_dropped").value();
+  constexpr size_t kOverflow = 5;
+  for (size_t i = 0; i < Tracer::kRingCapacity + kOverflow; ++i) {
+    CASCN_TRACE_SPAN("overflow");
+  }
+  EXPECT_EQ(Tracer::Get().dropped_count(), kOverflow);
+  // Exported through the global registry for alerting...
+  EXPECT_EQ(
+      MetricsRegistry::Get().GetCounter("trace_spans_dropped").value(),
+      counter_before + kOverflow);
+  // ...and embedded in the trace itself so a truncated file says so.
+  const std::string json = Tracer::Get().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"spans_dropped\": 5"), std::string::npos);
+  // Clear resets the per-trace count (the registry counter is cumulative).
+  Tracer::Get().Clear();
+  EXPECT_EQ(Tracer::Get().dropped_count(), 0u);
 }
 
 }  // namespace
