@@ -9,6 +9,16 @@
 //   ./bench_serve_throughput [--sessions=400] [--clients=8]
 //                            [--workers_list=1,2,4,8]
 //                            [--shards=2] [--tenants=2]
+//                            [--debug_port=N]
+//
+// --debug_port=N (or CASCN_DEBUG_PORT) starts the live introspection server
+// on 127.0.0.1 for the duration of the bench (0 = ephemeral port) and turns
+// the cluster section into an introspection drill: all six debug endpoints
+// are fetched while the healthy run is under load, then a deterministic
+// slow-shard stall trips the watchdog and the bench CHECKs that the dump it
+// wrote names the stalled request's trace id. Left unset, the bench instead
+// emits the "serve/debug_off" guard row and CHECKs that no debug-server
+// thread was ever started — introspection must cost nothing when off.
 //
 // Cluster scenarios (--shards >= 2; 0 disables): the same replay workload
 // is driven through a cluster::ShardRouter — consistent-hash routed shards
@@ -30,6 +40,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,9 +54,11 @@
 #include "data/cascade_generator.h"
 #include "fault/fault.h"
 #include "obs/bench_report.h"
+#include "obs/debug_server.h"
 #include "obs/shutdown.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "serve/checkpoint.h"
 #include "serve/prediction_service.h"
 
@@ -283,6 +298,10 @@ int Main(int argc, char** argv) {
   // --flight_dir=DIR arms the cluster runs' flight recorders (per-shard +
   // router JSON-lines dumps) and dumps them on demand after each run.
   const std::string flight_dir = flags.GetString("flight_dir", "");
+  // --debug_port=N starts the introspection server; defaults to the
+  // CASCN_DEBUG_PORT environment variable, -1 (off) when neither is set.
+  const int debug_port =
+      static_cast<int>(flags.GetInt("debug_port", obs::DebugServer::EnvPort()));
   std::string bench_out = flags.GetString("bench_out", "");
   if (bench_out.empty())
     bench_out = obs::BenchReport::DefaultPath("serve_throughput");
@@ -312,6 +331,21 @@ int Main(int argc, char** argv) {
       .AddConfig("clients", clients)
       .AddConfig("workers_list", workers_list)
       .AddConfig("hardware_concurrency", static_cast<int64_t>(cores));
+
+  // Live introspection server, opt-in. allow_quit is deliberate here: the
+  // bench doubles as the end-to-end exercise of the quit endpoint's gating.
+  std::unique_ptr<obs::DebugServer> debug_server;
+  if (debug_port >= 0) {
+    obs::DebugServerOptions server_options;
+    server_options.port = debug_port;
+    server_options.allow_quit = true;
+    auto started = obs::DebugServer::Start(server_options);
+    CASCN_CHECK(started.ok()) << started.status();
+    debug_server = std::move(started).value();
+    debug_server->AddConfig("bench", "serve_throughput");
+    debug_server->AddConfig("sessions", std::to_string(replays.size()));
+    debug_server->AddConfig("clients", std::to_string(clients));
+  }
 
   std::vector<int> worker_counts;
   for (const std::string& field : Split(workers_list, ',')) {
@@ -429,6 +463,25 @@ int Main(int argc, char** argv) {
                        ? run.seconds * 1e9 / static_cast<double>(run.requests)
                        : 0.0)
               .Build());
+      if (debug_port < 0) {
+        // Guard row: serve throughput with the introspection control plane
+        // never brought up. The CHECKs are the contract — no --debug_port
+        // means no accept thread and no span sampling, so a regression here
+        // is hot-path cost leaking out of an "off" debug server.
+        CASCN_CHECK(obs::DebugServer::servers_started() == 0)
+            << "debug server started without --debug_port";
+        CASCN_CHECK(!obs::Tracer::Get().sampling())
+            << "span sampling enabled without --debug_port";
+        report.AddResult(
+            obs::JsonObjectBuilder()
+                .Add("benchmark", "serve/debug_off")
+                .Add("real_ns_per_iter",
+                     run.requests > 0
+                         ? run.seconds * 1e9 /
+                               static_cast<double>(run.requests)
+                         : 0.0)
+                .Build());
+      }
     }
   }
 
@@ -552,9 +605,47 @@ int Main(int argc, char** argv) {
     auto router = cluster::ShardRouter::CreateFromCheckpoint(healthy_opts,
                                                              ckpt);
     CASCN_CHECK(router.ok()) << router.status();
+    if (debug_server) (*router)->RegisterDebugEndpoints(*debug_server);
+    // With the debug server up, fetch every endpoint mid-run: the server
+    // must answer with real payloads while the workers are saturated, not
+    // just on an idle process. (If the workload finishes before the checker
+    // wakes, the fetches still validate payloads — just not under load.)
+    std::thread endpoint_checker;
+    if (debug_server) {
+      endpoint_checker = std::thread([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        const auto fetch = [&](const std::string& path) {
+          auto result = obs::HttpGet(debug_server->port(), path);
+          CASCN_CHECK(result.ok()) << path << ": " << result.status();
+          CASCN_CHECK(result->status == 200)
+              << path << " -> HTTP " << result->status;
+          return result->body;
+        };
+        CASCN_CHECK(fetch("/statusz").find("[cluster]") != std::string::npos)
+            << "/statusz missing the router's status section";
+        CASCN_CHECK(fetch("/metricsz").find("# TYPE") != std::string::npos)
+            << "/metricsz text exposition missing OpenMetrics headers";
+        const std::string metrics_json = fetch("/metricsz?format=json");
+        CASCN_CHECK(metrics_json.find("\"counters\"") != std::string::npos &&
+                    metrics_json.find("cluster_health") != std::string::npos)
+            << "/metricsz?format=json missing the router's exported series";
+        CASCN_CHECK(fetch("/tracez").find("\"span_stats\"") !=
+                    std::string::npos)
+            << "/tracez missing span statistics";
+        CASCN_CHECK(fetch("/flightz").find("flight_dump") != std::string::npos)
+            << "/flightz missing flight-recorder dump headers";
+        CASCN_CHECK(fetch("/sloz").find("\"tenants\"") != std::string::npos)
+            << "/sloz missing the per-tenant SLO table";
+        std::fprintf(stderr,
+                     "[serve_throughput] debug endpoints answered under load "
+                     "(port %d)\n",
+                     debug_server->port());
+      });
+    }
     if (!trace_out.empty()) obs::Tracer::Get().Enable();
     const ClusterRunResult healthy =
         RunClusterWorkload(**router, replays, clients, tenants);
+    if (endpoint_checker.joinable()) endpoint_checker.join();
     if (!trace_out.empty()) {
       obs::Tracer::Get().Disable();
       CASCN_CHECK(obs::Tracer::Get().WriteChromeTrace(trace_out).ok());
@@ -570,6 +661,89 @@ int Main(int argc, char** argv) {
       CASCN_CHECK((*router)->DumpFlightRecorders("bench_on_demand").ok());
     record_cluster_run("cluster/shards:" + std::to_string(shards),
                        "cluster/p99", healthy, /*per_shard_rows=*/true);
+
+    // Deterministic stall drill (debug server only): wedge one shard of a
+    // dedicated drill router and prove the watchdog chain end to end — the
+    // stall is declared, the self-dump lands on disk, and it names the
+    // trace id of the request that was actually stuck on the worker.
+    if (debug_server) {
+      cluster::ShardRouterOptions drill_opts;
+      drill_opts.num_shards = 2;
+      drill_opts.shard = make_options(/*workers=*/1);
+      // One request per micro-batch: the pile-up behind the wedged predict
+      // must stay IN the queue (visibly busy) rather than being drained
+      // into a single batch, or the watchdog has nothing to see.
+      drill_opts.shard.max_batch = 1;
+      auto drill = cluster::ShardRouter::CreateFromCheckpoint(drill_opts, ckpt);
+      CASCN_CHECK(drill.ok()) << drill.status();
+      CASCN_CHECK((*drill)->CallCreate("drill", "wedged", 1).status.ok());
+      CASCN_CHECK(
+          (*drill)->CallAppend("drill", "wedged", 2, 0, 1.0).status.ok());
+      const int victim = (*drill)->ShardOf("wedged");
+      CASCN_CHECK(victim >= 0);
+
+      obs::WatchdogOptions watchdog_options;
+      watchdog_options.poll_ms = 5.0;
+      watchdog_options.stall_ms = 50.0;
+      watchdog_options.anomaly_dir = "/tmp";
+      obs::Watchdog watchdog(watchdog_options);
+      (*drill)->RegisterWatchdogTargets(watchdog);
+      watchdog.Start();
+
+      CASCN_CHECK(fault::FaultRegistry::Get()
+                      .Configure(cluster::SlowShardFaultPoint(victim) +
+                                 "=always@500")
+                      .ok());
+      std::vector<std::future<ServeResponse>> wedged;
+      for (int i = 0; i < 3; ++i) {
+        auto submitted = (*drill)->SubmitPredict("drill", "wedged");
+        CASCN_CHECK(submitted.ok()) << submitted.status();
+        wedged.push_back(std::move(submitted).value());
+      }
+      const auto drill_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(20);
+      while (watchdog.stalls_total() == 0 &&
+             std::chrono::steady_clock::now() < drill_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      CASCN_CHECK(watchdog.stalls_total() >= 1)
+          << "watchdog never declared the drill stall";
+      fault::FaultRegistry::Get().Clear();
+      // FIFO + max_batch=1: the first submit is the predict that was on the
+      // worker when the stall fired, so its trace id is the one the dump's
+      // open-span table must carry.
+      const ServeResponse stalled = wedged[0].get();
+      CASCN_CHECK(stalled.status.ok()) << stalled.status;
+      for (size_t i = 1; i < wedged.size(); ++i) (void)wedged[i].get();
+      watchdog.Stop();
+
+      const std::string dump_path = watchdog.last_dump_path();
+      CASCN_CHECK(!dump_path.empty()) << "stall fired but wrote no dump";
+      std::ifstream dump(dump_path);
+      CASCN_CHECK(dump.good()) << "cannot read watchdog dump " << dump_path;
+      std::stringstream dump_body;
+      dump_body << dump.rdbuf();
+      const std::string stalled_trace = StrFormat(
+          "%llx", static_cast<unsigned long long>(stalled.trace_id));
+      CASCN_CHECK(dump_body.str().find(stalled_trace) != std::string::npos)
+          << "watchdog dump " << dump_path
+          << " does not name the stalled request's trace id "
+          << stalled_trace;
+      std::fprintf(stderr,
+                   "[serve_throughput] watchdog drill: stall on shard %d "
+                   "detected, dump %s names trace %s\n",
+                   victim, dump_path.c_str(), stalled_trace.c_str());
+
+      // Last endpoint: the opt-in quit answers 200 and latches the flag.
+      auto quit = obs::HttpGet(debug_server->port(), "/quitquitquit");
+      CASCN_CHECK(quit.ok()) << quit.status();
+      CASCN_CHECK(quit->status == 200) << "/quitquitquit -> " << quit->status;
+      CASCN_CHECK(debug_server->quit_requested());
+      drill->reset();
+    }
+
+    // The debug handlers registered above capture the healthy router; stop
+    // the server before the router goes away.
+    if (debug_server) debug_server->Stop();
     router->reset();
 
     // Deterministic overload: shard 0 is slowed by the shard-scoped fault

@@ -36,9 +36,26 @@
 //                                DIR/flight_demo.jsonl), and in cluster mode
 //                                dumps every shard's ring plus the router's
 //                                to DIR/flight_*.jsonl on demand
+//
+// Live introspection (all optional; see src/obs/debug_server.h):
+//   --debug_port=N           serve /statusz /metricsz /tracez /flightz /sloz
+//                            on 127.0.0.1:N (0 = ephemeral; defaults to the
+//                            CASCN_DEBUG_PORT environment variable). A stall
+//                            watchdog rides along, watching the trainer's
+//                            batch heartbeat and every serving worker.
+//   --debug_allow_quit=1     un-gate /quitquitquit (403 otherwise)
+//   --debug_linger_ms=MS     keep the process alive up to MS after the
+//                            replay so the endpoints can be curled; a
+//                            /quitquitquit (when allowed) ends the linger
+//   --watchdog_drill=1       deterministically wedge a drill shard, let the
+//                            watchdog catch it, and print the dump path
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,10 +68,12 @@
 #include "data/cascade_generator.h"
 #include "data/dataset.h"
 #include "fault/fault.h"
+#include "obs/debug_server.h"
 #include "obs/metrics_registry.h"
 #include "obs/shutdown.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "parallel/parallel_for.h"
 #include "serve/checkpoint.h"
 #include "serve/prediction_service.h"
@@ -72,6 +91,7 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.GetString("trace_out", "");
   const std::string metrics_out = flags.GetString("metrics_out", "");
   const std::string telemetry_out = flags.GetString("telemetry_out", "");
+  const std::string flight_dir = flags.GetString("flight_dir", "");
   if (!trace_out.empty()) obs::Tracer::Get().Enable();
   std::unique_ptr<obs::FileTelemetrySink> telemetry;
   if (!telemetry_out.empty()) {
@@ -79,6 +99,49 @@ int main(int argc, char** argv) {
     CASCN_CHECK(sink.ok()) << sink.status();
     telemetry = std::move(sink).value();
   }
+
+  // Live introspection server + stall watchdog, both opt-in via
+  // --debug_port / CASCN_DEBUG_PORT. The watchdog shares the server's
+  // lifetime: it watches the trainer's batch heartbeat during training and
+  // (below) every serving worker during the replay.
+  const int debug_port =
+      static_cast<int>(flags.GetInt("debug_port", obs::DebugServer::EnvPort()));
+  const int64_t debug_linger_ms = flags.GetInt("debug_linger_ms", 0);
+  std::unique_ptr<obs::DebugServer> debug_server;
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (debug_port >= 0) {
+    obs::DebugServerOptions server_options;
+    server_options.port = debug_port;
+    server_options.allow_quit = flags.GetInt("debug_allow_quit", 0) != 0;
+    auto started = obs::DebugServer::Start(server_options);
+    CASCN_CHECK(started.ok()) << started.status();
+    debug_server = std::move(started).value();
+    debug_server->AddConfig("binary", "prediction_service_demo");
+
+    obs::WatchdogOptions watchdog_options;
+    watchdog_options.anomaly_dir = flight_dir.empty() ? "/tmp" : flight_dir;
+    watchdog = std::make_unique<obs::Watchdog>(watchdog_options);
+    debug_server->AddStatusSection(
+        "watchdog", [&watchdog] { return watchdog->StatusJson() + "\n"; });
+    std::printf("debug server on http://127.0.0.1:%d (statusz metricsz "
+                "tracez flightz sloz%s)\n",
+                debug_server->port(),
+                server_options.allow_quit ? " quitquitquit" : "");
+  }
+  // Keeps the endpoints curl-able after the replay: sleeps until
+  // --debug_linger_ms elapses or /quitquitquit is accepted.
+  const auto linger = [&] {
+    if (!debug_server || debug_linger_ms <= 0) return;
+    std::printf("lingering up to %lld ms on port %d...\n",
+                static_cast<long long>(debug_linger_ms), debug_server->port());
+    std::fflush(stdout);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(debug_linger_ms);
+    while (!debug_server->quit_requested() &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
 
   // 1. Train.
   GeneratorConfig gen = WeiboLikeConfig();
@@ -98,7 +161,22 @@ int main(int argc, char** argv) {
   TrainerOptions trainer;
   trainer.max_epochs = static_cast<int>(flags.GetInt("epochs", 4));
   trainer.telemetry = telemetry.get();
+  // Under the watchdog, the training loop is just another worker: it beats
+  // once per batch and a wedged batch shows up as a stall on "trainer".
+  obs::WorkerHeartbeat train_heartbeat;
+  std::atomic<bool> training{false};
+  if (watchdog) {
+    trainer.heartbeat = &train_heartbeat;
+    obs::WatchTarget target;
+    target.name = "trainer";
+    target.progress = [&train_heartbeat] { return train_heartbeat.count(); };
+    target.busy = [&training] { return training.load(); };
+    watchdog->Watch(target);
+    watchdog->Start();
+  }
+  training.store(true);
   const TrainResult train = TrainRegressor(model, *dataset, trainer);
+  training.store(false);
   std::printf("trained CasCN: best validation MSLE %.3f (epoch %d)\n",
               train.best_validation_msle, train.best_epoch);
 
@@ -111,7 +189,6 @@ int main(int argc, char** argv) {
   // injected 80ms predict, let a 5ms-deadline request expire behind it, and
   // let the flight recorder dump the evidence on its own — the black box
   // working exactly as it would after a real incident.
-  const std::string flight_dir = flags.GetString("flight_dir", "");
   if (!flight_dir.empty()) {
     serve::ServiceOptions drill_opts;
     drill_opts.num_workers = 1;
@@ -135,6 +212,61 @@ int main(int argc, char** argv) {
     std::printf("anomaly drill: deadline miss (trace %llx) dumped to %s\n",
                 static_cast<unsigned long long>(r.trace_id),
                 drill_opts.flight_dump_path.c_str());
+  }
+
+  // 2c. Watchdog drill (--watchdog_drill=1, needs --debug_port): wedge one
+  // shard of a throwaway two-shard cluster with the slow-shard fault while
+  // requests queue behind it. A dedicated fast-poll watchdog declares the
+  // stall, self-dumps the open-span table, and the router's on_stall hook
+  // dumps every flight recorder — the whole incident pipeline, on demand.
+  if (debug_server && flags.GetInt("watchdog_drill", 0) != 0) {
+    cluster::ShardRouterOptions drill_opts;
+    drill_opts.num_shards = 2;
+    drill_opts.shard.num_workers = 1;
+    // One request per micro-batch so the backlog stays visibly queued
+    // behind the wedged predict instead of draining into a single batch.
+    drill_opts.shard.max_batch = 1;
+    drill_opts.shard.sessions.observation_window = window;
+    drill_opts.flight_dir = flight_dir;
+    auto drill = cluster::ShardRouter::CreateFromCheckpoint(drill_opts, ckpt);
+    CASCN_CHECK(drill.ok()) << drill.status();
+    CASCN_CHECK(drill.value()->CallCreate("drill", "wedged", 1).status.ok());
+    const int victim = drill.value()->ShardOf("wedged");
+    CASCN_CHECK(victim >= 0);
+
+    obs::WatchdogOptions drill_watchdog_options;
+    drill_watchdog_options.poll_ms = 5.0;
+    drill_watchdog_options.stall_ms = 50.0;
+    drill_watchdog_options.anomaly_dir =
+        flight_dir.empty() ? "/tmp" : flight_dir;
+    obs::Watchdog drill_watchdog(drill_watchdog_options);
+    drill.value()->RegisterWatchdogTargets(drill_watchdog);
+    drill_watchdog.Start();
+
+    CASCN_CHECK(
+        fault::FaultRegistry::Get()
+            .Configure(cluster::SlowShardFaultPoint(victim) + "=always@500")
+            .ok());
+    std::vector<std::future<serve::ServeResponse>> wedged;
+    for (int i = 0; i < 3; ++i) {
+      auto submitted = drill.value()->SubmitPredict("drill", "wedged");
+      CASCN_CHECK(submitted.ok()) << submitted.status();
+      wedged.push_back(std::move(submitted).value());
+    }
+    const auto drill_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (drill_watchdog.stalls_total() == 0 &&
+           std::chrono::steady_clock::now() < drill_deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    CASCN_CHECK(drill_watchdog.stalls_total() >= 1)
+        << "watchdog drill: stall never declared";
+    fault::FaultRegistry::Get().Clear();
+    for (auto& future : wedged) (void)future.get();
+    drill_watchdog.Stop();
+    CASCN_CHECK(!drill_watchdog.last_dump_path().empty());
+    std::printf("watchdog drill: stall on shard %d detected, dump at %s\n",
+                victim, drill_watchdog.last_dump_path().c_str());
+    drill.value().reset();
   }
 
   // 3. Build a fresh cascade stream to replay as concurrent sessions.
@@ -171,6 +303,10 @@ int main(int argc, char** argv) {
     auto router =
         cluster::ShardRouter::CreateFromCheckpoint(cluster_opts, ckpt);
     CASCN_CHECK(router.ok()) << router.status();
+    if (debug_server) {
+      router.value()->RegisterDebugEndpoints(*debug_server);
+      router.value()->RegisterWatchdogTargets(*watchdog);
+    }
     std::printf("cluster up: %d shards x %d workers, %d tenant labels\n",
                 shards, workers, tenants);
     std::printf("replaying %zu live cascades...\n", replays.size());
@@ -239,6 +375,11 @@ int main(int argc, char** argv) {
     router.value()->ExportToRegistry(registry);
     std::printf("\ncluster registry:\n%s", registry.TextSnapshot().c_str());
     const std::string cluster_metrics_json = registry.JsonSnapshot();
+    linger();
+    // The watchdog targets and debug handlers capture the router; stop both
+    // before it goes away.
+    if (watchdog) watchdog->Stop();
+    if (debug_server) debug_server->Stop();
     router.value().reset();
 
     obs::ShutdownDumpOptions dump;
@@ -261,6 +402,10 @@ int main(int argc, char** argv) {
   auto service = serve::PredictionService::CreateFromCheckpoint(service_opts,
                                                                 ckpt);
   CASCN_CHECK(service.ok()) << service.status();
+  if (debug_server) {
+    service.value()->RegisterDebugEndpoints(*debug_server);
+    watchdog->Watch(service.value()->MakeWatchdogTarget("serve"));
+  }
   std::printf("service up: %d workers, queue capacity %zu\n",
               service.value()->num_workers(), service_opts.queue_capacity);
   std::printf("replaying %zu live cascades...\n", replays.size());
@@ -327,6 +472,9 @@ int main(int argc, char** argv) {
   // 6. Exit-time flush. Destroy the service *first* so the spans its
   // destructor records land in the trace instead of being dropped, then
   // dump every observability surface in one call.
+  linger();
+  if (watchdog) watchdog->Stop();  // its serve target captures the service
+  if (debug_server) debug_server->Stop();
   service.value().reset();
   obs::ShutdownDumpOptions dump;
   dump.trace_path = trace_out;

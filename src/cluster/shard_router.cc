@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
+#include <utility>
 
 #include "cluster/handoff.h"
 #include "common/logging.h"
@@ -903,18 +905,132 @@ Status ShardRouter::DumpFlightRecorders(std::string_view reason) {
   if (options_.flight_dir.empty())
     return Status::FailedPrecondition(
         "flight-recorder dumps need ShardRouterOptions::flight_dir");
-  std::vector<std::shared_ptr<PredictionService>> services;
+  std::vector<std::pair<int, std::shared_ptr<PredictionService>>> services;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     services.reserve(shards_.size());
-    for (const auto& [id, shard] : shards_) services.push_back(shard.service);
+    for (const auto& [id, shard] : shards_)
+      services.emplace_back(id, shard.service);
   }
+  // Each dump set gets a monotonic sequence suffix so concurrent or
+  // repeated on-demand dumps never append into each other's files.
+  const unsigned long long seq =
+      on_demand_dumps_.fetch_add(1, std::memory_order_relaxed) + 1;
   // Dump outside the routing lock: a dump is file I/O and must not stall
   // routing.
-  for (const auto& service : services)
-    service->flight_recorder().TriggerDump(reason);
-  router_flight_.TriggerDump(reason);
-  return Status::OK();
+  Status status = Status::OK();
+  std::vector<std::string> paths;
+  for (const auto& [id, service] : services) {
+    std::string path = StrFormat("%s/flight_shard_%d.%05llu.jsonl",
+                                 options_.flight_dir.c_str(), id, seq);
+    Status dump = service->flight_recorder().Dump(path, reason);
+    if (!dump.ok() && status.ok()) status = dump;
+    paths.push_back(std::move(path));
+  }
+  std::string router_path = StrFormat(
+      "%s/flight_router.%05llu.jsonl", options_.flight_dir.c_str(), seq);
+  Status dump = router_flight_.Dump(router_path, reason);
+  if (!dump.ok() && status.ok()) status = dump;
+  paths.push_back(std::move(router_path));
+  // Retention: evict whole sets oldest-first so the dir stays bounded even
+  // under a watchdog stall storm.
+  std::vector<std::vector<std::string>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(dump_files_mutex_);
+    dump_sets_.push_back(std::move(paths));
+    const size_t keep =
+        static_cast<size_t>(std::max(1, options_.flight_dump_retention));
+    while (dump_sets_.size() > keep) {
+      evicted.push_back(std::move(dump_sets_.front()));
+      dump_sets_.pop_front();
+    }
+  }
+  for (const auto& set : evicted)
+    for (const std::string& path : set) std::remove(path.c_str());
+  return status;
+}
+
+std::shared_ptr<PredictionService> ShardRouter::FindShard(
+    int shard_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shards_.find(shard_id);
+  return it == shards_.end() ? nullptr : it->second.service;
+}
+
+void ShardRouter::RegisterDebugEndpoints(obs::DebugServer& server) {
+  server.AddStatusSection("cluster", [this] {
+    return TakeSnapshot().ToString() +
+           StrFormat("on_demand_flight_dumps: %llu\n",
+                     static_cast<unsigned long long>(on_demand_dump_count()));
+  });
+  server.AddMetricsExporter(
+      [this](obs::MetricsRegistry& registry) { ExportToRegistry(registry); });
+  server.AddEndpoint("/flightz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/x-ndjson";
+    std::vector<std::pair<int, std::shared_ptr<PredictionService>>> services;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [id, shard] : shards_)
+        services.emplace_back(id, shard.service);
+    }
+    for (const auto& [id, service] : services)
+      response.body += service->flight_recorder().ToJsonLines(
+          StrFormat("flightz_shard_%d", id));
+    response.body += router_flight_.ToJsonLines("flightz_router");
+    return response;
+  });
+  server.AddEndpoint("/sloz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    std::string body = "{\"tenants\":[";
+    bool first = true;
+    for (const obs::TenantSli& sli : slo_.Snapshot(clock_())) {
+      if (!first) body += ",";
+      first = false;
+      body += StrFormat(
+          "{\"tenant\":\"%s\",\"fast_total\":%llu,\"fast_good\":%llu,"
+          "\"slow_total\":%llu,\"slow_good\":%llu,"
+          "\"fast_availability\":%.6f,\"slow_availability\":%.6f,"
+          "\"fast_burn\":%.3f,\"slow_burn\":%.3f,\"burning\":%s}",
+          obs::EscapeLabelValue(sli.tenant).c_str(),
+          static_cast<unsigned long long>(sli.fast_total),
+          static_cast<unsigned long long>(sli.fast_good),
+          static_cast<unsigned long long>(sli.slow_total),
+          static_cast<unsigned long long>(sli.slow_good),
+          sli.fast_availability, sli.slow_availability, sli.fast_burn,
+          sli.slow_burn, sli.burning ? "true" : "false");
+    }
+    body += "]}";
+    response.body = std::move(body);
+    return response;
+  });
+}
+
+void ShardRouter::RegisterWatchdogTargets(obs::Watchdog& watchdog) {
+  for (int id : ShardIds()) {
+    obs::WatchTarget target;
+    target.name = StrFormat("shard_%d", id);
+    target.progress = [this, id]() -> uint64_t {
+      const auto service = FindShard(id);
+      return service ? service->heartbeat_count() : 0;
+    };
+    // A crashed/removed shard reads as idle, never stalled.
+    target.busy = [this, id] {
+      const auto service = FindShard(id);
+      return service && service->queue_depth() > 0;
+    };
+    target.on_stall = [this, id] {
+      if (const auto service = FindShard(id)) service->NoteWatchdogStall();
+      // Full-cluster context for the post-mortem; failure (no flight_dir)
+      // is fine — the shard's own anomaly dump already fired.
+      DumpFlightRecorders("watchdog_stall");
+    };
+    target.on_recover = [this, id] {
+      if (const auto service = FindShard(id)) service->NoteWatchdogRecovery();
+    };
+    watchdog.Watch(std::move(target));
+  }
 }
 
 int ShardRouter::num_shards() const {

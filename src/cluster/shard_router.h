@@ -56,6 +56,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <functional>
 #include <future>
 #include <limits>
@@ -73,10 +74,12 @@
 #include "cluster/consistent_hash.h"
 #include "cluster/handoff.h"
 #include "common/result.h"
+#include "obs/debug_server.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/request_context.h"
 #include "obs/slo.h"
+#include "obs/watchdog.h"
 #include "serve/metrics.h"
 #include "serve/prediction_service.h"
 
@@ -119,9 +122,14 @@ struct ShardRouterOptions {
   obs::SloOptions slo;
   /// Directory for flight-recorder anomaly dumps: each shard appends to
   /// <flight_dir>/flight_shard_<id>.jsonl and the router to
-  /// <flight_dir>/flight_router.jsonl. Empty disables dumps (the rings
-  /// still record).
+  /// <flight_dir>/flight_router.jsonl. On-demand dump sets
+  /// (DumpFlightRecorders) get a monotonic sequence suffix instead:
+  /// flight_shard_<id>.<seq>.jsonl. Empty disables dumps (the rings still
+  /// record).
   std::string flight_dir;
+  /// On-demand dump sets retained on disk; when a new DumpFlightRecorders
+  /// set would exceed this, the oldest set's files are deleted. >= 1.
+  int flight_dump_retention = 16;
   /// Time source for admission token buckets and SLO windows. Defaults to
   /// steady_clock::now; tests inject a fake clock to replay hours of
   /// traffic deterministically.
@@ -260,10 +268,36 @@ class ShardRouter {
     return router_flight_;
   }
 
-  /// On-demand black-box dump: appends every shard's flight-recorder ring
-  /// (and the router's) to its configured file, tagged `reason`.
-  /// FailedPrecondition when ShardRouterOptions::flight_dir is unset.
+  /// On-demand black-box dump: writes every shard's flight-recorder ring
+  /// (and the router's) to a fresh sequence-suffixed file set
+  /// (flight_shard_<id>.<NNNNN>.jsonl / flight_router.<NNNNN>.jsonl) in
+  /// flight_dir, tagged `reason` — successive dumps never collide. At most
+  /// ShardRouterOptions::flight_dump_retention sets are kept; older sets
+  /// are deleted. FailedPrecondition when flight_dir is unset.
   Status DumpFlightRecorders(std::string_view reason);
+
+  /// DumpFlightRecorders calls so far (the sequence number of the newest
+  /// dump set). Shown in /statusz.
+  uint64_t on_demand_dump_count() const {
+    return on_demand_dumps_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers the cluster's introspection surface on `server`: a
+  /// "cluster" /statusz section (health + per-shard summary + dump
+  /// counter), /flightz (every shard ring + the router ring as JSON
+  /// lines), /sloz (per-tenant burn rates), and a /metricsz exporter.
+  /// Handlers capture `this`: Stop() the server before destroying the
+  /// router.
+  void RegisterDebugEndpoints(obs::DebugServer& server);
+
+  /// Registers one watchdog target per currently-active shard: progress is
+  /// the shard's worker heartbeat, busy its queue depth. On stall the
+  /// shard's health degrades, its ring dumps, and a full on-demand dump
+  /// set (reason "watchdog_stall") is written; on recovery health is
+  /// restored. Targets capture `this` and resolve the shard on every
+  /// sample, so they survive crash/rebalance of the shard (a missing shard
+  /// reads as idle). Stop the watchdog before destroying the router.
+  void RegisterWatchdogTargets(obs::Watchdog& watchdog);
 
  private:
   struct Shard {
@@ -354,6 +388,11 @@ class ShardRouter {
   /// Handoff file path for a drain of `shard_id`.
   std::string HandoffPath(int shard_id) const;
 
+  /// Resolves a shard's service under mutex_; null when crashed/removed.
+  /// Watchdog and debug-endpoint callbacks use this on every invocation so
+  /// they never hold a service pointer across a crash or rebalance.
+  std::shared_ptr<serve::PredictionService> FindShard(int shard_id) const;
+
   ShardRouterOptions options_;
   std::string checkpoint_path_;
   AdmissionController admission_;
@@ -366,6 +405,13 @@ class ShardRouter {
   mutable obs::SloTracker slo_;
   /// Router-level black box for requests that never reached a shard.
   mutable obs::FlightRecorder router_flight_;
+  /// DumpFlightRecorders sequence (1-based suffix of the newest dump set).
+  mutable std::atomic<uint64_t> on_demand_dumps_{0};
+  /// Guards dump_sets_ (retention bookkeeping for on-demand dump files).
+  /// LEAF lock: taken after the dump files are written, nothing nested.
+  mutable std::mutex dump_files_mutex_;
+  /// Paths of each retained on-demand dump set, oldest first.
+  std::deque<std::vector<std::string>> dump_sets_;
   /// Clock second of the last "load_shed" anomaly dump — sustained shedding
   /// is throttled to one ring dump per second (see RecordRejection).
   mutable std::atomic<int64_t> last_shed_dump_second_{

@@ -142,6 +142,8 @@ TrainResult TrainRegressor(CascadeRegressor& model,
       obs::MetricsRegistry::Get().GetCounter("train_resumes_total");
   obs::Gauge& grad_norm_gauge =
       obs::MetricsRegistry::Get().GetGauge("train_grad_norm");
+  obs::Gauge& epoch_gauge =
+      obs::MetricsRegistry::Get().GetGauge("train_epoch");
 
   TrainResult result;
   result.best_validation_msle = std::numeric_limits<double>::infinity();
@@ -247,6 +249,7 @@ TrainResult TrainRegressor(CascadeRegressor& model,
 
   for (int epoch = start_epoch; epoch <= options.max_epochs; ++epoch) {
     CASCN_TRACE_SPAN("train_epoch");
+    epoch_gauge.Set(static_cast<double>(epoch));
     const auto epoch_start = Clock::now();
     // Re-derive the permutation from the identity so the epoch's order is a
     // pure function of the Rng state — the state file can then resume it.
@@ -385,6 +388,9 @@ TrainResult TrainRegressor(CascadeRegressor& model,
       ++stats.num_batches;
       batches_total.Increment();
       samples_total.Increment(static_cast<uint64_t>(bn));
+      // Liveness for the stall watchdog: stamped once per batch so a hung
+      // forward/backward reads as a stall, not as progress.
+      if (options.heartbeat != nullptr) options.heartbeat->Beat();
       processed = batch_end;
     }
     stats.epoch = epoch;

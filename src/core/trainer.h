@@ -13,6 +13,7 @@
 #include "core/regressor.h"
 #include "data/dataset.h"
 #include "obs/telemetry.h"
+#include "obs/watchdog.h"
 
 namespace cascn {
 
@@ -36,6 +37,10 @@ struct TrainerOptions {
   /// Receives one JSON object per epoch (timings, gradient norm, learning
   /// rate — every EpochStats field). Not owned; may be null (no streaming).
   obs::TelemetrySink* telemetry = nullptr;
+  /// Liveness stamp for a stall watchdog: bumped once per completed batch,
+  /// so a hung forward/backward/optimizer step reads as a stall. Not
+  /// owned; may be null (no stamping).
+  obs::WorkerHeartbeat* heartbeat = nullptr;
   /// Crash safety: when non-empty, the trainer writes a resumable state
   /// file (core/train_state.h) here every `checkpoint_interval` epochs.
   /// With `resume`, a valid existing file continues the run from its epoch;

@@ -1,0 +1,419 @@
+#include "obs/debug_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+#ifndef CASCN_GIT_SHA
+#define CASCN_GIT_SHA "unknown"
+#endif
+
+namespace cascn::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_servers_started{0};
+
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Unknown";
+  }
+}
+
+// Splits "path?a=1&b=2" into path + query map. No %-decoding: debug
+// endpoints use plain ASCII keys/values (format=json and the like).
+void ParseTarget(std::string_view target, HttpRequest* request) {
+  const size_t qmark = target.find('?');
+  request->path = std::string(target.substr(0, qmark));
+  if (qmark == std::string_view::npos) return;
+  for (std::string_view pair :
+       Split(target.substr(qmark + 1), '&')) {
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      request->query[std::string(pair)] = "";
+    } else {
+      request->query[std::string(pair.substr(0, eq))] =
+          std::string(pair.substr(eq + 1));
+    }
+  }
+}
+
+void SetIoTimeouts(int fd) {
+  struct timeval tv;
+  tv.tv_sec = 5;
+  tv.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+DebugServer::DebugServer(DebugServerOptions options)
+    : options_(std::move(options)),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+Result<std::unique_ptr<DebugServer>> DebugServer::Start(
+    DebugServerOptions options) {
+  std::unique_ptr<DebugServer> server(new DebugServer(std::move(options)));
+  Status status = server->Listen();
+  if (!status.ok()) return status;
+  {
+    std::lock_guard<std::mutex> lock(server->lifecycle_mutex_);
+    server->running_ = true;
+    server->thread_ = std::thread([s = server.get()] { s->Loop(); });
+  }
+  g_servers_started.fetch_add(1, std::memory_order_relaxed);
+  // /tracez serves the sampling aggregates and the open-span table; enable
+  // the feed the moment introspection is asked for.
+  Tracer::Get().EnableSampling();
+  server->AddEndpoint("/", [s = server.get()](const HttpRequest& r) {
+    return s->Index(r);
+  });
+  server->AddEndpoint("/statusz", [s = server.get()](const HttpRequest& r) {
+    return s->Statusz(r);
+  });
+  server->AddEndpoint("/metricsz", [s = server.get()](const HttpRequest& r) {
+    return s->Metricsz(r);
+  });
+  server->AddEndpoint("/tracez", [s = server.get()](const HttpRequest& r) {
+    return s->Tracez(r);
+  });
+  server->AddEndpoint("/quitquitquit",
+                      [s = server.get()](const HttpRequest& r) {
+                        return s->Quitquitquit(r);
+                      });
+  CASCN_LOG(INFO) << "debug server listening on http://"
+                  << server->options_.bind_address << ":" << server->port_;
+  return server;
+}
+
+DebugServer::~DebugServer() { Stop(); }
+
+Status DebugServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Status::IoError(StrFormat("debug server: socket() failed: %s",
+                                     std::strerror(errno)));
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("debug server: bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(StrFormat(
+        "debug server: cannot bind %s:%d: %s", options_.bind_address.c_str(),
+        options_.port, error.c_str()));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("debug server: listen() failed: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("debug server: pipe() failed");
+  }
+  return Status::OK();
+}
+
+void DebugServer::Stop() {
+  std::thread thread;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!running_) return;
+    running_ = false;
+    thread = std::move(thread_);
+  }
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (thread.joinable()) thread.join();
+  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+void DebugServer::Loop() {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      CASCN_LOG(WARNING) << "debug server: poll() failed: "
+                         << std::strerror(errno);
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void DebugServer::HandleConnection(int fd) {
+  SetIoTimeouts(fd);
+  std::string raw;
+  char buffer[2048];
+  while (raw.find("\r\n\r\n") == std::string::npos &&
+         raw.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  const size_t line_end = raw.find("\r\n");
+  HttpResponse response;
+  HttpRequest request;
+  if (line_end == std::string::npos) {
+    response = {400, "text/plain; charset=utf-8", "malformed request\n"};
+  } else {
+    // Request line: METHOD SP TARGET SP VERSION.
+    const std::string_view line(raw.data(), line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos) {
+      response = {400, "text/plain; charset=utf-8", "malformed request\n"};
+    } else {
+      request.method = std::string(line.substr(0, sp1));
+      ParseTarget(line.substr(sp1 + 1, sp2 - sp1 - 1), &request);
+      response = Dispatch(request);
+    }
+  }
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " "
+      << StatusReason(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n";
+  if (WriteAll(fd, out.str())) WriteAll(fd, response.body);
+}
+
+HttpResponse DebugServer::Dispatch(const HttpRequest& request) {
+  if (request.method != "GET" && request.method != "POST")
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(request.path);
+    if (it != endpoints_.end()) handler = it->second;
+  }
+  if (handler == nullptr)
+    return {404, "text/plain; charset=utf-8",
+            "unknown endpoint " + request.path + " (try /)\n"};
+  return handler(request);
+}
+
+HttpResponse DebugServer::Index(const HttpRequest&) {
+  std::ostringstream out;
+  out << "cascn debug server\nendpoints:\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [path, handler] : endpoints_)
+    if (path != "/") out << "  " << path << "\n";
+  return {200, "text/plain; charset=utf-8", out.str()};
+}
+
+HttpResponse DebugServer::Statusz(const HttpRequest&) {
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  std::ostringstream out;
+  out << "cascn statusz\n";
+  out << "build_sha: " << CASCN_GIT_SHA << "\n";
+  out << StrFormat("uptime_s: %.1f\n", uptime_s);
+  out << "pid: " << static_cast<long>(::getpid()) << "\n";
+  std::vector<std::pair<std::string, std::function<std::string()>>> sections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!config_.empty()) {
+      out << "\n[config]\n";
+      for (const auto& [key, value] : config_)
+        out << "  " << key << " = " << value << "\n";
+    }
+    sections = sections_;
+  }
+  // Sections render OUTSIDE the registration lock: they call into other
+  // subsystems (router snapshots, watchdog state) and must be free to take
+  // those locks without ordering against ours.
+  for (const auto& [title, render] : sections) {
+    out << "\n[" << title << "]\n";
+    out << render();
+    out << "\n";
+  }
+  return {200, "text/plain; charset=utf-8", out.str()};
+}
+
+HttpResponse DebugServer::Metricsz(const HttpRequest& request) {
+  // One scrape-local registry: the process-global metrics plus whatever
+  // each exporter contributes, unified so text and JSON stay one document.
+  MetricsRegistry scratch;
+  MetricsRegistry::Get().ExportTo(scratch);
+  std::vector<std::function<void(MetricsRegistry&)>> exporters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exporters = exporters_;
+  }
+  for (const auto& exporter : exporters) exporter(scratch);
+  if (request.QueryOr("format", "text") == "json")
+    return {200, "application/json", scratch.JsonSnapshot()};
+  return {200, "text/plain; charset=utf-8", scratch.TextSnapshot()};
+}
+
+HttpResponse DebugServer::Tracez(const HttpRequest&) {
+  return {200, "application/json", Tracer::Get().TracezJson()};
+}
+
+HttpResponse DebugServer::Quitquitquit(const HttpRequest&) {
+  if (!options_.allow_quit)
+    return {403, "text/plain; charset=utf-8",
+            "quitquitquit is disabled; restart with the allow-quit flag "
+            "(--debug_allow_quit) to enable remote shutdown\n"};
+  quit_requested_.store(true, std::memory_order_relaxed);
+  CASCN_LOG(INFO) << "debug server: quitquitquit accepted";
+  return {200, "text/plain; charset=utf-8", "bye\n"};
+}
+
+void DebugServer::AddEndpoint(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_[path] = std::move(handler);
+}
+
+void DebugServer::AddStatusSection(const std::string& title,
+                                   std::function<std::string()> render) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sections_.emplace_back(title, std::move(render));
+}
+
+void DebugServer::AddConfig(const std::string& key,
+                            const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.emplace_back(key, value);
+}
+
+void DebugServer::AddMetricsExporter(
+    std::function<void(MetricsRegistry&)> exporter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exporters_.push_back(std::move(exporter));
+}
+
+uint64_t DebugServer::servers_started() {
+  return g_servers_started.load(std::memory_order_relaxed);
+}
+
+int DebugServer::EnvPort() {
+  const char* env = std::getenv("CASCN_DEBUG_PORT");
+  if (env == nullptr || env[0] == '\0') return -1;
+  char* end = nullptr;
+  const long port = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || port < 0 || port > 65535) return -1;
+  return static_cast<int>(port);
+}
+
+Result<HttpResult> HttpGet(int port, const std::string& path_and_query,
+                           double timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("HttpGet: socket() failed");
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("HttpGet: cannot connect to 127.0.0.1:%d: %s", port,
+                  error.c_str()));
+  }
+  const std::string request = "GET " + path_and_query +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    ::close(fd);
+    return Status::IoError("HttpGet: short write");
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError("HttpGet: read failed or timed out");
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\nbody"
+  if (raw.rfind("HTTP/1.", 0) != 0)
+    return Status::IoError("HttpGet: malformed response");
+  const size_t sp = raw.find(' ');
+  HttpResult result;
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  const size_t body_at = raw.find("\r\n\r\n");
+  if (body_at != std::string::npos) result.body = raw.substr(body_at + 4);
+  return result;
+}
+
+}  // namespace cascn::obs

@@ -1,7 +1,10 @@
 #include "obs/metrics_registry.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -59,6 +62,27 @@ std::string TextEscapeName(std::string_view name) {
     }
   }
   return out;
+}
+
+// OpenMetrics metadata (# HELP / # TYPE) attaches to the metric FAMILY: the
+// name with any {label="..."} sample suffix stripped.
+std::string_view FamilyName(std::string_view name) {
+  const size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+// Emits the family's # HELP and # TYPE comment lines before its first
+// sample. `seen` dedups across labeled samples of one family (and across
+// sections, so a name collision between kinds cannot emit two conflicting
+// TYPE lines for the same family).
+void EmitFamilyHeader(std::ostringstream& out, std::string_view name,
+                      const char* type, const char* help,
+                      std::set<std::string_view>& seen) {
+  const std::string_view family = FamilyName(name);
+  if (!seen.insert(family).second) return;
+  const std::string escaped = TextEscapeName(family);
+  out << "# HELP " << escaped << " " << help << "\n";
+  out << "# TYPE " << escaped << " " << type << "\n";
 }
 
 }  // namespace
@@ -151,6 +175,22 @@ std::string Histogram::Snapshot::ToJson() const {
       static_cast<unsigned long long>(max));
 }
 
+void Histogram::MergeFrom(const Snapshot& snapshot) {
+  for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    if (snapshot.buckets[i] == 0) continue;
+    const size_t bucket =
+        std::min(i, static_cast<size_t>(num_buckets_ - 1));
+    buckets_[bucket].fetch_add(snapshot.buckets[i],
+                               std::memory_order_relaxed);
+  }
+  sum_.fetch_add(snapshot.sum, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < snapshot.max &&
+         !max_.compare_exchange_weak(prev, snapshot.max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 Histogram::Snapshot Histogram::TakeSnapshot() const {
   Snapshot snap;
   snap.buckets.resize(static_cast<size_t>(num_buckets_));
@@ -200,15 +240,50 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+void MetricsRegistry::ExportTo(MetricsRegistry& dest) const {
+  // Snapshot under our lock, write into `dest` unlocked: never holding two
+  // registry mutexes at once makes lock inversion impossible no matter how
+  // exporters chain registries together.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::tuple<std::string, int, Histogram::Snapshot>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, counter] : counters_)
+      counters.emplace_back(name, counter->value());
+    for (const auto& [name, gauge] : gauges_)
+      gauges.emplace_back(name, gauge->value());
+    for (const auto& [name, histogram] : histograms_)
+      histograms.emplace_back(name, histogram->num_buckets(),
+                              histogram->TakeSnapshot());
+  }
+  for (const auto& [name, value] : counters)
+    dest.GetCounter(name).Increment(value);
+  for (const auto& [name, value] : gauges) dest.GetGauge(name).Set(value);
+  for (const auto& [name, num_buckets, snapshot] : histograms)
+    dest.GetHistogram(name, num_buckets).MergeFrom(snapshot);
+}
+
 std::string MetricsRegistry::TextSnapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
-  for (const auto& [name, counter] : counters_)
+  // string_views into map keys: stable for the duration of the snapshot.
+  std::set<std::string_view> seen_families;
+  for (const auto& [name, counter] : counters_) {
+    EmitFamilyHeader(out, name, "counter", "Monotonic event count.",
+                     seen_families);
     out << TextEscapeName(name) << " = " << counter->value() << "\n";
-  for (const auto& [name, gauge] : gauges_)
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    EmitFamilyHeader(out, name, "gauge", "Point-in-time value.",
+                     seen_families);
     out << TextEscapeName(name) << " = " << StrFormat("%.6g", gauge->value())
         << "\n";
+  }
   for (const auto& [name, histogram] : histograms_) {
+    EmitFamilyHeader(out, name, "histogram",
+                     "Log2-bucketed distribution (native units).",
+                     seen_families);
     const Histogram::Snapshot snap = histogram->TakeSnapshot();
     out << TextEscapeName(name)
         << StrFormat(

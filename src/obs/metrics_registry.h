@@ -99,6 +99,12 @@ class Histogram {
 
   Snapshot TakeSnapshot() const;
 
+  /// Adds another histogram's snapshot into this one, bucket by bucket
+  /// (counts, sum, and max). Extra source buckets beyond this histogram's
+  /// count fold into the last bucket. Used to merge per-component
+  /// histograms into one scrape-local registry.
+  void MergeFrom(const Snapshot& snapshot);
+
  private:
   const int num_buckets_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
@@ -125,7 +131,18 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name,
                           int num_buckets = Histogram::kDefaultBuckets);
 
-  /// Multi-line `name = value` report, one metric per line.
+  /// Copies every metric's CURRENT value into `dest` (creating metrics as
+  /// needed): counter values are added, gauges overwritten, histograms
+  /// merged bucket-by-bucket. The debug server uses this to combine the
+  /// process-global registry with component exporters into one
+  /// scrape-local registry per /metricsz request. `dest` must be a
+  /// different registry.
+  void ExportTo(MetricsRegistry& dest) const;
+
+  /// Multi-line `name = value` report, one metric per line, with
+  /// OpenMetrics-style `# HELP` / `# TYPE` comment lines before each
+  /// metric family (the name minus any `{label="..."}` sample suffix) so
+  /// the output is scrapeable.
   std::string TextSnapshot() const;
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
   std::string JsonSnapshot() const;

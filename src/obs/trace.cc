@@ -62,25 +62,166 @@ void Tracer::RecordSpan(const char* name,
                         std::chrono::steady_clock::time_point start,
                         std::chrono::steady_clock::time_point end,
                         uint64_t trace_id, SpanFlow flow) {
-  if (!enabled()) return;
+  const bool record = enabled();
+  const bool sample = sampling();
+  if (!record && !sample) return;
   if (end < start) end = start;
   if (start < epoch_) start = epoch_;  // spans begun before tracer init
-  const auto start_ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_);
   const auto duration_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
+  if (sample)
+    RecordSample(name, static_cast<uint64_t>(duration_ns.count()));
+  if (!record) return;
+  const auto start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_);
   Record(TraceEvent{name, static_cast<uint64_t>(start_ns.count()),
                     static_cast<uint64_t>(duration_ns.count()), trace_id,
                     flow});
 }
 
+void Tracer::PushOpenSpan(const char* name,
+                          std::chrono::steady_clock::time_point start,
+                          uint64_t trace_id) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.open.push_back(OpenSpan{name, start, trace_id});
+}
+
+void Tracer::PopOpenSpan(const char* name,
+                         std::chrono::steady_clock::time_point start,
+                         uint64_t trace_id) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  // RAII scoping makes this the back entry in practice; the backwards scan
+  // keeps a concurrent Clear() or sampling toggle from ever popping a
+  // different span's entry.
+  for (auto it = buffer.open.rbegin(); it != buffer.open.rend(); ++it) {
+    if (it->name == name && it->start == start &&
+        it->trace_id == trace_id) {
+      buffer.open.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void Tracer::RecordSample(const char* name, uint64_t duration_ns) {
+  const uint64_t duration_us = duration_ns / 1000;
+  std::lock_guard<std::mutex> lock(samples_mutex_);
+  auto it = samples_.find(name);
+  if (it == samples_.end()) {
+    if (samples_.size() >= kMaxSampledNames) {
+      it = samples_.find("_other");
+      if (it == samples_.end())
+        it = samples_
+                 .emplace("_other", std::make_unique<Histogram>())
+                 .first;
+    } else {
+      it = samples_.emplace(name, std::make_unique<Histogram>()).first;
+    }
+  }
+  it->second->Record(duration_us);
+}
+
+std::vector<OpenSpanInfo> Tracer::OpenSpans() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<OpenSpanInfo> spans;
+  {
+    std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      for (const OpenSpan& open : buffer->open) {
+        OpenSpanInfo info;
+        info.name = open.name;
+        info.tid = buffer->tid;
+        info.trace_id = open.trace_id;
+        info.age_ns = open.start < now
+                          ? static_cast<uint64_t>(
+                                std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(now -
+                                                              open.start)
+                                    .count())
+                          : 0;
+        spans.push_back(info);
+      }
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const OpenSpanInfo& a, const OpenSpanInfo& b) {
+              return a.age_ns > b.age_ns;
+            });
+  return spans;
+}
+
+std::vector<SpanStats> Tracer::SpanStatsSnapshot() const {
+  std::vector<SpanStats> stats;
+  std::lock_guard<std::mutex> lock(samples_mutex_);
+  for (const auto& [name, histogram] : samples_) {
+    const Histogram::Snapshot snap = histogram->TakeSnapshot();
+    SpanStats s;
+    s.name = name;
+    s.count = snap.count;
+    s.mean_us = snap.mean;
+    s.p50_us = snap.Percentile(0.50);
+    s.p95_us = snap.Percentile(0.95);
+    s.max_us = snap.max;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+std::string Tracer::OpenSpansJson() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const OpenSpanInfo& span : OpenSpans()) {
+    if (!first) out << ",";
+    first = false;
+    out << StrFormat(
+        "\n{\"name\": \"%s\", \"tid\": %d, \"trace_id\": \"%llx\", "
+        "\"age_us\": %.1f}",
+        span.name, span.tid,
+        static_cast<unsigned long long>(span.trace_id),
+        static_cast<double>(span.age_ns) / 1000.0);
+  }
+  out << "\n]";
+  return out.str();
+}
+
+std::string Tracer::TracezJson() const {
+  std::ostringstream out;
+  out << StrFormat(
+      "{\"sampling\": %s, \"spans_dropped\": %llu, \"span_stats\": [",
+      sampling() ? "true" : "false",
+      static_cast<unsigned long long>(dropped_count()));
+  bool first = true;
+  for (const SpanStats& s : SpanStatsSnapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << StrFormat(
+        "\n{\"name\": \"%s\", \"count\": %llu, \"mean_us\": %.1f, "
+        "\"p50_us\": %.1f, \"p95_us\": %.1f, \"max_us\": %llu}",
+        s.name.c_str(), static_cast<unsigned long long>(s.count), s.mean_us,
+        s.p50_us, s.p95_us, static_cast<unsigned long long>(s.max_us));
+  }
+  out << "\n], \"open_spans\": " << OpenSpansJson() << "}\n";
+  return out.str();
+}
+
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
-  for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
-    buffer->ring.clear();
-    buffer->next = 0;
-    buffer->wrapped = false;
+  {
+    std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      buffer->ring.clear();
+      buffer->next = 0;
+      buffer->wrapped = false;
+      // The open stacks are NOT cleared: entries belong to live ScopedSpan
+      // objects that will remove themselves on destruction.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(samples_mutex_);
+    samples_.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);
 }

@@ -38,12 +38,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics_registry.h"
 
 namespace cascn::obs {
 
@@ -65,6 +67,28 @@ struct TraceEvent {
   SpanFlow flow = SpanFlow::kNone;
 };
 
+/// A span that is open RIGHT NOW on some thread (constructed but not yet
+/// destroyed). The live answer to "what is this worker doing" — a wedged
+/// worker shows up as one of these with a large age. Only populated while
+/// span sampling is enabled (see Tracer::EnableSampling).
+struct OpenSpanInfo {
+  const char* name = nullptr;
+  int tid = 0;            // tracer thread id, matches the Chrome trace tid
+  uint64_t trace_id = 0;  // 0 = not request-scoped
+  uint64_t age_ns = 0;    // how long the span has been open
+};
+
+/// Aggregate over completed spans of one name, collected while sampling is
+/// enabled. Durations in microseconds.
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  uint64_t max_us = 0;
+};
+
 /// Process-global span collector. All methods are thread-safe.
 class Tracer {
  public:
@@ -73,11 +97,46 @@ class Tracer {
   /// unbounded memory.
   static constexpr size_t kRingCapacity = size_t{1} << 16;
 
+  /// Distinct span names tracked by the sampling aggregates; the overflow
+  /// beyond the cap is folded into a single "_other" entry so a name
+  /// explosion cannot grow the table without bound.
+  static constexpr size_t kMaxSampledNames = 256;
+
   static Tracer& Get();
 
   void Enable() { enabled_.store(true, std::memory_order_relaxed); }
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Span sampling is the /tracez + watchdog feed: per-name count/p50/p95
+  /// aggregates over completed spans plus the table of currently-open
+  /// spans. Independent of Enable() (the Chrome-trace ring): introspection
+  /// servers and watchdogs turn sampling on without paying for full trace
+  /// retention. Off by default; while off a span costs one extra relaxed
+  /// load and records nothing.
+  void EnableSampling() { sampling_.store(true, std::memory_order_relaxed); }
+  void DisableSampling() {
+    sampling_.store(false, std::memory_order_relaxed);
+  }
+  bool sampling() const {
+    return sampling_.load(std::memory_order_relaxed);
+  }
+
+  /// Spans open right now across all threads, oldest first. Empty unless
+  /// sampling is enabled.
+  std::vector<OpenSpanInfo> OpenSpans() const;
+
+  /// Per-name aggregates over completed spans sampled so far, sorted by
+  /// name. Cleared by Clear().
+  std::vector<SpanStats> SpanStatsSnapshot() const;
+
+  /// JSON array of OpenSpans() entries: [{"name", "tid", "trace_id",
+  /// "age_us"}, ...]. Reused by /tracez and the watchdog stall dump.
+  std::string OpenSpansJson() const;
+
+  /// Full /tracez payload: {"sampling", "spans_dropped", "span_stats",
+  /// "open_spans"}.
+  std::string TracezJson() const;
 
   /// Drops every recorded event (thread buffers stay registered) and
   /// resets the dropped-span count.
@@ -96,7 +155,8 @@ class Tracer {
   /// Records a completed span with explicit endpoints. Used for durations
   /// whose begin and end happen on different threads (e.g. queue wait:
   /// enqueue on a client thread, dequeue on a worker); the event lands in
-  /// the calling thread's buffer. No-op while disabled.
+  /// the calling thread's buffer. Also feeds the sampling aggregates when
+  /// sampling is on. No-op while both tracing and sampling are disabled.
   void RecordSpan(const char* name,
                   std::chrono::steady_clock::time_point start,
                   std::chrono::steady_clock::time_point end) {
@@ -124,6 +184,12 @@ class Tracer {
  private:
   friend class ScopedSpan;
 
+  struct OpenSpan {
+    const char* name = nullptr;
+    std::chrono::steady_clock::time_point start;
+    uint64_t trace_id = 0;
+  };
+
   struct ThreadBuffer {
     // Guards the ring. Uncontended except while a snapshot is being taken:
     // each thread writes only its own buffer.
@@ -132,6 +198,11 @@ class Tracer {
     size_t next = 0;      // insertion point once the ring is full
     bool wrapped = false;
     int tid = 0;          // stable per-thread id for the trace output
+    // Spans currently open on this thread (sampling only). RAII scoping
+    // makes pushes/pops LIFO per thread; removal still searches from the
+    // back so a Clear()-or-toggle race degrades to a no-op, never a
+    // mismatched pop.
+    std::vector<OpenSpan> open;
   };
 
   Tracer();
@@ -140,16 +211,32 @@ class Tracer {
   ThreadBuffer& LocalBuffer();
   void Record(const TraceEvent& event);
 
+  /// Sampling hooks used by ScopedSpan: push/remove the open-span entry on
+  /// the calling thread's buffer.
+  void PushOpenSpan(const char* name,
+                    std::chrono::steady_clock::time_point start,
+                    uint64_t trace_id);
+  void PopOpenSpan(const char* name,
+                   std::chrono::steady_clock::time_point start,
+                   uint64_t trace_id);
+  /// Folds a completed span into the per-name aggregates.
+  void RecordSample(const char* name, uint64_t duration_ns);
+
   // Each thread holds a shared_ptr so its buffer outlives thread exit (the
   // registry keeps the other reference; the serializer may still read it).
   static thread_local std::shared_ptr<ThreadBuffer> tls_buffer_;
 
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> sampling_{false};
   std::atomic<int> next_tid_{1};
   std::atomic<uint64_t> dropped_{0};
   mutable std::mutex buffers_mutex_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  // Per-name duration histograms (microseconds), sampling only. Bounded by
+  // kMaxSampledNames; guarded by samples_mutex_.
+  mutable std::mutex samples_mutex_;
+  std::map<std::string, std::unique_ptr<Histogram>> samples_;
 };
 
 /// RAII span: measures construction-to-destruction on the current thread.
@@ -163,14 +250,19 @@ class ScopedSpan {
       : name_(name),
         trace_id_(trace_id),
         flow_(flow),
-        active_(Tracer::Get().enabled()) {
-    if (active_) start_ = std::chrono::steady_clock::now();
+        active_(Tracer::Get().enabled()),
+        sampled_(Tracer::Get().sampling()) {
+    if (active_ || sampled_) start_ = std::chrono::steady_clock::now();
+    if (sampled_) Tracer::Get().PushOpenSpan(name_, start_, trace_id_);
   }
   ~ScopedSpan() {
-    if (active_)
-      Tracer::Get().RecordSpan(name_, start_,
-                               std::chrono::steady_clock::now(), trace_id_,
-                               flow_);
+    if (!active_ && !sampled_) return;
+    // RecordSpan gates on the CURRENT tracer state, so a span that straddles
+    // an Enable()/EnableSampling() toggle records at most what both ends
+    // agreed to; the open-span entry is always removed if it was pushed.
+    Tracer::Get().RecordSpan(name_, start_, std::chrono::steady_clock::now(),
+                             trace_id_, flow_);
+    if (sampled_) Tracer::Get().PopOpenSpan(name_, start_, trace_id_);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -181,6 +273,7 @@ class ScopedSpan {
   uint64_t trace_id_;
   SpanFlow flow_;
   bool active_;
+  bool sampled_;
   std::chrono::steady_clock::time_point start_;
 };
 

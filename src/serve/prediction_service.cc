@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/string_util.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
@@ -506,8 +507,57 @@ void PredictionService::WorkerLoop(int worker_index) {
                     static_cast<uint64_t>(elapsed.count()) * 1000, fault_bits);
       if (deadline_exceeded) flight_.TriggerDump("deadline_exceeded");
       request.promise.set_value(std::move(response));
+      // One beat per terminal request: the watchdog reads this as "the
+      // drain loop is alive". Stamped after completion, so a request stuck
+      // inside Execute() reads as a stall, not progress.
+      heartbeat_.Beat();
     }
   }
+}
+
+obs::WatchTarget PredictionService::MakeWatchdogTarget(std::string name) {
+  obs::WatchTarget target;
+  target.name = std::move(name);
+  target.progress = [this] { return heartbeat_.count(); };
+  target.busy = [this] { return queue_depth() > 0; };
+  target.on_stall = [this] { NoteWatchdogStall(); };
+  target.on_recover = [this] { NoteWatchdogRecovery(); };
+  return target;
+}
+
+void PredictionService::NoteWatchdogStall() {
+  // Only a healthy service transitions: a reload-degraded or shut-down
+  // service keeps its existing (more specific) state.
+  if (metrics_.health() == Health::kHealthy) {
+    metrics_.SetHealth(Health::kDegraded);
+    watchdog_degraded_.store(true, std::memory_order_relaxed);
+  }
+  flight_.TriggerDump("watchdog_stall");
+}
+
+void PredictionService::NoteWatchdogRecovery() {
+  if (watchdog_degraded_.exchange(false, std::memory_order_relaxed) &&
+      metrics_.health() == Health::kDegraded)
+    metrics_.SetHealth(Health::kHealthy);
+}
+
+void PredictionService::RegisterDebugEndpoints(obs::DebugServer& server) {
+  server.AddStatusSection("serve", [this] {
+    return StrFormat("queue_depth: %zu\nheartbeats: %llu\n",
+                     queue_depth(),
+                     static_cast<unsigned long long>(heartbeat_.count())) +
+           metrics_.TakeSnapshot().ToString();
+  });
+  server.AddMetricsExporter([this](obs::MetricsRegistry& registry) {
+    ExportToRegistry(metrics_.TakeSnapshot(), registry);
+    registry_.ExportTo(registry);
+  });
+  server.AddEndpoint("/flightz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/x-ndjson";
+    response.body = flight_.ToJsonLines("flightz");
+    return response;
+  });
 }
 
 }  // namespace cascn::serve

@@ -45,9 +45,11 @@
 #include "common/result.h"
 #include "core/regressor.h"
 #include "parallel/thread_pool.h"
+#include "obs/debug_server.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/request_context.h"
+#include "obs/watchdog.h"
 #include "serve/metrics.h"
 #include "serve/session_manager.h"
 
@@ -210,6 +212,33 @@ class PredictionService {
   /// Path the replicas were loaded from; empty when factory-built.
   const std::string& checkpoint_path() const { return checkpoint_path_; }
 
+  /// Liveness stamp: workers bump it once per completed request, so the
+  /// count moving is proof the drain loop is making progress. Watchdogs
+  /// sample it via MakeWatchdogTarget().
+  uint64_t heartbeat_count() const { return heartbeat_.count(); }
+
+  /// Builds a watchdog target for this service: progress is the worker
+  /// heartbeat, busy means requests are queued. On stall the service's
+  /// health drops to kDegraded and its flight recorder dumps (reason
+  /// "watchdog_stall"); on recovery, health returns to kHealthy if (and
+  /// only if) the watchdog was what degraded it. The target captures
+  /// `this`: stop the watchdog before destroying the service.
+  obs::WatchTarget MakeWatchdogTarget(std::string name);
+
+  /// Watchdog health latch, exposed for callers (the shard router) that
+  /// build their own WatchTarget around this service: a stall degrades
+  /// health (once) and dumps the flight ring; a recovery restores kHealthy
+  /// if (and only if) the watchdog was what degraded it.
+  void NoteWatchdogStall();
+  void NoteWatchdogRecovery();
+
+  /// Registers this service's introspection surface on `server`: a "serve"
+  /// /statusz section, /flightz (the flight ring as JSON lines), and a
+  /// /metricsz exporter bridging ServeMetrics plus the service-local
+  /// registry. Handlers capture `this`: Stop() the server before
+  /// destroying the service.
+  void RegisterDebugEndpoints(obs::DebugServer& server);
+
  private:
   enum class RequestType { kCreate, kAppend, kPredict, kClose };
 
@@ -254,6 +283,10 @@ class PredictionService {
 
   ServiceOptions options_;
   ServeMetrics metrics_;
+  obs::WorkerHeartbeat heartbeat_;
+  /// True while a watchdog stall (not a reload failure) holds health at
+  /// kDegraded; lets recovery restore exactly what the watchdog took away.
+  std::atomic<bool> watchdog_degraded_{false};
   obs::FlightRecorder flight_;
   obs::MetricsRegistry registry_;
   obs::Gauge& queue_depth_;        // owned by registry_

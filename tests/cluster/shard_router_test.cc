@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
@@ -569,6 +570,56 @@ TEST_F(ShardRouterTest, DeadlineExceededTriggersFlightDumpWithTraceId) {
             std::string::npos);
   EXPECT_NE(dump.find("\"status\": \"DeadlineExceeded\""), std::string::npos);
   std::remove(dump_path.c_str());
+}
+
+// On-demand dumps never collide: each DumpFlightRecorders call writes a
+// fresh sequence-suffixed file set, and the retention cap deletes the
+// oldest sets instead of letting the directory grow without bound.
+TEST_F(ShardRouterTest, OnDemandDumpsAreSequencedAndRetained) {
+  ShardRouterOptions options = Options(2);
+  options.flight_dir = ::testing::TempDir() + "dump_seq";
+  options.flight_dump_retention = 2;
+  ASSERT_EQ(std::system(("rm -rf " + options.flight_dir + " && mkdir -p " +
+                         options.flight_dir)
+                            .c_str()),
+            0);
+  auto router = MakeRouter(options);
+  ASSERT_TRUE(router->CallCreate("acme", "sess", 1).status.ok());
+
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(router->DumpFlightRecorders("collide_check").ok());
+  EXPECT_EQ(router->on_demand_dump_count(), 3u);
+
+  auto exists = [&](const std::string& name) {
+    return std::ifstream(options.flight_dir + "/" + name).good();
+  };
+  // Newest two sets retained, oldest evicted (retention = 2).
+  EXPECT_FALSE(exists("flight_router.00001.jsonl"));
+  EXPECT_FALSE(exists("flight_shard_0.00001.jsonl"));
+  EXPECT_TRUE(exists("flight_router.00002.jsonl"));
+  EXPECT_TRUE(exists("flight_router.00003.jsonl"));
+  EXPECT_TRUE(exists("flight_shard_0.00003.jsonl"));
+  EXPECT_TRUE(exists("flight_shard_1.00003.jsonl"));
+
+  // Distinct files per call: the newest set holds exactly one dump header,
+  // not three appended ones.
+  std::ifstream in(options.flight_dir + "/flight_router.00003.jsonl");
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string dump = content.str();
+  size_t headers = 0;
+  for (size_t pos = dump.find("\"event\": \"flight_dump\"");
+       pos != std::string::npos;
+       pos = dump.find("\"event\": \"flight_dump\"", pos + 1))
+    ++headers;
+  EXPECT_EQ(headers, 1u) << dump;
+  EXPECT_NE(dump.find("collide_check"), std::string::npos);
+
+  // Unset flight_dir still fails fast.
+  ShardRouterOptions no_dir = Options(1);
+  auto bare = MakeRouter(no_dir);
+  EXPECT_EQ(bare->DumpFlightRecorders("nope").code(),
+            StatusCode::kFailedPrecondition);
 }
 
 // Acceptance: a deterministic over-quota scenario (fake clock) drives one

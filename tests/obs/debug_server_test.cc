@@ -1,0 +1,166 @@
+#include "obs/debug_server.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace cascn::obs {
+namespace {
+
+Result<std::unique_ptr<DebugServer>> StartEphemeral(bool allow_quit = false) {
+  DebugServerOptions options;
+  options.port = 0;
+  options.allow_quit = allow_quit;
+  return DebugServer::Start(options);
+}
+
+TEST(DebugServerTest, StatuszServesBuildInfoConfigAndSections) {
+  auto server = StartEphemeral();
+  ASSERT_TRUE(server.ok()) << server.status();
+  (*server)->AddConfig("num_workers", "4");
+  (*server)->AddStatusSection("serve", [] { return "queue_depth: 3\n"; });
+  const auto result = HttpGet((*server)->port(), "/statusz");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->status, 200);
+  EXPECT_NE(result->body.find("build_sha:"), std::string::npos);
+  EXPECT_NE(result->body.find("uptime_s:"), std::string::npos);
+  EXPECT_NE(result->body.find("num_workers = 4"), std::string::npos)
+      << result->body;
+  EXPECT_NE(result->body.find("[serve]"), std::string::npos) << result->body;
+  EXPECT_NE(result->body.find("queue_depth: 3"), std::string::npos);
+}
+
+TEST(DebugServerTest, MetricszMergesGlobalAndExportedMetrics) {
+  MetricsRegistry::Get()
+      .GetCounter("debug_server_test_global_total")
+      .Increment();
+  auto server = StartEphemeral();
+  ASSERT_TRUE(server.ok()) << server.status();
+  (*server)->AddMetricsExporter([](MetricsRegistry& registry) {
+    registry.GetGauge("debug_server_test_exported").Set(42);
+  });
+  const auto text = HttpGet((*server)->port(), "/metricsz");
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(text->status, 200);
+  EXPECT_NE(text->body.find("debug_server_test_global_total"),
+            std::string::npos);
+  EXPECT_NE(text->body.find("debug_server_test_exported = 42"),
+            std::string::npos)
+      << text->body;
+  EXPECT_NE(text->body.find("# TYPE debug_server_test_exported gauge"),
+            std::string::npos)
+      << text->body;
+
+  // JSON format: one unified document, both sources present.
+  const auto json = HttpGet((*server)->port(), "/metricsz?format=json");
+  ASSERT_TRUE(json.ok()) << json.status();
+  EXPECT_EQ(json->status, 200);
+  EXPECT_EQ(json->body.find("#"), std::string::npos) << "no text headers";
+  EXPECT_NE(json->body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json->body.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json->body.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json->body.find("debug_server_test_global_total"),
+            std::string::npos);
+  EXPECT_NE(json->body.find("debug_server_test_exported"),
+            std::string::npos);
+}
+
+TEST(DebugServerTest, TracezReportsSampledSpans) {
+  auto server = StartEphemeral();  // Start() enables sampling
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE(Tracer::Get().sampling());
+  { ScopedSpan span("tracez_test_span", 0x1234); }
+  const auto result = HttpGet((*server)->port(), "/tracez");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->status, 200);
+  EXPECT_NE(result->body.find("tracez_test_span"), std::string::npos)
+      << result->body;
+  EXPECT_NE(result->body.find("\"open_spans\""), std::string::npos);
+  Tracer::Get().DisableSampling();
+}
+
+TEST(DebugServerTest, TracezShowsCurrentlyOpenSpans) {
+  auto server = StartEphemeral();
+  ASSERT_TRUE(server.ok()) << server.status();
+  {
+    ScopedSpan open("tracez_open_span", 0xfeed1234);
+    const auto result = HttpGet((*server)->port(), "/tracez");
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_NE(result->body.find("tracez_open_span"), std::string::npos)
+        << result->body;
+    EXPECT_NE(result->body.find("feed1234"), std::string::npos);
+  }
+  Tracer::Get().DisableSampling();
+}
+
+TEST(DebugServerTest, UnknownPathIs404AndBadMethodIs405) {
+  auto server = StartEphemeral();
+  ASSERT_TRUE(server.ok()) << server.status();
+  const auto missing = HttpGet((*server)->port(), "/nope");
+  ASSERT_TRUE(missing.ok()) << missing.status();
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(DebugServerTest, QuitIsGatedBehindOptIn) {
+  auto locked = StartEphemeral(/*allow_quit=*/false);
+  ASSERT_TRUE(locked.ok()) << locked.status();
+  const auto denied = HttpGet((*locked)->port(), "/quitquitquit");
+  ASSERT_TRUE(denied.ok()) << denied.status();
+  EXPECT_EQ(denied->status, 403);
+  EXPECT_FALSE((*locked)->quit_requested());
+
+  auto open = StartEphemeral(/*allow_quit=*/true);
+  ASSERT_TRUE(open.ok()) << open.status();
+  const auto granted = HttpGet((*open)->port(), "/quitquitquit");
+  ASSERT_TRUE(granted.ok()) << granted.status();
+  EXPECT_EQ(granted->status, 200);
+  EXPECT_TRUE((*open)->quit_requested());
+  Tracer::Get().DisableSampling();
+}
+
+TEST(DebugServerTest, AddEndpointServesCustomHandlerWithQuery) {
+  auto server = StartEphemeral();
+  ASSERT_TRUE(server.ok()) << server.status();
+  (*server)->AddEndpoint("/customz", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "fmt=" + request.QueryOr("format", "text");
+    return response;
+  });
+  const auto plain = HttpGet((*server)->port(), "/customz");
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->body, "fmt=text");
+  const auto json = HttpGet((*server)->port(), "/customz?format=json");
+  ASSERT_TRUE(json.ok()) << json.status();
+  EXPECT_EQ(json->body, "fmt=json");
+  Tracer::Get().DisableSampling();
+}
+
+TEST(DebugServerTest, ServersStartedCountsEveryStart) {
+  const uint64_t before = DebugServer::servers_started();
+  auto server = StartEphemeral();
+  ASSERT_TRUE(server.ok()) << server.status();
+  EXPECT_EQ(DebugServer::servers_started(), before + 1);
+  Tracer::Get().DisableSampling();
+}
+
+TEST(DebugServerTest, StopIsIdempotentAndServerRestartable) {
+  auto server = StartEphemeral();
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int port = (*server)->port();
+  EXPECT_GT(port, 0);
+  (*server)->Stop();
+  (*server)->Stop();
+  // The port is free again: a new server can bind an ephemeral port fine.
+  auto second = StartEphemeral();
+  ASSERT_TRUE(second.ok()) << second.status();
+  const auto result = HttpGet((*second)->port(), "/statusz");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->status, 200);
+  Tracer::Get().DisableSampling();
+}
+
+}  // namespace
+}  // namespace cascn::obs

@@ -160,6 +160,62 @@ TEST(MetricsRegistryTest, TextAndJsonExposition) {
   EXPECT_NE(json.find("\"batch_size\": {\"count\": 1"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, TextExpositionEmitsTypeAndHelpHeaders) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total").Increment();
+  registry.GetGauge("queue_depth").Set(1.0);
+  registry.GetHistogram("batch_size").Record(4);
+
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP requests_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE batch_size histogram"), std::string::npos);
+  // A header precedes its family's sample line.
+  EXPECT_LT(text.find("# TYPE requests_total counter"),
+            text.find("requests_total = 1"));
+
+  // Headers are OpenMetrics-style comments and must NOT leak into JSON —
+  // that output is schema-consumed and stays byte-stable.
+  const std::string json = registry.JsonSnapshot();
+  EXPECT_EQ(json.find('#'), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, LabeledSeriesShareOneFamilyHeader) {
+  MetricsRegistry registry;
+  registry.GetCounter("rpcs_total{shard=\"0\"}").Increment();
+  registry.GetCounter("rpcs_total{shard=\"1\"}").Increment();
+  const std::string text = registry.TextSnapshot();
+  // One TYPE line for the family, keyed on the name minus its label set.
+  size_t count = 0;
+  for (size_t pos = text.find("# TYPE rpcs_total counter");
+       pos != std::string::npos;
+       pos = text.find("# TYPE rpcs_total counter", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 1u) << text;
+}
+
+TEST(MetricsRegistryTest, ExportToMergesIntoDestination) {
+  MetricsRegistry source;
+  source.GetCounter("exported_total").Increment(5);
+  source.GetGauge("exported_gauge").Set(2.5);
+  source.GetHistogram("exported_hist").Record(8);
+  source.GetHistogram("exported_hist").Record(100);
+
+  MetricsRegistry dest;
+  dest.GetCounter("exported_total").Increment(2);  // pre-existing: adds
+  dest.GetHistogram("exported_hist").Record(8);
+  source.ExportTo(dest);
+
+  EXPECT_EQ(dest.GetCounter("exported_total").value(), 7u);
+  EXPECT_EQ(dest.GetGauge("exported_gauge").value(), 2.5);
+  const Histogram::Snapshot merged =
+      dest.GetHistogram("exported_hist").TakeSnapshot();
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.max, 100u);
+}
+
 TEST(MetricsRegistryTest, ConcurrentLookupsAndUpdates) {
   MetricsRegistry registry;
   constexpr int kThreads = 8;

@@ -1,0 +1,201 @@
+#include "obs/watchdog.h"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace cascn::obs {
+namespace {
+
+using std::chrono::steady_clock;
+
+/// Hand-cranked clock + PollOnce make every test deterministic: no real
+/// sleeping, no background-thread races.
+struct FakeClock {
+  steady_clock::time_point now = steady_clock::time_point{};
+  void Advance(double ms) {
+    now += std::chrono::duration_cast<steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+};
+
+WatchdogOptions DeterministicOptions(FakeClock& clock) {
+  WatchdogOptions options;
+  options.stall_ms = 100.0;
+  options.clock = [&clock] { return clock.now; };
+  return options;
+}
+
+WatchTarget MakeTarget(std::string name, std::function<uint64_t()> progress,
+                       std::function<bool()> busy,
+                       std::function<void()> on_stall = nullptr,
+                       std::function<void()> on_recover = nullptr) {
+  WatchTarget target;
+  target.name = std::move(name);
+  target.progress = std::move(progress);
+  target.busy = std::move(busy);
+  target.on_stall = std::move(on_stall);
+  target.on_recover = std::move(on_recover);
+  return target;
+}
+
+TEST(WatchdogTest, StallFiresOncePerEpisodeAndRearms) {
+  FakeClock clock;
+  Watchdog watchdog(DeterministicOptions(clock));
+  WorkerHeartbeat heartbeat;
+  std::atomic<bool> busy{true};
+  int stalls = 0, recoveries = 0;
+  watchdog.Watch(MakeTarget(
+      "w", [&] { return heartbeat.count(); }, [&] { return busy.load(); },
+      [&] { ++stalls; }, [&] { ++recoveries; }));
+
+  // Quiet but under the threshold: nothing fires.
+  clock.Advance(99);
+  watchdog.PollOnce();
+  EXPECT_EQ(watchdog.stalls_total(), 0u);
+
+  // Over the threshold: exactly one stall, and repeated polls while the
+  // stall persists must NOT re-fire.
+  clock.Advance(2);
+  watchdog.PollOnce();
+  EXPECT_EQ(watchdog.stalls_total(), 1u);
+  EXPECT_EQ(stalls, 1);
+  for (int i = 0; i < 5; ++i) {
+    clock.Advance(500);
+    watchdog.PollOnce();
+  }
+  EXPECT_EQ(watchdog.stalls_total(), 1u);
+  EXPECT_EQ(stalls, 1);
+  EXPECT_EQ(recoveries, 0);
+
+  // Progress resumes: recovery fires and detection re-arms, so a second
+  // quiet-while-busy stretch is a NEW episode.
+  heartbeat.Beat();
+  watchdog.PollOnce();
+  EXPECT_EQ(watchdog.recoveries_total(), 1u);
+  EXPECT_EQ(recoveries, 1);
+  clock.Advance(101);
+  watchdog.PollOnce();
+  EXPECT_EQ(watchdog.stalls_total(), 2u);
+  EXPECT_EQ(stalls, 2);
+}
+
+TEST(WatchdogTest, IdleTargetNeverFalsePositives) {
+  FakeClock clock;
+  Watchdog watchdog(DeterministicOptions(clock));
+  WorkerHeartbeat heartbeat;
+  int stalls = 0;
+  watchdog.Watch(MakeTarget(
+      "idle", [&] { return heartbeat.count(); }, [] { return false; },
+      [&] { ++stalls; }));
+  // An empty-queue service sits quiet forever without tripping.
+  for (int i = 0; i < 100; ++i) {
+    clock.Advance(1000);
+    watchdog.PollOnce();
+  }
+  EXPECT_EQ(watchdog.stalls_total(), 0u);
+  EXPECT_EQ(stalls, 0);
+}
+
+TEST(WatchdogTest, IdlePeriodDoesNotCountTowardLaterStall) {
+  FakeClock clock;
+  Watchdog watchdog(DeterministicOptions(clock));
+  std::atomic<bool> busy{false};
+  watchdog.Watch(
+      MakeTarget("w", [] { return 0ull; }, [&] { return busy.load(); }));
+  // Long idle stretch, then work arrives: the stall window starts at the
+  // busy transition, not at the last heartbeat.
+  clock.Advance(10'000);
+  watchdog.PollOnce();
+  busy.store(true);
+  clock.Advance(99);
+  watchdog.PollOnce();
+  EXPECT_EQ(watchdog.stalls_total(), 0u);
+  clock.Advance(2);
+  watchdog.PollOnce();
+  EXPECT_EQ(watchdog.stalls_total(), 1u);
+}
+
+TEST(WatchdogTest, StallDumpContainsOpenSpans) {
+  FakeClock clock;
+  WatchdogOptions options = DeterministicOptions(clock);
+  options.anomaly_dir = ::testing::TempDir();
+  Watchdog watchdog(options);
+  Tracer::Get().EnableSampling();  // Start() would do this; tests PollOnce.
+  std::atomic<bool> busy{true};
+  watchdog.Watch(MakeTarget("shard/0", [] { return 0ull; },
+                            [&] { return busy.load(); }));
+  {
+    ScopedSpan span("stuck_predict", 0xdeadbeef, SpanFlow::kIn);
+    clock.Advance(101);
+    watchdog.PollOnce();
+  }
+  Tracer::Get().DisableSampling();
+  const std::string path = watchdog.last_dump_path();
+  ASSERT_FALSE(path.empty());
+  // Slash in the target name must be sanitized out of the filename.
+  EXPECT_EQ(path.find("shard/0"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dump = buffer.str();
+  EXPECT_NE(dump.find("\"event\": \"watchdog_stall\""), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("stuck_predict"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("deadbeef"), std::string::npos) << dump;
+}
+
+TEST(WatchdogTest, StallsBumpGlobalCounter) {
+  const uint64_t before =
+      MetricsRegistry::Get().GetCounter("watchdog_stalls_total").value();
+  FakeClock clock;
+  Watchdog watchdog(DeterministicOptions(clock));
+  watchdog.Watch(
+      MakeTarget("w", [] { return 0ull; }, [] { return true; }));
+  clock.Advance(101);
+  watchdog.PollOnce();
+  EXPECT_EQ(
+      MetricsRegistry::Get().GetCounter("watchdog_stalls_total").value(),
+      before + 1);
+}
+
+TEST(WatchdogTest, BackgroundThreadDetectsRealStall) {
+  WatchdogOptions fast;
+  fast.poll_ms = 5.0;
+  fast.stall_ms = 20.0;
+  Watchdog watchdog(fast);
+  watchdog.Watch(
+      MakeTarget("w", [] { return 0ull; }, [] { return true; }));
+  watchdog.Start();
+  const auto deadline =
+      steady_clock::now() + std::chrono::seconds(5);
+  while (watchdog.stalls_total() == 0 && steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  watchdog.Stop();
+  Tracer::Get().DisableSampling();  // Start() enabled it.
+  EXPECT_GE(watchdog.stalls_total(), 1u);
+  EXPECT_EQ(watchdog.stalls_total(), 1u) << "stall must not re-fire";
+}
+
+TEST(WatchdogTest, StatusJsonListsTargets) {
+  FakeClock clock;
+  Watchdog watchdog(DeterministicOptions(clock));
+  watchdog.Watch(
+      MakeTarget("alpha", [] { return 7ull; }, [] { return false; }));
+  watchdog.PollOnce();
+  const std::string json = watchdog.StatusJson();
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos) << json;
+  EXPECT_NE(json.find("7"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace cascn::obs
