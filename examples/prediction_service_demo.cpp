@@ -20,6 +20,19 @@
 // sessions off to the survivors — then keeps predicting to show nothing
 // was lost.
 //
+// Resilience control plane (cluster mode only):
+//   --allow_stale=1   enable the resilience plane with degraded-mode stale
+//                     reads: when a pinned shard is open or dead and the
+//                     retry budget is spent, predicts answer from the
+//                     last-good cache (marked stale) instead of erroring
+//   --supervisor=1    run a ShardSupervisor thread and stage a self-healing
+//                     drill after the rebalance: one shard is crashed under
+//                     the supervisor's watch, auto-restarts on its backoff
+//                     schedule, and the lost sessions re-create
+//                     bit-identical. Counters (cluster_stale_serves_total,
+//                     cluster_supervisor_restarts_total, breaker states)
+//                     land on /metricsz when --debug_port is set.
+//
 // --threads (default: the CASCN_THREADS environment variable, else all
 // cores) sets the shared-pool size used for intra-batch parallel training;
 // 1 forces the serial path.
@@ -292,6 +305,8 @@ int main(int argc, char** argv) {
   // Sharded serving path: the same lifecycle through the cluster tier,
   // finished with a live rebalance that proves session state survives a
   // shard being drained away.
+  const bool allow_stale = flags.GetInt("allow_stale", 0) != 0;
+  const bool run_supervisor = flags.GetInt("supervisor", 0) != 0;
   if (shards >= 2) {
     cluster::ShardRouterOptions cluster_opts;
     cluster_opts.num_shards = shards;
@@ -300,9 +315,21 @@ int main(int argc, char** argv) {
     cluster_opts.shard.sessions.observation_window = window;
     cluster_opts.shard.sessions.capacity = 8192;
     cluster_opts.flight_dir = flight_dir;
+    // Either resilience flag switches the control plane on; --allow_stale
+    // additionally opens the degraded-mode stale-read path.
+    cluster_opts.resilience.enabled = allow_stale || run_supervisor;
+    cluster_opts.allow_stale = allow_stale;
+
     auto router =
         cluster::ShardRouter::CreateFromCheckpoint(cluster_opts, ckpt);
     CASCN_CHECK(router.ok()) << router.status();
+    std::unique_ptr<cluster::ShardSupervisor> supervisor;
+    if (run_supervisor) {
+      supervisor =
+          std::make_unique<cluster::ShardSupervisor>(*router.value());
+      supervisor->Start();
+      std::printf("shard supervisor up (auto-restart, capped backoff)\n");
+    }
     if (debug_server) {
       router.value()->RegisterDebugEndpoints(*debug_server);
       router.value()->RegisterWatchdogTargets(*watchdog);
@@ -354,12 +381,74 @@ int main(int argc, char** argv) {
           tenant_of(i), "live-" + std::to_string(i));
       CASCN_CHECK(p.status.ok()) << p.status;
       CASCN_CHECK(p.log_prediction == forecasts[i])
-          << "session live-" << i << " drifted across the rebalance";
+          << "session live-" << i << " drifted across the rebalance: got "
+          << p.log_prediction << " want " << forecasts[i]
+          << " stale=" << (p.stale ? 1 : 0);
       ++checked;
     }
     std::printf("shard %d removed: %zu sessions re-verified bit-identical "
                 "on %d surviving shards\n",
                 victim, checked, router.value()->num_shards());
+
+    // Self-healing drill (--supervisor): crash a surviving shard under the
+    // supervisor's watch. With --allow_stale the outage is bridged by
+    // last-good answers; either way the shard auto-restarts on its backoff
+    // schedule and the lost sessions re-create bit-identical.
+    if (supervisor) {
+      const int crash_victim = router.value()->ShardIds().front();
+      std::printf("\nsupervisor drill: crashing shard %d...\n", crash_victim);
+      const auto crash_at = std::chrono::steady_clock::now();
+      router.value()->CrashShard(crash_victim);
+      if (allow_stale) {
+        // A couple of reads against the dead shard: served stale from the
+        // last-good cache (or honestly NotFound if the restart wins the
+        // race and the revived shard is already empty).
+        int stale_seen = 0;
+        for (size_t i = 0; i < replays.size() && stale_seen < 2; ++i) {
+          const auto p = router.value()->CallPredict(
+              tenant_of(i), "live-" + std::to_string(i));
+          if (p.status.ok() && p.stale) ++stale_seen;
+        }
+        std::printf("degraded mode: %d predicts answered stale while the "
+                    "shard was down\n",
+                    stale_seen);
+      }
+      while (supervisor->restarts_total() == 0) {
+        CASCN_CHECK(std::chrono::steady_clock::now() - crash_at <
+                    std::chrono::seconds(10))
+            << "supervisor never restarted shard " << crash_victim;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      const double healed_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - crash_at)
+                                   .count();
+      size_t relearned = 0;
+      for (size_t i = 0; i < replays.size(); ++i) {
+        const std::string id = "live-" + std::to_string(i);
+        auto p = router.value()->CallPredict(tenant_of(i), id);
+        if (!p.status.ok() || p.stale) {
+          // Lost with the crashed shard: replay its events and re-verify.
+          CASCN_CHECK(router.value()
+                          ->CallCreate(tenant_of(i), id, replays[i][0].user)
+                          .status.ok());
+          for (size_t step = 1; step < replays[i].size(); ++step) {
+            const AdoptionEvent& e = replays[i][step];
+            CASCN_CHECK(router.value()
+                            ->CallAppend(tenant_of(i), id, e.user,
+                                         e.parents[0], e.time)
+                            .status.ok());
+          }
+          p = router.value()->CallPredict(tenant_of(i), id);
+          ++relearned;
+        }
+        CASCN_CHECK(p.status.ok() && !p.stale) << id << ": " << p.status;
+        CASCN_CHECK(p.log_prediction == forecasts[i])
+            << id << " drifted across the supervisor restart";
+      }
+      std::printf("supervisor drill: shard %d auto-restarted in %.0f ms, "
+                  "%zu sessions re-created bit-identical\n",
+                  crash_victim, healed_ms, relearned);
+    }
 
     if (!flight_dir.empty()) {
       // On-demand black-box dump: every surviving shard's ring plus the
@@ -376,8 +465,9 @@ int main(int argc, char** argv) {
     std::printf("\ncluster registry:\n%s", registry.TextSnapshot().c_str());
     const std::string cluster_metrics_json = registry.JsonSnapshot();
     linger();
-    // The watchdog targets and debug handlers capture the router; stop both
-    // before it goes away.
+    // The supervisor, watchdog targets and debug handlers all capture the
+    // router; stop every one of them before it goes away.
+    if (supervisor) supervisor->Stop();
     if (watchdog) watchdog->Stop();
     if (debug_server) debug_server->Stop();
     router.value().reset();

@@ -31,6 +31,13 @@ Status AdmissionController::AdmitTenant(const std::string& tenant,
     bucket.tokens = std::min(
         options_.burst, bucket.tokens + elapsed_s * options_.tokens_per_second);
     bucket.last_refill = now;
+  } else if (elapsed_s < 0.0) {
+    // Clock skew: `now` jumped behind the last refill (an injected clock in
+    // tests, or a bad steady-clock source). Re-anchor instead of leaving
+    // last_refill in the future — otherwise the bucket silently stops
+    // refilling until the clock catches back up. No tokens are granted for
+    // the backwards jump, so the refill can never exceed the burst cap.
+    bucket.last_refill = now;
   }
   if (bucket.tokens < 1.0) {
     ++bucket.rejected;

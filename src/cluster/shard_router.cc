@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -31,9 +34,20 @@ ShardRouter::ShardRouter(const ShardRouterOptions& options,
       clock_(options.clock ? options.clock
                            : [] { return std::chrono::steady_clock::now(); }),
       slo_(options.slo),
-      ring_(options.ring) {
+      ring_(options.ring),
+      all_ring_(options.ring) {
   if (!options_.flight_dir.empty())
     router_flight_.SetDumpPath(options_.flight_dir + "/flight_router.jsonl");
+  if (options_.resilience.enabled) {
+    // Jitter is seeded from the fault registry so a chaos run's retries are
+    // as reproducible as its faults. Breaker flips and supervisor actions
+    // snapshot the router's black box (no-op without flight_dir).
+    resilience_ = std::make_shared<ResilienceControl>(
+        options_.resilience, fault::FaultRegistry::Get().seed(),
+        [this](int /*shard_id*/, std::string_view reason) {
+          router_flight_.TriggerDump(reason);
+        });
+  }
 }
 
 Result<std::unique_ptr<ShardRouter>> ShardRouter::CreateFromCheckpoint(
@@ -51,6 +65,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::CreateFromCheckpoint(
     ids.push_back(i);
   }
   router->ring_.SetShards(ids);
+  router->all_ring_.SetShards(ids);
   return router;
 }
 
@@ -72,10 +87,25 @@ ServiceOptions ShardRouter::ShardServiceOptions(int shard_id) const {
   // callback runs on shard worker threads (and during the shard's Shutdown
   // drain); slo_ and clock_ are declared before shards_ and ~ShardRouter
   // shuts shards down first, so both strictly outlive every invocation.
-  opts.on_complete = [this](const obs::RequestContext& ctx,
-                            const Status& status, uint64_t latency_us) {
+  opts.on_complete = [this, shard_id](const obs::RequestContext& ctx,
+                                      const Status& status,
+                                      uint64_t latency_us) {
     if (!ctx.tenant.empty())
       slo_.RecordRequest(ctx.tenant, clock_(), status.ok(), latency_us);
+    if (ResilienceControl* rc = resilience_.get()) {
+      const StatusCode code = status.code();
+      // Breaker failures are INFRASTRUCTURE failures (the shard couldn't
+      // serve); application outcomes like NotFound/InvalidArgument are
+      // successful service of a bad request. Cancelled hedge losers say
+      // nothing about the shard's health either way.
+      if (code != StatusCode::kCancelled) {
+        const bool failed = code == StatusCode::kUnavailable ||
+                            code == StatusCode::kDeadlineExceeded ||
+                            code == StatusCode::kInternal ||
+                            code == StatusCode::kIoError;
+        rc->OnShardResult(shard_id, failed, latency_us, clock_());
+      }
+    }
   };
   // Handoff moves *every* session a client still cares about, including
   // LRU-evicted ones, so keep evicted histories spilled by default.
@@ -129,6 +159,13 @@ void ShardRouter::RebuildRingLocked() {
   for (const auto& [id, shard] : shards_)
     if (draining_.count(id) == 0) ids.push_back(id);
   ring_.SetShards(ids);
+  // Full-membership ring (active + draining + crashed): the crashed-owner
+  // check in Route consults this so a session that died with its shard
+  // reports Unavailable-until-restart, not a survivor's NotFound.
+  std::vector<int> all;
+  for (const auto& [id, shard] : shards_) all.push_back(id);
+  for (int id : crashed_) all.push_back(id);
+  all_ring_.SetShards(all);
 }
 
 Result<std::shared_ptr<PredictionService>> ShardRouter::StartShard(
@@ -169,7 +206,8 @@ void ShardRouter::RecordRejection(const obs::RequestContext& ctx,
 }
 
 Result<std::shared_ptr<PredictionService>> ShardRouter::Route(
-    const obs::RequestContext& ctx, bool create) {
+    const obs::RequestContext& ctx, bool create, int* routed_shard,
+    bool is_retry) {
   const std::string& tenant = ctx.tenant;
   const std::string& session_id = ctx.session_id;
   // Chaos hook: an armed "cluster.shard_crash" kills the shard named by its
@@ -213,6 +251,15 @@ Result<std::shared_ptr<PredictionService>> ShardRouter::Route(
       return Status::Unavailable(StrFormat(
           "session '%s' is migrating to another shard; retry shortly",
           session_id.c_str()));
+    // The breaker gates pinned traffic at routing time: an open shard is
+    // rejected retryably here instead of timing the request out inside the
+    // sick shard. (AllowShard flips open -> half-open once the cooldown
+    // elapses, so the pinned traffic itself is the probe.)
+    if (resilience_ && !resilience_->AllowShard(target, clock_()))
+      return Status::Unavailable(StrFormat(
+          "session '%s' is pinned to shard %d, whose circuit breaker is "
+          "open; retry shortly",
+          session_id.c_str(), target));
     // Re-creating under an existing pin starts a new pin generation, so a
     // still-unresolved close of the PREVIOUS incarnation cannot release the
     // new session's pin when its future is finally consumed.
@@ -220,89 +267,469 @@ Result<std::shared_ptr<PredictionService>> ShardRouter::Route(
   } else if (create) {
     if (ring_.empty())
       return Status::Unavailable("every shard is draining");
+    // Breaker-aware placement: open shards are pushed past the bounded-load
+    // bound (the ring walk skips them), half-open shards carry a smaller
+    // penalty so probation traffic trickles back before full ring weight.
     target = ring_.PickShard(session_id, [this](int s) {
-      std::lock_guard<std::mutex> pin_lock(pins_->mutex);
-      const auto it = pins_->shard_load.find(s);
-      return it == pins_->shard_load.end() ? uint64_t{0} : it->second;
+      uint64_t load;
+      {
+        std::lock_guard<std::mutex> pin_lock(pins_->mutex);
+        const auto it = pins_->shard_load.find(s);
+        load = it == pins_->shard_load.end() ? uint64_t{0} : it->second;
+      }
+      if (resilience_) {
+        switch (resilience_->ShardState(s)) {
+          case BreakerState::kOpen:
+            load += uint64_t{1} << 40;
+            break;
+          case BreakerState::kHalfOpen:
+            load += uint64_t{1} << 20;
+            break;
+          case BreakerState::kClosed:
+            break;
+        }
+      }
+      return load;
     });
+    if (resilience_ && !resilience_->AllowShard(target, clock_()))
+      return Status::Unavailable(StrFormat(
+          "shard %d's circuit breaker is open (no healthy placement for "
+          "session '%s'); retry shortly",
+          target, session_id.c_str()));
     pin_new = true;
   } else {
-    // No pin and not a create: the session does not exist anywhere; route
-    // to the ring owner so the NotFound comes from the right shard.
     if (ring_.empty())
       return Status::Unavailable("every shard is draining");
+    // No pin and not a create. If the FULL-membership ring (including
+    // crashed shards) says the session's owner is a crashed shard, the
+    // session — if it ever existed — died with it. Reporting Unavailable
+    // keeps the loss retryable: a submit that loses the race with
+    // CrashShard must not see a survivor's NotFound and give the session
+    // up for dead when a restart (and re-create) will heal it.
+    if (!crashed_.empty() && !all_ring_.empty()) {
+      const int full_owner = all_ring_.OwnerOf(session_id);
+      if (crashed_.count(full_owner) > 0)
+        return Status::Unavailable(StrFormat(
+            "session '%s' maps to crashed shard %d; any state it had was "
+            "lost — retry after the shard restarts",
+            session_id.c_str(), full_owner));
+    }
+    // Otherwise route to the ring owner so the NotFound comes from the
+    // right shard.
     target = ring_.OwnerOf(session_id);
+    if (resilience_ && !resilience_->AllowShard(target, clock_()))
+      return Status::Unavailable(StrFormat(
+          "shard %d's circuit breaker is open; retry shortly", target));
   }
 
   std::shared_ptr<PredictionService> service = shards_.at(target).service;
   CASCN_RETURN_IF_ERROR(
       admission_.AdmitLoad(service->queue_depth(), service->queue_capacity()));
-  CASCN_RETURN_IF_ERROR(admission_.AdmitTenant(tenant, clock_()));
+  // A retry re-dispatch rides on the original request's quota charge; it
+  // still paid the feasibility, breaker, and load-shed gates above.
+  if (!is_retry)
+    CASCN_RETURN_IF_ERROR(admission_.AdmitTenant(tenant, clock_()));
   if (pin_new) SetPin(*pins_, session_id, target);
+  if (routed_shard != nullptr) *routed_shard = target;
   return service;
+}
+
+obs::RequestContext ShardRouter::MintContext(const std::string& tenant,
+                                             std::string session_id,
+                                             double deadline_ms) const {
+  obs::RequestContext ctx =
+      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+  if (resilience_) {
+    // Resolve the deadline to an ABSOLUTE point exactly once, at the
+    // router's edge: a retry or hedge dispatched later inherits only the
+    // REMAINING time, never a fresh copy of the original budget. Real
+    // steady clock, not clock_() — deadlines bound wall time spent in
+    // queues and workers, which an injected test clock does not advance.
+    const double effective =
+        deadline_ms > 0.0
+            ? deadline_ms
+            : (deadline_ms < 0.0 ? 0.0 : options_.shard.default_deadline_ms);
+    if (effective > 0.0) {
+      ctx.has_deadline = true;
+      ctx.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(
+                         static_cast<int64_t>(effective * 1000.0));
+    }
+  }
+  return ctx;
 }
 
 Result<std::future<ServeResponse>> ShardRouter::SubmitCreate(
     const std::string& tenant, std::string session_id, int root_user,
     double deadline_ms) {
   obs::RequestContext ctx =
-      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+      MintContext(tenant, std::move(session_id), deadline_ms);
   CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+  if (resilience_) resilience_->OnRequestObserved();
   Result<std::shared_ptr<PredictionService>> service =
       Route(ctx, /*create=*/true);
   if (!service.ok()) {
     RecordRejection(ctx, service.status());
     return service.status();
   }
+  const std::string sid = ctx.session_id;
   std::string id = ctx.session_id;
-  return service.value()->SubmitCreate(std::move(ctx), std::move(id),
-                                       root_user, deadline_ms);
+  Result<std::future<ServeResponse>> submitted =
+      service.value()->SubmitCreate(std::move(ctx), std::move(id), root_user,
+                                    deadline_ms);
+  // Mirror the accepted event so hedges can replay the session and the
+  // stale cache can fingerprint its observed prefix.
+  if (submitted.ok() && resilience_)
+    resilience_->stale().OnCreate(sid, root_user);
+  return submitted;
 }
 
 Result<std::future<ServeResponse>> ShardRouter::SubmitAppend(
     const std::string& tenant, std::string session_id, int user,
     int parent_node, double time, double deadline_ms) {
   obs::RequestContext ctx =
-      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+      MintContext(tenant, std::move(session_id), deadline_ms);
   CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+  if (resilience_) resilience_->OnRequestObserved();
   Result<std::shared_ptr<PredictionService>> service =
       Route(ctx, /*create=*/false);
   if (!service.ok()) {
     RecordRejection(ctx, service.status());
     return service.status();
   }
+  const std::string sid = ctx.session_id;
   std::string id = ctx.session_id;
-  return service.value()->SubmitAppend(std::move(ctx), std::move(id), user,
-                                       parent_node, time, deadline_ms);
+  Result<std::future<ServeResponse>> submitted =
+      service.value()->SubmitAppend(std::move(ctx), std::move(id), user,
+                                    parent_node, time, deadline_ms);
+  if (submitted.ok() && resilience_)
+    resilience_->stale().OnAppend(sid, user, parent_node, time);
+  return submitted;
 }
 
 Result<std::future<ServeResponse>> ShardRouter::SubmitPredict(
     const std::string& tenant, std::string session_id, double deadline_ms) {
+  // The single relaxed check the disabled control plane costs: without
+  // resilience this is exactly the PR 6 predict path.
+  if (!resilience_) {
+    obs::RequestContext ctx =
+        obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+    CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+    Result<std::shared_ptr<PredictionService>> service =
+        Route(ctx, /*create=*/false);
+    if (!service.ok()) {
+      RecordRejection(ctx, service.status());
+      return service.status();
+    }
+    std::string id = ctx.session_id;
+    return service.value()->SubmitPredict(std::move(ctx), std::move(id),
+                                          deadline_ms);
+  }
+
   obs::RequestContext ctx =
-      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+      MintContext(tenant, std::move(session_id), deadline_ms);
   CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+  resilience_->OnRequestObserved();
+  // Cancellation flag shared by this request's dispatches: a winning hedge
+  // sets it so the losing dispatch fails fast in its queue instead of
+  // burning a worker.
+  ctx.cancel = std::make_shared<std::atomic<bool>>(false);
+  PredictAttempt attempt =
+      DispatchPredict(ctx, deadline_ms, /*is_retry=*/false);
+  // All resilience policy (hedge trigger, single retry under the budget
+  // with the remaining deadline, stale fallback) runs when the caller
+  // resolves the future — predicts are idempotent, so the re-dispatch is
+  // safe. The wrapper captures `this`: resolve predict futures before
+  // destroying the router (same contract as the debug endpoints).
+  return std::async(std::launch::deferred,
+                    [this, ctx = std::move(ctx), attempt = std::move(attempt),
+                     deadline_ms]() mutable {
+                      return ResolvePredictResilient(
+                          std::move(ctx), std::move(attempt), deadline_ms);
+                    });
+}
+
+ShardRouter::PredictAttempt ShardRouter::DispatchPredict(
+    const obs::RequestContext& ctx, double deadline_ms, bool is_retry) {
+  PredictAttempt attempt;
+  // Each dispatch enqueues its own context copy; the copies share the
+  // tenant, trace id, absolute deadline, and cancellation flag.
+  obs::RequestContext dispatch_ctx = ctx;
   Result<std::shared_ptr<PredictionService>> service =
-      Route(ctx, /*create=*/false);
+      Route(dispatch_ctx, /*create=*/false, &attempt.shard_id, is_retry);
   if (!service.ok()) {
     RecordRejection(ctx, service.status());
-    return service.status();
+    attempt.status = service.status();
+    return attempt;
   }
-  std::string id = ctx.session_id;
-  return service.value()->SubmitPredict(std::move(ctx), std::move(id),
-                                        deadline_ms);
+  attempt.service = std::move(service).value();
+  std::string id = dispatch_ctx.session_id;
+  Result<std::future<ServeResponse>> submitted = attempt.service->SubmitPredict(
+      std::move(dispatch_ctx), std::move(id), deadline_ms);
+  if (!submitted.ok()) {
+    attempt.status = submitted.status();
+    return attempt;
+  }
+  attempt.future = std::move(submitted).value();
+  return attempt;
+}
+
+ServeResponse ShardRouter::ResolvePredictResilient(obs::RequestContext ctx,
+                                                   PredictAttempt attempt,
+                                                   double deadline_ms) {
+  const std::shared_ptr<ResilienceControl> rc = resilience_;
+  const uint64_t fingerprint = rc->stale().FingerprintOf(ctx.session_id);
+  ServeResponse response;
+  bool retried = false;
+  for (;;) {
+    if (attempt.ok()) {
+      response = AwaitWithHedge(ctx, attempt);
+    } else {
+      response = ServeResponse{attempt.status};
+      response.trace_id = ctx.trace_id;
+    }
+    // Test shim: "cluster.predict_unavailable" turns an injected fraction
+    // of successes into retryable failures so tests can drive the retry
+    // policy without wedging a shard.
+    if (response.status.ok() && fault::ShouldFire(kFaultPredictUnavailable))
+      response.status =
+          Status::Unavailable("injected cluster.predict_unavailable");
+    if (response.status.ok()) {
+      rc->stale().StorePrediction(ctx.session_id, fingerprint,
+                                  response.log_prediction,
+                                  response.count_prediction, clock_());
+      return response;
+    }
+    const StatusCode code = response.status.code();
+    const bool retryable = code == StatusCode::kUnavailable ||
+                           code == StatusCode::kDeadlineExceeded;
+    if (retryable && !retried) {
+      retried = true;  // single re-dispatch, budget-gated
+      double remaining_ms = std::numeric_limits<double>::infinity();
+      if (ctx.has_deadline)
+        remaining_ms = std::chrono::duration<double, std::milli>(
+                           ctx.deadline - std::chrono::steady_clock::now())
+                           .count();
+      if (remaining_ms < kMinRetryHeadroomMs) {
+        // Not enough deadline left to plausibly succeed: denying here beats
+        // racing a deadline the retry cannot meet.
+        rc->NoteRetryDenied();
+      } else if (rc->TryAcquireRetry()) {
+        double backoff_ms = rc->RetryBackoffMs(0);
+        if (std::isfinite(remaining_ms))
+          backoff_ms = std::min(
+              backoff_ms, std::max(0.0, remaining_ms - kMinRetryHeadroomMs));
+        if (backoff_ms > 0.0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(backoff_ms));
+        // The context still carries the ORIGINAL absolute deadline, so the
+        // re-dispatch runs under the remaining time only; the tenant quota
+        // charged at first admission is not charged again.
+        attempt = DispatchPredict(ctx, deadline_ms, /*is_retry=*/true);
+        continue;
+      }
+    }
+    break;
+  }
+
+  // Degraded mode: when allowed, answer from the last-good cache instead
+  // of erroring — but only for infrastructure failures. A NotFound or
+  // InvalidArgument is normally the truth about the request, not an
+  // outage. The exception: while some shard is crashed, a NotFound on a
+  // session the mirror knows usually IS the outage — the bounded-load walk
+  // had pinned it to the now-dead shard and the ring fell back to a shard
+  // that never heard of it — so it may degrade to a stale answer too (the
+  // Lookup below only answers for sessions with a recorded last-good).
+  const StatusCode code = response.status.code();
+  bool stale_eligible = code != StatusCode::kNotFound &&
+                        code != StatusCode::kInvalidArgument;
+  if (!stale_eligible && code == StatusCode::kNotFound) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stale_eligible = !crashed_.empty();
+  }
+  if (options_.allow_stale && stale_eligible) {
+    if (std::optional<StaleAnswer> stale =
+            rc->stale().Lookup(ctx.session_id, clock_())) {
+      ServeResponse degraded;
+      degraded.status = Status::OK();
+      degraded.trace_id = ctx.trace_id;
+      degraded.log_prediction = stale->log_prediction;
+      degraded.count_prediction = stale->count_prediction;
+      degraded.stale = true;
+      degraded.stale_age_ms = stale->age_ms;
+      rc->NoteStaleServe();
+      obs::FlightRecord record;
+      record.trace_id = ctx.trace_id;
+      record.shard_id = -1;
+      record.op = obs::FlightOp::kPredict;
+      record.status = static_cast<uint8_t>(StatusCode::kOk);
+      record.fault_bits = obs::kFaultBitStale;
+      record.set_tenant(ctx.tenant);
+      record.set_session(ctx.session_id);
+      router_flight_.Append(record);
+      return degraded;
+    }
+  }
+  return response;
+}
+
+ServeResponse ShardRouter::AwaitWithHedge(const obs::RequestContext& ctx,
+                                          PredictAttempt& attempt) {
+  const std::shared_ptr<ResilienceControl> rc = resilience_;
+  if (!rc->options().hedging) return attempt.future.get();
+  const double hedge_delay_ms = rc->HedgeDelayMs(clock_());
+  if (attempt.future.wait_for(std::chrono::duration<double, std::milli>(
+          hedge_delay_ms)) == std::future_status::ready)
+    return attempt.future.get();
+
+  // The primary outlived the hedge trigger. A session is pinned to one
+  // shard, so a naive re-dispatch would just re-queue behind the slow
+  // primary; instead, replay the session's mirrored event log on the next
+  // ring candidate under a scratch id. Same checkpoint + same events =
+  // bit-identical prediction.
+  const std::optional<ReplayLog> log = rc->stale().ReplayLogOf(ctx.session_id);
+  if (!log) return attempt.future.get();
+
+  std::shared_ptr<PredictionService> candidate;
+  int candidate_id = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!ring_.empty()) {
+      candidate_id = ring_.NextDistinctOwner(ctx.session_id, attempt.shard_id);
+      if (candidate_id >= 0 && candidate_id != attempt.shard_id &&
+          draining_.count(candidate_id) == 0) {
+        const auto it = shards_.find(candidate_id);
+        if (it != shards_.end()) {
+          candidate = it->second.service;
+          // Registered under the same lock that guards the draining mark:
+          // a drain that starts after this point waits the replay out.
+          ++hedges_in_flight_[candidate_id];
+        }
+      }
+    }
+  }
+  if (!candidate) return attempt.future.get();
+  const auto release_hedge = [this, candidate_id] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto hit = hedges_in_flight_.find(candidate_id);
+    if (hit != hedges_in_flight_.end() && --hit->second == 0)
+      hedges_in_flight_.erase(hit);
+    hedge_cv_.notify_all();
+  };
+  // Candidate breaker open, or candidate already loaded past half its
+  // queue: hedging would add load without adding speed.
+  if (rc->ShardState(candidate_id) == BreakerState::kOpen ||
+      candidate->queue_depth() * 2 >= candidate->queue_capacity()) {
+    release_hedge();
+    return attempt.future.get();
+  }
+
+  // Scratch id: unique per hedge (trace id suffix) so repeated hedges of
+  // the same session never collide on the candidate shard.
+  const std::string scratch =
+      StrFormat("hedge~%s~%llx", ctx.session_id.c_str(),
+                static_cast<unsigned long long>(ctx.trace_id));
+  auto hedge_cancel = std::make_shared<std::atomic<bool>>(false);
+  obs::RequestContext hedge_ctx =
+      obs::RequestContext::New(ctx.tenant, scratch, /*deadline_ms=*/-1.0);
+  hedge_ctx.has_deadline = ctx.has_deadline;  // remaining time, not a fresh
+  hedge_ctx.deadline = ctx.deadline;          // copy of the budget
+  hedge_ctx.cancel = hedge_cancel;
+
+  // Replay create + appends + predict + close, awaiting each replay op's
+  // response before submitting the next. The shard queue is FIFO but the
+  // workers draining it are not: two workers can pull adjacent batches and
+  // apply an append before the append that created its parent node, which
+  // fails validation and silently drops the event — the replayed cascade
+  // then predicts a different (wrong) value. Awaiting each response both
+  // serialises the replay and verifies every event actually landed; any
+  // failure abandons the hedge and falls back to the primary. The primary
+  // is polled between ops so a hedge that has become pointless stops
+  // spending the candidate's workers. The replay ops run without deadlines
+  // so a cancelled hedge still reaches its close; the unconditional
+  // trailing close cleans the scratch session up whichever side wins.
+  const auto primary_ready = [&attempt] {
+    return attempt.future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
+  const auto apply = [&](Result<std::future<ServeResponse>> submitted) {
+    if (!submitted.ok()) return false;
+    return std::move(submitted).value().get().status.ok();
+  };
+  std::future<ServeResponse> hedge_future;
+  bool hedged = false;
+  do {
+    if (!apply(candidate->SubmitCreate(
+            obs::RequestContext::New(ctx.tenant, scratch, -1.0), scratch,
+            log->root_user, /*deadline_ms=*/-1.0)))
+      break;
+    bool replayed = true;
+    for (const MirroredEvent& event : log->events) {
+      if (primary_ready() ||
+          !apply(candidate->SubmitAppend(
+              obs::RequestContext::New(ctx.tenant, scratch, -1.0), scratch,
+              event.user, event.parent_node, event.time, -1.0))) {
+        replayed = false;
+        break;
+      }
+    }
+    if (replayed) {
+      Result<std::future<ServeResponse>> predicted = candidate->SubmitPredict(
+          std::move(hedge_ctx), scratch, /*deadline_ms=*/-1.0);
+      if (predicted.ok()) {
+        hedge_future = std::move(predicted).value();
+        hedged = true;
+      }
+    }
+    candidate->SubmitClose(obs::RequestContext::New(ctx.tenant, scratch, -1.0),
+                           scratch, /*deadline_ms=*/-1.0);
+  } while (false);
+  // Every scratch op (including the close) is now in the candidate's
+  // queue; a drain's watermark wait retires them.
+  release_hedge();
+  if (!hedged) return attempt.future.get();
+  rc->NoteHedgeLaunched();
+
+  // First response wins; the loser is cancelled cooperatively (its queue
+  // fail-fast counts a Cancelled, which the breaker feed ignores).
+  for (;;) {
+    if (attempt.future.wait_for(std::chrono::microseconds(200)) ==
+        std::future_status::ready) {
+      hedge_cancel->store(true, std::memory_order_relaxed);
+      return attempt.future.get();
+    }
+    if (hedge_future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      ServeResponse hedge_response = hedge_future.get();
+      if (!hedge_response.status.ok()) {
+        // The hedge lost on merit (shed, raced a topology change): the
+        // primary is still the only truth worth waiting for.
+        return attempt.future.get();
+      }
+      if (ctx.cancel) ctx.cancel->store(true, std::memory_order_relaxed);
+      rc->NoteHedgeWon();
+      hedge_response.trace_id = ctx.trace_id;
+      return hedge_response;
+    }
+  }
 }
 
 Result<std::future<ServeResponse>> ShardRouter::SubmitClose(
     const std::string& tenant, std::string session_id, double deadline_ms) {
   obs::RequestContext ctx =
-      obs::RequestContext::New(tenant, std::move(session_id), deadline_ms);
+      MintContext(tenant, std::move(session_id), deadline_ms);
   CASCN_TRACE_SPAN_ID("cluster_route", ctx.trace_id, obs::SpanFlow::kNone);
+  if (resilience_) resilience_->OnRequestObserved();
   Result<std::shared_ptr<PredictionService>> routed =
       Route(ctx, /*create=*/false);
   if (!routed.ok()) {
     RecordRejection(ctx, routed.status());
     return routed.status();
   }
+  // A closing session has no further use for its mirror or its last-good
+  // answer; drop both now (optimistically — a failed close just loses the
+  // degraded-mode fallback for a session the client is done with anyway).
+  if (resilience_) resilience_->stale().OnClose(ctx.session_id);
   std::shared_ptr<PredictionService> service = std::move(routed).value();
   // Capture the pin's current generation before handing the close to the
   // shard: the deferred release below only fires if the pin is still that
@@ -465,6 +892,26 @@ Status ShardRouter::RemoveShard(int shard_id) {
       std::chrono::steady_clock::now() +
       std::chrono::microseconds(
           static_cast<int64_t>(options_.drain_timeout_ms * 1000.0));
+
+  // Hedge replays submit directly to their candidate service, bypassing
+  // the routing checks above. The draining mark (already set, under the
+  // same mutex hedges register under) stops new replays from picking this
+  // shard; wait out the ones already in flight so everything they will
+  // ever enqueue — including each scratch session's trailing close — is
+  // in the queue before the watermark below is taken.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool quiet = hedge_cv_.wait_until(lock, deadline, [&] {
+      const auto hit = hedges_in_flight_.find(shard_id);
+      return hit == hedges_in_flight_.end() || hit->second == 0;
+    });
+    if (!quiet) {
+      draining_.erase(shard_id);
+      RebuildRingLocked();
+      return Status::Unavailable(StrFormat(
+          "shard %d still hosts in-flight hedge replays", shard_id));
+    }
+  }
   const Status drained = DrainQueue(*source_service, deadline);
 
   // Phase 3 (routing lock): hand off and destroy.
@@ -628,8 +1075,13 @@ Status ShardRouter::PullSessionsTo(int target_id, int source_id) {
       return Status::Unavailable(
           StrFormat("shard %d went down mid-join", target_id));
     source_service = source->second.service;
-    for (const std::string& sid : source_service->sessions().SessionIds())
+    for (const std::string& sid : source_service->sessions().SessionIds()) {
+      // Scratch hedge-replay sessions stay put: their in-flight replay and
+      // trailing close target the source service directly, so migrating
+      // one would strand it (never closed) on the target.
+      if (sid.compare(0, 6, "hedge~") == 0) continue;
       if (ring_.OwnerOf(sid) == target_id) moving.push_back(sid);
+    }
     if (moving.empty()) return Status::OK();
     migrating_.insert(moving.begin(), moving.end());
   }
@@ -899,6 +1351,7 @@ void ShardRouter::ExportToRegistry(obs::MetricsRegistry& registry) const {
         .Set(static_cast<double>(tenant.rejected));
   }
   slo_.ExportToRegistry(registry, clock_());
+  if (resilience_) resilience_->ExportToRegistry(registry);
 }
 
 Status ShardRouter::DumpFlightRecorders(std::string_view reason) {
@@ -965,6 +1418,11 @@ void ShardRouter::RegisterDebugEndpoints(obs::DebugServer& server) {
   });
   server.AddMetricsExporter(
       [this](obs::MetricsRegistry& registry) { ExportToRegistry(registry); });
+  if (resilience_) {
+    server.AddStatusSection("resilience", [this] {
+      return resilience_->StatusReport(clock_());
+    });
+  }
   server.AddEndpoint("/flightz", [this](const obs::HttpRequest&) {
     obs::HttpResponse response;
     response.content_type = "application/x-ndjson";
@@ -1044,6 +1502,36 @@ std::vector<int> ShardRouter::ShardIds() const {
   ids.reserve(shards_.size());
   for (const auto& [id, shard] : shards_) ids.push_back(id);
   return ids;
+}
+
+std::vector<int> ShardRouter::CrashedShardIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<int>(crashed_.begin(), crashed_.end());
+}
+
+std::vector<int> ShardRouter::WatchdogWedgedShardIds() const {
+  std::vector<std::pair<int, std::shared_ptr<PredictionService>>> services;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    services.reserve(shards_.size());
+    for (const auto& [id, shard] : shards_)
+      services.emplace_back(id, shard.service);
+  }
+  std::vector<int> wedged;
+  for (const auto& [id, service] : services)
+    if (service->watchdog_degraded()) wedged.push_back(id);
+  return wedged;
+}
+
+void ShardRouter::NoteSupervisorRestart(int shard_id) {
+  if (resilience_) {
+    // Counts the restart, places the revived shard's breaker in half-open
+    // probation (N clean requests before full ring weight), and writes a
+    // "supervisor_restart" anomaly record via the control plane's hook.
+    resilience_->NoteSupervisorRestart(shard_id, clock_());
+  } else {
+    router_flight_.TriggerDump("supervisor_restart");
+  }
 }
 
 int ShardRouter::ShardOf(const std::string& session_id) const {

@@ -60,6 +60,7 @@
 #include <functional>
 #include <future>
 #include <limits>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,6 +74,7 @@
 #include "cluster/admission.h"
 #include "cluster/consistent_hash.h"
 #include "cluster/handoff.h"
+#include "cluster/resilience.h"
 #include "common/result.h"
 #include "obs/debug_server.h"
 #include "obs/flight_recorder.h"
@@ -94,8 +96,14 @@ namespace cascn::cluster {
 ///    milliseconds), wired into that shard's service via
 ///    ServiceOptions::extra_predict_fault_point. Slows one shard without
 ///    touching the others.
+///  - "cluster.predict_unavailable": evaluated on each successful predict
+///    response in the resilient path; when it fires the response is
+///    replaced with a retryable Unavailable. Lets tests drive the retry
+///    policy deterministically without wedging a shard.
 inline constexpr char kFaultShardCrash[] = "cluster.shard_crash";
 inline constexpr char kFaultSlowShardPrefix[] = "cluster.slow_shard.";
+inline constexpr char kFaultPredictUnavailable[] =
+    "cluster.predict_unavailable";
 
 /// Fault point name for slowing one specific shard.
 std::string SlowShardFaultPoint(int shard_id);
@@ -130,10 +138,22 @@ struct ShardRouterOptions {
   /// On-demand dump sets retained on disk; when a new DumpFlightRecorders
   /// set would exceed this, the oldest set's files are deleted. >= 1.
   int flight_dump_retention = 16;
-  /// Time source for admission token buckets and SLO windows. Defaults to
-  /// steady_clock::now; tests inject a fake clock to replay hours of
-  /// traffic deterministically.
+  /// Time source for admission token buckets, SLO windows, breaker windows,
+  /// and stale-answer ages. Defaults to steady_clock::now; tests inject a
+  /// fake clock to replay hours of traffic deterministically. Request
+  /// DEADLINES always use the real steady clock (workers sleep real time),
+  /// so a fake clock here never expires in-flight requests.
   std::function<std::chrono::steady_clock::time_point()> clock;
+  /// Resilience control plane (circuit breakers, retry budget, hedging,
+  /// stale cache, supervisor probation). Disabled by default: with
+  /// `resilience.enabled == false` every request path costs one extra
+  /// pointer load over the non-resilient router.
+  ResilienceOptions resilience;
+  /// Degraded-mode gate: when true (and resilience is enabled), a predict
+  /// that cannot be served — pinned shard open or dead, retry budget spent
+  /// or exhausted — returns the session's last-good answer with
+  /// ServeResponse::stale set instead of an error.
+  bool allow_stale = false;
 };
 
 /// Routes session-keyed requests across in-process shards. All methods are
@@ -251,6 +271,12 @@ class ShardRouter {
   /// Active shard count / ids.
   int num_shards() const;
   std::vector<int> ShardIds() const;
+  /// Shards destroyed by CrashShard and not yet restarted (the supervisor's
+  /// work list), sorted.
+  std::vector<int> CrashedShardIds() const;
+  /// Active shards whose watchdog-stall latch is currently set (wedged but
+  /// alive), sorted. Requires RegisterWatchdogTargets-driven latches.
+  std::vector<int> WatchdogWedgedShardIds() const;
   /// The shard `session_id` routes to right now (pin, else ring owner);
   /// -1 when the ring is empty.
   int ShardOf(const std::string& session_id) const;
@@ -259,6 +285,13 @@ class ShardRouter {
 
   const AdmissionController& admission() const { return admission_; }
   const std::string& checkpoint_path() const { return checkpoint_path_; }
+  /// The resilience control plane; null when ShardRouterOptions::resilience
+  /// is disabled.
+  ResilienceControl* resilience() const { return resilience_.get(); }
+  /// Supervisor callback after a successful auto-restart: counts it, puts
+  /// the shard's breaker into half-open probation, and writes a
+  /// "supervisor_restart" anomaly dump set.
+  void NoteSupervisorRestart(int shard_id);
   /// Per-tenant SLI/burn-rate tracker (time-injected; see
   /// ShardRouterOptions::clock).
   const obs::SloTracker& slo() const { return slo_; }
@@ -346,9 +379,50 @@ class ShardRouter {
 
   /// Admission + routing: resolves the target service for ctx.session_id,
   /// creating a pin when `create` is true. Applies the shard-crash fault,
-  /// tenant quota, and load shedding.
+  /// the circuit breaker (resilience on), tenant quota, and load shedding.
+  /// `routed_shard`, when non-null, receives the chosen shard id. A retry
+  /// re-dispatch (`is_retry`) skips the tenant-quota charge — the original
+  /// admission already paid for this request — but still honors the breaker
+  /// and the load-shed gate.
   Result<std::shared_ptr<serve::PredictionService>> Route(
-      const obs::RequestContext& ctx, bool create);
+      const obs::RequestContext& ctx, bool create, int* routed_shard = nullptr,
+      bool is_retry = false);
+
+  /// Mints the request context for one router entry point. With resilience
+  /// enabled this also resolves the deadline to an ABSOLUTE point once
+  /// (real steady clock: deadline_ms > 0 explicit, 0 the shard default,
+  /// < 0 none) so retries and hedges inherit the REMAINING time, and
+  /// attaches a cancellation flag predicts use for hedge loser cancellation.
+  obs::RequestContext MintContext(const std::string& tenant,
+                                  std::string session_id,
+                                  double deadline_ms) const;
+
+  /// One predict dispatch: Route + shard submit, with the routed shard id
+  /// kept for hedging.
+  struct PredictAttempt {
+    std::shared_ptr<serve::PredictionService> service;
+    int shard_id = -1;
+    std::future<serve::ServeResponse> future;
+    Status status = Status::OK();
+    bool ok() const { return status.ok(); }
+  };
+  PredictAttempt DispatchPredict(const obs::RequestContext& ctx,
+                                 double deadline_ms, bool is_retry);
+
+  /// Body of the deferred future SubmitPredict returns when resilience is
+  /// enabled: awaits the primary (hedging past the rolling-p95 trigger),
+  /// re-dispatches once under the retry budget with the remaining deadline,
+  /// and falls back to the stale cache when allowed. Runs on the caller's
+  /// resolving thread.
+  serve::ServeResponse ResolvePredictResilient(obs::RequestContext ctx,
+                                               PredictAttempt attempt,
+                                               double deadline_ms);
+
+  /// Awaits `attempt`'s future; once it outlives the hedge trigger, replays
+  /// the session on the next ring candidate and returns the first response,
+  /// cancelling (and counting) the loser.
+  serve::ServeResponse AwaitWithHedge(const obs::RequestContext& ctx,
+                                      PredictAttempt& attempt);
 
   /// Books a request rejected before reaching any shard: SLI error sample,
   /// router flight record (op=Route), and a "load_shed" anomaly dump when
@@ -417,6 +491,13 @@ class ShardRouter {
   mutable std::atomic<int64_t> last_shed_dump_second_{
       std::numeric_limits<int64_t>::min()};
 
+  /// Resilience control plane; null when options_.resilience.enabled is
+  /// false (the single pointer load every request path pays). shared_ptr:
+  /// deferred predict wrappers keep it alive past the router if a caller
+  /// resolves them late. Declared before shards_ so shard on_complete
+  /// callbacks (breaker feeds) never outlive it.
+  std::shared_ptr<ResilienceControl> resilience_;
+
   /// Guards shards_, ring_, crashed_, draining_, migrating_. Held only for
   /// routing bookkeeping and topology changes — never across a model
   /// forward pass (requests run on shard worker threads) and never while a
@@ -424,6 +505,13 @@ class ShardRouter {
   mutable std::mutex mutex_;
   std::map<int, Shard> shards_;
   HashRing ring_;
+  /// Ring over active AND crashed shards. Routing a non-create request for
+  /// an unpinned session consults this first: when the full-membership
+  /// owner is a crashed shard, the session (if it ever existed) died with
+  /// it, and the right answer is a retryable Unavailable — not the NotFound
+  /// a surviving shard would return, which would make clients give the
+  /// session up for dead during a blip a restart will heal.
+  HashRing all_ring_;
   /// Pin table (own leaf mutex; see PinState). Acquire order: mutex_ then
   /// pins_->mutex, or pins_->mutex alone.
   std::shared_ptr<PinState> pins_ = std::make_shared<PinState>();
@@ -431,6 +519,16 @@ class ShardRouter {
   std::set<int> crashed_;
   /// Shards mid-RemoveShard: out of the ring, pinned requests rejected.
   std::set<int> draining_;
+  /// In-flight hedge replays per candidate shard. A hedge submits its
+  /// scratch-session replay directly to the candidate service (bypassing
+  /// routing), so RemoveShard must wait for replays targeting the departing
+  /// shard to finish submitting — the drain's queue watermark then retires
+  /// their queued ops (including the trailing close) before extraction
+  /// demands quiescence. Candidate selection and the draining mark share
+  /// mutex_, so a shard is either registered here before it drains or never
+  /// picked once draining. hedge_cv_ signals each release.
+  std::map<int, int> hedges_in_flight_;
+  std::condition_variable hedge_cv_;
   /// Sessions mid-AddShard pull: their requests get a retryable
   /// Unavailable until the move completes.
   std::unordered_set<std::string> migrating_;

@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnavailable,
   kDeadlineExceeded,
   kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns a human-readable name for `code`, e.g. "InvalidArgument".
@@ -78,6 +79,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -61,6 +61,7 @@ std::string_view FlightOpName(FlightOp op);
 enum FlightFault : uint16_t {
   kFaultBitSlowPredict = 1u << 0,   // serve.slow_predict delay fired
   kFaultBitExtraPredict = 1u << 1,  // per-shard extra predict point fired
+  kFaultBitStale = 1u << 2,         // answered from the stale-read cache
 };
 
 /// One compact request record. Trivially copyable, fixed-size, no pointers:

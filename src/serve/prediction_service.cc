@@ -207,16 +207,26 @@ Result<std::future<ServeResponse>> PredictionService::Enqueue(
                       obs::SpanFlow::kOut);
   std::future<ServeResponse> future = request.promise.get_future();
   request.enqueue_time = std::chrono::steady_clock::now();
-  const double deadline_ms = request.deadline_ms > 0.0
-                                 ? request.deadline_ms
-                                 : (request.deadline_ms < 0.0
-                                        ? 0.0
-                                        : options_.default_deadline_ms);
-  if (deadline_ms > 0.0) {
+  if (request.ctx.has_deadline) {
+    // The context carries an absolute deadline resolved once at the edge
+    // that minted it. An internal re-dispatch (router retry, hedge) arrives
+    // here with only the REMAINING budget — re-deriving from deadline_ms
+    // would silently re-arm the caller's full deadline on every attempt.
     request.has_deadline = true;
-    request.deadline =
-        request.enqueue_time +
-        std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1000.0));
+    request.deadline = request.ctx.deadline;
+  } else {
+    const double deadline_ms = request.deadline_ms > 0.0
+                                   ? request.deadline_ms
+                                   : (request.deadline_ms < 0.0
+                                          ? 0.0
+                                          : options_.default_deadline_ms);
+    if (deadline_ms > 0.0) {
+      request.has_deadline = true;
+      request.deadline =
+          request.enqueue_time +
+          std::chrono::microseconds(
+              static_cast<int64_t>(deadline_ms * 1000.0));
+    }
   }
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -471,7 +481,17 @@ void PredictionService::WorkerLoop(int worker_index) {
       uint16_t fault_bits = 0;
       bool deadline_exceeded = false;
       ServeResponse response;
-      if (request.has_deadline && start > request.deadline) {
+      if (request.ctx.cancelled()) {
+        // The racing dispatch (a hedge or its primary) already produced the
+        // answer; executing this copy would only burn a worker. Checked
+        // before the deadline so a cancelled loser is counted as cancelled,
+        // not as a deadline miss.
+        response.status = Status::Cancelled(
+            "request cancelled before execution for session " +
+            request.session_id);
+        metrics_.Increment(Counter::kCancelled);
+        metrics_.Increment(Counter::kErrors);
+      } else if (request.has_deadline && start > request.deadline) {
         // Fail fast: the caller has already given up; executing now would
         // only burn a worker on a dead request.
         response.status = Status::DeadlineExceeded(

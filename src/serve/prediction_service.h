@@ -108,6 +108,14 @@ struct ServeResponse {
   /// in the Chrome trace and flight-recorder records. 0 only for requests
   /// rejected before a context existed.
   uint64_t trace_id = 0;
+  /// Degraded-mode marker: true when the answer came from the router's
+  /// last-good prediction cache instead of a live shard (the pinned shard
+  /// was down and RouterOptions::allow_stale let the router serve anyway).
+  /// `stale_age_ms` is how old the cached answer was when served. A stale
+  /// response always carries status OK — staleness is a quality signal, not
+  /// an error.
+  bool stale = false;
+  double stale_age_ms = 0.0;
 };
 
 /// Multi-threaded, in-process cascade prediction service.
@@ -231,6 +239,11 @@ class PredictionService {
   /// if (and only if) the watchdog was what degraded it.
   void NoteWatchdogStall();
   void NoteWatchdogRecovery();
+  /// True while a watchdog stall (and nothing else) holds health degraded.
+  /// The shard supervisor polls this to spot wedged-but-alive shards.
+  bool watchdog_degraded() const {
+    return watchdog_degraded_.load(std::memory_order_relaxed);
+  }
 
   /// Registers this service's introspection surface on `server`: a "serve"
   /// /statusz section, /flightz (the flight ring as JSON lines), and a

@@ -85,6 +85,29 @@ TEST(AdmissionTest, SheddingCanBeDisabled) {
   EXPECT_TRUE(admission.AdmitLoad(100, 100).ok());
 }
 
+TEST(AdmissionTest, BackwardsClockSkewNeverMintsOrDestroysTokens) {
+  AdmissionController admission(QuotaOptions(10.0, 2.0));
+  // Drain the burst at t=100 s.
+  EXPECT_TRUE(admission.AdmitTenant("t", After(100.0)).ok());
+  EXPECT_TRUE(admission.AdmitTenant("t", After(100.0)).ok());
+  EXPECT_EQ(admission.AdmitTenant("t", After(100.0)).code(),
+            StatusCode::kResourceExhausted);
+  // The clock jumps BACK 99 s (VM migration, NTP step): the bucket must
+  // neither mint phantom tokens nor wedge — it re-anchors and stays empty.
+  EXPECT_EQ(admission.AdmitTenant("t", After(1.0)).code(),
+            StatusCode::kResourceExhausted);
+  // Refill resumes from the re-anchored instant at the configured rate:
+  // 50 ms is half a token, 100 ms is the first whole one.
+  EXPECT_EQ(admission.AdmitTenant("t", After(1.05)).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(admission.AdmitTenant("t", After(1.1)).ok());
+  // And a later huge forward jump still refills to the cap, not beyond.
+  EXPECT_TRUE(admission.AdmitTenant("t", After(9999.0)).ok());
+  EXPECT_TRUE(admission.AdmitTenant("t", After(9999.0)).ok());
+  EXPECT_EQ(admission.AdmitTenant("t", After(9999.0)).code(),
+            StatusCode::kResourceExhausted);
+}
+
 TEST(AdmissionTest, StatsCountAdmissionsPerTenant) {
   AdmissionController admission(QuotaOptions(1.0, 2.0));
   EXPECT_TRUE(admission.AdmitTenant("beta", T0()).ok());
